@@ -1,0 +1,251 @@
+package bfpp_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index). One benchmark per
+// artifact: BenchmarkFigure1 .. BenchmarkTableE3 and BenchmarkAppendixB
+// each measure a full regeneration of that artifact from the simulator and
+// grid search; the remaining benchmarks measure the core primitives.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The regenerated artifacts themselves are written by cmd/bfpp-figures.
+
+import (
+	"testing"
+
+	"bfpp"
+	"bfpp/internal/alloc"
+	"bfpp/internal/batchsize"
+	"bfpp/internal/collective"
+	"bfpp/internal/core"
+	"bfpp/internal/engine"
+	"bfpp/internal/figures"
+	"bfpp/internal/hw"
+	"bfpp/internal/model"
+	"bfpp/internal/schedule"
+	"bfpp/internal/search"
+	"bfpp/internal/tensor"
+)
+
+// benchArtifact runs one figures generator per iteration.
+func benchArtifact(b *testing.B, name string) {
+	b.Helper()
+	for _, g := range figures.Generators() {
+		if g.Name != name {
+			continue
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return
+	}
+	b.Fatalf("unknown artifact %q", name)
+}
+
+// Paper artifacts, one benchmark each.
+
+func BenchmarkFigure1(b *testing.B)   { benchArtifact(b, "figure1") }
+func BenchmarkFigure2(b *testing.B)   { benchArtifact(b, "figure2") }
+func BenchmarkFigure3(b *testing.B)   { benchArtifact(b, "figure3") }
+func BenchmarkFigure4(b *testing.B)   { benchArtifact(b, "figure4") }
+func BenchmarkFigure5(b *testing.B)   { benchArtifact(b, "figure5") }
+func BenchmarkFigure6(b *testing.B)   { benchArtifact(b, "figure6") }
+func BenchmarkFigure7a(b *testing.B)  { benchArtifact(b, "figure7a") }
+func BenchmarkFigure7b(b *testing.B)  { benchArtifact(b, "figure7b") }
+func BenchmarkFigure7c(b *testing.B)  { benchArtifact(b, "figure7c") }
+func BenchmarkFigure8a(b *testing.B)  { benchArtifact(b, "figure8a") }
+func BenchmarkFigure8b(b *testing.B)  { benchArtifact(b, "figure8b") }
+func BenchmarkFigure8c(b *testing.B)  { benchArtifact(b, "figure8c") }
+func BenchmarkFigure9(b *testing.B)   { benchArtifact(b, "figure9") }
+func BenchmarkTable41(b *testing.B)   { benchArtifact(b, "table4.1") }
+func BenchmarkTable51(b *testing.B)   { benchArtifact(b, "table5.1") }
+func BenchmarkTableE1(b *testing.B)   { benchArtifact(b, "tableE1") }
+func BenchmarkTableE2(b *testing.B)   { benchArtifact(b, "tableE2") }
+func BenchmarkTableE3(b *testing.B)   { benchArtifact(b, "tableE3") }
+func BenchmarkAppendixB(b *testing.B) { benchArtifact(b, "appendixB") }
+
+// BenchmarkExtensionNextGen regenerates the A100/H100 what-if from the
+// paper's conclusion.
+func BenchmarkExtensionNextGen(b *testing.B) { benchArtifact(b, "extension-nextgen") }
+
+// BenchmarkExtensionHybrid measures the Section 4.2 hybrid schedule sweep:
+// sequence length from N_PP (depth-first) to N_mb (breadth-first-like).
+func BenchmarkExtensionHybrid(b *testing.B) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		for _, seq := range []int{8, 16, 32, 64} {
+			p := core.Plan{Method: core.Hybrid, DP: 1, PP: 8, TP: 8,
+				MicroBatch: 1, NumMicro: 64, Loops: 8, Sequence: seq,
+				OverlapDP: true, OverlapPP: true}
+			r, err := engine.Simulate(c, m, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = r.Utilization
+		}
+	}
+	b.ReportMetric(100*last, "util%/seq=64")
+}
+
+// BenchmarkExtensionAllocator runs the Appendix D.2 caching-allocator
+// workload with and without the paper's mitigations.
+func BenchmarkExtensionAllocator(b *testing.B) {
+	w := alloc.Workload{Capacity: 1 << 20, StateBytes: 1 << 19,
+		ActivationBytes: 1 << 16, MicroBatches: 8, Steps: 100,
+		PreallocateState: true, SyncEvery: 1}
+	var flushes int
+	for i := 0; i < b.N; i++ {
+		bad := w
+		bad.PreallocateState = false
+		bad.SyncEvery = 0
+		flushes = bad.Run().Flushes
+	}
+	b.ReportMetric(float64(flushes), "flushes/unmitigated")
+}
+
+// Core primitives.
+
+// BenchmarkScheduleGeneration measures building the breadth-first program
+// for the paper's largest interesting configuration.
+func BenchmarkScheduleGeneration(b *testing.B) {
+	p := core.Plan{Method: core.BreadthFirst, DP: 4, PP: 8, TP: 2,
+		MicroBatch: 1, NumMicro: 64, Loops: 8, Sharding: core.DPFS,
+		OverlapDP: true, OverlapPP: true}
+	for i := 0; i < b.N; i++ {
+		s, err := schedule.Generate(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := schedule.Check(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateBatch measures one discrete-event simulation of a
+// realistic 52B configuration.
+func BenchmarkSimulateBatch(b *testing.B) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	p := core.Plan{Method: core.BreadthFirst, DP: 4, PP: 8, TP: 2,
+		MicroBatch: 1, NumMicro: 12, Loops: 8, Sharding: core.DPFS,
+		OverlapDP: true, OverlapPP: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Simulate(c, m, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridSearchOneBatch measures a full Appendix E search at one
+// batch size.
+func BenchmarkGridSearchOneBatch(b *testing.B) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Optimize(c, m, search.FamilyBreadthFirst, 64, search.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRingAllReduce measures the channel-based ring all-reduce used by
+// the training runtime (8 ranks, 64k elements).
+func BenchmarkRingAllReduce(b *testing.B) {
+	g := collective.NewGroup(8)
+	data := make([][]float64, 8)
+	for r := range data {
+		data[r] = make([]float64, 65536)
+		for i := range data[r] {
+			data[r][i] = float64(r + i)
+		}
+	}
+	b.SetBytes(8 * 65536)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Run(func(rank int) { g.AllReduce(rank, data[rank]) })
+	}
+}
+
+// BenchmarkRuntimeStep measures one real training step of the goroutine
+// runtime under the breadth-first schedule with DP-FS.
+func BenchmarkRuntimeStep(b *testing.B) {
+	cfg := bfpp.NetConfig{Layers: 8, Dim: 32, Hidden: 64, Seed: 1}
+	plan := core.Plan{Method: core.BreadthFirst, DP: 2, PP: 2, TP: 1,
+		MicroBatch: 4, NumMicro: 4, Loops: 4, Sharding: core.DPFS}
+	tr, err := bfpp.NewTrainer(cfg, plan, bfpp.DefaultAdam())
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := tensor.New(plan.BatchSize(), cfg.Dim)
+	tgt := tensor.New(plan.BatchSize(), cfg.Dim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Step(in, tgt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSGDNoiseScale measures the Appendix B noise-scale estimator.
+func BenchmarkSGDNoiseScale(b *testing.B) {
+	sim := batchsize.SGDSim{Dim: 64, Sigma: 6, Seed: 7}
+	for i := 0; i < b.N; i++ {
+		if _, err := batchsize.EstimateNoiseScale(sim.Sampler(0.5), 4, 64, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benchmarks: the design choices DESIGN.md calls out, measured by
+// re-simulating the Figure 6 point (52B, B=64, Nloop=8) under modified
+// engine parameters.
+
+func ablationPoint(b *testing.B, mutate func(*engine.Params)) float64 {
+	b.Helper()
+	par := engine.Defaults()
+	mutate(&par)
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	p := core.Plan{Method: core.DepthFirst, DP: 1, PP: 8, TP: 8,
+		MicroBatch: 1, NumMicro: 64, Loops: 8}
+	r, err := engine.SimulateOpts(c, m, p, engine.Options{Params: &par})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r.Utilization
+}
+
+// BenchmarkAblationBlockingStall quantifies the non-overlapped transfer
+// stall: with it removed, the depth-first schedule stops degrading at high
+// N_loop (the effect Section 5.2 measures).
+func BenchmarkAblationBlockingStall(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = ablationPoint(b, func(p *engine.Params) {})
+		without = ablationPoint(b, func(p *engine.Params) {
+			p.BlockingPPBase, p.BlockingPPPerRank = 0, 0
+		})
+	}
+	b.ReportMetric(100*with, "util%/with-stall")
+	b.ReportMetric(100*without, "util%/no-stall")
+}
+
+// BenchmarkAblationKernelLaunch quantifies the fixed per-op overhead.
+func BenchmarkAblationKernelLaunch(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = ablationPoint(b, func(p *engine.Params) {})
+		without = ablationPoint(b, func(p *engine.Params) { p.KernelLaunch = 0 })
+	}
+	b.ReportMetric(100*with, "util%/with-launch")
+	b.ReportMetric(100*without, "util%/no-launch")
+}

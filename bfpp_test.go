@@ -1,0 +1,86 @@
+package bfpp_test
+
+import (
+	"math"
+	"testing"
+
+	"bfpp"
+	"bfpp/internal/tensor"
+)
+
+// The facade must expose a working end-to-end path: simulate, search,
+// extrapolate and train.
+func TestFacadeSimulate(t *testing.T) {
+	res, err := bfpp.Simulate(bfpp.PaperCluster(), bfpp.Model52B(), bfpp.Plan{
+		Method: bfpp.BreadthFirst, DP: 1, PP: 8, TP: 8,
+		MicroBatch: 1, NumMicro: 8, Loops: 4, OverlapDP: true, OverlapPP: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization <= 0.2 || res.Utilization >= 0.6 {
+		t.Errorf("implausible utilization %.2f", res.Utilization)
+	}
+}
+
+func TestFacadeSearchAndTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search sweep")
+	}
+	c := bfpp.PaperCluster()
+	m := bfpp.Model52B()
+	best, err := bfpp.Optimize(c, m, bfpp.FamilyBreadthFirst, 16, bfpp.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := bfpp.Extrapolate(m, best.Result, bfpp.Bcrit52B, 4096)
+	if pt.TimeDays <= 0 || pt.CostGPUDays <= 0 {
+		t.Errorf("bad extrapolation %+v", pt)
+	}
+	if math.Abs(pt.CostGPUDays-pt.TimeDays*4096)/pt.CostGPUDays > 1e-9 {
+		t.Error("cost != time * GPUs")
+	}
+}
+
+func TestFacadeTrainer(t *testing.T) {
+	cfg := bfpp.NetConfig{Layers: 4, Dim: 8, Hidden: 16, Seed: 5}
+	plan := bfpp.Plan{Method: bfpp.BreadthFirst, DP: 2, PP: 2, TP: 1,
+		MicroBatch: 2, NumMicro: 2, Loops: 2, Sharding: bfpp.DPFS}
+	tr, err := bfpp.NewTrainer(cfg, plan, bfpp.DefaultAdam())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(plan.BatchSize(), cfg.Dim)
+	tgt := tensor.New(plan.BatchSize(), cfg.Dim)
+	for i := range in.Data {
+		in.Data[i] = float64(i%7) - 3
+		tgt.Data[i] = float64(i%5) - 2
+	}
+	l1, err := tr.Step(in, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lN float64
+	for i := 0; i < 20; i++ {
+		lN, err = tr.Step(in, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !(lN < l1) {
+		t.Errorf("loss did not decrease: %v -> %v", l1, lN)
+	}
+}
+
+func TestFacadeAnalytics(t *testing.T) {
+	s := bfpp.DefaultScenario()
+	if u := s.Utilization(bfpp.BreadthFirst, 2); u <= 0 || u > 1 {
+		t.Errorf("bad utilization %v", u)
+	}
+	if bn := bfpp.BetaNet(bfpp.A100(), bfpp.PaperCluster().InterNode, 2048); bn <= 0 {
+		t.Errorf("bad beta_net %v", bn)
+	}
+	if o := bfpp.SamplesOverhead(1024, bfpp.Bcrit52B); o <= 1 {
+		t.Errorf("bad overhead %v", o)
+	}
+}

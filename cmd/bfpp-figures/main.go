@@ -1,0 +1,88 @@
+// Command bfpp-figures regenerates every table and figure of the paper's
+// evaluation into a results directory (and optionally to stdout).
+//
+// Usage:
+//
+//	bfpp-figures -out results              # regenerate everything
+//	bfpp-figures -only figure6 -stdout     # one artifact, printed
+//
+// Artifact names: figure1..figure9 (7a-7c, 8a-8c), table4.1, table5.1,
+// tableE1..tableE3, appendixB.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bfpp/internal/figures"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "results", "output directory")
+		only   = flag.String("only", "", "regenerate a single artifact (comma-separated list allowed)")
+		stdout = flag.Bool("stdout", false, "also print artifacts to stdout")
+	)
+	flag.Parse()
+
+	gens := figures.Generators()
+	if *only != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var filtered []figures.Generator
+		for _, g := range gens {
+			if want[g.Name] {
+				filtered = append(filtered, g)
+				delete(want, g.Name)
+			}
+		}
+		if len(want) > 0 {
+			var names []string
+			for _, g := range gens {
+				names = append(names, g.Name)
+			}
+			fmt.Fprintf(os.Stderr, "bfpp-figures: unknown artifacts %v (available: %s)\n",
+				keys(want), strings.Join(names, ", "))
+			os.Exit(1)
+		}
+		gens = filtered
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, g := range gens {
+		start := time.Now()
+		s, err := g.Run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", g.Name, err))
+		}
+		path := filepath.Join(*out, g.Name+".txt")
+		if err := os.WriteFile(path, []byte(s), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %-28s (%5.1fs)\n", path, time.Since(start).Seconds())
+		if *stdout {
+			fmt.Println(s)
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bfpp-figures:", err)
+	os.Exit(1)
+}

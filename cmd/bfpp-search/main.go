@@ -1,0 +1,62 @@
+// Command bfpp-search runs the Appendix E configuration grid search: for
+// each method family and batch size it enumerates the feasible distributed
+// configurations, simulates them and prints the winners in the format of
+// Tables E.1-E.3 (which also yields the Figure 7 curves).
+//
+// Examples:
+//
+//	bfpp-search -model 52B -batches 8,16,32,64,128,256,512      # Table E.1
+//	bfpp-search -model 6.6B -cluster ethernet -batches 64,128   # Table E.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bfpp/internal/cli"
+	"bfpp/internal/search"
+)
+
+func main() {
+	var (
+		modelName   = flag.String("model", "52B", "model: 52B, 6.6B, gpt3, 1T")
+		clusterName = flag.String("cluster", "paper", "cluster: paper, ethernet, or a GPU count")
+		familyName  = flag.String("family", "all", "family: all, bf, df, nl, np")
+		batchesStr  = flag.String("batches", "8,16,32,64,128,256,512", "comma-separated global batch sizes")
+	)
+	flag.Parse()
+
+	m, err := cli.ParseModel(*modelName)
+	fatalIf(err)
+	c, err := cli.ParseCluster(*clusterName)
+	fatalIf(err)
+	batches, err := cli.ParseInts(*batchesStr)
+	fatalIf(err)
+
+	families := search.Families()
+	if *familyName != "all" {
+		f, err := cli.ParseFamily(*familyName)
+		fatalIf(err)
+		families = []search.Family{f}
+	}
+
+	results := map[search.Family][]search.Best{}
+	for _, f := range families {
+		bests, err := search.Sweep(c, m, f, batches, search.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfpp-search: %v: %v (skipping)\n", f, err)
+			continue
+		}
+		results[f] = bests
+	}
+	title := fmt.Sprintf("Optimal configurations: %s on %s (%d GPUs)", m.Name, c.Name, c.NumGPUs())
+	fmt.Print(search.Table(title, results))
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfpp-search:", err)
+		os.Exit(1)
+	}
+}

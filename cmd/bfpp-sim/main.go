@@ -1,0 +1,102 @@
+// Command bfpp-sim simulates one training batch of a distributed
+// configuration and reports throughput, utilization, memory usage and
+// overhead breakdowns. It can also render the execution timeline as an
+// ASCII Gantt chart or export a Chrome trace.
+//
+// Example (the paper's headline configuration, Table E.1 row "Breadth-first
+// B=9"):
+//
+//	bfpp-sim -model 52B -method breadth-first -pp 8 -tp 8 -nmb 9 -loops 8 -gantt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bfpp/internal/cli"
+	"bfpp/internal/core"
+	"bfpp/internal/engine"
+	"bfpp/internal/trace"
+)
+
+func main() {
+	var (
+		modelName   = flag.String("model", "52B", "model: 52B, 6.6B, gpt3, 1T, tiny")
+		clusterName = flag.String("cluster", "paper", "cluster: paper, ethernet, or a GPU count")
+		methodName  = flag.String("method", "breadth-first", "schedule: gpipe, 1f1b, depth-first, breadth-first, nopipeline-bf, nopipeline-df")
+		dp          = flag.Int("dp", 1, "data-parallel size")
+		pp          = flag.Int("pp", 8, "pipeline-parallel size")
+		tp          = flag.Int("tp", 8, "tensor-parallel size")
+		smb         = flag.Int("smb", 1, "micro-batch size")
+		nmb         = flag.Int("nmb", 8, "sequential micro-batches")
+		loops       = flag.Int("loops", 4, "pipeline loops (stages per device)")
+		shardName   = flag.String("sharding", "dp0", "sharding: dp0, dpps, dpfs")
+		noOverlap   = flag.Bool("no-overlap", false, "disable communication overlap (Megatron-LM style)")
+		gantt       = flag.Bool("gantt", false, "print an ASCII Gantt chart of the batch")
+		width       = flag.Int("width", 120, "gantt width in characters")
+		chromeOut   = flag.String("chrome", "", "write a Chrome trace JSON to this path")
+		configPath  = flag.String("config", "", "load the plan from a JSON file instead of flags")
+	)
+	flag.Parse()
+
+	m, err := cli.ParseModel(*modelName)
+	fatalIf(err)
+	c, err := cli.ParseCluster(*clusterName)
+	fatalIf(err)
+
+	var plan core.Plan
+	if *configPath != "" {
+		raw, err := os.ReadFile(*configPath)
+		fatalIf(err)
+		plan, err = core.DecodePlan(raw)
+		fatalIf(err)
+	} else {
+		method, err := cli.ParseMethod(*methodName)
+		fatalIf(err)
+		sharding, err := cli.ParseSharding(*shardName)
+		fatalIf(err)
+		plan = core.Plan{
+			Method: method, DP: *dp, PP: *pp, TP: *tp,
+			MicroBatch: *smb, NumMicro: *nmb, Loops: *loops,
+			Sharding: sharding,
+		}
+		if !*noOverlap && method != core.OneFOneB && method != core.DepthFirst {
+			plan.OverlapDP, plan.OverlapPP = true, true
+		}
+	}
+
+	res, err := engine.SimulateOpts(c, m, plan, engine.Options{CaptureTimeline: *gantt || *chromeOut != ""})
+	fatalIf(err)
+
+	fmt.Printf("model:      %v\n", m)
+	fmt.Printf("cluster:    %s (%d GPUs)\n", c.Name, c.NumGPUs())
+	fmt.Printf("plan:       %v\n", plan)
+	fmt.Printf("batch size: %d (beta = %.3g / GPU)\n", plan.BatchSize(), plan.BatchPerGPU())
+	fmt.Printf("batch time: %.4f s\n", res.BatchTime)
+	fmt.Printf("throughput: %.2f Tflop/s/GPU (%.1f%% utilization)\n",
+		res.Throughput/1e12, 100*res.Utilization)
+	fmt.Printf("bubble:     %.1f%% (Eq. 9)\n", 100*res.Bubble)
+	fmt.Printf("compute:    %.4f s busy on the slowest device\n", res.ComputeTime)
+	fmt.Printf("pp comm:    %.4f s   dp comm: %.4f s\n", res.PPCommTime, res.DPCommTime)
+	fmt.Printf("memory:     %v\n", res.Memory)
+
+	if *gantt {
+		fmt.Println()
+		fmt.Print(trace.Gantt(res.Timeline, *width))
+		fmt.Print(trace.Legend())
+	}
+	if *chromeOut != "" {
+		raw, err := trace.ChromeTrace(res.Timeline)
+		fatalIf(err)
+		fatalIf(os.WriteFile(*chromeOut, raw, 0o644))
+		fmt.Printf("chrome trace written to %s\n", *chromeOut)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfpp-sim:", err)
+		os.Exit(1)
+	}
+}

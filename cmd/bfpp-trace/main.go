@@ -1,0 +1,130 @@
+// Command bfpp-trace renders the paper's schedule diagrams: the layer
+// placements of Figure 3, the pipeline-schedule Gantt charts of Figure 4,
+// and the gradient-accumulation schedules of Figure 9, all as ASCII.
+//
+// Usage:
+//
+//	bfpp-trace -figure 3   # standard vs looping placement
+//	bfpp-trace -figure 4   # GPipe / 1F1B / depth-first / breadth-first
+//	bfpp-trace -figure 9   # DP0 / DP-FS gradient accumulation, DF vs BF
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bfpp/internal/core"
+	"bfpp/internal/engine"
+	"bfpp/internal/hw"
+	"bfpp/internal/model"
+	"bfpp/internal/trace"
+)
+
+// diagramParams zeroes the fixed overheads so the tiny demo model's
+// timelines are drawn "times to scale" like the paper's Figures 4 and 9
+// (which omit pipeline-parallel communication).
+func diagramParams() *engine.Params {
+	par := engine.Defaults()
+	par.KernelLaunch = 0
+	par.BlockingPPBase = 0
+	par.BlockingPPPerRank = 0
+	return &par
+}
+
+func main() {
+	var (
+		figure = flag.Int("figure", 4, "paper figure to render: 3, 4 or 9")
+		width  = flag.Int("width", 120, "gantt width in characters")
+	)
+	flag.Parse()
+
+	switch *figure {
+	case 3:
+		figure3()
+	case 4:
+		figure4(*width)
+	case 9:
+		figure9(*width)
+	default:
+		fmt.Fprintf(os.Stderr, "bfpp-trace: unknown figure %d (3, 4, 9)\n", *figure)
+		os.Exit(1)
+	}
+}
+
+// figure3 prints the standard and looping placements of a 16-layer model
+// on 4 devices.
+func figure3() {
+	m := model.Tiny()
+	std := core.Plan{Method: core.GPipe, DP: 1, PP: 4, TP: 1, MicroBatch: 1, NumMicro: 8, Loops: 1}
+	looped := core.Plan{Method: core.BreadthFirst, DP: 1, PP: 4, TP: 1, MicroBatch: 1, NumMicro: 8, Loops: 4}
+	fmt.Println("Figure 3: layer placements for a 16-layer model on 4 devices")
+	fmt.Println()
+	fmt.Print(trace.Placement(m, std))
+	fmt.Println()
+	fmt.Print(trace.Placement(m, looped))
+}
+
+// figure4 renders the four pipeline schedules for the 16-layer model with
+// 8 micro-batches on 4 devices, times to scale.
+func figure4(width int) {
+	fmt.Println("Figure 4: pipeline schedules, 16 layers, 4 devices, 8 micro-batches")
+	fmt.Println()
+	cases := []struct {
+		name string
+		plan core.Plan
+	}{
+		{"(a) GPipe (non-looped)", core.Plan{Method: core.GPipe, DP: 1, PP: 4, TP: 1,
+			MicroBatch: 4, NumMicro: 8, Loops: 1, OverlapDP: true, OverlapPP: true}},
+		{"(b) 1F1B (non-looped)", core.Plan{Method: core.OneFOneB, DP: 1, PP: 4, TP: 1,
+			MicroBatch: 4, NumMicro: 8, Loops: 1}},
+		{"(c) Depth-first (looped)", core.Plan{Method: core.DepthFirst, DP: 1, PP: 4, TP: 1,
+			MicroBatch: 4, NumMicro: 8, Loops: 4}},
+		{"(d) Breadth-first (looped)", core.Plan{Method: core.BreadthFirst, DP: 1, PP: 4, TP: 1,
+			MicroBatch: 4, NumMicro: 8, Loops: 4, OverlapDP: true, OverlapPP: true}},
+	}
+	for _, cse := range cases {
+		res, err := engine.SimulateOpts(hw.PaperCluster(), model.Tiny(), cse.plan,
+			engine.Options{CaptureTimeline: true, Params: diagramParams()})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfpp-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s — batch time %.4fs, bubble %.1f%%\n", cse.name, res.BatchTime, 100*res.Bubble)
+		fmt.Print(trace.Gantt(res.Timeline, width))
+		fmt.Println()
+	}
+	fmt.Print(trace.Legend())
+}
+
+// figure9 renders the gradient-accumulation schedules (no pipeline): DP0
+// and DP-FS with depth-first and breadth-first ordering.
+func figure9(width int) {
+	fmt.Println("Figure 9: gradient accumulation, 4 stages, 4 micro-batches, DP=4")
+	fmt.Println()
+	cases := []struct {
+		name string
+		plan core.Plan
+	}{
+		{"(a) Depth-first (DP0)", core.Plan{Method: core.NoPipelineDF, DP: 4, PP: 1, TP: 1,
+			MicroBatch: 4, NumMicro: 4, Loops: 4, Sharding: core.DP0, OverlapDP: true}},
+		{"(b) Depth-first (DP-FS)", core.Plan{Method: core.NoPipelineDF, DP: 4, PP: 1, TP: 1,
+			MicroBatch: 4, NumMicro: 4, Loops: 4, Sharding: core.DPFS, OverlapDP: true}},
+		{"(c) Breadth-first (DP0)", core.Plan{Method: core.NoPipelineBF, DP: 4, PP: 1, TP: 1,
+			MicroBatch: 4, NumMicro: 4, Loops: 4, Sharding: core.DP0, OverlapDP: true}},
+		{"(d) Breadth-first (DP-FS)", core.Plan{Method: core.NoPipelineBF, DP: 4, PP: 1, TP: 1,
+			MicroBatch: 4, NumMicro: 4, Loops: 4, Sharding: core.DPFS, OverlapDP: true}},
+	}
+	for _, cse := range cases {
+		res, err := engine.SimulateOpts(hw.PaperCluster(), model.Tiny(), cse.plan,
+			engine.Options{CaptureTimeline: true, Params: diagramParams()})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfpp-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s — batch time %.4fs\n", cse.name, res.BatchTime)
+		fmt.Print(trace.Gantt(res.Timeline, width))
+		fmt.Println()
+	}
+	fmt.Print(trace.Legend())
+}

@@ -1,0 +1,68 @@
+// Schedule comparison: reproduce the Figure 5a experiment — GPU utilization
+// as a function of the batch size per GPU for the four pipeline schedules
+// on the 52B model with a fixed distributed configuration — and render the
+// Figure 4-style timeline of the winner.
+//
+// Run with:
+//
+//	go run ./examples/schedule_comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bfpp"
+	"bfpp/internal/engine"
+	"bfpp/internal/trace"
+)
+
+func main() {
+	cluster := bfpp.PaperCluster()
+	m := bfpp.Model52B()
+
+	fmt.Println("Figure 5a scenario: 52B, NPP = NTP = 8, NDP = 1, Smb = 1, Nloop = 4")
+	fmt.Printf("%8s %14s %12s %8s %8s\n", "beta", "breadth-first", "depth-first", "gpipe", "1f1b")
+	for _, nmb := range []int{8, 16, 32, 64, 128} {
+		fmt.Printf("%8.3f", float64(nmb)/64)
+		for _, cfg := range []struct {
+			method bfpp.Method
+			loops  int
+			ours   bool
+		}{
+			{bfpp.BreadthFirst, 4, true},
+			{bfpp.DepthFirst, 4, false},
+			{bfpp.GPipe, 1, true},
+			{bfpp.OneFOneB, 1, false},
+		} {
+			plan := bfpp.Plan{Method: cfg.method, DP: 1, PP: 8, TP: 8,
+				MicroBatch: 1, NumMicro: nmb, Loops: cfg.loops,
+				OverlapDP: cfg.ours, OverlapPP: cfg.ours}
+			res, err := bfpp.Simulate(cluster, m, plan)
+			if err != nil {
+				log.Fatal(err)
+			}
+			width := 14
+			if cfg.method != bfpp.BreadthFirst {
+				width = 12
+				if cfg.method != bfpp.DepthFirst {
+					width = 8
+				}
+			}
+			fmt.Printf(" %*.1f", width, 100*res.Utilization)
+		}
+		fmt.Println()
+	}
+
+	// Show the breadth-first timeline at the small batch, where the schedule
+	// advantage is visually obvious (small bubble, overlapped transfers).
+	fmt.Println("\nBreadth-first timeline at B=8 (compute rows per GPU, transfers on pp rows):")
+	plan := bfpp.Plan{Method: bfpp.BreadthFirst, DP: 1, PP: 8, TP: 8,
+		MicroBatch: 1, NumMicro: 8, Loops: 4, OverlapDP: true, OverlapPP: true}
+	res, err := engine.SimulateOpts(cluster, m, plan, engine.Options{CaptureTimeline: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(trace.Gantt(res.Timeline, 110))
+	fmt.Print(trace.Legend())
+}

@@ -1,0 +1,78 @@
+// Toy training: execute the schedules for real. Every "GPU" is a
+// goroutine, the interconnect is Go channels, gradients flow through ring
+// collectives, and the optimizer state can be fully sharded — then verify
+// the paper's premise: all schedules compute the same optimization
+// trajectory, so the performance comparison is purely about time.
+//
+// Run with:
+//
+//	go run ./examples/toy_training
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"bfpp"
+	"bfpp/internal/tensor"
+)
+
+func main() {
+	cfg := bfpp.NetConfig{Layers: 8, Dim: 16, Hidden: 32, Seed: 42}
+
+	// Four ways to run the same global batch of 32 samples.
+	plans := []struct {
+		name string
+		plan bfpp.Plan
+	}{
+		{"single device (reference)", bfpp.Plan{Method: bfpp.NoPipelineDF, DP: 1, PP: 1, TP: 1,
+			MicroBatch: 4, NumMicro: 8, Loops: 1}},
+		{"GPipe, PP=4", bfpp.Plan{Method: bfpp.GPipe, DP: 1, PP: 4, TP: 1,
+			MicroBatch: 4, NumMicro: 8, Loops: 1}},
+		{"1F1B, PP=4", bfpp.Plan{Method: bfpp.OneFOneB, DP: 1, PP: 4, TP: 1,
+			MicroBatch: 4, NumMicro: 8, Loops: 1}},
+		{"breadth-first, PP=2 x 4 loops, DP=2, DP-FS",
+			bfpp.Plan{Method: bfpp.BreadthFirst, DP: 2, PP: 2, TP: 1,
+				MicroBatch: 4, NumMicro: 4, Loops: 4, Sharding: bfpp.DPFS}},
+	}
+
+	// A fixed regression task.
+	rng := rand.New(rand.NewSource(7))
+	inputs := tensor.New(32, cfg.Dim)
+	targets := tensor.New(32, cfg.Dim)
+	inputs.RandInit(rng, 1)
+	targets.RandInit(rng, 1)
+
+	fmt.Println("training the same batch for 20 steps under each parallelization:")
+	var refWeights []float64
+	for _, pc := range plans {
+		tr, err := bfpp.NewTrainer(cfg, pc.plan, bfpp.AdamConfig{LR: 3e-3, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var first, last float64
+		for step := 0; step < 20; step++ {
+			loss, err := tr.Step(inputs, targets)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if step == 0 {
+				first = loss
+			}
+			last = loss
+		}
+		w := tr.Weights()
+		drift := 0.0
+		if refWeights == nil {
+			refWeights = w
+		} else {
+			drift = tensor.MaxAbsDiffSlice(w, refWeights)
+		}
+		fmt.Printf("%-45s loss %0.6f -> %0.6f   weight drift vs reference: %.2e\n",
+			pc.name, first, last, drift)
+	}
+	fmt.Println("\nall parallelizations follow the identical optimization trajectory;")
+	fmt.Println("the schedules differ only in *when* work happens, which is what the")
+	fmt.Println("simulator (bfpp-sim, bfpp-search) quantifies.")
+}

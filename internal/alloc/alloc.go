@@ -1,0 +1,290 @@
+// Package alloc models the GPU caching allocator behaviour described in
+// Appendix D.2 of the paper, which the author identifies as a major source
+// of hidden overhead in pipeline-parallel training:
+//
+//   - Memory fragmentation: an allocation can fail although enough total
+//     memory is free, because no contiguous gap is large enough — "which
+//     leads to unnecessary out-of-memory errors".
+//   - Deferred frees: tensors involved in queued kernels (or collectives on
+//     side streams) cannot be reused until the GPU catches up, so a deep
+//     kernel queue inflates the apparent memory usage.
+//   - Flush-on-OOM: when the allocator cannot satisfy a request it
+//     synchronizes the device and flushes its cache — a slow, blocking
+//     operation whose cost multiplies across parallel devices.
+//
+// The paper's two mitigations are reproducible here: pre-allocating
+// long-lived state (fewer, stabler blocks -> less fragmentation) and
+// inserting frequent non-blocking synchronizations (bounded queue depth ->
+// deferred frees retire early, avoiding flushes).
+package alloc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Allocator is a best-fit arena with deferred frees and flush-on-OOM,
+// mimicking a CUDA caching allocator from the host's perspective.
+type Allocator struct {
+	capacity int64
+	// free holds the free gaps, sorted by offset, coalesced.
+	free []span
+	// live maps allocation ids to their spans.
+	live map[int]span
+	// deferred holds frees that cannot retire until a synchronization
+	// (their tensors are referenced by queued kernels).
+	deferred []int
+	nextID   int
+
+	// Stats accumulated over the run.
+	Flushes      int   // cache flushes triggered by failed allocations
+	FragFailures int   // failures with enough total but no contiguous space
+	PeakLive     int64 // peak sum of live allocations
+	PeakBlocked  int64 // peak memory unavailable due to deferred frees
+	curLive      int64
+	curBlocked   int64
+}
+
+type span struct{ off, size int64 }
+
+// New returns an allocator managing capacity bytes.
+func New(capacity int64) *Allocator {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("alloc: capacity %d", capacity))
+	}
+	return &Allocator{
+		capacity: capacity,
+		free:     []span{{0, capacity}},
+		live:     map[int]span{},
+	}
+}
+
+// Alloc reserves size bytes and returns an allocation id. If no contiguous
+// gap fits, it synchronizes (retiring deferred frees, counted as a flush)
+// and retries; if that still fails the allocation errors (a true OOM).
+func (a *Allocator) Alloc(size int64) (int, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("alloc: size %d", size)
+	}
+	id, ok := a.tryAlloc(size)
+	if ok {
+		return id, nil
+	}
+	// The failure is fragmentation (or blocked memory) if the bytes exist.
+	if a.totalFree()+a.curBlocked >= size {
+		a.FragFailures++
+	}
+	a.Flushes++
+	a.Sync()
+	a.coalesce()
+	id, ok = a.tryAlloc(size)
+	if !ok {
+		return 0, fmt.Errorf("alloc: out of memory: %d bytes requested, %d free (largest gap %d)",
+			size, a.totalFree(), a.largestGap())
+	}
+	return id, nil
+}
+
+// tryAlloc performs a best-fit search.
+func (a *Allocator) tryAlloc(size int64) (int, bool) {
+	best := -1
+	for i, g := range a.free {
+		if g.size >= size && (best < 0 || g.size < a.free[best].size) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	g := a.free[best]
+	a.nextID++
+	id := a.nextID
+	a.live[id] = span{g.off, size}
+	if g.size == size {
+		a.free = append(a.free[:best], a.free[best+1:]...)
+	} else {
+		a.free[best] = span{g.off + size, g.size - size}
+	}
+	a.curLive += size
+	if a.curLive > a.PeakLive {
+		a.PeakLive = a.curLive
+	}
+	return id, true
+}
+
+// Free releases an allocation. With inFlight true the memory stays blocked
+// (a queued kernel still references it) until the next Sync.
+func (a *Allocator) Free(id int, inFlight bool) error {
+	s, ok := a.live[id]
+	if !ok {
+		return fmt.Errorf("alloc: free of unknown id %d", id)
+	}
+	if inFlight {
+		a.deferred = append(a.deferred, id)
+		a.curBlocked += s.size
+		if a.curBlocked > a.PeakBlocked {
+			a.PeakBlocked = a.curBlocked
+		}
+		return nil
+	}
+	a.release(id)
+	return nil
+}
+
+// release returns an allocation's span to the free list.
+func (a *Allocator) release(id int) {
+	s := a.live[id]
+	delete(a.live, id)
+	a.curLive -= s.size
+	a.free = append(a.free, s)
+	a.coalesce()
+}
+
+// Sync retires all deferred frees (the device caught up with the queue).
+// Frequent non-blocking synchronizations — the paper's fix — amount to
+// calling this often enough that deferred memory never piles up.
+func (a *Allocator) Sync() {
+	for _, id := range a.deferred {
+		a.curBlocked -= a.live[id].size
+		a.release(id)
+	}
+	a.deferred = a.deferred[:0]
+}
+
+// coalesce merges adjacent free gaps.
+func (a *Allocator) coalesce() {
+	if len(a.free) < 2 {
+		return
+	}
+	sort.Slice(a.free, func(i, j int) bool { return a.free[i].off < a.free[j].off })
+	out := a.free[:1]
+	for _, g := range a.free[1:] {
+		last := &out[len(out)-1]
+		if last.off+last.size == g.off {
+			last.size += g.size
+		} else {
+			out = append(out, g)
+		}
+	}
+	a.free = out
+}
+
+// totalFree returns the sum of free gaps.
+func (a *Allocator) totalFree() int64 {
+	var t int64
+	for _, g := range a.free {
+		t += g.size
+	}
+	return t
+}
+
+// largestGap returns the size of the largest free gap.
+func (a *Allocator) largestGap() int64 {
+	var m int64
+	for _, g := range a.free {
+		if g.size > m {
+			m = g.size
+		}
+	}
+	return m
+}
+
+// LiveBytes returns the current live allocation total.
+func (a *Allocator) LiveBytes() int64 { return a.curLive }
+
+// Fragmentation returns 1 - largestGap/totalFree, the paper's failure mode
+// indicator (0 = one contiguous gap; near 1 = badly shattered).
+func (a *Allocator) Fragmentation() float64 {
+	t := a.totalFree()
+	if t == 0 {
+		return 0
+	}
+	return 1 - float64(a.largestGap())/float64(t)
+}
+
+// Workload drives the allocator through training steps that mirror
+// Appendix D's memory behaviour.
+type Workload struct {
+	// Capacity is the device memory size.
+	Capacity int64
+	// StateBytes is the long-lived training state.
+	StateBytes int64
+	// ActivationBytes is the per-micro-batch transient allocation.
+	ActivationBytes int64
+	// MicroBatches per step; each allocates activations, runs, frees.
+	MicroBatches int
+	// Steps to run.
+	Steps int
+	// PreallocateState reserves the state once up front (the paper's
+	// mitigation) instead of reallocating fractions of it every step.
+	PreallocateState bool
+	// SyncEvery inserts a synchronization after every N micro-batches
+	// (0 = never; 1 = the paper's frequent-sync fix). Without syncs all
+	// activation frees stay deferred until a flush forces them.
+	SyncEvery int
+}
+
+// Stats summarizes a workload run.
+type Stats struct {
+	Flushes, FragFailures int
+	PeakLive, PeakBlocked int64
+	OOM                   bool
+}
+
+// Run executes the workload and returns the allocator statistics.
+func (w Workload) Run() Stats {
+	a := New(w.Capacity)
+	var stateID int
+	var stateParts []int
+	if w.PreallocateState {
+		id, err := a.Alloc(w.StateBytes)
+		if err != nil {
+			return Stats{OOM: true}
+		}
+		stateID = id
+	}
+	sinceSync := 0
+	for step := 0; step < w.Steps; step++ {
+		if !w.PreallocateState {
+			// Dynamic state handling: reallocate the state in quarters
+			// each step (gradient buffers, optimizer temporaries...),
+			// interleaved with activations — the fragmentation driver.
+			for _, id := range stateParts {
+				if a.Free(id, true) != nil {
+					return Stats{OOM: true}
+				}
+			}
+			stateParts = stateParts[:0]
+			for q := 0; q < 4; q++ {
+				id, err := a.Alloc(w.StateBytes / 4)
+				if err != nil {
+					return stats(a, true)
+				}
+				stateParts = append(stateParts, id)
+			}
+		}
+		for mb := 0; mb < w.MicroBatches; mb++ {
+			id, err := a.Alloc(w.ActivationBytes)
+			if err != nil {
+				return stats(a, true)
+			}
+			// The kernels consuming this activation are queued; its free
+			// is deferred until the device syncs.
+			if a.Free(id, true) != nil {
+				return stats(a, true)
+			}
+			sinceSync++
+			if w.SyncEvery > 0 && sinceSync >= w.SyncEvery {
+				a.Sync()
+				sinceSync = 0
+			}
+		}
+	}
+	_ = stateID
+	return stats(a, false)
+}
+
+func stats(a *Allocator, oom bool) Stats {
+	return Stats{Flushes: a.Flushes, FragFailures: a.FragFailures,
+		PeakLive: a.PeakLive, PeakBlocked: a.PeakBlocked, OOM: oom}
+}

@@ -1,0 +1,219 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFreeBasics(t *testing.T) {
+	a := New(100)
+	id1, err := a.Alloc(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := a.Alloc(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LiveBytes() != 100 {
+		t.Errorf("live = %d, want 100", a.LiveBytes())
+	}
+	if _, err := a.Alloc(1); err == nil {
+		t.Error("full arena should OOM")
+	}
+	if err := a.Free(id1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(id2, false); err != nil {
+		t.Fatal(err)
+	}
+	if a.LiveBytes() != 0 || a.totalFree() != 100 || a.largestGap() != 100 {
+		t.Errorf("free list not coalesced: total %d, largest %d", a.totalFree(), a.largestGap())
+	}
+}
+
+func TestFreeErrors(t *testing.T) {
+	a := New(10)
+	if err := a.Free(42, false); err == nil {
+		t.Error("unknown id should fail")
+	}
+	if _, err := a.Alloc(0); err == nil {
+		t.Error("zero-size alloc should fail")
+	}
+}
+
+// Fragmentation: allocating then freeing every other block leaves plenty of
+// total memory but no large gap — the paper's "unnecessary out-of-memory"
+// scenario. The flush (full sync + coalesce) rescues it only if the
+// neighbours are free too.
+func TestFragmentationFailure(t *testing.T) {
+	a := New(100)
+	var ids []int
+	for i := 0; i < 10; i++ {
+		id, err := a.Alloc(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Free the even blocks: 50 bytes free, largest gap 10.
+	for i := 0; i < 10; i += 2 {
+		if err := a.Free(ids[i], false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Fragmentation() < 0.5 {
+		t.Errorf("fragmentation = %.2f, want >= 0.5", a.Fragmentation())
+	}
+	if _, err := a.Alloc(30); err == nil {
+		t.Fatal("30-byte alloc should fail: largest gap is 10")
+	}
+	if a.FragFailures != 1 {
+		t.Errorf("frag failures = %d, want 1", a.FragFailures)
+	}
+}
+
+// Deferred frees block memory until a sync; the flush path reclaims them.
+func TestDeferredFreesAndFlush(t *testing.T) {
+	a := New(100)
+	id1, _ := a.Alloc(60)
+	if err := a.Free(id1, true); err != nil { // deferred: still blocked
+		t.Fatal(err)
+	}
+	if a.PeakBlocked != 60 {
+		t.Errorf("blocked = %d, want 60", a.PeakBlocked)
+	}
+	// 60 bytes are blocked, so an 80-byte alloc must flush first.
+	if _, err := a.Alloc(80); err != nil {
+		t.Fatalf("flush should rescue the allocation: %v", err)
+	}
+	if a.Flushes != 1 {
+		t.Errorf("flushes = %d, want 1", a.Flushes)
+	}
+}
+
+func TestSyncRetiresDeferred(t *testing.T) {
+	a := New(100)
+	id, _ := a.Alloc(50)
+	if err := a.Free(id, true); err != nil {
+		t.Fatal(err)
+	}
+	a.Sync()
+	if a.LiveBytes() != 0 || a.totalFree() != 100 {
+		t.Error("sync should retire deferred frees")
+	}
+	// A sync-retired allocation must not be double-freed by a flush.
+	if _, err := a.Alloc(100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random alloc/free sequences keep the books consistent —
+// live + free + blocked == capacity, and no overlapping live spans.
+func TestAccountingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(1000)
+		live := map[int]bool{}
+		for op := 0; op < 200; op++ {
+			if rng.Intn(2) == 0 {
+				if id, err := a.Alloc(int64(rng.Intn(100) + 1)); err == nil {
+					live[id] = true
+				}
+			} else if len(live) > 0 {
+				for id := range live {
+					a.Free(id, rng.Intn(3) == 0)
+					delete(live, id)
+					break
+				}
+			}
+			if rng.Intn(10) == 0 {
+				a.Sync()
+			}
+		}
+		a.Sync()
+		// All frees processed: free total + live == capacity.
+		return a.totalFree()+a.LiveBytes() == 1000 && !spansOverlap(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func spansOverlap(a *Allocator) bool {
+	type iv struct{ lo, hi int64 }
+	var ivs []iv
+	for _, s := range a.live {
+		ivs = append(ivs, iv{s.off, s.off + s.size})
+	}
+	for _, g := range a.free {
+		ivs = append(ivs, iv{g.off, g.off + g.size})
+	}
+	seen := make(map[int64]bool)
+	for _, v := range ivs {
+		for x := v.lo; x < v.hi; x++ {
+			if seen[x] {
+				return true
+			}
+			seen[x] = true
+		}
+	}
+	return false
+}
+
+// The paper's first mitigation: pre-allocating the training state reduces
+// fragmentation failures versus reallocating it dynamically each step.
+func TestPreallocationReducesFragmentation(t *testing.T) {
+	base := Workload{
+		Capacity:        1000,
+		StateBytes:      600,
+		ActivationBytes: 90,
+		MicroBatches:    8,
+		Steps:           30,
+		SyncEvery:       1,
+	}
+	dynamic := base
+	dynamic.PreallocateState = false
+	prealloc := base
+	prealloc.PreallocateState = true
+	sDyn := dynamic.Run()
+	sPre := prealloc.Run()
+	if sPre.OOM {
+		t.Fatal("preallocated workload should not OOM")
+	}
+	if sDyn.FragFailures+sDyn.Flushes <= sPre.FragFailures+sPre.Flushes {
+		t.Errorf("dynamic state should fragment more: dyn=%+v pre=%+v", sDyn, sPre)
+	}
+}
+
+// The paper's second mitigation: frequent synchronization bounds the
+// deferred-free pile-up and eliminates the allocator flushes.
+func TestFrequentSyncPreventsFlushes(t *testing.T) {
+	base := Workload{
+		Capacity:         1000,
+		StateBytes:       400,
+		ActivationBytes:  150,
+		MicroBatches:     16,
+		Steps:            10,
+		PreallocateState: true,
+	}
+	never := base // SyncEvery = 0: frees pile up until flushes rescue
+	often := base
+	often.SyncEvery = 1
+	sNever := never.Run()
+	sOften := often.Run()
+	if sOften.OOM || sNever.OOM {
+		t.Fatalf("workloads should survive: never=%+v often=%+v", sNever, sOften)
+	}
+	if sOften.Flushes != 0 {
+		t.Errorf("frequent sync should avoid flushes, got %d", sOften.Flushes)
+	}
+	if sNever.Flushes == 0 {
+		t.Error("without syncs the allocator should be forced to flush")
+	}
+	if sNever.PeakBlocked <= sOften.PeakBlocked {
+		t.Errorf("deferred frees should pile up without syncs: %d vs %d",
+			sNever.PeakBlocked, sOften.PeakBlocked)
+	}
+}

@@ -1,0 +1,294 @@
+// Package analytic implements the paper's closed-form performance model:
+// the theoretical efficiency curves of Figure 2, the network arithmetic
+// intensities of Appendix A.3 (Eqs. 20-31), the beta_net estimate, and the
+// qualitative method comparison of Table 4.1 (including Chimera, which the
+// paper compares analytically but does not run).
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"bfpp/internal/core"
+	"bfpp/internal/hw"
+	"bfpp/internal/model"
+)
+
+// Scenario parameterizes the theoretical model of Section 4.2 / Figure 2.
+type Scenario struct {
+	// BetaNet is the data-parallel efficiency threshold (Figure 2 uses 6).
+	BetaNet float64
+	// PP is the pipeline-parallel size (Figure 2 uses 8).
+	PP int
+	// TP is the tensor-parallel size (Figure 2 uses 1).
+	TP int
+	// Loops is N_loop (1 for non-looped; Figure 2 shows 2 and 8).
+	Loops int
+	// MicroBatch is S_mb (1 in Figure 2).
+	MicroBatch int
+	// Overlap selects Figure 2a (true: network ops overlap compute on
+	// separate streams) versus Figure 2b (false).
+	Overlap bool
+	// PPJump is the extra overhead fraction per stage when the
+	// pipeline-parallel transfers cannot be overlapped (N_mb <= N_PP),
+	// producing the jump near beta_min that Figure 2a annotates.
+	PPJump float64
+}
+
+// DefaultScenario returns the Figure 2 parameters.
+func DefaultScenario() Scenario {
+	return Scenario{BetaNet: 6, PP: 8, TP: 1, Loops: 1, MicroBatch: 1, Overlap: true, PPJump: 0.002}
+}
+
+// overlapWindow returns the fraction of the batch compute a schedule can
+// overlap the gradient reduction with (Section 4.2): a single micro-batch
+// for non-looped schedules, a sequence of N_PP micro-batches for
+// depth-first, and the entire batch for breadth-first.
+func overlapWindow(m core.Method, pp, nmb int) float64 {
+	switch m {
+	case core.BreadthFirst, core.NoPipelineBF:
+		return 1
+	case core.DepthFirst, core.Hybrid:
+		w := float64(pp) / float64(nmb)
+		if w > 1 {
+			return 1
+		}
+		return w
+	default:
+		return 1 / float64(nmb)
+	}
+}
+
+// Utilization returns the theoretical maximum GPU utilization of a method
+// at batch size per GPU beta under the scenario: 1/(1 + bubble + DP
+// overhead + PP overhead), each term following Section 4.2.
+func (s Scenario) Utilization(m core.Method, beta float64) float64 {
+	pp, loops := s.PP, s.Loops
+	if !m.Pipelined() {
+		pp, loops = 1, 1
+	}
+	if !m.Looped() && m.Pipelined() {
+		loops = 1
+	}
+	// beta = Nmb*Smb/(PP*TP) for pipelined methods; Nmb*Smb/TP otherwise.
+	nmbF := beta * float64(pp) * float64(s.TP) / float64(s.MicroBatch)
+	if nmbF < 1 {
+		return 0 // unreachable batch size for this grid
+	}
+	nmb := nmbF
+
+	var bubble float64
+	if m.Pipelined() {
+		bubble = float64(pp-1) / (nmb * float64(loops))
+	}
+
+	// Data-parallel overhead: Tnet/Tcomp = betaNet/(Nmb*Smb), reduced by
+	// the overlap window when overlap is available (Eq. 2: the smaller of
+	// the overlapped and non-overlapped costs applies).
+	tnet := s.BetaNet / (nmb * float64(s.MicroBatch))
+	dp := tnet
+	if s.Overlap {
+		w := overlapWindow(m, pp, int(math.Ceil(nmb)))
+		if over := tnet - w; over < dp {
+			dp = over
+		}
+		if dp < 0 {
+			dp = 0
+		}
+	}
+
+	// Pipeline-parallel overlap needs Nmb >= NPP + 1 (Section 4.1); below
+	// that every stage transfer sits on the critical path.
+	var ppOver float64
+	if m.Pipelined() && (!s.Overlap || nmb < float64(pp)+1) {
+		ppOver = s.PPJump * float64(pp*loops)
+	}
+
+	return 1 / (1 + bubble + dp + ppOver)
+}
+
+// CurvePoint is one sample of a Figure 2 efficiency curve.
+type CurvePoint struct {
+	Beta float64
+	Util float64
+}
+
+// Curve samples Utilization over the beta grid.
+func (s Scenario) Curve(m core.Method, betas []float64) []CurvePoint {
+	out := make([]CurvePoint, 0, len(betas))
+	for _, b := range betas {
+		out = append(out, CurvePoint{Beta: b, Util: s.Utilization(m, b)})
+	}
+	return out
+}
+
+// --- Arithmetic intensities (Appendix A.3), in flop/byte. ---
+
+// IntensityDP returns the data-parallel intensity I_0 = I_PS of Eq. (20):
+// Nmb * Smb * Sseq.
+func IntensityDP(nmb, smb, seq int) float64 {
+	return float64(nmb) * float64(smb) * float64(seq)
+}
+
+// IntensityDPFS returns the fully-sharded intensities of Eqs. (24)-(26) for
+// the given schedule: plain gradient accumulation, depth-first, or
+// breadth-first.
+func IntensityDPFS(m core.Method, pp, nmb, smb, seq int) float64 {
+	base := 2.0 / 3.0 * float64(smb) * float64(seq)
+	switch m {
+	case core.DepthFirst:
+		return base * float64(pp)
+	case core.BreadthFirst, core.NoPipelineBF:
+		return base * float64(nmb)
+	default:
+		return base
+	}
+}
+
+// IntensityPP returns the pipeline-parallel intensity of Eq. (30):
+// 24 * Shidden * Nlayers / (NPP * Nloop).
+func IntensityPP(t model.Transformer, pp, loops int) float64 {
+	return 24 * float64(t.Hidden) * float64(t.Layers) / float64(pp*loops)
+}
+
+// IntensityTP returns the tensor-parallel intensity of Eq. (31):
+// 2 * Shidden / NTP.
+func IntensityTP(t model.Transformer, tp int) float64 {
+	return 2 * float64(t.Hidden) / float64(tp)
+}
+
+// BetaNet estimates the data-parallel efficiency threshold for a GPU and
+// inter-node link: the smallest beta for which the gradient reduction can
+// be hidden, ceil(I_hw / Sseq) (Appendix A.3.1).
+func BetaNet(g hw.GPU, l hw.Link, seq int) float64 {
+	return math.Ceil(hw.Intensity(g, l) / float64(seq))
+}
+
+// TPOverhead estimates the tensor-parallel overhead fraction: the
+// non-overlappable two thirds of the communication (Appendix A.3.3
+// footnote 11) relative to compute, (2/3) * I_hw / I_TP.
+func TPOverhead(t model.Transformer, tp int, g hw.GPU, intra hw.Link) float64 {
+	return 2.0 / 3.0 * hw.Intensity(g, intra) / IntensityTP(t, tp)
+}
+
+// --- Table 4.1 ---
+
+// TableParams fixes the symbolic quantities Table 4.1 is evaluated at.
+type TableParams struct {
+	Layers, PP, TP, Nmb, Smb, Loops, Chimera int
+}
+
+// DefaultTableParams matches the paper's running example: a 16-layer model
+// on 4 pipeline devices with 8 micro-batches, 4 loops and 2 Chimera
+// pipelines.
+func DefaultTableParams() TableParams {
+	return TableParams{Layers: 16, PP: 4, TP: 1, Nmb: 8, Smb: 1, Loops: 4, Chimera: 2}
+}
+
+// TableRow is one method's quantitative Table 4.1 entries. Memory values
+// are in units of (bytes/param * layer parameters) and (micro-batch
+// activation size) respectively, matching the paper's relative convention.
+type TableRow struct {
+	// Method names the schedule (including the DP-FS variants).
+	Method string
+	// Bubble is the pipeline-bubble overhead fraction.
+	Bubble float64
+	// StateMemory is the per-device training-state scale (layers held, or
+	// the constant 2 for DP-FS double buffering).
+	StateMemory float64
+	// ActivationMemory is the checkpoint scale in micro-batch units.
+	ActivationMemory float64
+	// DPNetwork is the data-parallel volume multiplier (bytes/param,
+	// relative to 2 for a one-shot half-precision all-reduce... the paper
+	// uses 2 for DP0 and 3Nmb for naive DP-FS).
+	DPNetwork float64
+	// DPOverlap is the overlappable fraction of the DP network time.
+	DPOverlap float64
+	// PPNetwork is the pipeline-parallel volume in loop units (0, 1, or
+	// Nloop).
+	PPNetwork float64
+	// EasyPPOverlap indicates the schedule admits transfer overlap without
+	// modification.
+	EasyPPOverlap bool
+	// FlexibleNmb indicates the schedule accepts any Nmb >= NPP.
+	FlexibleNmb bool
+}
+
+// Table41 evaluates Table 4.1 for the given parameters.
+func Table41(p TableParams) []TableRow {
+	l := float64(p.Layers)
+	pp := float64(p.PP)
+	nmb := float64(p.Nmb)
+	smb := float64(p.Smb)
+	loops := float64(p.Loops)
+	nch := float64(p.Chimera)
+	rows := []TableRow{
+		{
+			Method: "No pipeline", Bubble: 0, StateMemory: l,
+			ActivationMemory: smb, DPNetwork: 2,
+			DPOverlap: (1 - 1/l) / nmb, PPNetwork: 0,
+			EasyPPOverlap: true, FlexibleNmb: true,
+		},
+		{
+			Method: "No pipeline (DP-FS)", Bubble: 0, StateMemory: 2,
+			ActivationMemory: smb, DPNetwork: 3 * nmb,
+			DPOverlap: (1 - 1/l) / nmb, PPNetwork: 0,
+			EasyPPOverlap: true, FlexibleNmb: true,
+		},
+		{
+			Method: "GPipe", Bubble: (pp - 1) / nmb, StateMemory: l / pp,
+			ActivationMemory: smb * nmb / pp, DPNetwork: 2,
+			DPOverlap: (1 - pp/l) / nmb, PPNetwork: 1,
+			EasyPPOverlap: true, FlexibleNmb: true,
+		},
+		{
+			Method: "1F1B", Bubble: (pp - 1) / nmb, StateMemory: l / pp,
+			ActivationMemory: 2 * smb, DPNetwork: 2,
+			DPOverlap: (1 - pp/l) / nmb, PPNetwork: 1,
+			EasyPPOverlap: false, FlexibleNmb: true,
+		},
+		{
+			Method: "1F1B (DP-FS)", Bubble: (pp - 1) / nmb, StateMemory: 2,
+			ActivationMemory: 2 * smb, DPNetwork: 3 * nmb,
+			DPOverlap: 1 - pp/l, PPNetwork: 1,
+			EasyPPOverlap: false, FlexibleNmb: true,
+		},
+		{
+			Method: "Chimera", Bubble: 1 / nch, StateMemory: nch * l / pp,
+			ActivationMemory: 2 * smb, DPNetwork: 2 * nch,
+			DPOverlap: 1 - 1/nch, PPNetwork: 1,
+			EasyPPOverlap: false, FlexibleNmb: false,
+		},
+		{
+			Method: "Depth-first", Bubble: (pp - 1) / (nmb * loops), StateMemory: l / pp,
+			ActivationMemory: smb + smb/loops, DPNetwork: 2,
+			DPOverlap: (1 - pp/l) * pp / nmb, PPNetwork: loops,
+			EasyPPOverlap: false, FlexibleNmb: false,
+		},
+		{
+			Method: "Breadth-first", Bubble: (pp - 1) / (nmb * loops), StateMemory: l / pp,
+			ActivationMemory: smb * nmb / pp, DPNetwork: 2,
+			DPOverlap: 1 - pp/l, PPNetwork: loops,
+			EasyPPOverlap: true, FlexibleNmb: true,
+		},
+		{
+			Method: "Breadth-first (DP-FS)", Bubble: (pp - 1) / (nmb * loops), StateMemory: 2,
+			ActivationMemory: smb * nmb / pp, DPNetwork: 3,
+			DPOverlap: 1 - pp/l, PPNetwork: loops,
+			EasyPPOverlap: true, FlexibleNmb: true,
+		},
+	}
+	return rows
+}
+
+// FormatTable41 renders the table as aligned text.
+func FormatTable41(rows []TableRow) string {
+	out := fmt.Sprintf("%-22s %8s %7s %8s %7s %9s %7s %7s %8s\n",
+		"Method", "Bubble", "State", "Act", "DPNet", "DPOverlap", "PPNet", "PPEasy", "FlexNmb")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-22s %8.3f %7.2f %8.2f %7.1f %9.3f %7.1f %7v %8v\n",
+			r.Method, r.Bubble, r.StateMemory, r.ActivationMemory, r.DPNetwork,
+			r.DPOverlap, r.PPNetwork, r.EasyPPOverlap, r.FlexibleNmb)
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package analytic
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bfpp/internal/core"
+	"bfpp/internal/hw"
+	"bfpp/internal/model"
+)
+
+func relErr(got, want float64) float64 { return math.Abs(got-want) / math.Abs(want) }
+
+// Appendix A.3.2: GPT-3 pipeline intensity is ~7.1M flop/byte non-looped at
+// NPP=4 and ~294K maximally looped; the 1T model gives 19.7M and 614K.
+func TestIntensityPPMatchesPaper(t *testing.T) {
+	gpt3 := model.GPT3()
+	if got := IntensityPP(gpt3, 4, 1); relErr(got, 7.1e6) > 0.01 {
+		t.Errorf("GPT-3 non-looped PP intensity = %.3g, want 7.1M", got)
+	}
+	if got := IntensityPP(gpt3, 4, 24); relErr(got, 294e3) > 0.01 {
+		t.Errorf("GPT-3 looped PP intensity = %.3g, want 294K", got)
+	}
+	oneT := model.Model1T()
+	if got := IntensityPP(oneT, 4, 1); relErr(got, 19.7e6) > 0.01 {
+		t.Errorf("1T non-looped PP intensity = %.3g, want 19.7M", got)
+	}
+	if got := IntensityPP(oneT, 4, 32); relErr(got, 614e3) > 0.01 {
+		t.Errorf("1T looped PP intensity = %.3g, want 614K", got)
+	}
+}
+
+// Appendix A.3.3: TP intensity is 3072 for GPT-3 and 6400 for 1T at NTP=8.
+func TestIntensityTPMatchesPaper(t *testing.T) {
+	if got := IntensityTP(model.GPT3(), 8); got != 3072 {
+		t.Errorf("GPT-3 TP intensity = %v, want 3072", got)
+	}
+	if got := IntensityTP(model.Model1T(), 8); got != 6400 {
+		t.Errorf("1T TP intensity = %v, want 6400", got)
+	}
+}
+
+// Appendix A.3.1: on an A100 with Sseq=2048, beta_net = ceil(I_IB/Sseq) = 4.
+func TestBetaNetMatchesPaper(t *testing.T) {
+	got := BetaNet(hw.A100(), hw.InfiniBandA100(), 2048)
+	if got != 4 {
+		t.Errorf("A100 beta_net = %v, want 4", got)
+	}
+	// Ethernet on the V100 cluster: the paper observes beta_net ~= 32
+	// (Section 5.3).
+	eth := BetaNet(hw.V100(), hw.Ethernet(), 1024)
+	if eth < 24 || eth > 96 {
+		t.Errorf("V100 Ethernet beta_net = %v, want ~32-80 (paper: >=32)", eth)
+	}
+}
+
+// Eq. (20) and Eqs. (24)-(26).
+func TestDPIntensities(t *testing.T) {
+	if got := IntensityDP(8, 2, 1024); got != 16384 {
+		t.Errorf("I_DP = %v, want 16384", got)
+	}
+	seq := 1024
+	base := 2.0 / 3.0 * 2 * 1024
+	if got := IntensityDPFS(core.NoPipelineDF, 4, 8, 2, seq); relErr(got, base) > 1e-12 {
+		t.Errorf("I_FS = %v, want %v", got, base)
+	}
+	if got := IntensityDPFS(core.DepthFirst, 4, 8, 2, seq); relErr(got, 4*base) > 1e-12 {
+		t.Errorf("I_FS-DF = %v, want %v", got, 4*base)
+	}
+	if got := IntensityDPFS(core.BreadthFirst, 4, 8, 2, seq); relErr(got, 8*base) > 1e-12 {
+		t.Errorf("I_FS-BF = %v, want %v", got, 8*base)
+	}
+}
+
+// Appendix A.3.3: expected TP overheads of ~11% (GPT-3) and ~5% (1T) on
+// A100 NVLink.
+func TestTPOverheadMatchesPaper(t *testing.T) {
+	gpt3 := TPOverhead(model.GPT3(), 8, hw.A100(), hw.NVLinkA100())
+	oneT := TPOverhead(model.Model1T(), 8, hw.A100(), hw.NVLinkA100())
+	if gpt3 < 0.08 || gpt3 > 0.14 {
+		t.Errorf("GPT-3 TP overhead = %.3f, want ~0.11", gpt3)
+	}
+	if oneT < 0.04 || oneT > 0.07 {
+		t.Errorf("1T TP overhead = %.3f, want ~0.05", oneT)
+	}
+	if oneT >= gpt3 {
+		t.Error("larger models should have lower TP overhead")
+	}
+}
+
+// Figure 2a shapes: looped curves dominate non-looped, higher looping is
+// better at small beta, pure DP crosses everything once beta > beta_net.
+func TestFigure2Shapes(t *testing.T) {
+	s := DefaultScenario()
+	loop8, loop2 := s, s
+	loop8.Loops = 8
+	loop2.Loops = 2
+
+	for _, beta := range []float64{1, 2, 4} {
+		u8 := loop8.Utilization(core.BreadthFirst, beta)
+		u2 := loop2.Utilization(core.BreadthFirst, beta)
+		u1 := s.Utilization(core.GPipe, beta)
+		if !(u8 > u2 && u2 > u1) {
+			t.Errorf("beta=%v: looping should help: 8x=%.3f 2x=%.3f non=%.3f", beta, u8, u2, u1)
+		}
+	}
+	// Pure DP reaches ~100% once beta >= beta_net.
+	dp := s.Utilization(core.NoPipelineBF, 2*s.BetaNet)
+	if dp < 0.95 {
+		t.Errorf("pure DP at beta >> beta_net should approach 1, got %.3f", dp)
+	}
+	// But collapses at small beta.
+	if got := s.Utilization(core.NoPipelineDF, 1); got > 0.35 {
+		t.Errorf("pure DP at beta=1 should be inefficient, got %.3f", got)
+	}
+	// The jump near beta_min: looped at Nmb=NPP pays the PP penalty.
+	atMin := loop8.Utilization(core.BreadthFirst, 1)
+	above := loop8.Utilization(core.BreadthFirst, 9.0/8.0)
+	if atMin >= above {
+		t.Errorf("expected PP-overlap jump above beta_min: %.3f vs %.3f", atMin, above)
+	}
+}
+
+// Figure 2b: removing overlap makes looped pipelines much more sensitive to
+// the DP overhead (the paper's point about the renewed importance of
+// overlap).
+func TestFigure2OverlapMatters(t *testing.T) {
+	with := DefaultScenario()
+	with.Loops = 8
+	without := with
+	without.Overlap = false
+	for _, beta := range []float64{1, 2, 4} {
+		a := with.Utilization(core.BreadthFirst, beta)
+		b := without.Utilization(core.BreadthFirst, beta)
+		if b >= a {
+			t.Errorf("beta=%v: overlap should help: %.3f vs %.3f", beta, a, b)
+		}
+	}
+	// Depth-first benefits less from overlap than breadth-first at small
+	// batch (window NPP/Nmb vs 1).
+	dfGain := with.Utilization(core.DepthFirst, 4) / without.Utilization(core.DepthFirst, 4)
+	bfGain := with.Utilization(core.BreadthFirst, 4) / without.Utilization(core.BreadthFirst, 4)
+	if dfGain > bfGain {
+		t.Errorf("BF should gain at least as much from overlap: df %.3f bf %.3f", dfGain, bfGain)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	s := DefaultScenario()
+	for _, m := range []core.Method{core.GPipe, core.OneFOneB, core.DepthFirst,
+		core.BreadthFirst, core.NoPipelineDF, core.NoPipelineBF} {
+		for _, beta := range []float64{0.5, 1, 2, 4, 8, 16} {
+			u := s.Utilization(m, beta)
+			if u < 0 || u > 1 {
+				t.Errorf("%v beta=%v: utilization %v out of [0,1]", m, beta, u)
+			}
+		}
+	}
+	// Unreachable batch size.
+	if u := s.Utilization(core.NoPipelineDF, 0.1); u != 0 {
+		t.Errorf("sub-minimum beta should give 0, got %v", u)
+	}
+}
+
+func TestCurveSampling(t *testing.T) {
+	s := DefaultScenario()
+	betas := []float64{1, 2, 4, 8, 16}
+	c := s.Curve(core.BreadthFirst, betas)
+	if len(c) != len(betas) {
+		t.Fatalf("curve has %d points, want %d", len(c), len(betas))
+	}
+	for i := 1; i < len(c); i++ {
+		if c[i].Util < c[i-1].Util {
+			t.Errorf("BF curve should be non-decreasing in beta: %+v", c)
+		}
+	}
+}
+
+// Table 4.1 qualitative relations.
+func TestTable41Relations(t *testing.T) {
+	rows := Table41(DefaultTableParams())
+	byName := map[string]TableRow{}
+	for _, r := range rows {
+		byName[r.Method] = r
+	}
+	bf := byName["Breadth-first"]
+	df := byName["Depth-first"]
+	ob := byName["1F1B"]
+	gp := byName["GPipe"]
+	bffs := byName["Breadth-first (DP-FS)"]
+	obfs := byName["1F1B (DP-FS)"]
+	np := byName["No pipeline"]
+	ch := byName["Chimera"]
+
+	if bf.Bubble >= gp.Bubble || df.Bubble >= ob.Bubble {
+		t.Error("looped schedules should have smaller bubbles")
+	}
+	if bf.Bubble != df.Bubble {
+		t.Error("BF and DF bubbles should match (Eq. 9)")
+	}
+	if bf.DPOverlap <= df.DPOverlap || bf.DPOverlap <= gp.DPOverlap {
+		t.Error("BF should have the best DP overlap")
+	}
+	if bffs.DPNetwork >= obfs.DPNetwork {
+		t.Error("BF DP-FS network (3) should be far below 1F1B DP-FS (3*Nmb)")
+	}
+	if bffs.StateMemory != 2 || obfs.StateMemory != 2 {
+		t.Error("DP-FS state memory should be the 2-layer double buffer")
+	}
+	if np.Bubble != 0 || np.PPNetwork != 0 {
+		t.Error("no-pipeline should have no bubble or PP traffic")
+	}
+	if ch.Bubble != 0.5 {
+		t.Errorf("Chimera bubble = %v, want 1/NCh = 0.5", ch.Bubble)
+	}
+	if ch.StateMemory <= gp.StateMemory {
+		t.Error("Chimera stores NCh times more state")
+	}
+	if !bf.EasyPPOverlap || ob.EasyPPOverlap || df.EasyPPOverlap {
+		t.Error("PP overlap ease misclassified")
+	}
+	if !bf.FlexibleNmb || df.FlexibleNmb || ch.FlexibleNmb {
+		t.Error("Nmb flexibility misclassified")
+	}
+	// 1F1B activation cap vs GPipe growth: strict once Nmb > 2*PP.
+	big := DefaultTableParams()
+	big.Nmb = 32
+	bigRows := Table41(big)
+	byNameBig := map[string]TableRow{}
+	for _, r := range bigRows {
+		byNameBig[r.Method] = r
+	}
+	if byNameBig["1F1B"].ActivationMemory >= byNameBig["GPipe"].ActivationMemory {
+		t.Error("1F1B activation memory should be below GPipe at large Nmb")
+	}
+}
+
+func TestFormatTable41(t *testing.T) {
+	s := FormatTable41(Table41(DefaultTableParams()))
+	if !strings.Contains(s, "Breadth-first (DP-FS)") || !strings.Contains(s, "Chimera") {
+		t.Error("formatted table missing rows")
+	}
+	if len(strings.Split(strings.TrimSpace(s), "\n")) != 10 {
+		t.Errorf("expected header + 9 rows:\n%s", s)
+	}
+}

@@ -1,0 +1,241 @@
+// Package batchsize implements the batch-size/efficiency trade-off of
+// Section 3.5 and Appendix B: the empirical law Samples ∝ 1 + B/B_crit
+// (McCandlish et al., 2018, paper Eq. 7), the gradient-noise-scale
+// estimator, and a stochastic-gradient-descent simulator on a controlled
+// problem that reproduces the law end to end.
+//
+// The paper uses estimated critical batch sizes of ~6780 sequences for the
+// 52B model and ~3430 for the 6.6B model (Figure 8), with a base training
+// length of 50,000 critical batches.
+package batchsize
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SamplesOverhead returns the relative number of training samples needed to
+// reach a fixed loss at batch size b versus the small-batch limit,
+// 1 + b/bcrit (Eq. 7).
+func SamplesOverhead(b, bcrit float64) float64 {
+	if b <= 0 || bcrit <= 0 {
+		return math.Inf(1)
+	}
+	return 1 + b/bcrit
+}
+
+// StepsFactor returns the relative number of optimizer steps needed at
+// batch size b, 1 + bcrit/b (Eq. 37).
+func StepsFactor(b, bcrit float64) float64 {
+	if b <= 0 || bcrit <= 0 {
+		return math.Inf(1)
+	}
+	return 1 + bcrit/b
+}
+
+// PaperBcrit52B and PaperBcrit6p6B are the critical batch sizes (in
+// sequences) the paper derives from Kaplan et al. for its two models.
+const (
+	PaperBcrit52B  = 6780.0
+	PaperBcrit6p6B = 3430.0
+	// PaperBaseBatches is the base training length in units of the critical
+	// batch size (Section 5.4).
+	PaperBaseBatches = 50000.0
+)
+
+// TrainingSamples returns the total number of samples to train a model with
+// critical batch size bcrit at global batch size b: the base length
+// (PaperBaseBatches * bcrit samples) scaled by the overhead law.
+func TrainingSamples(b, bcrit float64) float64 {
+	return PaperBaseBatches * bcrit * SamplesOverhead(b, bcrit)
+}
+
+// --- SGD noise-scale simulator (Appendix B) ---
+
+// SGDSim is a controlled stochastic optimization problem: minimize
+// L(theta) = |theta|^2/2 where each sample's gradient is the true gradient
+// plus multiplicative Gaussian noise with per-coordinate standard deviation
+// Sigma*|G|/sqrt(Dim). The noise covariance then satisfies
+// tr(Sigma_0) = Sigma^2*|G|^2, so the noise scale of Eq. (35) is constant
+// along the trajectory: B_noise = tr(Sigma_0)/|G|^2 = Sigma^2. With the
+// damped optimal learning rate below, the expected step count is exactly
+// Steps = Smin*(1 + Sigma^2/B) — the law of Eq. (37).
+type SGDSim struct {
+	// Dim is the parameter dimension.
+	Dim int
+	// Sigma is the relative gradient noise; the noise scale is Sigma^2.
+	Sigma float64
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// NoiseScale returns the exact (constant) noise scale B_noise = Sigma^2.
+func (s SGDSim) NoiseScale() float64 { return s.Sigma * s.Sigma }
+
+// lrDamping keeps the per-step contraction in the regime where the step
+// count follows Eq. (37) (an undamped optimal step would solve the
+// noise-free quadratic in one iteration).
+const lrDamping = 0.1
+
+// Run performs SGD with batch size b from initial loss l0 down to target
+// loss, using the damped per-step optimal learning rate of Eq. (34)
+// (eps = damping * |G|^2/(|G|^2 + tr(Sigma)/B)), and returns the number of
+// optimizer steps taken. maxSteps bounds the run.
+func (s SGDSim) Run(b int, l0, target float64, maxSteps int) (steps int) {
+	if b <= 0 {
+		panic("batchsize: batch must be positive")
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	theta := make([]float64, s.Dim)
+	v := math.Sqrt(2 * l0 / float64(s.Dim))
+	for i := range theta {
+		theta[i] = v
+	}
+	for steps = 0; steps < maxSteps; steps++ {
+		var l float64
+		for _, x := range theta {
+			l += x * x
+		}
+		l /= 2
+		if l <= target {
+			return steps
+		}
+		g2 := 2 * l
+		eps := lrDamping * g2 / (g2 + g2*s.NoiseScale()/float64(b))
+		// Per-coordinate noise of the batch-mean gradient.
+		noise := s.Sigma * math.Sqrt(g2/float64(s.Dim)) / math.Sqrt(float64(b))
+		for i := range theta {
+			theta[i] -= eps * (theta[i] + noise*rng.NormFloat64())
+		}
+	}
+	return maxSteps
+}
+
+// StepsCurve runs the simulator across batch sizes and returns steps-to-
+// target per batch size.
+func (s SGDSim) StepsCurve(batches []int, l0, target float64, maxSteps int) map[int]int {
+	out := make(map[int]int, len(batches))
+	for _, b := range batches {
+		sim := s
+		sim.Seed = s.Seed + int64(b) // decorrelate runs
+		out[b] = sim.Run(b, l0, target, maxSteps)
+	}
+	return out
+}
+
+// FitCriticalBatch fits the two-parameter law Steps(B) = Smin*(1 + Bcrit/B)
+// to measured (batch, steps) points by least squares on the linearized form
+// Steps = Smin + (Smin*Bcrit)/B, returning the fitted Bcrit and Smin.
+func FitCriticalBatch(points map[int]int) (bcrit, smin float64, err error) {
+	if len(points) < 2 {
+		return 0, 0, fmt.Errorf("batchsize: need at least 2 points, got %d", len(points))
+	}
+	// Linear regression of y = a + c*x with x = 1/B, y = steps.
+	var n, sx, sy, sxx, sxy float64
+	for b, steps := range points {
+		x := 1 / float64(b)
+		y := float64(steps)
+		n++
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("batchsize: degenerate fit")
+	}
+	c := (n*sxy - sx*sy) / den
+	a := (sy - c*sx) / n
+	if a <= 0 || c <= 0 {
+		return 0, 0, fmt.Errorf("batchsize: non-physical fit (smin=%v, smin*bcrit=%v)", a, c)
+	}
+	return c / a, a, nil
+}
+
+// GradientSampler yields per-sample gradients at a fixed parameter point,
+// used by the noise-scale estimator.
+type GradientSampler interface {
+	// SampleGradient fills g with one sample's gradient estimate.
+	SampleGradient(g []float64)
+	// Dim returns the gradient dimension.
+	Dim() int
+}
+
+// simSampler adapts SGDSim to a fixed parameter point.
+type simSampler struct {
+	theta []float64
+	sigma float64
+	rng   *rand.Rand
+}
+
+// Sampler returns a GradientSampler for the simulator at the point with
+// loss l (all-equal coordinates).
+func (s SGDSim) Sampler(l float64) GradientSampler {
+	theta := make([]float64, s.Dim)
+	v := math.Sqrt(2 * l / float64(s.Dim))
+	for i := range theta {
+		theta[i] = v
+	}
+	perCoord := s.Sigma * math.Sqrt(2*l/float64(s.Dim))
+	return &simSampler{theta: theta, sigma: perCoord, rng: rand.New(rand.NewSource(s.Seed + 1))}
+}
+
+// Dim returns the gradient dimension.
+func (ss *simSampler) Dim() int { return len(ss.theta) }
+
+// SampleGradient fills g with one sample's noisy gradient at the fixed
+// parameter point.
+func (ss *simSampler) SampleGradient(g []float64) {
+	for i, x := range ss.theta {
+		g[i] = x + ss.sigma*ss.rng.NormFloat64()
+	}
+}
+
+// EstimateNoiseScale measures B_simple = tr(Sigma)/|G|^2 with the unbiased
+// two-batch-size estimator of McCandlish et al. (Appendix A.1 there):
+// using mean gradients over batches of size bSmall and bBig,
+//
+//	|G|^2_est    = (bBig*|G_big|^2 - bSmall*|G_small|^2) / (bBig - bSmall)
+//	tr(Sigma)est = (|G_small|^2 - |G_big|^2) / (1/bSmall - 1/bBig)
+//
+// averaged over rounds.
+func EstimateNoiseScale(s GradientSampler, bSmall, bBig, rounds int) (float64, error) {
+	if bSmall <= 0 || bBig <= bSmall {
+		return 0, fmt.Errorf("batchsize: need 0 < bSmall < bBig, got %d, %d", bSmall, bBig)
+	}
+	if rounds <= 0 {
+		return 0, fmt.Errorf("batchsize: rounds must be positive")
+	}
+	d := s.Dim()
+	mean := func(b int) float64 {
+		acc := make([]float64, d)
+		g := make([]float64, d)
+		for i := 0; i < b; i++ {
+			s.SampleGradient(g)
+			for j := range acc {
+				acc[j] += g[j]
+			}
+		}
+		var n2 float64
+		for _, x := range acc {
+			x /= float64(b)
+			n2 += x * x
+		}
+		return n2
+	}
+	var g2Sum, trSum float64
+	for r := 0; r < rounds; r++ {
+		gs := mean(bSmall)
+		gb := mean(bBig)
+		g2Sum += (float64(bBig)*gb - float64(bSmall)*gs) / float64(bBig-bSmall)
+		trSum += (gs - gb) / (1/float64(bSmall) - 1/float64(bBig))
+	}
+	g2 := g2Sum / float64(rounds)
+	tr := trSum / float64(rounds)
+	if g2 <= 0 {
+		return 0, fmt.Errorf("batchsize: estimator needs more rounds (|G|^2 est %v)", g2)
+	}
+	return tr / g2, nil
+}

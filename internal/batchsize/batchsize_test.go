@@ -1,0 +1,179 @@
+package batchsize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSamplesOverheadLaw(t *testing.T) {
+	// GPT-3 example from Section 3.5: B = 3M tokens, Bcrit = 10M tokens
+	// gives ~30% overhead.
+	if got := SamplesOverhead(3e6, 10e6); math.Abs(got-1.3) > 1e-12 {
+		t.Errorf("GPT-3 overhead = %v, want 1.3", got)
+	}
+	// Footnote 9: batch 1024 sequences gives ~15% (52B) and ~30% (6.6B).
+	if got := SamplesOverhead(1024, PaperBcrit52B); math.Abs(got-1.151) > 0.005 {
+		t.Errorf("52B overhead at B=1024 = %v, want ~1.15", got)
+	}
+	if got := SamplesOverhead(1024, PaperBcrit6p6B); math.Abs(got-1.299) > 0.005 {
+		t.Errorf("6.6B overhead at B=1024 = %v, want ~1.30", got)
+	}
+	if !math.IsInf(SamplesOverhead(0, 100), 1) || !math.IsInf(SamplesOverhead(100, 0), 1) {
+		t.Error("degenerate inputs should be infinite")
+	}
+}
+
+func TestStepsFactorDual(t *testing.T) {
+	// Samples = B*Steps: the two laws must be consistent up to the
+	// B-independent minimum: (1+B/Bc)*Bc = B*(1+Bc/B)*Bc/B ... check
+	// Samples(B)/Steps(B) == B * (Bc/Bc) relation directly.
+	for _, b := range []float64{1, 10, 100, 1000} {
+		samples := SamplesOverhead(b, 100) * 100 // in units of Smin samples
+		steps := StepsFactor(b, 100) * 100 / b * b
+		_ = steps
+		if samples <= 0 {
+			t.Fatal("impossible")
+		}
+		ratio := SamplesOverhead(b, 100) / (StepsFactor(b, 100) * b / 100)
+		if math.Abs(ratio-1) > 1e-12 {
+			t.Errorf("B=%v: Samples and Steps laws inconsistent (ratio %v)", b, ratio)
+		}
+	}
+}
+
+func TestTrainingSamplesPaperNumbers(t *testing.T) {
+	// Section 5.4: base training length of 50,000 critical batches is 347B
+	// tokens for the 52B model and 176B for 6.6B (sequence length 1024),
+	// in the small-batch limit.
+	base52 := PaperBaseBatches * PaperBcrit52B * 1024
+	if math.Abs(base52-347e9)/347e9 > 0.01 {
+		t.Errorf("52B base tokens = %.3g, want 347e9", base52)
+	}
+	base66 := PaperBaseBatches * PaperBcrit6p6B * 1024
+	if math.Abs(base66-176e9)/176e9 > 0.01 {
+		t.Errorf("6.6B base tokens = %.3g, want 176e9", base66)
+	}
+	// TrainingSamples includes the overhead.
+	if TrainingSamples(1024, PaperBcrit52B) <= PaperBaseBatches*PaperBcrit52B {
+		t.Error("overhead must increase the sample count")
+	}
+}
+
+// The SGD simulator must reproduce the law: steps fall with batch size but
+// with diminishing returns, and the fitted critical batch matches the
+// analytic noise scale of the problem.
+func TestSGDSimReproducesLaw(t *testing.T) {
+	// Noise scale Sigma^2 = 36.
+	sim := SGDSim{Dim: 64, Sigma: 6.0, Seed: 7}
+	l0, target := 1.0, 0.05
+	batches := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	curve := sim.StepsCurve(batches, l0, target, 1_000_000)
+
+	// Steps decrease monotonically with batch size.
+	for i := 1; i < len(batches); i++ {
+		if curve[batches[i]] > curve[batches[i-1]] {
+			t.Errorf("steps should fall with batch: %v", curve)
+		}
+	}
+	// Diminishing returns: speedup from 256->512 far below 2x.
+	sp := float64(curve[256]) / float64(curve[512])
+	if sp > 1.35 {
+		t.Errorf("speedup at large batch should saturate, got %.2f", sp)
+	}
+	// Small-batch regime is near-perfectly efficient: samples(B=1) within
+	// 2x of samples(B=4)/4... i.e., doubling batch nearly halves steps.
+	sp2 := float64(curve[1]) / float64(curve[2])
+	if sp2 < 1.5 {
+		t.Errorf("small-batch doubling should nearly halve steps, got %.2f", sp2)
+	}
+
+	bcrit, smin, err := FitCriticalBatch(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smin <= 0 {
+		t.Fatalf("smin = %v", smin)
+	}
+	// The problem's noise scale is exactly Sigma^2; the fit should recover
+	// it within a modest tolerance.
+	want := sim.NoiseScale()
+	if bcrit < 0.6*want || bcrit > 1.6*want {
+		t.Errorf("fitted Bcrit = %.1f, analytic noise scale %.1f", bcrit, want)
+	}
+}
+
+// The gradient-statistics estimator must recover the analytic noise scale.
+func TestEstimateNoiseScale(t *testing.T) {
+	sim := SGDSim{Dim: 32, Sigma: 1.5, Seed: 42}
+	l := 0.5
+	want := sim.NoiseScale()
+	got, err := EstimateNoiseScale(sim.Sampler(l), 4, 64, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want)/want > 0.25 {
+		t.Errorf("estimated noise scale %.1f, analytic %.1f (>25%% off)", got, want)
+	}
+}
+
+func TestEstimateNoiseScaleErrors(t *testing.T) {
+	sim := SGDSim{Dim: 4, Sigma: 1, Seed: 1}
+	if _, err := EstimateNoiseScale(sim.Sampler(1), 8, 4, 10); err == nil {
+		t.Error("bSmall >= bBig should fail")
+	}
+	if _, err := EstimateNoiseScale(sim.Sampler(1), 0, 4, 10); err == nil {
+		t.Error("zero bSmall should fail")
+	}
+	if _, err := EstimateNoiseScale(sim.Sampler(1), 2, 4, 0); err == nil {
+		t.Error("zero rounds should fail")
+	}
+}
+
+func TestFitCriticalBatchExact(t *testing.T) {
+	// Synthetic points generated exactly from the law must be recovered.
+	smin, bcrit := 250.0, 48.0
+	points := map[int]int{}
+	for _, b := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		points[b] = int(math.Round(smin * (1 + bcrit/float64(b))))
+	}
+	gotB, gotS, err := FitCriticalBatch(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotB-bcrit)/bcrit > 0.02 || math.Abs(gotS-smin)/smin > 0.02 {
+		t.Errorf("fit = (%.1f, %.1f), want (%.1f, %.1f)", gotB, gotS, bcrit, smin)
+	}
+}
+
+func TestFitCriticalBatchErrors(t *testing.T) {
+	if _, _, err := FitCriticalBatch(map[int]int{4: 100}); err == nil {
+		t.Error("single point should fail")
+	}
+	// Flat curve: Bcrit ~ 0, fit degenerates to non-physical.
+	if _, _, err := FitCriticalBatch(map[int]int{1: 100, 2: 100, 4: 100}); err == nil {
+		t.Error("flat curve has no positive Bcrit; expected error")
+	}
+}
+
+// Property: overhead is monotone in B and inversely monotone in Bcrit.
+func TestOverheadMonotonicityProperty(t *testing.T) {
+	f := func(bRaw, cRaw uint16) bool {
+		b := float64(bRaw%4096) + 1
+		c := float64(cRaw%4096) + 1
+		return SamplesOverhead(b+1, c) > SamplesOverhead(b, c) &&
+			SamplesOverhead(b, c+1) < SamplesOverhead(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSGDSimDeterminism(t *testing.T) {
+	sim := SGDSim{Dim: 16, Sigma: 1, Seed: 3}
+	a := sim.Run(8, 1, 0.1, 100000)
+	b := sim.Run(8, 1, 0.1, 100000)
+	if a != b {
+		t.Errorf("runs differ: %d vs %d", a, b)
+	}
+}

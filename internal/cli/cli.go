@@ -1,0 +1,118 @@
+// Package cli provides the flag-parsing helpers shared by the bfpp command
+// line tools: model, cluster, method and sharding lookups, and batch-size
+// list parsing.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bfpp/internal/core"
+	"bfpp/internal/hw"
+	"bfpp/internal/model"
+	"bfpp/internal/search"
+)
+
+// ParseModel resolves a model name.
+func ParseModel(name string) (model.Transformer, error) {
+	switch strings.ToLower(name) {
+	case "52b":
+		return model.Model52B(), nil
+	case "6.6b", "6p6b":
+		return model.Model6p6B(), nil
+	case "gpt3", "gpt-3":
+		return model.GPT3(), nil
+	case "1t":
+		return model.Model1T(), nil
+	case "tiny":
+		return model.Tiny(), nil
+	default:
+		return model.Transformer{}, fmt.Errorf("unknown model %q (52B, 6.6B, gpt3, 1T, tiny)", name)
+	}
+}
+
+// ParseCluster resolves a cluster name.
+func ParseCluster(name string) (hw.Cluster, error) {
+	switch strings.ToLower(name) {
+	case "paper", "infiniband", "ib":
+		return hw.PaperCluster(), nil
+	case "ethernet", "eth":
+		return hw.PaperClusterEthernet(), nil
+	default:
+		if n, err := strconv.Atoi(name); err == nil && n > 0 {
+			return hw.LargeCluster(n), nil
+		}
+		return hw.Cluster{}, fmt.Errorf("unknown cluster %q (paper, ethernet, or a GPU count)", name)
+	}
+}
+
+// ParseMethod resolves a schedule name.
+func ParseMethod(name string) (core.Method, error) {
+	switch strings.ToLower(name) {
+	case "gpipe":
+		return core.GPipe, nil
+	case "1f1b":
+		return core.OneFOneB, nil
+	case "depth-first", "depthfirst", "df":
+		return core.DepthFirst, nil
+	case "breadth-first", "breadthfirst", "bf":
+		return core.BreadthFirst, nil
+	case "nopipeline-df", "np-df":
+		return core.NoPipelineDF, nil
+	case "nopipeline-bf", "np-bf", "nopipeline":
+		return core.NoPipelineBF, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q (gpipe, 1f1b, depth-first, breadth-first, nopipeline-df, nopipeline-bf)", name)
+	}
+}
+
+// ParseSharding resolves a sharding-mode name.
+func ParseSharding(name string) (core.Sharding, error) {
+	switch strings.ToLower(name) {
+	case "dp0", "none", "":
+		return core.DP0, nil
+	case "dpps", "ps", "partial":
+		return core.DPPS, nil
+	case "dpfs", "fs", "full":
+		return core.DPFS, nil
+	default:
+		return 0, fmt.Errorf("unknown sharding %q (dp0, dpps, dpfs)", name)
+	}
+}
+
+// ParseFamily resolves a Figure 7 method family.
+func ParseFamily(name string) (search.Family, error) {
+	switch strings.ToLower(name) {
+	case "bf", "breadth-first":
+		return search.FamilyBreadthFirst, nil
+	case "df", "depth-first":
+		return search.FamilyDepthFirst, nil
+	case "nl", "non-looped":
+		return search.FamilyNonLooped, nil
+	case "np", "no-pipeline":
+		return search.FamilyNoPipeline, nil
+	default:
+		return 0, fmt.Errorf("unknown family %q (bf, df, nl, np)", name)
+	}
+}
+
+// ParseInts parses a comma-separated integer list.
+func ParseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty integer list %q", s)
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+// Package collective implements the communication primitives of
+// data-parallel training — ring all-reduce, reduce-scatter, all-gather,
+// broadcast and barrier — over Go channels, one goroutine per rank. These
+// are the operations the paper's data-parallel modes are built from:
+// DP0 uses all-reduce, DP-PS and DP-FS use reduce-scatter and all-gather
+// (Section 3.1).
+//
+// The ring algorithms mirror NCCL: a reduce-scatter of N-1 steps followed
+// (for all-reduce) by an all-gather of N-1 steps, with the vector split
+// into N chunks. All ranks must call each collective in the same order,
+// exactly like a real communicator.
+package collective
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Group is a communicator over n ranks. Each rank runs in its own
+// goroutine and calls the collective methods with its rank id.
+type Group struct {
+	n     int
+	right []chan []float64 // right[r]: channel from rank r to rank (r+1)%n
+	bcast []chan []float64 // per-rank broadcast delivery
+	bar   *barrier
+}
+
+// NewGroup creates a communicator for n ranks.
+func NewGroup(n int) *Group {
+	if n <= 0 {
+		panic(fmt.Sprintf("collective: group size %d", n))
+	}
+	g := &Group{n: n, bar: newBarrier(n)}
+	g.right = make([]chan []float64, n)
+	g.bcast = make([]chan []float64, n)
+	for i := range g.right {
+		g.right[i] = make(chan []float64, 1)
+		g.bcast[i] = make(chan []float64, 1)
+	}
+	return g
+}
+
+// Size returns the number of ranks.
+func (g *Group) Size() int { return g.n }
+
+// chunkBounds splits length l into n contiguous chunks; chunk c is
+// [lo, hi).
+func chunkBounds(l, n, c int) (lo, hi int) {
+	base := l / n
+	rem := l % n
+	lo = c*base + min(c, rem)
+	hi = lo + base
+	if c < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ReduceScatter sums data element-wise across ranks; on return, rank r's
+// data holds the fully reduced chunk r in place (other chunks hold partial
+// sums and must be considered scratch). It returns the rank's owned chunk
+// as a sub-slice of data.
+func (g *Group) ReduceScatter(rank int, data []float64) []float64 {
+	if g.n == 1 {
+		return data
+	}
+	l := len(data)
+	for step := 0; step < g.n-1; step++ {
+		sendC := ((rank-step-1)%g.n + g.n) % g.n
+		recvC := ((rank-step-2)%g.n + g.n) % g.n
+		slo, shi := chunkBounds(l, g.n, sendC)
+		// Copy out the send chunk so the receiver can't observe our
+		// in-place accumulation.
+		buf := make([]float64, shi-slo)
+		copy(buf, data[slo:shi])
+		g.right[rank] <- buf
+		in := <-g.right[(rank-1+g.n)%g.n]
+		rlo, rhi := chunkBounds(l, g.n, recvC)
+		if len(in) != rhi-rlo {
+			panic(fmt.Sprintf("collective: rank %d step %d: chunk size %d != %d",
+				rank, step, len(in), rhi-rlo))
+		}
+		for i, v := range in {
+			data[rlo+i] += v
+		}
+	}
+	lo, hi := chunkBounds(l, g.n, rank)
+	return data[lo:hi]
+}
+
+// AllGather distributes each rank's owned chunk (chunk r of data, already
+// in place) to every rank; on return data is fully populated and identical
+// across ranks.
+func (g *Group) AllGather(rank int, data []float64) {
+	if g.n == 1 {
+		return
+	}
+	l := len(data)
+	for step := 0; step < g.n-1; step++ {
+		sendC := ((rank-step)%g.n + g.n) % g.n
+		recvC := ((rank-step-1)%g.n + g.n) % g.n
+		slo, shi := chunkBounds(l, g.n, sendC)
+		buf := make([]float64, shi-slo)
+		copy(buf, data[slo:shi])
+		g.right[rank] <- buf
+		in := <-g.right[(rank-1+g.n)%g.n]
+		rlo, rhi := chunkBounds(l, g.n, recvC)
+		if len(in) != rhi-rlo {
+			panic(fmt.Sprintf("collective: rank %d step %d: chunk size %d != %d",
+				rank, step, len(in), rhi-rlo))
+		}
+		copy(data[rlo:rhi], in)
+	}
+}
+
+// AllReduce sums data element-wise across all ranks in place
+// (reduce-scatter followed by all-gather).
+func (g *Group) AllReduce(rank int, data []float64) {
+	g.ReduceScatter(rank, data)
+	g.AllGather(rank, data)
+}
+
+// Broadcast copies root's data to every rank's data in place.
+func (g *Group) Broadcast(rank, root int, data []float64) {
+	if g.n == 1 {
+		return
+	}
+	if rank == root {
+		buf := make([]float64, len(data))
+		copy(buf, data)
+		for r := 0; r < g.n; r++ {
+			if r != root {
+				g.bcast[r] <- buf
+			}
+		}
+	} else {
+		in := <-g.bcast[rank]
+		if len(in) != len(data) {
+			panic(fmt.Sprintf("collective: broadcast length %d != %d", len(in), len(data)))
+		}
+		copy(data, in)
+	}
+	g.Barrier(rank)
+}
+
+// Barrier blocks until all ranks have reached it.
+func (g *Group) Barrier(rank int) { g.bar.wait() }
+
+// ShardBounds returns the [lo, hi) range of the vector of length l owned
+// by rank r after a ReduceScatter.
+func (g *Group) ShardBounds(l, r int) (lo, hi int) { return chunkBounds(l, g.n, r) }
+
+// barrier is a reusable n-party barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+	} else {
+		for phase == b.phase {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Run spawns fn for each rank and waits for completion; a convenience for
+// tests and single-step collectives.
+func (g *Group) Run(fn func(rank int)) {
+	var wg sync.WaitGroup
+	for r := 0; r < g.n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			fn(rank)
+		}(r)
+	}
+	wg.Wait()
+}

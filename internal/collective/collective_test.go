@@ -1,0 +1,235 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// naiveSum computes the element-wise sum of all ranks' vectors.
+func naiveSum(inputs [][]float64) []float64 {
+	out := make([]float64, len(inputs[0]))
+	for _, in := range inputs {
+		for i, v := range in {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+func randInputs(n, l int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	inputs := make([][]float64, n)
+	for r := range inputs {
+		inputs[r] = make([]float64, l)
+		for i := range inputs[r] {
+			inputs[r][i] = rng.NormFloat64()
+		}
+	}
+	return inputs
+}
+
+func TestAllReduceMatchesNaive(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		for _, l := range []int{1, 7, 16, 100} {
+			if l < n {
+				continue
+			}
+			inputs := randInputs(n, l, int64(n*100+l))
+			want := naiveSum(inputs)
+			data := make([][]float64, n)
+			for r := range data {
+				data[r] = append([]float64(nil), inputs[r]...)
+			}
+			g := NewGroup(n)
+			g.Run(func(rank int) { g.AllReduce(rank, data[rank]) })
+			for r := 0; r < n; r++ {
+				for i := range want {
+					if math.Abs(data[r][i]-want[i]) > 1e-9 {
+						t.Fatalf("n=%d l=%d rank %d elem %d: %v != %v",
+							n, l, r, i, data[r][i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReduceScatterOwnsCorrectChunk(t *testing.T) {
+	n, l := 4, 22 // uneven chunks
+	inputs := randInputs(n, l, 5)
+	want := naiveSum(inputs)
+	data := make([][]float64, n)
+	shards := make([][]float64, n)
+	for r := range data {
+		data[r] = append([]float64(nil), inputs[r]...)
+	}
+	g := NewGroup(n)
+	g.Run(func(rank int) { shards[rank] = g.ReduceScatter(rank, data[rank]) })
+	for r := 0; r < n; r++ {
+		lo, hi := g.ShardBounds(l, r)
+		if len(shards[r]) != hi-lo {
+			t.Fatalf("rank %d shard length %d, want %d", r, len(shards[r]), hi-lo)
+		}
+		for i := lo; i < hi; i++ {
+			if math.Abs(shards[r][i-lo]-want[i]) > 1e-9 {
+				t.Fatalf("rank %d elem %d: %v != %v", r, i, shards[r][i-lo], want[i])
+			}
+		}
+	}
+	// Shard bounds must partition [0, l).
+	prev := 0
+	for r := 0; r < n; r++ {
+		lo, hi := g.ShardBounds(l, r)
+		if lo != prev {
+			t.Fatalf("shard %d starts at %d, want %d", r, lo, prev)
+		}
+		prev = hi
+	}
+	if prev != l {
+		t.Fatalf("shards end at %d, want %d", prev, l)
+	}
+}
+
+func TestAllGatherAfterReduceScatterEqualsAllReduce(t *testing.T) {
+	n, l := 3, 10
+	inputs := randInputs(n, l, 9)
+	want := naiveSum(inputs)
+	data := make([][]float64, n)
+	for r := range data {
+		data[r] = append([]float64(nil), inputs[r]...)
+	}
+	g := NewGroup(n)
+	g.Run(func(rank int) {
+		g.ReduceScatter(rank, data[rank])
+		g.AllGather(rank, data[rank])
+	})
+	for r := 0; r < n; r++ {
+		for i := range want {
+			if math.Abs(data[r][i]-want[i]) > 1e-9 {
+				t.Fatalf("rank %d elem %d: %v != %v", r, i, data[r][i], want[i])
+			}
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	n, l := 4, 9
+	g := NewGroup(n)
+	data := make([][]float64, n)
+	for r := range data {
+		data[r] = make([]float64, l)
+		for i := range data[r] {
+			data[r][i] = float64(r*100 + i)
+		}
+	}
+	g.Run(func(rank int) { g.Broadcast(rank, 2, data[rank]) })
+	for r := 0; r < n; r++ {
+		for i := 0; i < l; i++ {
+			if data[r][i] != float64(200+i) {
+				t.Fatalf("rank %d elem %d: %v", r, i, data[r][i])
+			}
+		}
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	n := 5
+	g := NewGroup(n)
+	var mu sync.Mutex
+	phase1 := 0
+	fail := false
+	g.Run(func(rank int) {
+		mu.Lock()
+		phase1++
+		mu.Unlock()
+		g.Barrier(rank)
+		mu.Lock()
+		if phase1 != n {
+			fail = true
+		}
+		mu.Unlock()
+	})
+	if fail {
+		t.Error("barrier released before all ranks arrived")
+	}
+}
+
+// Collectives must be reusable: many sequential operations on one group.
+func TestSequentialCollectives(t *testing.T) {
+	n, l := 4, 16
+	g := NewGroup(n)
+	data := make([][]float64, n)
+	for r := range data {
+		data[r] = make([]float64, l)
+	}
+	g.Run(func(rank int) {
+		for iter := 0; iter < 10; iter++ {
+			for i := range data[rank] {
+				data[rank][i] = 1
+			}
+			g.AllReduce(rank, data[rank])
+			if data[rank][0] != float64(n) {
+				t.Errorf("iter %d rank %d: %v", iter, rank, data[rank][0])
+				return
+			}
+			g.Barrier(rank)
+		}
+	})
+}
+
+// Property: all-reduce result matches the naive sum for arbitrary sizes.
+func TestAllReduceProperty(t *testing.T) {
+	f := func(nRaw, lRaw uint8, seed int64) bool {
+		n := int(nRaw%6) + 1
+		l := int(lRaw%40) + n
+		inputs := randInputs(n, l, seed)
+		want := naiveSum(inputs)
+		data := make([][]float64, n)
+		for r := range data {
+			data[r] = append([]float64(nil), inputs[r]...)
+		}
+		g := NewGroup(n)
+		g.Run(func(rank int) { g.AllReduce(rank, data[rank]) })
+		for r := 0; r < n; r++ {
+			for i := range want {
+				if math.Abs(data[r][i]-want[i]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleRankGroupIsNoOp(t *testing.T) {
+	g := NewGroup(1)
+	data := []float64{1, 2, 3}
+	g.Run(func(rank int) {
+		g.AllReduce(rank, data)
+		g.AllGather(rank, data)
+		g.Broadcast(rank, 0, data)
+		if shard := g.ReduceScatter(rank, data); len(shard) != 3 {
+			t.Errorf("single-rank shard length %d", len(shard))
+		}
+	})
+	for i, w := range []float64{1, 2, 3} {
+		if data[i] != w {
+			t.Errorf("data mutated: %v", data)
+		}
+	}
+}
+
+func TestNewGroupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero-size group")
+		}
+	}()
+	NewGroup(0)
+}

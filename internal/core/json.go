@@ -1,0 +1,82 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Method and Sharding marshal to their display names so that plan
+// configuration files are readable and stable across releases (the integer
+// values are an implementation detail).
+
+// MarshalJSON encodes the method as its display name.
+func (m Method) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.String())
+}
+
+// UnmarshalJSON decodes a method from its display name (case-insensitive;
+// the aliases "df", "bf", "1f1b", "gpipe" are accepted).
+func (m *Method) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch strings.ToLower(s) {
+	case "gpipe":
+		*m = GPipe
+	case "1f1b":
+		*m = OneFOneB
+	case "depth-first", "df":
+		*m = DepthFirst
+	case "breadth-first", "bf":
+		*m = BreadthFirst
+	case "no-pipeline(df)", "nopipeline-df":
+		*m = NoPipelineDF
+	case "no-pipeline(bf)", "nopipeline-bf":
+		*m = NoPipelineBF
+	case "hybrid":
+		*m = Hybrid
+	default:
+		return fmt.Errorf("core: unknown method %q", s)
+	}
+	return nil
+}
+
+// MarshalJSON encodes the sharding mode as its display name.
+func (s Sharding) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON decodes a sharding mode from its display name.
+func (s *Sharding) UnmarshalJSON(data []byte) error {
+	var v string
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	switch strings.ToLower(v) {
+	case "dp0", "":
+		*s = DP0
+	case "dp-ps", "dpps":
+		*s = DPPS
+	case "dp-fs", "dpfs":
+		*s = DPFS
+	default:
+		return fmt.Errorf("core: unknown sharding %q", v)
+	}
+	return nil
+}
+
+// EncodePlan serializes a plan to indented JSON.
+func EncodePlan(p Plan) ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// DecodePlan parses a plan from JSON.
+func DecodePlan(data []byte) (Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Plan{}, fmt.Errorf("core: decoding plan: %w", err)
+	}
+	return p, nil
+}

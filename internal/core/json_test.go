@@ -1,0 +1,102 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	plans := []Plan{
+		{Method: BreadthFirst, DP: 4, PP: 8, TP: 2, MicroBatch: 1, NumMicro: 12,
+			Loops: 8, Sharding: DPFS, OverlapDP: true, OverlapPP: true},
+		{Method: OneFOneB, DP: 1, PP: 8, TP: 8, MicroBatch: 4, NumMicro: 128, Loops: 1},
+		{Method: Hybrid, DP: 1, PP: 4, TP: 1, MicroBatch: 1, NumMicro: 16,
+			Loops: 2, Sequence: 8},
+		{Method: NoPipelineBF, DP: 8, PP: 1, TP: 8, MicroBatch: 2, NumMicro: 4,
+			Loops: 64, Sharding: DPPS},
+	}
+	for _, p := range plans {
+		raw, err := EncodePlan(p)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		got, err := DecodePlan(raw)
+		if err != nil {
+			t.Fatalf("%v: %v\n%s", p, err, raw)
+		}
+		if got != p {
+			t.Errorf("round trip changed plan:\n  in  %+v\n  out %+v", p, got)
+		}
+	}
+}
+
+func TestPlanJSONReadable(t *testing.T) {
+	p := Plan{Method: BreadthFirst, DP: 2, PP: 4, TP: 1, MicroBatch: 1,
+		NumMicro: 8, Loops: 4, Sharding: DPFS}
+	raw, err := EncodePlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	if !strings.Contains(s, `"Breadth-first"`) || !strings.Contains(s, `"DP-FS"`) {
+		t.Errorf("JSON should use display names:\n%s", s)
+	}
+}
+
+func TestPlanJSONAliases(t *testing.T) {
+	raw := []byte(`{"Method":"bf","DP":1,"PP":4,"TP":1,"MicroBatch":1,"NumMicro":4,"Loops":4,"Sharding":"dpfs"}`)
+	p, err := DecodePlan(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Method != BreadthFirst || p.Sharding != DPFS {
+		t.Errorf("aliases not resolved: %+v", p)
+	}
+}
+
+func TestPlanJSONErrors(t *testing.T) {
+	if _, err := DecodePlan([]byte(`{"Method":"zigzag"}`)); err == nil {
+		t.Error("unknown method should fail")
+	}
+	if _, err := DecodePlan([]byte(`{"Sharding":"half"}`)); err == nil {
+		t.Error("unknown sharding should fail")
+	}
+	if _, err := DecodePlan([]byte(`{`)); err == nil {
+		t.Error("bad JSON should fail")
+	}
+	var m Method
+	if err := m.UnmarshalJSON([]byte(`42`)); err == nil {
+		t.Error("non-string method should fail")
+	}
+	var s Sharding
+	if err := s.UnmarshalJSON([]byte(`42`)); err == nil {
+		t.Error("non-string sharding should fail")
+	}
+}
+
+// Property: every method and sharding value round-trips.
+func TestEnumJSONRoundTripProperty(t *testing.T) {
+	f := func(mi, si uint8) bool {
+		m := Method(int(mi) % 7)
+		sh := Sharding(int(si) % 3)
+		mraw, err := json.Marshal(m)
+		if err != nil {
+			return false
+		}
+		var m2 Method
+		if err := json.Unmarshal(mraw, &m2); err != nil || m2 != m {
+			return false
+		}
+		sraw, err := json.Marshal(sh)
+		if err != nil {
+			return false
+		}
+		var s2 Sharding
+		return json.Unmarshal(sraw, &s2) == nil && s2 == sh
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,295 @@
+// Package core defines the distributed-training configuration at the heart
+// of the paper: the parallelism Plan combining data parallelism (optionally
+// partially or fully sharded), pipeline parallelism with a looping layer
+// placement, and tensor parallelism, together with the batch-size algebra of
+// Section 3 (beta, beta_min, micro-batch structure).
+package core
+
+import (
+	"fmt"
+
+	"bfpp/internal/model"
+)
+
+// Sharding selects the data-parallel state-sharding mode (Section 3.1).
+type Sharding int
+
+const (
+	// DP0 is original data parallelism: the whole training state is
+	// replicated on every device and gradients are all-reduced.
+	DP0 Sharding = iota
+	// DPPS is partially sharded data parallelism (ZeRO stage 2): each
+	// device optimizes a shard of the weights; gradients are
+	// reduce-scattered and updated weights all-gathered.
+	DPPS
+	// DPFS is fully sharded data parallelism (ZeRO stage 3): layers are
+	// reconstructed before every use in both passes.
+	DPFS
+)
+
+// String returns the paper's name for the sharding mode.
+func (s Sharding) String() string {
+	switch s {
+	case DP0:
+		return "DP0"
+	case DPPS:
+		return "DP-PS"
+	case DPFS:
+		return "DP-FS"
+	default:
+		return fmt.Sprintf("Sharding(%d)", int(s))
+	}
+}
+
+// Method selects the pipeline schedule (Sections 3.2 and 4.1).
+type Method int
+
+const (
+	// GPipe is the non-looped forward-first schedule of Huang et al.
+	GPipe Method = iota
+	// OneFOneB is the non-looped 1F1B schedule of Harlap et al.
+	OneFOneB
+	// DepthFirst is the looped depth-first schedule of Narayanan et al.
+	// (Megatron-LM interleaved), running micro-batches in sequences of
+	// N_PP with backward priority.
+	DepthFirst
+	// BreadthFirst is the paper's contribution: a looped schedule running
+	// all micro-batches through each local stage before moving on,
+	// forward-first, maximizing network overlap.
+	BreadthFirst
+	// NoPipelineDF is data parallelism without pipelining, accumulating
+	// gradients depth-first (each micro-batch runs its full forward and
+	// backward before the next starts).
+	NoPipelineDF
+	// NoPipelineBF is data parallelism without pipelining with the
+	// breadth-first gradient accumulation of Appendix C (stages processed
+	// breadth-first across micro-batches on a single device).
+	NoPipelineBF
+	// Hybrid is the depth/breadth hybrid the paper conjectures in Section
+	// 4.2: a looping schedule processing micro-batches in sequences of
+	// Plan.Sequence >= N_PP (Sequence = N_PP reduces to DepthFirst;
+	// Sequence = N_mb approaches BreadthFirst). The extra slack lets the
+	// pipeline-parallel transfers overlap, addressing the depth-first
+	// schedule's input starvation.
+	Hybrid
+)
+
+// String returns a short name for the schedule.
+func (m Method) String() string {
+	switch m {
+	case GPipe:
+		return "GPipe"
+	case OneFOneB:
+		return "1F1B"
+	case DepthFirst:
+		return "Depth-first"
+	case BreadthFirst:
+		return "Breadth-first"
+	case NoPipelineDF:
+		return "No-pipeline(DF)"
+	case NoPipelineBF:
+		return "No-pipeline(BF)"
+	case Hybrid:
+		return "Hybrid"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Looped reports whether the schedule uses a looping placement (N_loop > 1
+// is meaningful).
+func (m Method) Looped() bool {
+	return m == DepthFirst || m == BreadthFirst || m == Hybrid
+}
+
+// Pipelined reports whether the schedule uses pipeline parallelism.
+func (m Method) Pipelined() bool { return m != NoPipelineDF && m != NoPipelineBF }
+
+// ForwardFirst reports whether the schedule completes the forward pass of
+// queued micro-batches before starting backward work (GPipe-style) rather
+// than alternating (1F1B-style).
+func (m Method) ForwardFirst() bool {
+	return m == GPipe || m == BreadthFirst || m == NoPipelineBF || m == NoPipelineDF
+}
+
+// Plan is a complete distributed-training configuration: the (up to)
+// three-dimensional device grid N_DP x N_PP x N_TP, the micro-batch
+// structure, the looping factor and the sharding and overlap traits.
+type Plan struct {
+	// Method is the pipeline schedule.
+	Method Method
+	// DP, PP, TP are the data-, pipeline- and tensor-parallel group sizes.
+	DP, PP, TP int
+	// MicroBatch is the micro-batch size S_mb.
+	MicroBatch int
+	// NumMicro is the number of sequential micro-batches N_mb.
+	NumMicro int
+	// Loops is the number of pipeline loops N_loop = N_stage / N_PP.
+	// It must be 1 for non-looped methods.
+	Loops int
+	// Sharding is the data-parallel sharding mode.
+	Sharding Sharding
+	// OverlapDP indicates the implementation overlaps data-parallel
+	// network operations with compute. The paper's implementation does;
+	// Megatron-LM (the 1F1B and depth-first baseline) does not.
+	OverlapDP bool
+	// OverlapPP likewise for pipeline-parallel transfers.
+	OverlapPP bool
+	// Sequence is the micro-batch sequence length of the Hybrid schedule
+	// (ignored by the other methods). It must be a multiple of PP dividing
+	// NumMicro; zero defaults to PP (plain depth-first ordering).
+	Sequence int
+}
+
+// GPUs returns the total device count N_GPU = N_DP * N_PP * N_TP.
+func (p Plan) GPUs() int { return p.DP * p.PP * p.TP }
+
+// Stages returns the total stage count N_stage = N_PP * N_loop.
+func (p Plan) Stages() int { return p.PP * p.Loops }
+
+// BatchSize returns the global batch size B = N_DP * N_mb * S_mb.
+func (p Plan) BatchSize() int { return p.DP * p.NumMicro * p.MicroBatch }
+
+// BatchPerGPU returns beta = B / N_GPU.
+func (p Plan) BatchPerGPU() float64 {
+	return float64(p.BatchSize()) / float64(p.GPUs())
+}
+
+// BetaMin returns the minimum batch size per GPU for this grid,
+// beta_min = 1/N_TP (Section 3.3).
+func (p Plan) BetaMin() float64 { return 1 / float64(p.TP) }
+
+// Bubble returns the pipeline-bubble overhead fraction of Eq. (9):
+// (N_PP - 1) / (N_mb * N_loop). Non-pipelined plans have no bubble.
+func (p Plan) Bubble() float64 {
+	if !p.Method.Pipelined() {
+		return 0
+	}
+	return float64(p.PP-1) / (float64(p.NumMicro) * float64(p.Loops))
+}
+
+// Validate checks the plan against a model architecture.
+func (p Plan) Validate(m model.Transformer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case p.DP <= 0 || p.PP <= 0 || p.TP <= 0:
+		return fmt.Errorf("plan: group sizes must be positive (DP=%d PP=%d TP=%d)", p.DP, p.PP, p.TP)
+	case p.MicroBatch <= 0:
+		return fmt.Errorf("plan: MicroBatch must be positive, got %d", p.MicroBatch)
+	case p.NumMicro <= 0:
+		return fmt.Errorf("plan: NumMicro must be positive, got %d", p.NumMicro)
+	case p.Loops <= 0:
+		return fmt.Errorf("plan: Loops must be positive, got %d", p.Loops)
+	}
+	if !p.Method.Pipelined() && p.PP != 1 {
+		return fmt.Errorf("plan: %v requires PP=1, got %d", p.Method, p.PP)
+	}
+	if !p.Method.Looped() && p.Method.Pipelined() && p.Loops != 1 {
+		return fmt.Errorf("plan: %v is non-looped but Loops=%d", p.Method, p.Loops)
+	}
+	if p.Method.Pipelined() && p.NumMicro < p.PP {
+		return fmt.Errorf("plan: pipeline needs NumMicro >= PP (%d < %d)", p.NumMicro, p.PP)
+	}
+	if p.Method == DepthFirst && p.NumMicro%p.PP != 0 {
+		// Section 4.1: the depth-first schedule constrains N_mb to a
+		// multiple of N_PP.
+		return fmt.Errorf("plan: depth-first requires NumMicro %% PP == 0 (%d %% %d)", p.NumMicro, p.PP)
+	}
+	if p.Method == Hybrid {
+		q := p.SequenceLen()
+		if q%p.PP != 0 {
+			return fmt.Errorf("plan: hybrid sequence %d must be a multiple of PP %d", q, p.PP)
+		}
+		if p.NumMicro%q != 0 {
+			return fmt.Errorf("plan: hybrid requires NumMicro %% Sequence == 0 (%d %% %d)", p.NumMicro, q)
+		}
+	}
+	nStages := p.Stages()
+	if !p.Method.Pipelined() {
+		// No-pipeline plans still break the model into stages for
+		// breadth-first gradient accumulation; Loops counts those stages.
+		nStages = p.Loops
+	}
+	if m.Layers%nStages != 0 {
+		return fmt.Errorf("plan: %d layers not divisible into %d stages", m.Layers, nStages)
+	}
+	if p.Sharding == DPFS && p.DP == 1 {
+		return fmt.Errorf("plan: DP-FS requires DP > 1")
+	}
+	if (p.Method == DepthFirst || p.Method == Hybrid) && p.Sharding == DPFS {
+		// Section 3.2: PP with per-micro-batch gradient accumulation makes
+		// DP-FS impractical; the paper only pairs DP-FS with breadth-first
+		// or non-pipelined schedules (Appendix E grid).
+		return fmt.Errorf("plan: %v with DP-FS is excluded (Appendix E)", p.Method)
+	}
+	if (p.Method == GPipe || p.Method == OneFOneB) && p.Sharding == DPFS {
+		return fmt.Errorf("plan: non-looped pipeline with DP-FS is excluded (Section 3.2)")
+	}
+	return nil
+}
+
+// SequenceLen returns the hybrid schedule's effective micro-batch sequence
+// length (PP when unset).
+func (p Plan) SequenceLen() int {
+	if p.Sequence <= 0 {
+		return p.PP
+	}
+	return p.Sequence
+}
+
+// LayersPerStage returns the number of transformer layers in each stage.
+func (p Plan) LayersPerStage(m model.Transformer) int {
+	n := p.Stages()
+	if !p.Method.Pipelined() {
+		n = p.Loops
+	}
+	return m.Layers / n
+}
+
+// StageDevice returns the pipeline rank hosting the given global stage
+// index. The looping placement (Figure 3b) assigns stage s to device
+// s mod N_PP, wrapping the stages around the ring; with Loops == 1 this
+// reduces to the standard placement (Figure 3a) of one stage per device.
+func (p Plan) StageDevice(stage int) int {
+	if !p.Method.Pipelined() {
+		return 0
+	}
+	return stage % p.PP
+}
+
+// DeviceStages returns the global stage indices hosted by a pipeline rank in
+// execution order (loop by loop).
+func (p Plan) DeviceStages(rank int) []int {
+	if !p.Method.Pipelined() {
+		if rank != 0 {
+			return nil
+		}
+		stages := make([]int, p.Loops)
+		for i := range stages {
+			stages[i] = i
+		}
+		return stages
+	}
+	stages := make([]int, 0, p.Loops)
+	for l := 0; l < p.Loops; l++ {
+		stages = append(stages, l*p.PP+rank)
+	}
+	return stages
+}
+
+// StageLayers returns the half-open interval [lo, hi) of layer indices in
+// the given global stage.
+func (p Plan) StageLayers(m model.Transformer, stage int) (lo, hi int) {
+	per := p.LayersPerStage(m)
+	return stage * per, (stage + 1) * per
+}
+
+// String returns a compact description like
+// "Breadth-first DP=4 PP=8 TP=2 Smb=1 Nmb=12 Nloop=8 DP-FS".
+func (p Plan) String() string {
+	s := fmt.Sprintf("%v DP=%d PP=%d TP=%d Smb=%d Nmb=%d Nloop=%d %v",
+		p.Method, p.DP, p.PP, p.TP, p.MicroBatch, p.NumMicro, p.Loops, p.Sharding)
+	return s
+}

@@ -1,0 +1,241 @@
+// Package des implements a small deterministic discrete-event simulator
+// built around in-order execution streams, mirroring the CUDA stream model
+// the paper's implementation targets (Appendix D): each device exposes a
+// compute stream and one or more communication streams, every operation is
+// enqueued on exactly one stream, streams execute their operations strictly
+// in FIFO order, and cross-stream ordering is expressed with dependency
+// edges (the analogue of CUDA events).
+//
+// Overlap between computation and communication is therefore not asserted
+// anywhere: it emerges (or fails to emerge) from the schedule structure,
+// which is exactly the property the paper's breadth-first schedule exploits.
+package des
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// StreamID identifies an execution stream.
+type StreamID int
+
+// TaskID identifies an enqueued task.
+type TaskID int
+
+// Task is one unit of work on a stream. A task starts when (a) all its
+// dependencies have finished and (b) all earlier tasks on its stream have
+// finished; it then runs for Dur seconds without preemption.
+type Task struct {
+	// ID is assigned by Add.
+	ID TaskID
+	// Stream is the stream the task executes on.
+	Stream StreamID
+	// Dur is the execution time in seconds (may be zero for pure
+	// synchronization points).
+	Dur float64
+	// Deps lists tasks that must complete before this one may start.
+	Deps []TaskID
+	// Class is a free-form category used by renderers and accounting, for
+	// example "fwd", "bwd", "reduce", "restore", "send", "opt".
+	Class string
+	// Stage and Micro carry pipeline metadata for rendering (negative when
+	// not applicable).
+	Stage, Micro int
+}
+
+// Span is the execution record of one task.
+type Span struct {
+	Task         TaskID
+	Stream       StreamID
+	Class        string
+	Stage, Micro int
+	Start, End   float64
+}
+
+// Dur returns the span duration.
+func (s Span) Dur() float64 { return s.End - s.Start }
+
+// Timeline is the result of a simulation run.
+type Timeline struct {
+	// Spans holds one record per task, sorted by (Stream, Start).
+	Spans []Span
+	// Makespan is the completion time of the last task.
+	Makespan float64
+	// StreamNames maps StreamID to the name given at creation.
+	StreamNames []string
+}
+
+// BusyTime returns the total occupied time of a stream.
+func (t *Timeline) BusyTime(s StreamID) float64 {
+	var b float64
+	for _, sp := range t.Spans {
+		if sp.Stream == s {
+			b += sp.Dur()
+		}
+	}
+	return b
+}
+
+// ClassTime returns the total duration of spans of the given class on a
+// stream (or on all streams when stream is negative).
+func (t *Timeline) ClassTime(stream StreamID, class string) float64 {
+	var b float64
+	for _, sp := range t.Spans {
+		if (stream < 0 || sp.Stream == stream) && sp.Class == class {
+			b += sp.Dur()
+		}
+	}
+	return b
+}
+
+// StreamSpans returns the spans of one stream in start order.
+func (t *Timeline) StreamSpans(s StreamID) []Span {
+	var out []Span
+	for _, sp := range t.Spans {
+		if sp.Stream == s {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Sim accumulates streams and tasks and runs them to completion.
+type Sim struct {
+	streams []string
+	queues  [][]TaskID
+	tasks   []Task
+}
+
+// New returns an empty simulator.
+func New() *Sim { return &Sim{} }
+
+// Stream creates a new named execution stream.
+func (s *Sim) Stream(name string) StreamID {
+	id := StreamID(len(s.streams))
+	s.streams = append(s.streams, name)
+	s.queues = append(s.queues, nil)
+	return id
+}
+
+// NumTasks returns the number of enqueued tasks.
+func (s *Sim) NumTasks() int { return len(s.tasks) }
+
+// Add enqueues a task at the tail of stream st and returns its ID.
+func (s *Sim) Add(st StreamID, dur float64, class string, deps ...TaskID) TaskID {
+	return s.AddTagged(st, dur, class, -1, -1, deps...)
+}
+
+// AddTagged is Add with pipeline metadata (stage and micro-batch indices)
+// attached for rendering.
+func (s *Sim) AddTagged(st StreamID, dur float64, class string, stage, micro int, deps ...TaskID) TaskID {
+	if int(st) < 0 || int(st) >= len(s.streams) {
+		panic(fmt.Sprintf("des: unknown stream %d", st))
+	}
+	if dur < 0 || math.IsNaN(dur) || math.IsInf(dur, 0) {
+		panic(fmt.Sprintf("des: invalid duration %v for %s", dur, class))
+	}
+	id := TaskID(len(s.tasks))
+	for _, d := range deps {
+		if int(d) < 0 || int(d) >= len(s.tasks) {
+			panic(fmt.Sprintf("des: task %s depends on unknown task %d", class, d))
+		}
+	}
+	t := Task{ID: id, Stream: st, Dur: dur, Deps: append([]TaskID(nil), deps...),
+		Class: class, Stage: stage, Micro: micro}
+	s.tasks = append(s.tasks, t)
+	s.queues[st] = append(s.queues[st], id)
+	return id
+}
+
+// AddDep appends dependencies to an existing task. Unlike Add, it accepts
+// any task created so far, enabling cross-stream wiring in a second pass
+// (dependency cycles introduced this way are caught by Run as deadlocks).
+func (s *Sim) AddDep(t TaskID, deps ...TaskID) {
+	if int(t) < 0 || int(t) >= len(s.tasks) {
+		panic(fmt.Sprintf("des: AddDep on unknown task %d", t))
+	}
+	for _, d := range deps {
+		if int(d) < 0 || int(d) >= len(s.tasks) {
+			panic(fmt.Sprintf("des: AddDep with unknown dependency %d", d))
+		}
+	}
+	s.tasks[t].Deps = append(s.tasks[t].Deps, deps...)
+}
+
+// Run executes all tasks and returns the timeline. It returns an error if
+// the task graph deadlocks (a cross-stream dependency cycle), identifying
+// one blocked task.
+func (s *Sim) Run() (*Timeline, error) {
+	n := len(s.tasks)
+	finish := make([]float64, n)
+	done := make([]bool, n)
+	head := make([]int, len(s.queues)) // next index per stream
+	streamFree := make([]float64, len(s.queues))
+	spans := make([]Span, 0, n)
+
+	remaining := n
+	for remaining > 0 {
+		progressed := false
+		for qi := range s.queues {
+			// Drain this stream as far as dependencies allow. Running a
+			// ready head immediately is safe: its start time depends only
+			// on already-finished tasks and this stream's frontier.
+			for head[qi] < len(s.queues[qi]) {
+				id := s.queues[qi][head[qi]]
+				t := &s.tasks[id]
+				ready := true
+				start := streamFree[qi]
+				for _, d := range t.Deps {
+					if !done[d] {
+						ready = false
+						break
+					}
+					if finish[d] > start {
+						start = finish[d]
+					}
+				}
+				if !ready {
+					break
+				}
+				end := start + t.Dur
+				finish[id] = end
+				done[id] = true
+				streamFree[qi] = end
+				spans = append(spans, Span{Task: id, Stream: t.Stream, Class: t.Class,
+					Stage: t.Stage, Micro: t.Micro, Start: start, End: end})
+				head[qi]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			for qi := range s.queues {
+				if head[qi] < len(s.queues[qi]) {
+					id := s.queues[qi][head[qi]]
+					return nil, fmt.Errorf("des: deadlock: task %d (%s) on stream %q blocked",
+						id, s.tasks[id].Class, s.streams[qi])
+				}
+			}
+			return nil, fmt.Errorf("des: deadlock with no blocked head (internal error)")
+		}
+	}
+
+	var makespan float64
+	for _, sp := range spans {
+		if sp.End > makespan {
+			makespan = sp.End
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Stream != spans[j].Stream {
+			return spans[i].Stream < spans[j].Stream
+		}
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Task < spans[j].Task
+	})
+	return &Timeline{Spans: spans, Makespan: makespan,
+		StreamNames: append([]string(nil), s.streams...)}, nil
+}

@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"testing"
+
+	"bfpp/internal/core"
+	"bfpp/internal/hw"
+	"bfpp/internal/model"
+)
+
+// plan5a builds a Figure 5a configuration: 52B model, NPP=NTP=8, NDP=1,
+// Smb=1, looped schedules at Nloop=4.
+func plan5a(m core.Method, nmb, loops int) core.Plan {
+	p := core.Plan{Method: m, DP: 1, PP: 8, TP: 8, MicroBatch: 1,
+		NumMicro: nmb, Loops: loops, Sharding: core.DP0}
+	switch m {
+	case core.GPipe, core.BreadthFirst:
+		p.OverlapDP, p.OverlapPP = true, true
+	}
+	return p
+}
+
+// TestCalibrationFigure5a prints the simulated Figure 5a sweep next to the
+// paper's approximate measurements. It never fails; shape assertions live in
+// shape_test.go. Run with -v to inspect.
+func TestCalibrationFigure5a(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	t.Logf("%-14s %6s %6s %8s %8s", "method", "Nloop", "beta", "Tflop/s", "util%")
+	for _, nmb := range []int{8, 16, 32, 64, 128} {
+		beta := float64(nmb) / 64
+		for _, cfg := range []struct {
+			name  string
+			mth   core.Method
+			loops int
+		}{
+			{"Breadth-first", core.BreadthFirst, 4},
+			{"Depth-first", core.DepthFirst, 4},
+			{"GPipe", core.GPipe, 1},
+			{"1F1B", core.OneFOneB, 1},
+		} {
+			p := plan5a(cfg.mth, nmb, cfg.loops)
+			r, err := Simulate(c, m, p)
+			if err != nil {
+				t.Fatalf("%s nmb=%d: %v", cfg.name, nmb, err)
+			}
+			t.Logf("%-14s %6d %6.3g %8.2f %8.1f", cfg.name, cfg.loops, beta,
+				r.Throughput/1e12, 100*r.Utilization)
+		}
+	}
+}
+
+// TestCalibrationFigure6 prints the Nloop sweep for the 52B model at B=16
+// and B=64 (Figure 6).
+func TestCalibrationFigure6(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	for _, nmb := range []int{16, 64} {
+		t.Logf("B=%d:", nmb)
+		for _, loops := range []int{1, 2, 4, 8} {
+			bfm, dfm := core.BreadthFirst, core.DepthFirst
+			if loops == 1 {
+				bfm, dfm = core.GPipe, core.OneFOneB
+			}
+			bp := plan5a(bfm, nmb, loops)
+			dp := plan5a(dfm, nmb, loops)
+			br, err := Simulate(c, m, bp)
+			if err != nil {
+				t.Fatalf("bf loops=%d: %v", loops, err)
+			}
+			dr, err := Simulate(c, m, dp)
+			if err != nil {
+				t.Fatalf("df loops=%d: %v", loops, err)
+			}
+			t.Logf("  Nloop=%d: breadth=%5.1f%%  depth=%5.1f%%",
+				loops, 100*br.Utilization, 100*dr.Utilization)
+		}
+	}
+}
+
+// TestCalibrationTableE1 prints a few Table E.1 rows (52B optimal configs).
+func TestCalibrationTableE1(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	rows := []struct {
+		name   string
+		p      core.Plan
+		paperT float64 // paper Tflop/s/GPU
+	}{
+		{"BF B=8", core.Plan{Method: core.BreadthFirst, DP: 1, PP: 8, TP: 8, MicroBatch: 1, NumMicro: 8, Loops: 4, OverlapDP: true, OverlapPP: true}, 36.28},
+		{"BF B=9", core.Plan{Method: core.BreadthFirst, DP: 1, PP: 8, TP: 8, MicroBatch: 1, NumMicro: 9, Loops: 8, OverlapDP: true, OverlapPP: true}, 42.33},
+		{"BF B=48", core.Plan{Method: core.BreadthFirst, DP: 4, PP: 8, TP: 2, MicroBatch: 1, NumMicro: 12, Loops: 8, Sharding: core.DPFS, OverlapDP: true, OverlapPP: true}, 55.34},
+		{"DF B=8", core.Plan{Method: core.DepthFirst, DP: 1, PP: 8, TP: 8, MicroBatch: 1, NumMicro: 8, Loops: 2}, 29.53},
+		{"DF B=128", core.Plan{Method: core.DepthFirst, DP: 1, PP: 8, TP: 8, MicroBatch: 4, NumMicro: 32, Loops: 4}, 51.46},
+		{"NL B=8", core.Plan{Method: core.GPipe, DP: 1, PP: 8, TP: 8, MicroBatch: 1, NumMicro: 8, Loops: 1, OverlapDP: true, OverlapPP: true}, 26.04},
+		{"NL B=512", core.Plan{Method: core.OneFOneB, DP: 1, PP: 8, TP: 8, MicroBatch: 4, NumMicro: 128, Loops: 1}, 55.52},
+		{"NP B=8", core.Plan{Method: core.NoPipelineBF, DP: 8, PP: 1, TP: 8, MicroBatch: 1, NumMicro: 1, Loops: 64, Sharding: core.DPFS, OverlapDP: true}, 4.73},
+		{"NP B=64", core.Plan{Method: core.NoPipelineBF, DP: 8, PP: 1, TP: 8, MicroBatch: 8, NumMicro: 1, Loops: 64, Sharding: core.DPFS, OverlapDP: true}, 35.97},
+		{"NP B=512", core.Plan{Method: core.NoPipelineBF, DP: 32, PP: 1, TP: 2, MicroBatch: 4, NumMicro: 4, Loops: 64, Sharding: core.DPFS, OverlapDP: true}, 62.40},
+	}
+	t.Logf("%-10s %8s %8s %7s %9s %9s", "config", "sim", "paper", "ratio", "mem GiB", "min GiB")
+	for _, row := range rows {
+		r, err := Simulate(c, m, row.p)
+		if err != nil {
+			t.Errorf("%s: %v", row.name, err)
+			continue
+		}
+		t.Logf("%-10s %8.2f %8.2f %7.2f %9.2f %9.2f", row.name,
+			r.Throughput/1e12, row.paperT, r.Throughput/1e12/row.paperT,
+			r.Memory.Total()/(1<<30), r.Memory.TotalMin()/(1<<30))
+	}
+}

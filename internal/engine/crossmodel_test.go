@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"testing"
+
+	"bfpp/internal/analytic"
+	"bfpp/internal/core"
+	"bfpp/internal/hw"
+	"bfpp/internal/model"
+)
+
+// Cross-validation between the two independent performance models: for
+// clean configurations (DP=1, TP=1, overlapped breadth-first, negligible
+// network), the simulator's schedule efficiency — utilization divided by
+// the kernel-efficiency ceiling — must track the closed-form prediction
+// 1/(1 + bubble) of Section 4.2 within a modest tolerance.
+func TestSimulatorMatchesAnalyticModel(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	kernel := c.GPU.KernelEff.Efficiency(float64(4*m.SeqLen), float64(m.Hidden))
+	for _, cfg := range []struct {
+		pp, nmb, loops int
+	}{
+		{8, 16, 1}, {8, 32, 1}, {8, 16, 4}, {8, 64, 8}, {4, 16, 2}, {2, 8, 8},
+	} {
+		method := core.BreadthFirst
+		if cfg.loops == 1 {
+			method = core.GPipe
+		}
+		p := core.Plan{Method: method, DP: 1, PP: cfg.pp, TP: 1,
+			MicroBatch: 4, NumMicro: cfg.nmb, Loops: cfg.loops,
+			OverlapDP: true, OverlapPP: true}
+		r, err := Simulate(c, m, p)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		got := r.Utilization / kernel
+		// Analytic schedule efficiency with no data-parallel term.
+		s := analytic.Scenario{BetaNet: 0, PP: cfg.pp, TP: 1, Loops: cfg.loops,
+			MicroBatch: 4, Overlap: true, PPJump: 0}
+		beta := p.BatchPerGPU()
+		want := s.Utilization(method, beta)
+		if got < 0.85*want || got > 1.10*want {
+			t.Errorf("PP=%d Nmb=%d Loops=%d: sim efficiency %.3f vs analytic %.3f (ratio %.2f)",
+				cfg.pp, cfg.nmb, cfg.loops, got, want, got/want)
+		}
+	}
+}

@@ -1,0 +1,447 @@
+// Package engine simulates one training batch of a (cluster, model, plan)
+// configuration by mapping the generated schedule onto the discrete-event
+// simulator: compute operations on per-device compute streams,
+// pipeline-parallel transfers, data-parallel reductions and weight
+// reconstructions, tensor-parallel all-reduce overheads and the optimizer
+// step. It reports batch time, throughput (paper Eq. 11 over time), GPU
+// utilization and an overhead breakdown, plus the memory estimate.
+//
+// Implementation traits follow Section 5: the paper's implementation
+// overlaps data- and pipeline-parallel communication on separate streams
+// (Plan.OverlapDP/OverlapPP true); the Megatron-LM baseline (1F1B and
+// depth-first) does not, paying per-message blocking costs on the compute
+// stream that Section 5.2 and Appendix D.2 attribute to latency,
+// synchronization and allocator stalls.
+package engine
+
+import (
+	"fmt"
+
+	"bfpp/internal/core"
+	"bfpp/internal/des"
+	"bfpp/internal/hw"
+	"bfpp/internal/memsim"
+	"bfpp/internal/model"
+	"bfpp/internal/schedule"
+)
+
+// Params are the engine's calibration constants. Zero value means "use
+// Defaults()"; they are exposed so ablation benchmarks can vary them.
+type Params struct {
+	// KernelLaunch is the fixed per-compute-op overhead (kernel launches,
+	// framework dispatch) in seconds.
+	KernelLaunch float64
+	// BlockingPPBase and BlockingPPPerRank model the per-message stall a
+	// non-overlapping implementation pays on the compute stream for each
+	// pipeline-parallel transfer: stall = Base + PerRank*N_PP. Appendix D.2
+	// documents multi-millisecond allocator/synchronization stalls that
+	// grow with the number of parallel devices; Section 5.2 measures the
+	// resulting overhead at >=40% for N_loop = 8 on the 52B model.
+	BlockingPPBase, BlockingPPPerRank float64
+	// TPLinkEfficiency is the achievable fraction of the intra-node link
+	// bandwidth for tensor-parallel all-reduces (small messages, ring
+	// overheads, contention).
+	TPLinkEfficiency float64
+	// DPLinkEfficiency likewise for data-parallel collectives (large,
+	// bandwidth-friendly messages).
+	DPLinkEfficiency float64
+	// OptimizerBytesPerParam is the memory traffic per parameter of the
+	// optimizer step (read/update fp32 state and momenta).
+	OptimizerBytesPerParam float64
+}
+
+// Defaults returns the calibrated engine constants.
+func Defaults() Params {
+	return Params{
+		KernelLaunch:           30e-6,
+		BlockingPPBase:         0.25e-3,
+		BlockingPPPerRank:      0.4375e-3,
+		TPLinkEfficiency:       0.45,
+		DPLinkEfficiency:       0.90,
+		OptimizerBytesPerParam: 32,
+	}
+}
+
+// Result is the outcome of simulating one training batch.
+type Result struct {
+	// Plan is the simulated configuration.
+	Plan core.Plan
+	// BatchTime is the simulated wall time of one batch in seconds.
+	BatchTime float64
+	// FlopPerGPU is the per-GPU useful compute of the batch (Eq. 11).
+	FlopPerGPU float64
+	// Throughput is FlopPerGPU / BatchTime in flop/s.
+	Throughput float64
+	// Utilization is Throughput / peak flop/s.
+	Utilization float64
+	// ComputeTime is the busy compute-stream time of the slowest device.
+	ComputeTime float64
+	// PPCommTime and DPCommTime are total transfer times (worst device).
+	PPCommTime, DPCommTime float64
+	// Bubble is the analytic pipeline-bubble fraction (Eq. 9).
+	Bubble float64
+	// Memory is the per-GPU memory estimate.
+	Memory memsim.Breakdown
+	// Timeline is the simulated execution trace (nil unless requested).
+	Timeline *des.Timeline
+}
+
+// String formats the headline numbers.
+func (r Result) String() string {
+	return fmt.Sprintf("%v: %.2f Tflop/s/GPU (%.1f%% util), batch %.3fs, mem %.1f GiB",
+		r.Plan, r.Throughput/1e12, 100*r.Utilization, r.BatchTime,
+		r.Memory.Total()/(1<<30))
+}
+
+// Options controls simulation extras.
+type Options struct {
+	// CaptureTimeline retains the full DES timeline in the result.
+	CaptureTimeline bool
+	// Params overrides the calibration constants when non-zero.
+	Params *Params
+}
+
+// Simulate runs one batch with default options.
+func Simulate(c hw.Cluster, m model.Transformer, p core.Plan) (Result, error) {
+	return SimulateOpts(c, m, p, Options{})
+}
+
+// SimulateOpts runs one batch of the configuration and returns the result.
+func SimulateOpts(c hw.Cluster, m model.Transformer, p core.Plan, opt Options) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := p.Validate(m); err != nil {
+		return Result{}, err
+	}
+	if p.GPUs() > c.NumGPUs() {
+		return Result{}, fmt.Errorf("engine: plan needs %d GPUs, cluster has %d", p.GPUs(), c.NumGPUs())
+	}
+	sched, err := schedule.Generate(p)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := schedule.Check(sched); err != nil {
+		return Result{}, fmt.Errorf("engine: generated schedule invalid: %w", err)
+	}
+	par := Defaults()
+	if opt.Params != nil {
+		par = *opt.Params
+	}
+
+	b := builder{c: c, m: m, p: p, par: par, sched: sched}
+	tl, err := b.run()
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Plan:       p,
+		BatchTime:  tl.Makespan,
+		FlopPerGPU: m.BatchFlopPerGPU(p.MicroBatch, p.NumMicro, p.PP, p.TP),
+		Bubble:     p.Bubble(),
+		Memory:     memsim.Estimate(m, p),
+	}
+	res.Throughput = res.FlopPerGPU / res.BatchTime
+	res.Utilization = res.Throughput / c.GPU.PeakFlops
+	for dev := range sched.Devices {
+		if t := tl.BusyTime(b.computeStream[dev]); t > res.ComputeTime {
+			res.ComputeTime = t
+		}
+		if b.ppStream != nil {
+			if t := tl.BusyTime(b.ppStream[dev]); t > res.PPCommTime {
+				res.PPCommTime = t
+			}
+		}
+		if b.dpStream != nil {
+			if t := tl.BusyTime(b.dpStream[dev]); t > res.DPCommTime {
+				res.DPCommTime = t
+			}
+		}
+	}
+	if b.ppStream == nil {
+		// Transfers rode the compute streams; account them by class.
+		res.PPCommTime = tl.ClassTime(-1, "send")
+	}
+	if b.dpStream == nil {
+		res.DPCommTime = tl.ClassTime(-1, "reduce") + tl.ClassTime(-1, "restore")
+	}
+	if opt.CaptureTimeline {
+		res.Timeline = tl
+	}
+	return res, nil
+}
+
+// builder assembles the DES model.
+type builder struct {
+	c     hw.Cluster
+	m     model.Transformer
+	p     core.Plan
+	par   Params
+	sched *schedule.Schedule
+
+	sim           *des.Sim
+	computeStream []des.StreamID
+	ppStream      []des.StreamID // nil when PP transfers ride the compute stream
+	dpStream      []des.StreamID // nil when DP ops ride the compute stream
+
+	// Cost constants derived once.
+	tFwd, tBwd float64 // per stage per micro-batch
+	tTransfer  float64 // PP transfer wire time
+	tPPStall   float64 // non-overlapped per-message blocking stall
+	tReduce    float64 // per-stage gradient reduction
+	tRestore   float64 // per-stage weight reconstruction (DP-FS)
+	tOpt       float64 // optimizer step
+	nStages    int
+}
+
+type opKey struct{ stage, micro int }
+
+func (b *builder) run() (*des.Timeline, error) {
+	p, m, c := b.p, b.m, b.c
+	b.deriveCosts()
+	b.sim = des.New()
+	_ = m
+	_ = c
+
+	nDev := len(b.sched.Devices)
+	b.computeStream = make([]des.StreamID, nDev)
+	for d := 0; d < nDev; d++ {
+		b.computeStream[d] = b.sim.Stream(fmt.Sprintf("gpu%d/compute", d))
+	}
+	if p.OverlapPP && p.Method.Pipelined() && p.PP > 1 {
+		b.ppStream = make([]des.StreamID, nDev)
+		for d := 0; d < nDev; d++ {
+			b.ppStream[d] = b.sim.Stream(fmt.Sprintf("gpu%d/pp", d))
+		}
+	}
+	hasDPOps := p.DP > 1 || p.Sharding == core.DPFS
+	if p.OverlapDP && hasDPOps {
+		b.dpStream = make([]des.StreamID, nDev)
+		for d := 0; d < nDev; d++ {
+			b.dpStream[d] = b.sim.Stream(fmt.Sprintf("gpu%d/dp", d))
+		}
+	}
+
+	// Pass 1: create tasks in program order; wire same-device dependencies
+	// immediately, recording cross-device endpoints for pass 2.
+	fwdTask := map[opKey]des.TaskID{} // compute task per (stage, micro)
+	bwdTask := map[opKey]des.TaskID{}
+	fwdSend := map[opKey]des.TaskID{} // transfer feeding Forward(stage, micro)
+	bwdSend := map[opKey]des.TaskID{} // transfer feeding Backward(stage, micro)
+
+	for dev, prog := range b.sched.Devices {
+		comp := b.computeStream[dev]
+		sendStream := comp
+		if b.ppStream != nil {
+			sendStream = b.ppStream[dev]
+		}
+		dpStream := comp
+		if b.dpStream != nil {
+			dpStream = b.dpStream[dev]
+		}
+		var restores []des.TaskID               // device restores in order (double buffering)
+		restoreConsumer := map[int]des.TaskID{} // restore index -> last consumer
+		restoreIdx := map[opKey]int{}           // latest restore covering a key
+		var reduces []des.TaskID
+
+		lastRestoreFor := func(k opKey) (des.TaskID, int, bool) {
+			if i, ok := restoreIdx[k]; ok {
+				return restores[i], i, true
+			}
+			if i, ok := restoreIdx[opKey{k.stage, -1}]; ok {
+				return restores[i], i, true
+			}
+			return 0, 0, false
+		}
+
+		for _, op := range prog {
+			switch op.Kind {
+			case schedule.Forward, schedule.Backward:
+				k := opKey{op.Stage, op.Micro}
+				class := "fwd"
+				dur := b.tFwd
+				if op.Kind == schedule.Backward {
+					class, dur = "bwd", b.tBwd
+				}
+				var deps []des.TaskID
+				rt, ri, hasRestore := lastRestoreFor(k)
+				if hasRestore {
+					deps = append(deps, rt)
+				}
+				t := b.sim.AddTagged(comp, dur, class, op.Stage, op.Micro, deps...)
+				if op.Kind == schedule.Forward {
+					fwdTask[k] = t
+				} else {
+					bwdTask[k] = t
+				}
+				if hasRestore {
+					restoreConsumer[ri] = t
+				}
+				// Emit the outgoing transfer produced by this op.
+				if next, ok := b.transferOutOf(op); ok {
+					dur := b.tTransfer
+					if b.ppStream == nil {
+						dur += b.tPPStall
+					}
+					st := b.sim.AddTagged(sendStream, dur, "send", op.Stage, op.Micro, t)
+					if op.Kind == schedule.Forward {
+						fwdSend[next] = st
+					} else {
+						bwdSend[next] = st
+					}
+				}
+			case schedule.Restore:
+				var deps []des.TaskID
+				// Double buffering: this restore may only start once the
+				// buffer two restores back has been consumed.
+				if len(restores) >= 2 {
+					if c, ok := restoreConsumer[len(restores)-2]; ok {
+						deps = append(deps, c)
+					}
+				}
+				t := b.sim.AddTagged(dpStream, b.tRestore, "restore", op.Stage, op.Micro, deps...)
+				restoreIdx[opKey{op.Stage, op.Micro}] = len(restores)
+				restores = append(restores, t)
+			case schedule.Reduce:
+				var deps []des.TaskID
+				k := opKey{op.Stage, op.Micro}
+				if op.Micro >= 0 {
+					if bt, ok := bwdTask[k]; ok {
+						deps = append(deps, bt)
+					}
+				} else if bt, ok := bwdTask[opKey{op.Stage, p.NumMicro - 1}]; ok {
+					// Per-batch reduce waits for the stage's last backward.
+					deps = append(deps, bt)
+				}
+				t := b.sim.AddTagged(dpStream, b.tReduce, "reduce", op.Stage, op.Micro, deps...)
+				reduces = append(reduces, t)
+			case schedule.Optimize:
+				b.sim.AddTagged(comp, b.tOpt, "opt", -1, -1, reduces...)
+			}
+		}
+	}
+
+	// Pass 2: wire cross-device transfer dependencies. The consuming op
+	// waits on the transfer directly; an in-order compute stream therefore
+	// blocks exactly like a synchronous receive.
+	for k, send := range fwdSend {
+		if t, ok := fwdTask[k]; ok {
+			b.sim.AddDep(t, send)
+		}
+	}
+	for k, send := range bwdSend {
+		if t, ok := bwdTask[k]; ok {
+			b.sim.AddDep(t, send)
+		}
+	}
+	return b.sim.Run()
+}
+
+// transferOutOf returns the (stage, micro) key of the op consuming this
+// op's cross-device output, if any.
+func (b *builder) transferOutOf(op schedule.Op) (opKey, bool) {
+	if !b.p.Method.Pipelined() || b.p.PP == 1 {
+		return opKey{}, false
+	}
+	if op.Kind == schedule.Forward {
+		if op.Stage < b.nStages-1 && b.p.StageDevice(op.Stage+1) != b.p.StageDevice(op.Stage) {
+			return opKey{op.Stage + 1, op.Micro}, true
+		}
+		return opKey{}, false
+	}
+	if op.Stage > 0 && b.p.StageDevice(op.Stage-1) != b.p.StageDevice(op.Stage) {
+		return opKey{op.Stage - 1, op.Micro}, true
+	}
+	return opKey{}, false
+}
+
+// deriveCosts computes the per-op durations from the hardware and model.
+func (b *builder) deriveCosts() {
+	p, m, c, par := b.p, b.m, b.c, b.par
+	b.nStages = p.Stages()
+	if !p.Method.Pipelined() {
+		b.nStages = p.Loops
+	}
+	layersPerStage := m.Layers / b.nStages
+	tokens := p.MicroBatch * m.SeqLen
+	rows := float64(tokens)
+	width := float64(m.Hidden) / float64(p.TP)
+	eff := c.GPU.KernelEff.Efficiency(rows, width)
+	flops := c.GPU.PeakFlops * eff
+
+	// Tensor-parallel all-reduce overhead per layer pass, non-overlapped
+	// (Appendix A.3.3): two all-reduces in the forward pass and two more in
+	// the checkpoint recompute, 8 bytes per hidden element per token each.
+	var tpFwd, tpBwd float64
+	if p.TP > 1 {
+		bw := c.IntraNode.Bandwidth * par.TPLinkEfficiency
+		ring := float64(p.TP-1) / float64(p.TP)
+		perAR := 8 * float64(m.Hidden) * rows * ring / bw
+		tpFwd = 2*perAR + 2*c.IntraNode.Latency
+		tpBwd = 2*perAR + 2*c.IntraNode.Latency
+	}
+
+	b.tFwd = float64(layersPerStage)*(m.LayerForwardFlop(tokens)/float64(p.TP)/flops+tpFwd) + par.KernelLaunch
+	b.tBwd = float64(layersPerStage)*(m.LayerBackwardFlop(tokens)/float64(p.TP)/flops+tpBwd) + par.KernelLaunch
+
+	// Pipeline transfer: fp16 activations at the stage boundary. When the
+	// boundary crosses nodes the transfer counts against both the sender's
+	// output and the receiver's input share of the node NIC, so the
+	// effective bandwidth is half the (input+output) per-GPU figure.
+	ppBytes := 2 * rows * float64(m.Hidden) / float64(p.TP)
+	if p.TP*p.DP >= c.GPUsPerNode {
+		l := c.InterNode
+		b.tTransfer = l.Latency + 2*ppBytes/l.Bandwidth
+	} else {
+		l := c.IntraNode
+		b.tTransfer = l.Latency + ppBytes/l.Bandwidth
+	}
+	b.tPPStall = par.BlockingPPBase + par.BlockingPPPerRank*float64(p.PP)
+
+	// Data-parallel collectives (Appendix A.3.1): 8 bytes/param for the
+	// all-reduce (reduce-scatter + all-gather), 4 bytes/param per
+	// reduce-scatter or all-gather under sharding. When the group spans
+	// nodes with g members per node, a node-contiguous ring crosses each
+	// NIC only once per g members, multiplying the effective per-GPU
+	// bandwidth by g.
+	stackParams := float64(m.Layers) * float64(m.LayerParams())
+	stageParams := stackParams / float64(b.nStages) / float64(p.TP)
+	if p.DP > 1 {
+		ring := float64(p.DP-1) / float64(p.DP)
+		var lat, bw float64
+		if p.TP*p.DP <= c.GPUsPerNode {
+			// Whole group inside one node.
+			lat = c.IntraNode.Latency
+			bw = c.IntraNode.Bandwidth * par.DPLinkEfficiency
+		} else {
+			g := c.GPUsPerNode / p.TP
+			if g < 1 {
+				g = 1
+			}
+			if g > p.DP {
+				g = p.DP
+			}
+			lat = c.InterNode.Latency
+			bw = float64(g) * c.InterNode.Bandwidth * par.DPLinkEfficiency
+		}
+		perParam := 8.0
+		if p.Sharding != core.DP0 {
+			perParam = 4.0
+		}
+		b.tReduce = lat + perParam*stageParams*ring/bw
+		if !p.OverlapDP {
+			b.tReduce += c.InterNode.SyncCost
+		}
+		if p.Sharding == core.DPFS {
+			b.tRestore = lat + 4*stageParams*ring/bw
+		}
+	}
+
+	// Optimizer step over the device's (shard of the) training state.
+	devParams := stackParams / float64(p.PP*p.TP)
+	if p.Sharding != core.DP0 {
+		devParams /= float64(p.DP)
+	}
+	b.tOpt = par.OptimizerBytesPerParam * devParams / c.GPU.MemBandwidth
+}

@@ -1,0 +1,287 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"bfpp/internal/core"
+	"bfpp/internal/hw"
+	"bfpp/internal/model"
+)
+
+func sim(t *testing.T, c hw.Cluster, m model.Transformer, p core.Plan) Result {
+	t.Helper()
+	r, err := Simulate(c, m, p)
+	if err != nil {
+		t.Fatalf("Simulate(%v): %v", p, err)
+	}
+	return r
+}
+
+func TestSimulateAllMethods(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	plans := []core.Plan{
+		{Method: core.GPipe, DP: 1, PP: 8, TP: 8, MicroBatch: 1, NumMicro: 8, Loops: 1, OverlapDP: true, OverlapPP: true},
+		{Method: core.OneFOneB, DP: 1, PP: 8, TP: 8, MicroBatch: 1, NumMicro: 8, Loops: 1},
+		{Method: core.DepthFirst, DP: 1, PP: 8, TP: 8, MicroBatch: 1, NumMicro: 8, Loops: 4},
+		{Method: core.BreadthFirst, DP: 1, PP: 8, TP: 8, MicroBatch: 1, NumMicro: 8, Loops: 4, OverlapDP: true, OverlapPP: true},
+		{Method: core.BreadthFirst, DP: 4, PP: 4, TP: 4, MicroBatch: 1, NumMicro: 8, Loops: 4, Sharding: core.DPFS, OverlapDP: true, OverlapPP: true},
+		{Method: core.NoPipelineDF, DP: 8, PP: 1, TP: 8, MicroBatch: 2, NumMicro: 2, Loops: 1, OverlapDP: true},
+		{Method: core.NoPipelineBF, DP: 8, PP: 1, TP: 8, MicroBatch: 1, NumMicro: 4, Loops: 8, Sharding: core.DPFS, OverlapDP: true},
+	}
+	for _, p := range plans {
+		r := sim(t, c, m, p)
+		if r.BatchTime <= 0 || r.Utilization <= 0 || r.Utilization >= 1 {
+			t.Errorf("%v: implausible result %v", p, r)
+		}
+		if r.ComputeTime > r.BatchTime+1e-9 {
+			t.Errorf("%v: compute time %v exceeds batch time %v", p, r.ComputeTime, r.BatchTime)
+		}
+		if math.Abs(r.Throughput*r.BatchTime-r.FlopPerGPU)/r.FlopPerGPU > 1e-9 {
+			t.Errorf("%v: throughput inconsistent", p)
+		}
+	}
+}
+
+// Paper headline (Section 5.3 / Figure 5a): near beta_min the breadth-first
+// schedule is much faster than both the non-looped and depth-first
+// baselines (paper: 53% and 43% faster at the optimal configs; the fixed
+// Figure 5a configs show 1.2-1.5x).
+func TestBreadthFirstWinsAtSmallBatch(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	bf := sim(t, c, m, core.Plan{Method: core.BreadthFirst, DP: 1, PP: 8, TP: 8,
+		MicroBatch: 1, NumMicro: 8, Loops: 4, OverlapDP: true, OverlapPP: true})
+	df := sim(t, c, m, core.Plan{Method: core.DepthFirst, DP: 1, PP: 8, TP: 8,
+		MicroBatch: 1, NumMicro: 8, Loops: 4})
+	gp := sim(t, c, m, core.Plan{Method: core.GPipe, DP: 1, PP: 8, TP: 8,
+		MicroBatch: 1, NumMicro: 8, Loops: 1, OverlapDP: true, OverlapPP: true})
+	ob := sim(t, c, m, core.Plan{Method: core.OneFOneB, DP: 1, PP: 8, TP: 8,
+		MicroBatch: 1, NumMicro: 8, Loops: 1})
+	if bf.Throughput < 1.15*df.Throughput {
+		t.Errorf("BF should beat depth-first by >15%% at small batch: %.1f vs %.1f Tflop/s",
+			bf.Throughput/1e12, df.Throughput/1e12)
+	}
+	if bf.Throughput < 1.3*gp.Throughput {
+		t.Errorf("BF should beat GPipe by >30%% at small batch: %.1f vs %.1f",
+			bf.Throughput/1e12, gp.Throughput/1e12)
+	}
+	if bf.Throughput < 1.3*ob.Throughput {
+		t.Errorf("BF should beat 1F1B by >30%% at small batch: %.1f vs %.1f",
+			bf.Throughput/1e12, ob.Throughput/1e12)
+	}
+}
+
+// Figure 6: looping helps the breadth-first schedule monotonically (up to
+// the measured range), while the depth-first schedule's unoverlapped
+// network overhead makes large N_loop counterproductive.
+func TestLoopingSweepShapes(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	util := func(mth core.Method, nmb, loops int) float64 {
+		p := core.Plan{Method: mth, DP: 1, PP: 8, TP: 8, MicroBatch: 1,
+			NumMicro: nmb, Loops: loops}
+		if mth == core.BreadthFirst || mth == core.GPipe {
+			p.OverlapDP, p.OverlapPP = true, true
+		}
+		return sim(t, c, m, p).Utilization
+	}
+	// Breadth-first at B=16: each doubling of Nloop helps.
+	b1 := util(core.GPipe, 16, 1)
+	b2 := util(core.BreadthFirst, 16, 2)
+	b4 := util(core.BreadthFirst, 16, 4)
+	b8 := util(core.BreadthFirst, 16, 8)
+	if !(b1 < b2 && b2 < b4 && b4 < b8) {
+		t.Errorf("BF looping should help at B=16: %.3f %.3f %.3f %.3f", b1, b2, b4, b8)
+	}
+	// Depth-first at B=64: looping beyond 2 hurts (network overhead), and
+	// Nloop=8 is far below the breadth-first equivalent (paper: 30%% vs 43%%).
+	d2 := util(core.DepthFirst, 64, 2)
+	d4 := util(core.DepthFirst, 64, 4)
+	d8 := util(core.DepthFirst, 64, 8)
+	if !(d4 < d2 && d8 < d4) {
+		t.Errorf("DF looping should hurt at B=64: %.3f %.3f %.3f", d2, d4, d8)
+	}
+	bf8 := util(core.BreadthFirst, 64, 8)
+	if bf8 < 1.3*d8 {
+		t.Errorf("BF at Nloop=8 should be >=1.3x DF (paper ~1.43): %.3f vs %.3f", bf8, d8)
+	}
+}
+
+// Eq. (4): the non-looped bubble shrinks as micro-batches are added, so
+// GPipe utilization must rise monotonically with Nmb.
+func TestBubbleShrinksWithMicroBatches(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	prev := 0.0
+	for _, nmb := range []int{8, 16, 32, 64} {
+		r := sim(t, c, m, core.Plan{Method: core.GPipe, DP: 1, PP: 8, TP: 8,
+			MicroBatch: 1, NumMicro: nmb, Loops: 1, OverlapDP: true, OverlapPP: true})
+		if r.Utilization <= prev {
+			t.Errorf("GPipe utilization should rise with Nmb: %.3f at %d", r.Utilization, nmb)
+		}
+		prev = r.Utilization
+	}
+}
+
+// Section 3.1 / Table E.1: pure data parallelism with DP-FS collapses at
+// small batch sizes (the paper measures 4.73 Tflop/s at B=8 vs 62.4 at
+// B=512) because the weight reconstructions cannot be overlapped.
+func TestNoPipelineBetaNetWall(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	small := sim(t, c, m, core.Plan{Method: core.NoPipelineBF, DP: 8, PP: 1, TP: 8,
+		MicroBatch: 1, NumMicro: 1, Loops: 64, Sharding: core.DPFS, OverlapDP: true})
+	large := sim(t, c, m, core.Plan{Method: core.NoPipelineBF, DP: 32, PP: 1, TP: 2,
+		MicroBatch: 4, NumMicro: 4, Loops: 64, Sharding: core.DPFS, OverlapDP: true})
+	if small.Throughput > 0.25*large.Throughput {
+		t.Errorf("no-pipeline at beta=1/8 should collapse: %.1f vs %.1f Tflop/s",
+			small.Throughput/1e12, large.Throughput/1e12)
+	}
+	if large.Utilization < 0.40 {
+		t.Errorf("no-pipeline at beta=8 should be efficient, got %.1f%%", 100*large.Utilization)
+	}
+}
+
+// The paper's Ethernet experiment (Section 4.3, Figure 7c): with a slow
+// network, overlap matters even more, so the breadth-first advantage over
+// the non-overlapping depth-first baseline grows.
+func TestEthernetAmplifiesOverlapAdvantage(t *testing.T) {
+	m := model.Model6p6B()
+	ratio := func(c hw.Cluster) float64 {
+		bf := sim(t, c, m, core.Plan{Method: core.BreadthFirst, DP: 8, PP: 4, TP: 2,
+			MicroBatch: 1, NumMicro: 8, Loops: 4, OverlapDP: true, OverlapPP: true})
+		df := sim(t, c, m, core.Plan{Method: core.DepthFirst, DP: 8, PP: 4, TP: 2,
+			MicroBatch: 1, NumMicro: 8, Loops: 4})
+		return bf.Throughput / df.Throughput
+	}
+	ib := ratio(hw.PaperCluster())
+	eth := ratio(hw.PaperClusterEthernet())
+	if eth <= ib {
+		t.Errorf("Ethernet should amplify the BF advantage: IB ratio %.2f, Ethernet %.2f", ib, eth)
+	}
+}
+
+// DP-FS restore repetition (Eq. 24 vs 26): depth-first gradient
+// accumulation pays per-micro-batch network operations, so adding
+// micro-batches at fixed batch size slows it down while breadth-first
+// aggregation stays flat.
+func TestDPFSAccumulationRepetition(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model6p6B()
+	mk := func(method core.Method, smb, nmb int) Result {
+		return sim(t, c, m, core.Plan{Method: method, DP: 8, PP: 1, TP: 8,
+			MicroBatch: smb, NumMicro: nmb, Loops: 32, Sharding: core.DPFS, OverlapDP: true})
+	}
+	dfOne := mk(core.NoPipelineDF, 8, 1)
+	dfMany := mk(core.NoPipelineDF, 1, 8)
+	bfMany := mk(core.NoPipelineBF, 1, 8)
+	if dfMany.BatchTime < 1.5*dfOne.BatchTime {
+		t.Errorf("DF accumulation should repeat DP ops: %.3fs vs %.3fs",
+			dfMany.BatchTime, dfOne.BatchTime)
+	}
+	if bfMany.BatchTime > 1.2*dfOne.BatchTime {
+		t.Errorf("BF accumulation should not repeat DP ops: %.3fs vs %.3fs",
+			bfMany.BatchTime, dfOne.BatchTime)
+	}
+}
+
+func TestTimelineCapture(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Tiny()
+	p := core.Plan{Method: core.BreadthFirst, DP: 1, PP: 4, TP: 1,
+		MicroBatch: 1, NumMicro: 8, Loops: 4, OverlapDP: true, OverlapPP: true}
+	r, err := SimulateOpts(c, m, p, Options{CaptureTimeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Timeline == nil || len(r.Timeline.Spans) == 0 {
+		t.Fatal("timeline not captured")
+	}
+	if math.Abs(r.Timeline.Makespan-r.BatchTime) > 1e-12 {
+		t.Errorf("makespan %v != batch time %v", r.Timeline.Makespan, r.BatchTime)
+	}
+	r2, err := Simulate(c, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Timeline != nil {
+		t.Error("timeline captured without request")
+	}
+	if r2.BatchTime != r.BatchTime {
+		t.Error("simulation not deterministic")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	// Too many GPUs.
+	p := core.Plan{Method: core.GPipe, DP: 4, PP: 8, TP: 8, MicroBatch: 1, NumMicro: 8, Loops: 1}
+	if _, err := Simulate(c, m, p); err == nil {
+		t.Error("expected error for oversubscribed cluster")
+	}
+	// Invalid plan.
+	p = core.Plan{Method: core.GPipe, DP: 0, PP: 8, TP: 8, MicroBatch: 1, NumMicro: 8, Loops: 1}
+	if _, err := Simulate(c, m, p); err == nil {
+		t.Error("expected error for invalid plan")
+	}
+	// Invalid cluster.
+	bad := c
+	bad.Nodes = 0
+	p = core.Plan{Method: core.GPipe, DP: 1, PP: 8, TP: 8, MicroBatch: 1, NumMicro: 8, Loops: 1}
+	if _, err := Simulate(bad, m, p); err == nil {
+		t.Error("expected error for invalid cluster")
+	}
+}
+
+// TP overhead: raising TP at fixed total GPUs should reduce per-GPU
+// efficiency for large models (narrower GEMMs + all-reduce overhead),
+// which is why the paper's optimal configs shed TP as batch size grows.
+func TestTensorParallelOverhead(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	tp8 := sim(t, c, m, core.Plan{Method: core.BreadthFirst, DP: 1, PP: 8, TP: 8,
+		MicroBatch: 1, NumMicro: 32, Loops: 4, OverlapDP: true, OverlapPP: true})
+	tp2 := sim(t, c, m, core.Plan{Method: core.BreadthFirst, DP: 4, PP: 8, TP: 2,
+		MicroBatch: 1, NumMicro: 8, Loops: 4, Sharding: core.DPFS, OverlapDP: true, OverlapPP: true})
+	if tp2.Utilization <= tp8.Utilization {
+		t.Errorf("TP=2 should beat TP=8 at matched batch: %.3f vs %.3f",
+			tp2.Utilization, tp8.Utilization)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	c := hw.PaperCluster()
+	r := sim(t, c, model.Tiny(), core.Plan{Method: core.GPipe, DP: 1, PP: 4, TP: 1,
+		MicroBatch: 1, NumMicro: 4, Loops: 1, OverlapDP: true, OverlapPP: true})
+	if r.String() == "" {
+		t.Error("empty result string")
+	}
+}
+
+func BenchmarkSimulate52B(b *testing.B) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	p := core.Plan{Method: core.BreadthFirst, DP: 4, PP: 8, TP: 2,
+		MicroBatch: 1, NumMicro: 12, Loops: 8, Sharding: core.DPFS,
+		OverlapDP: true, OverlapPP: true}
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(c, m, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateLargeNmb(b *testing.B) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	p := core.Plan{Method: core.OneFOneB, DP: 1, PP: 8, TP: 8,
+		MicroBatch: 4, NumMicro: 128, Loops: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(c, m, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"testing"
+
+	"bfpp/internal/core"
+	"bfpp/internal/hw"
+	"bfpp/internal/model"
+)
+
+// Section 4.2's conjecture, verified: the depth-first schedule's network
+// problem "can be addressed by running with sequences of more than N_PP
+// micro-batches". With overlap enabled, the hybrid's utilization improves
+// monotonically as the sequence grows from N_PP (depth-first ordering)
+// toward N_mb (breadth-first ordering), because the extra in-flight
+// micro-batches absorb the transfer delays.
+func TestHybridSequenceRecoversOverlap(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	util := func(seq int) float64 {
+		p := core.Plan{Method: core.Hybrid, DP: 1, PP: 8, TP: 8,
+			MicroBatch: 1, NumMicro: 64, Loops: 8, Sequence: seq,
+			OverlapDP: true, OverlapPP: true}
+		r, err := Simulate(c, m, p)
+		if err != nil {
+			t.Fatalf("seq=%d: %v", seq, err)
+		}
+		return r.Utilization
+	}
+	u8, u16, u32, u64 := util(8), util(16), util(32), util(64)
+	const eps = 1e-3 // allow floating-point ties once the overlap saturates
+	if u16 < u8-eps || u32 < u16-eps || u64 < u32-eps {
+		t.Errorf("hybrid utilization should not regress with sequence length: %.4f %.4f %.4f %.4f",
+			u8, u16, u32, u64)
+	}
+	if u64 <= u8 {
+		t.Errorf("longer sequences should improve on seq=PP: %.4f vs %.4f", u64, u8)
+	}
+
+	// The overlapped hybrid at full sequence approaches the breadth-first
+	// result, and even at sequence = N_PP it beats the non-overlapped
+	// depth-first implementation (overlap is the difference).
+	bf, err := Simulate(c, m, core.Plan{Method: core.BreadthFirst, DP: 1, PP: 8, TP: 8,
+		MicroBatch: 1, NumMicro: 64, Loops: 8, OverlapDP: true, OverlapPP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u64 < 0.93*bf.Utilization {
+		t.Errorf("full-sequence hybrid (%.3f) should approach breadth-first (%.3f)",
+			u64, bf.Utilization)
+	}
+	df, err := Simulate(c, m, core.Plan{Method: core.DepthFirst, DP: 1, PP: 8, TP: 8,
+		MicroBatch: 1, NumMicro: 64, Loops: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u8 <= df.Utilization {
+		t.Errorf("overlapped hybrid at seq=PP (%.3f) should beat non-overlapped depth-first (%.3f)",
+			u8, df.Utilization)
+	}
+}

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bfpp/internal/core"
+	"bfpp/internal/hw"
+	"bfpp/internal/model"
+)
+
+// randomPlan draws a valid plan for the 52B model on the paper cluster.
+func randomPlan(rng *rand.Rand) core.Plan {
+	methods := []core.Method{core.GPipe, core.OneFOneB, core.DepthFirst,
+		core.BreadthFirst, core.Hybrid, core.NoPipelineDF, core.NoPipelineBF}
+	for {
+		m := methods[rng.Intn(len(methods))]
+		pp := 1 << rng.Intn(4) // 1..8
+		if !m.Pipelined() {
+			pp = 1
+		} else if pp == 1 {
+			continue
+		}
+		tp := 1 << rng.Intn(4)
+		dp := 64 / (pp * tp)
+		if dp < 1 {
+			continue
+		}
+		loops := 1
+		if m.Looped() {
+			loops = 1 << rng.Intn(4)
+		}
+		if !m.Pipelined() {
+			loops = []int{1, 2, 4, 8, 16, 32, 64}[rng.Intn(7)]
+		}
+		nmb := pp * (1 + rng.Intn(4))
+		seq := 0
+		if m == core.Hybrid {
+			seq = pp * (1 + rng.Intn(2))
+			nmb = seq * (1 + rng.Intn(3))
+		}
+		p := core.Plan{Method: m, DP: dp, PP: pp, TP: tp,
+			MicroBatch: 1 << rng.Intn(3), NumMicro: nmb, Loops: loops, Sequence: seq}
+		if rng.Intn(2) == 0 {
+			p.OverlapDP, p.OverlapPP = true, true
+		}
+		if dp > 1 && rng.Intn(3) == 0 &&
+			(m == core.BreadthFirst || m == core.NoPipelineBF || m == core.NoPipelineDF) {
+			p.Sharding = core.DPFS
+		}
+		if p.Validate(model.Model52B()) == nil {
+			return p
+		}
+	}
+}
+
+// Property: across random valid plans the simulator upholds its physical
+// invariants — positive finite times, compute-stream busy time bounded by
+// the batch time, utilization below the kernel ceiling, and determinism.
+func TestSimulatorInvariantsProperty(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPlan(rng)
+		r1, err := Simulate(c, m, p)
+		if err != nil {
+			t.Logf("plan %v: %v", p, err)
+			return false
+		}
+		if !(r1.BatchTime > 0) || !(r1.Utilization > 0) {
+			t.Logf("plan %v: non-positive result %v", p, r1)
+			return false
+		}
+		if r1.ComputeTime > r1.BatchTime+1e-9 {
+			t.Logf("plan %v: compute %v > batch %v", p, r1.ComputeTime, r1.BatchTime)
+			return false
+		}
+		if r1.Utilization > c.GPU.KernelEff.MaxEff {
+			t.Logf("plan %v: utilization %v above kernel ceiling", p, r1.Utilization)
+			return false
+		}
+		// Bubble lower-bounds the idle fraction for DP=1 pipelined plans:
+		// batch time >= compute time * (1 + bubble) approximately; check
+		// the weak direction only (bubble cannot make it faster).
+		r2, err := Simulate(c, m, p)
+		if err != nil || r2.BatchTime != r1.BatchTime {
+			t.Logf("plan %v: nondeterministic", p)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Overlap can only help: for every method that supports both traits, the
+// overlapped implementation is at least as fast.
+func TestOverlapNeverHurtsProperty(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPlan(rng)
+		p.Sharding = core.DP0 // isolate the overlap effect
+		pOn := p
+		pOn.OverlapDP, pOn.OverlapPP = true, true
+		pOff := p
+		pOff.OverlapDP, pOff.OverlapPP = false, false
+		rOn, err1 := Simulate(c, m, pOn)
+		rOff, err2 := Simulate(c, m, pOff)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return rOn.BatchTime <= rOff.BatchTime+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Failure injection: corrupting the engine parameters must surface as
+// errors or implausible results, not silent nonsense.
+func TestDegenerateParams(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	p := core.Plan{Method: core.BreadthFirst, DP: 1, PP: 8, TP: 8,
+		MicroBatch: 1, NumMicro: 8, Loops: 4, OverlapDP: true, OverlapPP: true}
+	// Zeroed overheads: still valid, strictly faster than defaults.
+	par := Defaults()
+	par.KernelLaunch = 0
+	par.BlockingPPBase, par.BlockingPPPerRank = 0, 0
+	fast, err := SimulateOpts(c, m, p, Options{Params: &par})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Simulate(c, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.BatchTime > def.BatchTime {
+		t.Errorf("idealized params should not be slower: %v vs %v", fast.BatchTime, def.BatchTime)
+	}
+	// A cluster with a broken link must be rejected at validation.
+	broken := c
+	broken.InterNode.Bandwidth = 0
+	if _, err := Simulate(broken, m, p); err == nil {
+		t.Error("zero-bandwidth cluster should fail validation")
+	}
+}

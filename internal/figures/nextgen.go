@@ -1,0 +1,63 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"bfpp/internal/batchsize"
+	"bfpp/internal/core"
+	"bfpp/internal/engine"
+	"bfpp/internal/hw"
+	"bfpp/internal/model"
+	"bfpp/internal/tradeoff"
+)
+
+// ExtensionNextGen evaluates the paper's conclusion ("we would like to
+// evaluate our method on bigger models and with more modern hardware such
+// as NVIDIA A100 or the upcoming H100"): the breadth-first schedule on the
+// 52B model and GPT-3 across V100, A100 and H100 clusters of 64 GPUs, at a
+// fixed batch size per GPU.
+func ExtensionNextGen() (string, error) {
+	var b strings.Builder
+	b.WriteString("Extension: breadth-first on next-generation hardware (conclusion's future work)\n")
+	fmt.Fprintf(&b, "%-8s %-10s %10s %10s %10s %14s\n",
+		"model", "GPU", "Tflop/s", "util%", "batch s", "time@4096 (d)")
+
+	clusters := []struct {
+		name string
+		gpu  hw.GPU
+		nv   hw.Link
+		ib   hw.Link
+	}{
+		{"V100", hw.V100(), hw.NVLinkV100(), hw.InfiniBandV100()},
+		{"A100", hw.A100(), hw.NVLinkA100(), hw.InfiniBandA100()},
+		{"H100", hw.H100(), hw.NVLinkA100(), hw.InfiniBandA100()},
+	}
+	models := []struct {
+		m    model.Transformer
+		plan core.Plan
+	}{
+		{model.Model52B(), core.Plan{Method: core.BreadthFirst, DP: 1, PP: 8, TP: 8,
+			MicroBatch: 1, NumMicro: 9, Loops: 8, OverlapDP: true, OverlapPP: true}},
+		{model.GPT3(), core.Plan{Method: core.BreadthFirst, DP: 1, PP: 16, TP: 4,
+			MicroBatch: 1, NumMicro: 16, Loops: 6, OverlapDP: true, OverlapPP: true}},
+	}
+	for _, mm := range models {
+		for _, cc := range clusters {
+			cluster := hw.Cluster{Name: cc.name + "x64", GPU: cc.gpu, GPUsPerNode: 8,
+				Nodes: 8, IntraNode: cc.nv, InterNode: cc.ib}
+			r, err := engine.Simulate(cluster, mm.m, mm.plan)
+			if err != nil {
+				return "", fmt.Errorf("nextgen %s/%s: %w", mm.m.Name, cc.name, err)
+			}
+			pt := tradeoff.Extrapolate(mm.m, r, batchsize.PaperBcrit52B, 4096)
+			fmt.Fprintf(&b, "%-8s %-10s %10.1f %10.1f %10.3f %14.1f\n",
+				mm.m.Name, cc.name, r.Throughput/1e12, 100*r.Utilization,
+				r.BatchTime, pt.TimeDays)
+		}
+	}
+	b.WriteString("\nhigher peak flops shift the bottleneck toward the network: utilization\n")
+	b.WriteString("drops across generations at fixed interconnect, but absolute throughput\n")
+	b.WriteString("and end-to-end training time still improve substantially.\n")
+	return b.String(), nil
+}

@@ -1,0 +1,248 @@
+// Package hw models the GPU cluster hardware the paper evaluates on: GPU
+// compute/memory characteristics, intra-node (NVLink) and inter-node
+// (InfiniBand or Ethernet) links, and the node/cluster topology.
+//
+// The paper assumes clusters of NVIDIA DGX-style nodes, typically 8 GPUs per
+// node with NVLink inside the node and InfiniBand across nodes (Section 2).
+// All quantities use SI units: flop/s, bytes/s, seconds, bytes.
+package hw
+
+import "fmt"
+
+// GPU describes a single accelerator.
+type GPU struct {
+	// Name identifies the part, for example "V100-SXM2-32GB".
+	Name string
+	// PeakFlops is the peak half-precision tensor-core throughput in flop/s.
+	PeakFlops float64
+	// MemBytes is the device memory capacity in bytes.
+	MemBytes int64
+	// MemBandwidth is the device memory bandwidth in bytes/s, used to cost
+	// bandwidth-bound work such as the optimizer step.
+	MemBandwidth float64
+	// KernelEff describes how efficiently matrix-multiply kernels use
+	// PeakFlops as a function of problem shape; see Efficiency.
+	KernelEff KernelModel
+}
+
+// KernelModel is a saturating kernel-efficiency curve. Small GEMMs cannot
+// fill the device (limited thread-level parallelism, relatively more memory
+// IO), which is the effect the paper describes in Section 3.1: "a higher
+// micro-batch size leads to more efficient computational kernels".
+//
+// Efficiency = MaxEff * rows/(rows+HalfRows) * width/(width+HalfWidth),
+// where rows is the number of GEMM rows processed (micro-batch size times
+// sequence length) and width the per-device matrix width (hidden size
+// divided by the tensor-parallel size).
+type KernelModel struct {
+	// MaxEff is the asymptotic fraction of peak achievable by large GEMMs.
+	MaxEff float64
+	// HalfRows is the row count at which the row factor reaches one half.
+	HalfRows float64
+	// HalfWidth is the width at which the width factor reaches one half.
+	HalfWidth float64
+}
+
+// Efficiency returns the fraction of peak flops achieved by kernels with the
+// given number of rows (tokens per micro-batch) and per-device width.
+func (k KernelModel) Efficiency(rows, width float64) float64 {
+	if rows <= 0 || width <= 0 {
+		return 0
+	}
+	return k.MaxEff * (rows / (rows + k.HalfRows)) * (width / (width + k.HalfWidth))
+}
+
+// Link describes a network connection as seen by a single GPU.
+type Link struct {
+	// Name identifies the link type, for example "InfiniBand".
+	Name string
+	// Bandwidth is the per-GPU aggregate (input+output) bandwidth in
+	// bytes/s, following the paper's convention (Appendix A.3 footnote).
+	Bandwidth float64
+	// Latency is the base message latency in seconds.
+	Latency float64
+	// SyncCost is the additional per-operation overhead when the transfer
+	// is not overlapped with compute: kernel launch, stream synchronization
+	// and framework bookkeeping. The paper attributes most of the measured
+	// depth-first network overhead to such "latency and synchronization"
+	// costs (Section 5.2).
+	SyncCost float64
+}
+
+// Time returns the duration of transferring n bytes over the link, excluding
+// SyncCost (which the engine applies only to non-overlapped operations).
+func (l Link) Time(n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return l.Latency + n/l.Bandwidth
+}
+
+// Intensity returns the hardware arithmetic intensity I_hw = peak flop/s
+// divided by link bandwidth (paper Eq. 19 context), in flop/byte.
+func Intensity(g GPU, l Link) float64 {
+	return g.PeakFlops / l.Bandwidth
+}
+
+// Cluster is a homogeneous GPU cluster.
+type Cluster struct {
+	// Name labels the cluster in reports.
+	Name string
+	// GPU is the accelerator model, identical across the cluster.
+	GPU GPU
+	// GPUsPerNode is the node size S_Node (typically 8).
+	GPUsPerNode int
+	// Nodes is the node count N_Node.
+	Nodes int
+	// IntraNode is the NVLink-class link between GPUs of one node.
+	IntraNode Link
+	// InterNode is the InfiniBand- or Ethernet-class link between nodes,
+	// expressed per GPU.
+	InterNode Link
+}
+
+// NumGPUs returns the total GPU count.
+func (c Cluster) NumGPUs() int { return c.GPUsPerNode * c.Nodes }
+
+// Validate reports whether the cluster description is usable.
+func (c Cluster) Validate() error {
+	switch {
+	case c.GPUsPerNode <= 0:
+		return fmt.Errorf("cluster %s: GPUsPerNode must be positive, got %d", c.Name, c.GPUsPerNode)
+	case c.Nodes <= 0:
+		return fmt.Errorf("cluster %s: Nodes must be positive, got %d", c.Name, c.Nodes)
+	case c.GPU.PeakFlops <= 0:
+		return fmt.Errorf("cluster %s: GPU.PeakFlops must be positive", c.Name)
+	case c.GPU.MemBytes <= 0:
+		return fmt.Errorf("cluster %s: GPU.MemBytes must be positive", c.Name)
+	case c.IntraNode.Bandwidth <= 0 || c.InterNode.Bandwidth <= 0:
+		return fmt.Errorf("cluster %s: link bandwidths must be positive", c.Name)
+	}
+	return nil
+}
+
+// LinkBetween returns the link connecting two global GPU ranks: the
+// intra-node link if they share a node, the inter-node link otherwise.
+func (c Cluster) LinkBetween(rankA, rankB int) Link {
+	if rankA/c.GPUsPerNode == rankB/c.GPUsPerNode {
+		return c.IntraNode
+	}
+	return c.InterNode
+}
+
+const (
+	gb = 1e9
+	us = 1e-6
+)
+
+// V100 returns the V100-SXM2-32GB accelerator used in the paper's testbed:
+// 125 Tflop/s half-precision tensor peak, 32 GB HBM2 at 900 GB/s.
+//
+// The kernel-efficiency constants are calibrated so that the simulated
+// throughput lands in the paper's measured 25-62 Tflop/s/GPU band for the
+// evaluated models (Tables E.1-E.3).
+func V100() GPU {
+	return GPU{
+		Name:         "V100-SXM2-32GB",
+		PeakFlops:    125e12,
+		MemBytes:     32 * (1 << 30),
+		MemBandwidth: 900 * gb,
+		KernelEff:    KernelModel{MaxEff: 0.62, HalfRows: 96, HalfWidth: 192},
+	}
+}
+
+// A100 returns the A100-SXM4-80GB accelerator referenced in Appendix A.3:
+// 312 Tflop/s half-precision tensor peak, 80 GB HBM2e at 2 TB/s.
+func A100() GPU {
+	return GPU{
+		Name:         "A100-SXM4-80GB",
+		PeakFlops:    312e12,
+		MemBytes:     80 * (1 << 30),
+		MemBandwidth: 2000 * gb,
+		KernelEff:    KernelModel{MaxEff: 0.70, HalfRows: 128, HalfWidth: 256},
+	}
+}
+
+// H100 returns the H100-SXM5-80GB accelerator mentioned in the paper's
+// conclusion as upcoming hardware: 989 Tflop/s half-precision tensor peak.
+func H100() GPU {
+	return GPU{
+		Name:         "H100-SXM5-80GB",
+		PeakFlops:    989e12,
+		MemBytes:     80 * (1 << 30),
+		MemBandwidth: 3350 * gb,
+		KernelEff:    KernelModel{MaxEff: 0.72, HalfRows: 160, HalfWidth: 320},
+	}
+}
+
+// NVLinkV100 returns the intra-node link of a DGX-1: six NVLink 2.0 bricks,
+// 300 GB/s aggregate per GPU.
+func NVLinkV100() Link {
+	return Link{Name: "NVLink2", Bandwidth: 300 * gb, Latency: 3 * us, SyncCost: 8 * us}
+}
+
+// NVLinkA100 returns the intra-node link of a DGX-A100 (559 GB/s aggregate
+// per the paper's Appendix A.3 footnote).
+func NVLinkA100() Link {
+	return Link{Name: "NVLink3", Bandwidth: 559 * gb, Latency: 3 * us, SyncCost: 8 * us}
+}
+
+// InfiniBandV100 returns the per-GPU inter-node link of the paper's DGX-1
+// testbed: four EDR 100 Gb/s adapters shared by the 8 GPUs of a node, i.e.
+// 50 GB/s aggregate (input+output) per node or 6.25 GB/s per GPU. Traffic
+// that leaves a ring inside the node (multiple data-parallel members per
+// node) sees a proportionally higher effective bandwidth; the engine
+// accounts for that sharing.
+func InfiniBandV100() Link {
+	return Link{Name: "InfiniBand-EDR", Bandwidth: 6.25 * gb, Latency: 5 * us, SyncCost: 30 * us}
+}
+
+// InfiniBandA100 returns the per-GPU inter-node link of a DGX-A100 cluster
+// (46.6 GB/s aggregate per GPU per Appendix A.3).
+func InfiniBandA100() Link {
+	return Link{Name: "InfiniBand-HDR", Bandwidth: 46.6 * gb, Latency: 5 * us, SyncCost: 30 * us}
+}
+
+// Ethernet returns the slow inter-node network of Section 4.3 and the
+// Figure 7c / Table E.3 experiment, where InfiniBand is disabled and the
+// nodes fall back to a 100 GbE fabric: ~25 GB/s aggregate per node, 3.125
+// GB/s per GPU. This reproduces the paper's observed beta_net ~= 32 on
+// Ethernet (Section 5.3).
+func Ethernet() Link {
+	return Link{Name: "Ethernet", Bandwidth: 1.5625 * gb, Latency: 30 * us, SyncCost: 60 * us}
+}
+
+// PaperCluster returns the testbed of Section 5: eight DGX-1 nodes, 64
+// V100-SXM2-32GB GPUs, InfiniBand between nodes.
+func PaperCluster() Cluster {
+	return Cluster{
+		Name:        "8xDGX-1",
+		GPU:         V100(),
+		GPUsPerNode: 8,
+		Nodes:       8,
+		IntraNode:   NVLinkV100(),
+		InterNode:   InfiniBandV100(),
+	}
+}
+
+// PaperClusterEthernet returns the same testbed with InfiniBand disabled,
+// used for Figure 7c and Table E.3.
+func PaperClusterEthernet() Cluster {
+	c := PaperCluster()
+	c.Name = "8xDGX-1-Ethernet"
+	c.InterNode = Ethernet()
+	return c
+}
+
+// LargeCluster returns an NGPUs-GPU V100 cluster (rounded up to whole
+// nodes, minimum one) used for the trade-off extrapolations of Figures 1
+// and 8.
+func LargeCluster(nGPUs int) Cluster {
+	c := PaperCluster()
+	c.Nodes = (nGPUs + c.GPUsPerNode - 1) / c.GPUsPerNode
+	if c.Nodes < 1 {
+		c.Nodes = 1
+	}
+	c.Name = fmt.Sprintf("%dxV100", c.Nodes*c.GPUsPerNode)
+	return c
+}

@@ -1,0 +1,146 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateClusters(t *testing.T) {
+	for _, c := range []Cluster{PaperCluster(), PaperClusterEthernet(), LargeCluster(4096)} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutations := []func(*Cluster){
+		func(c *Cluster) { c.GPUsPerNode = 0 },
+		func(c *Cluster) { c.Nodes = -1 },
+		func(c *Cluster) { c.GPU.PeakFlops = 0 },
+		func(c *Cluster) { c.GPU.MemBytes = 0 },
+		func(c *Cluster) { c.InterNode.Bandwidth = 0 },
+		func(c *Cluster) { c.IntraNode.Bandwidth = -1 },
+	}
+	for i, mut := range mutations {
+		c := PaperCluster()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d: expected error", i)
+		}
+	}
+}
+
+func TestPaperClusterShape(t *testing.T) {
+	c := PaperCluster()
+	if got := c.NumGPUs(); got != 64 {
+		t.Errorf("paper cluster has %d GPUs, want 64", got)
+	}
+	if c.GPU.Name != "V100-SXM2-32GB" {
+		t.Errorf("unexpected GPU %q", c.GPU.Name)
+	}
+	if c.GPU.MemBytes != 32*(1<<30) {
+		t.Errorf("V100 memory = %d, want 32 GiB", c.GPU.MemBytes)
+	}
+}
+
+func TestLinkBetween(t *testing.T) {
+	c := PaperCluster()
+	if l := c.LinkBetween(0, 7); l.Name != c.IntraNode.Name {
+		t.Errorf("ranks 0 and 7 share a node, got link %q", l.Name)
+	}
+	if l := c.LinkBetween(0, 8); l.Name != c.InterNode.Name {
+		t.Errorf("ranks 0 and 8 are on different nodes, got link %q", l.Name)
+	}
+	if l := c.LinkBetween(15, 8); l.Name != c.IntraNode.Name {
+		t.Errorf("ranks 15 and 8 share node 1, got link %q", l.Name)
+	}
+}
+
+func TestLinkTime(t *testing.T) {
+	l := Link{Bandwidth: 1e9, Latency: 1e-6}
+	if got := l.Time(0); got != 0 {
+		t.Errorf("zero bytes should take zero time, got %v", got)
+	}
+	want := 1e-6 + 1.0 // 1 GB over 1 GB/s plus latency
+	if got := l.Time(1e9); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Time(1GB) = %v, want %v", got, want)
+	}
+}
+
+// A100 hardware intensities from Appendix A.3: I_NVLink ~= 520 flop/byte and
+// I_IB ~= 6240 flop/byte.
+func TestA100IntensitiesMatchPaper(t *testing.T) {
+	g := A100()
+	nv := Intensity(g, NVLinkA100())
+	ib := Intensity(g, InfiniBandA100())
+	if math.Abs(nv-520)/520 > 0.08 {
+		t.Errorf("NVLink intensity = %.0f, want ~520", nv)
+	}
+	if math.Abs(ib-6240)/6240 > 0.08 {
+		t.Errorf("InfiniBand intensity = %.0f, want ~6240", ib)
+	}
+}
+
+func TestKernelEfficiencyMonotone(t *testing.T) {
+	k := V100().KernelEff
+	prev := 0.0
+	for _, rows := range []float64{64, 128, 256, 1024, 4096, 65536} {
+		e := k.Efficiency(rows, 1024)
+		if e <= prev {
+			t.Errorf("efficiency not increasing at rows=%v: %v <= %v", rows, e, prev)
+		}
+		prev = e
+	}
+	if prev >= k.MaxEff {
+		t.Errorf("efficiency %v should stay below MaxEff %v", prev, k.MaxEff)
+	}
+}
+
+func TestKernelEfficiencyBounds(t *testing.T) {
+	f := func(r, w uint16) bool {
+		k := V100().KernelEff
+		e := k.Efficiency(float64(r), float64(w))
+		return e >= 0 && e <= k.MaxEff
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if e := V100().KernelEff.Efficiency(0, 100); e != 0 {
+		t.Errorf("zero rows should have zero efficiency, got %v", e)
+	}
+	if e := V100().KernelEff.Efficiency(100, 0); e != 0 {
+		t.Errorf("zero width should have zero efficiency, got %v", e)
+	}
+}
+
+func TestEthernetSlowerThanInfiniBand(t *testing.T) {
+	if Ethernet().Bandwidth >= InfiniBandV100().Bandwidth {
+		t.Error("Ethernet should be slower than InfiniBand")
+	}
+	if Ethernet().Latency <= InfiniBandV100().Latency {
+		t.Error("Ethernet should have higher latency than InfiniBand")
+	}
+}
+
+func TestLargeClusterRounding(t *testing.T) {
+	c := LargeCluster(4096)
+	if c.NumGPUs() != 4096 {
+		t.Errorf("LargeCluster(4096) has %d GPUs", c.NumGPUs())
+	}
+	c = LargeCluster(100) // not a multiple of 8: round up
+	if c.NumGPUs() != 104 {
+		t.Errorf("LargeCluster(100) has %d GPUs, want 104", c.NumGPUs())
+	}
+	c = LargeCluster(0) // clamped to one node
+	if c.NumGPUs() != 8 || c.Validate() != nil {
+		t.Errorf("LargeCluster(0) should clamp to one valid node, got %d GPUs", c.NumGPUs())
+	}
+}
+
+func TestGPUGenerationsOrdered(t *testing.T) {
+	if !(V100().PeakFlops < A100().PeakFlops && A100().PeakFlops < H100().PeakFlops) {
+		t.Error("peak flops should increase across GPU generations")
+	}
+}

@@ -1,0 +1,182 @@
+// Package memsim estimates per-GPU memory usage for a (model, plan) pair,
+// following Appendix A.2 of the paper: training-state memory (Eqs. 13-15),
+// live activation memory (Eq. 16) and activation-checkpoint memory (Eq. 17
+// with the per-schedule caps of Table 4.1), plus pipeline receive buffers.
+//
+// Two totals are reported: the expected peak on the given cluster, and the
+// minimum achievable on an arbitrarily large cluster where sharded data
+// parallelism dilutes the training state completely (the "Memory min"
+// column of Tables E.1-E.3).
+package memsim
+
+import (
+	"fmt"
+
+	"bfpp/internal/core"
+	"bfpp/internal/model"
+)
+
+// Bytes-per-parameter constants for mixed-precision Adam (Appendix A.2.1).
+const (
+	// bytesState is the training state proper: fp32 master weights (4) and
+	// two Adam momenta (8).
+	bytesState = 12.0
+	// bytesHalfBuffers is the half-precision weight and gradient buffers
+	// (2 + 2).
+	bytesHalfBuffers = 4.0
+	// bytesHalfWeights is the half-precision weights alone, for schedules
+	// that reduce gradients immediately (per-stage aggregation).
+	bytesHalfWeights = 2.0
+	// bytesFP32Grads is the full-precision gradient buffer. The paper's
+	// implementation pre-allocates it (counted in peak memory);
+	// Megatron-LM allocates it on the fly outside the peak (Appendix E
+	// footnote 15).
+	bytesFP32Grads = 4.0
+)
+
+// Breakdown is the per-GPU memory estimate in bytes.
+type Breakdown struct {
+	// State is training state plus precision buffers on this cluster.
+	State float64
+	// StateMin is the same on an arbitrarily large cluster (sharding
+	// dilutes the 12-byte state and, for our implementation, the fp32
+	// gradients, leaving only the half-precision buffers).
+	StateMin float64
+	// Activations is the live activation + gradient memory of the layer
+	// currently being processed (Eq. 16).
+	Activations float64
+	// Checkpoints is the activation-checkpoint memory (Eq. 17 with caps).
+	Checkpoints float64
+	// PPBuffers is the pipeline receive buffer memory (double-buffered).
+	PPBuffers float64
+}
+
+// Total returns the expected peak usage on the given cluster.
+func (b Breakdown) Total() float64 {
+	return b.State + b.Activations + b.Checkpoints + b.PPBuffers
+}
+
+// TotalMin returns the large-cluster minimum (the "Memory min" column).
+func (b Breakdown) TotalMin() float64 {
+	return b.StateMin + b.Activations + b.Checkpoints + b.PPBuffers
+}
+
+// String formats both totals in GiB.
+func (b Breakdown) String() string {
+	const gib = 1 << 30
+	return fmt.Sprintf("total=%.2fGiB (state=%.2f act=%.2f ckpt=%.2f pp=%.2f) min=%.2fGiB",
+		b.Total()/gib, b.State/gib, b.Activations/gib, b.Checkpoints/gib,
+		b.PPBuffers/gib, b.TotalMin()/gib)
+}
+
+// megatronImpl reports whether the method is evaluated with the Megatron-LM
+// implementation in the paper (Section 5: 1F1B and depth-first).
+func megatronImpl(m core.Method) bool {
+	return m == core.OneFOneB || m == core.DepthFirst
+}
+
+// Estimate computes the memory breakdown. The plan must be valid for the
+// model.
+func Estimate(m model.Transformer, p core.Plan) Breakdown {
+	var b Breakdown
+	stackParams := float64(m.Layers) * float64(m.LayerParams())
+	pDev := stackParams / float64(p.PP*p.TP) // parameters hosted per device
+	nStages := p.Stages()
+	if !p.Method.Pipelined() {
+		nStages = p.Loops
+	}
+	pStage := stackParams / float64(nStages) / float64(p.TP)
+
+	// Training state (Eqs. 13-15).
+	switch p.Sharding {
+	case core.DP0:
+		perParam := bytesState + bytesHalfBuffers + bytesFP32Grads
+		if megatronImpl(p.Method) {
+			perParam = bytesState + bytesHalfBuffers // fp32 grads outside peak
+		}
+		b.State = perParam * pDev
+		// Large-cluster minimum assumes sharding were enabled: only the
+		// half-precision buffers remain.
+		b.StateMin = bytesHalfBuffers * pDev
+	case core.DPPS:
+		buffers := bytesHalfBuffers
+		if p.Method == core.BreadthFirst || p.Method == core.NoPipelineBF || p.NumMicro == 1 {
+			// Per-stage aggregation reduces gradients immediately,
+			// halving the buffer requirement (Appendix A.2.1).
+			buffers = bytesHalfWeights
+		}
+		b.State = (bytesState+bytesFP32Grads)/float64(p.DP)*pDev + buffers*pDev
+		b.StateMin = buffers * pDev
+	case core.DPFS:
+		// Only two reconstructed stages are resident (double buffering).
+		buffers := 2 * (bytesHalfWeights + bytesHalfWeights) * pStage
+		b.State = (bytesState+bytesFP32Grads)/float64(p.DP)*pDev + buffers
+		b.StateMin = buffers
+	}
+
+	// Live activations (Eq. 16), for the micro-batch currently in the
+	// layer being processed.
+	seq := float64(m.SeqLen)
+	smb := float64(p.MicroBatch)
+	hid := float64(m.Hidden)
+	tp := float64(p.TP)
+	b.Activations = seq * smb * hid * (10 + 24/tp + 5*seq*float64(m.Heads)/(hid*tp))
+
+	// Activation checkpoints (Eq. 17): one checkpoint (the layer input,
+	// 2 bytes/element) per in-flight layer and micro-batch.
+	ckptPairs := inFlightPairs(p)
+	layersPerStage := m.Layers / nStages
+	b.Checkpoints = float64(ckptPairs*layersPerStage) * 2 * seq * smb * hid / tp
+
+	// Pipeline receive buffers: double-buffered fp16 activations plus
+	// gradients at stage boundaries.
+	if p.Method.Pipelined() && p.PP > 1 {
+		b.PPBuffers = 4 * 2 * seq * smb * hid / tp
+	}
+	return b
+}
+
+// inFlightPairs returns the worst-device number of (stage, micro-batch)
+// activations held simultaneously, matching Table 4.1:
+//
+//   - GPipe / breadth-first hold every micro-batch of every local stage;
+//   - 1F1B caps at PP in-flight micro-batches (warmup depth);
+//   - depth-first caps at its warmup depth 2(PP-1) + (Loops-1)*PP + 1;
+//   - no-pipeline depth-first holds one micro-batch across all stages;
+//   - no-pipeline breadth-first holds all micro-batches (Appendix C cost).
+func inFlightPairs(p core.Plan) int {
+	switch p.Method {
+	case core.GPipe, core.BreadthFirst:
+		return p.NumMicro * p.Loops
+	case core.OneFOneB:
+		if p.NumMicro < p.PP {
+			return p.NumMicro
+		}
+		return p.PP
+	case core.DepthFirst, core.Hybrid:
+		q := p.PP
+		if p.Method == core.Hybrid {
+			q = p.SequenceLen()
+		}
+		w := 2*(p.PP-1) + (p.Loops-1)*q + 1
+		if t := p.NumMicro * p.Loops; w > t {
+			w = t
+		}
+		return w
+	case core.NoPipelineDF:
+		return p.Loops // one micro-batch resident in each stage's worth of checkpoints
+	case core.NoPipelineBF:
+		return p.NumMicro * p.Loops
+	default:
+		return p.NumMicro * p.Loops
+	}
+}
+
+// Feasible reports whether the estimated peak fits in the given GPU memory,
+// keeping a fragmentation reserve (Appendix D.2 documents severe
+// fragmentation effects; configurations near the limit were excluded from
+// the paper's grid search).
+func Feasible(b Breakdown, memBytes int64) bool {
+	const fragmentationReserve = 0.90
+	return b.Total() <= float64(memBytes)*fragmentationReserve
+}

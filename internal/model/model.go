@@ -1,0 +1,204 @@
+// Package model describes transformer language models at the granularity
+// needed for distributed-training analysis: parameter counts, floating-point
+// operation counts (paper Eq. 11) and per-layer breakdowns.
+//
+// The package follows the setup of Appendix A.1 of the paper: a model with
+// Layers identical transformer encoder layers of hidden size Hidden, each
+// consisting of multi-head attention (Heads heads of size HeadSize, with
+// Heads*HeadSize == Hidden) followed by a two-layer MLP with hidden size
+// MLPHidden = 4*Hidden. Mixed-precision training with Adam and activation
+// checkpointing is assumed throughout.
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Transformer specifies a transformer language model architecture.
+type Transformer struct {
+	// Name identifies the model in reports (for example "52B").
+	Name string
+	// Layers is the number of transformer layers (N_layers).
+	Layers int
+	// Heads is the number of attention heads (N_heads).
+	Heads int
+	// HeadSize is the per-head dimension (S_head).
+	HeadSize int
+	// Hidden is the model hidden size (S_hidden). Must equal Heads*HeadSize.
+	Hidden int
+	// MLPHidden is the MLP intermediate size (S_mlp), conventionally 4*Hidden.
+	MLPHidden int
+	// SeqLen is the training sequence length (S_seq).
+	SeqLen int
+	// Vocab is the vocabulary size (S_voc), used for the embedding/output
+	// layers' parameter and compute accounting.
+	Vocab int
+}
+
+// Validate reports whether the architecture is self-consistent.
+func (t Transformer) Validate() error {
+	switch {
+	case t.Layers <= 0:
+		return fmt.Errorf("model %s: Layers must be positive, got %d", t.Name, t.Layers)
+	case t.Heads <= 0:
+		return fmt.Errorf("model %s: Heads must be positive, got %d", t.Name, t.Heads)
+	case t.HeadSize <= 0:
+		return fmt.Errorf("model %s: HeadSize must be positive, got %d", t.Name, t.HeadSize)
+	case t.Hidden <= 0:
+		return fmt.Errorf("model %s: Hidden must be positive, got %d", t.Name, t.Hidden)
+	case t.SeqLen <= 0:
+		return fmt.Errorf("model %s: SeqLen must be positive, got %d", t.Name, t.SeqLen)
+	case t.Vocab < 0:
+		return fmt.Errorf("model %s: Vocab must be non-negative, got %d", t.Name, t.Vocab)
+	}
+	if t.Heads*t.HeadSize != t.Hidden {
+		return fmt.Errorf("model %s: Heads*HeadSize = %d does not match Hidden = %d",
+			t.Name, t.Heads*t.HeadSize, t.Hidden)
+	}
+	if t.MLPHidden <= 0 {
+		return errors.New("model " + t.Name + ": MLPHidden must be positive")
+	}
+	return nil
+}
+
+// LayerParams returns the parameter count of one transformer layer.
+//
+// Attention contributes 4*Hidden^2 (QKV and output projections) and the MLP
+// contributes 2*Hidden*MLPHidden; with the conventional MLPHidden = 4*Hidden
+// this totals the paper's 12*Hidden^2 per layer. Biases and layer norms are
+// ignored, matching the paper's approximation.
+func (t Transformer) LayerParams() int64 {
+	h := int64(t.Hidden)
+	return 4*h*h + 2*h*int64(t.MLPHidden)
+}
+
+// EmbeddingParams returns the parameter count of the (tied) token embedding.
+func (t Transformer) EmbeddingParams() int64 {
+	return int64(t.Vocab) * int64(t.Hidden)
+}
+
+// Params returns the approximate total parameter count,
+// N_params ~= 12*Layers*Hidden^2 + Vocab*Hidden.
+func (t Transformer) Params() int64 {
+	return int64(t.Layers)*t.LayerParams() + t.EmbeddingParams()
+}
+
+// FlopPerToken returns the total training floating-point operations per token
+// following paper Eq. (11):
+//
+//	96 * Layers * Hidden * (Hidden + SeqLen/6 + Vocab/(16*Layers))
+//
+// This counts 8 flop per linear-layer parameter per token: 2 for the forward
+// pass, 4 for the backward pass and 2 for recomputing the forward pass under
+// activation checkpointing. The SeqLen/6 term accounts for self-attention and
+// the Vocab term for the output projection.
+func (t Transformer) FlopPerToken() float64 {
+	h := float64(t.Hidden)
+	return 96 * float64(t.Layers) * h *
+		(h + float64(t.SeqLen)/6 + float64(t.Vocab)/(16*float64(t.Layers)))
+}
+
+// LayerFlopPerToken returns the training flop per token attributable to a
+// single transformer layer (excluding the vocabulary projection):
+// 96*Hidden*(Hidden + SeqLen/6).
+func (t Transformer) LayerFlopPerToken() float64 {
+	h := float64(t.Hidden)
+	return 96 * h * (h + float64(t.SeqLen)/6)
+}
+
+// VocabFlopPerToken returns the training flop per token attributable to the
+// output vocabulary projection, 6*Hidden*Vocab (2 forward + 4 backward; the
+// projection output is not checkpointed, so there is no recompute term).
+func (t Transformer) VocabFlopPerToken() float64 {
+	return 6 * float64(t.Hidden) * float64(t.Vocab)
+}
+
+// Phase fractions of the 8 flop/param/token budget: the forward pass costs 2,
+// the backward pass 4, and the checkpoint recompute another 2 which executes
+// as part of the backward op. The backward op therefore costs 3x the forward.
+const (
+	// ForwardFraction is the share of total layer flops spent in forward ops.
+	ForwardFraction = 2.0 / 8.0
+	// BackwardFraction is the share spent in backward ops, including the
+	// activation-checkpoint forward recompute that runs inside them.
+	BackwardFraction = 6.0 / 8.0
+)
+
+// LayerForwardFlop returns the forward-pass flop for one layer processing
+// tokens tokens (micro-batch size times sequence length).
+func (t Transformer) LayerForwardFlop(tokens int) float64 {
+	return ForwardFraction * t.LayerFlopPerToken() * float64(tokens)
+}
+
+// LayerBackwardFlop returns the backward-pass flop (including checkpoint
+// recompute) for one layer processing tokens tokens.
+func (t Transformer) LayerBackwardFlop(tokens int) float64 {
+	return BackwardFraction * t.LayerFlopPerToken() * float64(tokens)
+}
+
+// BatchFlopPerGPU evaluates paper Eq. (11): the per-GPU compute for one batch
+// of nmb sequential micro-batches of size smb, under pp-way pipeline and
+// tp-way tensor parallelism.
+func (t Transformer) BatchFlopPerGPU(smb, nmb, pp, tp int) float64 {
+	tokens := float64(smb) * float64(nmb) * float64(t.SeqLen)
+	return tokens * t.FlopPerToken() / float64(pp) / float64(tp)
+}
+
+// String returns a one-line description of the model.
+func (t Transformer) String() string {
+	return fmt.Sprintf("%s(layers=%d heads=%d head=%d hidden=%d seq=%d params=%.1fB)",
+		t.Name, t.Layers, t.Heads, t.HeadSize, t.Hidden, t.SeqLen,
+		float64(t.Params())/1e9)
+}
+
+// Paper models (Table 5.1). Both use a BERT architecture with sequence
+// length 1024; the vocabulary follows the Megatron-LM BERT setup (30522
+// padded to a multiple of 128 times the tensor-parallel size).
+const paperVocab = 30720
+
+// Model52B returns the 52 billion-parameter model of Table 5.1.
+func Model52B() Transformer {
+	return Transformer{
+		Name: "52B", Layers: 64, Heads: 64, HeadSize: 128,
+		Hidden: 8192, MLPHidden: 4 * 8192, SeqLen: 1024, Vocab: paperVocab,
+	}
+}
+
+// Model6p6B returns the 6.6 billion-parameter model of Table 5.1.
+func Model6p6B() Transformer {
+	return Transformer{
+		Name: "6.6B", Layers: 32, Heads: 32, HeadSize: 128,
+		Hidden: 4096, MLPHidden: 4 * 4096, SeqLen: 1024, Vocab: paperVocab,
+	}
+}
+
+// GPT3 returns the GPT-3 example of Appendix A.1 (S_hidden=12288,
+// N_heads=N_layers=96, S_seq=2048).
+func GPT3() Transformer {
+	return Transformer{
+		Name: "GPT-3", Layers: 96, Heads: 96, HeadSize: 128,
+		Hidden: 12288, MLPHidden: 4 * 12288, SeqLen: 2048, Vocab: 51200,
+	}
+}
+
+// Model1T returns the trillion-parameter example of Appendix A.1
+// (S_hidden=25600, N_heads=160, N_layers=128, S_seq=2048). Note Appendix A
+// lists S_hidden=12288 for 1T, which is a typo: 12*128*12288^2 is 232B, not
+// a trillion. The Megatron-LM paper's 1T model uses hidden size 25600 with
+// 160 heads and 128 layers, which we adopt.
+func Model1T() Transformer {
+	return Transformer{
+		Name: "1T", Layers: 128, Heads: 160, HeadSize: 160,
+		Hidden: 25600, MLPHidden: 4 * 25600, SeqLen: 2048, Vocab: 51200,
+	}
+}
+
+// Tiny returns a small model convenient for tests and traces (16 layers,
+// hidden 512), mirroring the 16-layer example of paper Figures 3 and 4.
+func Tiny() Transformer {
+	return Transformer{
+		Name: "tiny", Layers: 16, Heads: 8, HeadSize: 64,
+		Hidden: 512, MLPHidden: 4 * 512, SeqLen: 128, Vocab: 8192,
+	}
+}

@@ -1,0 +1,165 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	for _, m := range []Transformer{Model52B(), Model6p6B(), GPT3(), Model1T(), Tiny()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: unexpected validation error: %v", m.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Transformer)
+	}{
+		{"zero layers", func(m *Transformer) { m.Layers = 0 }},
+		{"negative layers", func(m *Transformer) { m.Layers = -1 }},
+		{"zero heads", func(m *Transformer) { m.Heads = 0 }},
+		{"zero head size", func(m *Transformer) { m.HeadSize = 0 }},
+		{"zero hidden", func(m *Transformer) { m.Hidden = 0 }},
+		{"zero seq", func(m *Transformer) { m.SeqLen = 0 }},
+		{"negative vocab", func(m *Transformer) { m.Vocab = -5 }},
+		{"hidden mismatch", func(m *Transformer) { m.Hidden = m.Hidden + 1 }},
+		{"zero mlp", func(m *Transformer) { m.MLPHidden = 0 }},
+	}
+	for _, c := range cases {
+		m := Model52B()
+		c.mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: expected validation error, got nil", c.name)
+		}
+	}
+}
+
+// The paper's Table 5.1 models should land close to their nominal sizes.
+func TestParamCounts(t *testing.T) {
+	cases := []struct {
+		m       Transformer
+		billion float64
+		tol     float64 // relative tolerance
+	}{
+		{Model52B(), 52, 0.03},
+		{Model6p6B(), 6.6, 0.03},
+		{GPT3(), 175, 0.01},
+		{Model1T(), 1000, 0.02},
+	}
+	for _, c := range cases {
+		got := float64(c.m.Params()) / 1e9
+		if math.Abs(got-c.billion)/c.billion > c.tol {
+			t.Errorf("%s: params = %.2fB, want within %.0f%% of %.1fB",
+				c.m.Name, got, c.tol*100, c.billion)
+		}
+	}
+}
+
+// 12*Layers*Hidden^2 is the paper's stated approximation for the layer stack.
+func TestLayerParamsMatchesPaperFormula(t *testing.T) {
+	for _, m := range []Transformer{Model52B(), Model6p6B(), GPT3()} {
+		want := 12 * int64(m.Layers) * int64(m.Hidden) * int64(m.Hidden)
+		got := int64(m.Layers) * m.LayerParams()
+		if got != want {
+			t.Errorf("%s: layer stack params = %d, want %d", m.Name, got, want)
+		}
+	}
+}
+
+func TestFlopPerTokenIsEightFlopPerParam(t *testing.T) {
+	// Without the attention and vocab corrections, Eq. (11) reduces to
+	// 8 flop per layer-stack parameter per token. Check the dominant term.
+	m := Model52B()
+	layerOnly := 96 * float64(m.Layers) * float64(m.Hidden) * float64(m.Hidden)
+	eightPerParam := 8 * float64(int64(m.Layers)*m.LayerParams())
+	if math.Abs(layerOnly-eightPerParam)/eightPerParam > 1e-12 {
+		t.Errorf("dominant flop term %.3e != 8*params %.3e", layerOnly, eightPerParam)
+	}
+	// The full count must exceed the dominant term (attention + vocab).
+	if m.FlopPerToken() <= layerOnly {
+		t.Errorf("FlopPerToken %.3e should exceed layer-only term %.3e",
+			m.FlopPerToken(), layerOnly)
+	}
+}
+
+func TestForwardBackwardSplit(t *testing.T) {
+	m := Model6p6B()
+	tokens := 4 * m.SeqLen
+	fwd := m.LayerForwardFlop(tokens)
+	bwd := m.LayerBackwardFlop(tokens)
+	total := m.LayerFlopPerToken() * float64(tokens)
+	if math.Abs(fwd+bwd-total)/total > 1e-12 {
+		t.Errorf("fwd+bwd = %.3e, want %.3e", fwd+bwd, total)
+	}
+	if math.Abs(bwd/fwd-3) > 1e-12 {
+		t.Errorf("backward/forward ratio = %.3f, want 3 (recompute included)", bwd/fwd)
+	}
+}
+
+func TestBatchFlopPerGPUScaling(t *testing.T) {
+	m := Model52B()
+	base := m.BatchFlopPerGPU(1, 8, 8, 8)
+	if base <= 0 {
+		t.Fatalf("BatchFlopPerGPU must be positive, got %v", base)
+	}
+	// Doubling micro-batch size or count doubles compute; doubling PP or TP
+	// halves per-GPU compute.
+	if got := m.BatchFlopPerGPU(2, 8, 8, 8); math.Abs(got/base-2) > 1e-9 {
+		t.Errorf("smb doubling: ratio %.4f, want 2", got/base)
+	}
+	if got := m.BatchFlopPerGPU(1, 16, 8, 8); math.Abs(got/base-2) > 1e-9 {
+		t.Errorf("nmb doubling: ratio %.4f, want 2", got/base)
+	}
+	if got := m.BatchFlopPerGPU(1, 8, 16, 8); math.Abs(got/base-0.5) > 1e-9 {
+		t.Errorf("pp doubling: ratio %.4f, want 0.5", got/base)
+	}
+	if got := m.BatchFlopPerGPU(1, 8, 8, 16); math.Abs(got/base-0.5) > 1e-9 {
+		t.Errorf("tp doubling: ratio %.4f, want 0.5", got/base)
+	}
+}
+
+// Property: flop counts are positive and monotone in every size parameter.
+func TestFlopMonotonicityProperty(t *testing.T) {
+	f := func(layers, hiddenK, seqK uint8) bool {
+		l := int(layers%32) + 1
+		h := (int(hiddenK%16) + 1) * 64
+		s := (int(seqK%8) + 1) * 128
+		m := Transformer{Name: "q", Layers: l, Heads: h / 64, HeadSize: 64,
+			Hidden: h, MLPHidden: 4 * h, SeqLen: s, Vocab: 1024}
+		if err := m.Validate(); err != nil {
+			return false
+		}
+		if m.FlopPerToken() <= 0 || m.Params() <= 0 {
+			return false
+		}
+		bigger := m
+		bigger.Layers++
+		return bigger.FlopPerToken() > m.FlopPerToken()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVocabFlopPositive(t *testing.T) {
+	m := GPT3()
+	if m.VocabFlopPerToken() <= 0 {
+		t.Errorf("vocab flop should be positive, got %v", m.VocabFlopPerToken())
+	}
+	noVocab := m
+	noVocab.Vocab = 0
+	if noVocab.VocabFlopPerToken() != 0 {
+		t.Errorf("zero-vocab model should have zero vocab flop")
+	}
+}
+
+func TestStringContainsName(t *testing.T) {
+	s := Model52B().String()
+	if len(s) == 0 {
+		t.Fatal("String() empty")
+	}
+}

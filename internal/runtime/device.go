@@ -1,0 +1,318 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+
+	"bfpp/internal/core"
+	"bfpp/internal/schedule"
+	"bfpp/internal/tensor"
+)
+
+// actKey identifies a checkpointed stage input.
+type actKey struct{ stage, micro int }
+
+// device is one simulated GPU: a pipeline rank within a data-parallel
+// replica, holding its stages' parameters, gradients and optimizer state.
+type device struct {
+	tr     *Trainer
+	pp, dp int
+
+	// Per global stage (nil when not owned by this pipeline rank).
+	params    [][]float64 // full parameters (DP-FS: reconstructed scratch)
+	grads     [][]float64 // dense gradient accumulators
+	gradShard [][]float64 // reduced shard accumulators (sharded modes)
+	shard     [][]float64 // master shard (DP-FS source of truth)
+	adamM     [][]float64
+	adamV     [][]float64
+
+	saved    map[actKey]tensor.Matrix // checkpointed stage inputs
+	outs     map[int]tensor.Matrix    // last-stage outputs per micro-batch
+	captured [][]float64              // reduced gradients kept for inspection
+	loss     float64
+	err      error
+}
+
+func newDevice(tr *Trainer, pp, dp int) *device {
+	d := &device{
+		tr: tr, pp: pp, dp: dp,
+		params:    make([][]float64, tr.nStages),
+		grads:     make([][]float64, tr.nStages),
+		gradShard: make([][]float64, tr.nStages),
+		shard:     make([][]float64, tr.nStages),
+		adamM:     make([][]float64, tr.nStages),
+		adamV:     make([][]float64, tr.nStages),
+		saved:     make(map[actKey]tensor.Matrix),
+		outs:      make(map[int]tensor.Matrix),
+		captured:  make([][]float64, tr.nStages),
+	}
+	g := tr.dpGroups[pp]
+	for _, s := range tr.stagesOf(pp) {
+		vec := tr.stageParamVec(s)
+		size := len(vec)
+		d.grads[s] = make([]float64, size)
+		lo, hi := g.ShardBounds(size, dp)
+		switch tr.plan.Sharding {
+		case core.DP0:
+			d.params[s] = vec
+			d.adamM[s] = make([]float64, size)
+			d.adamV[s] = make([]float64, size)
+		case core.DPPS:
+			d.params[s] = vec
+			d.gradShard[s] = make([]float64, hi-lo)
+			d.adamM[s] = make([]float64, hi-lo)
+			d.adamV[s] = make([]float64, hi-lo)
+		case core.DPFS:
+			d.shard[s] = append([]float64(nil), vec[lo:hi]...)
+			d.params[s] = make([]float64, size) // scratch, filled by Restore
+			d.gradShard[s] = make([]float64, hi-lo)
+			d.adamM[s] = make([]float64, hi-lo)
+			d.adamV[s] = make([]float64, hi-lo)
+		}
+	}
+	return d
+}
+
+// stagesOf lists the global stages hosted by a pipeline rank; the
+// no-pipeline methods host every stage on their single device.
+func (tr *Trainer) stagesOf(pp int) []int {
+	if !tr.plan.Method.Pipelined() {
+		out := make([]int, tr.nStages)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	return tr.plan.DeviceStages(pp)
+}
+
+// runProgram executes this device's schedule program for one batch.
+func (d *device) runProgram(inputs, targets tensor.Matrix,
+	fwd, bwd [][][]chan tensor.Matrix) {
+	defer func() {
+		if r := recover(); r != nil {
+			d.err = fmt.Errorf("runtime: device pp=%d dp=%d: %v", d.pp, d.dp, r)
+		}
+	}()
+	tr := d.tr
+	prog := tr.sched.Devices[d.pp]
+	for _, op := range prog {
+		switch op.Kind {
+		case schedule.Forward:
+			d.forward(op.Stage, op.Micro, inputs, fwd)
+		case schedule.Backward:
+			d.backward(op.Stage, op.Micro, targets, fwd, bwd)
+		case schedule.Restore:
+			d.restore(op.Stage)
+		case schedule.Reduce:
+			d.reduce(op.Stage, op.Micro)
+		case schedule.Optimize:
+			d.optimize()
+		}
+	}
+}
+
+// microRows returns the input rows of (dp, micro).
+func (d *device) microRows(m tensor.Matrix, micro int) tensor.Matrix {
+	per := d.tr.plan.MicroBatch
+	base := d.dp*d.tr.plan.NumMicro*per + micro*per
+	return m.RowSlice(base, base+per)
+}
+
+// layerViews returns matrix views over one layer's slice of a stage
+// parameter (or gradient) vector.
+type layerViews struct {
+	w1, w2 tensor.Matrix
+	b1, b2 []float64
+}
+
+func (d *device) views(vec []float64, localLayer int) layerViews {
+	c := d.tr.cfg
+	off := localLayer * c.layerParams()
+	v := layerViews{}
+	v.w1 = tensor.FromData(c.Dim, c.Hidden, vec[off:off+c.Dim*c.Hidden])
+	off += c.Dim * c.Hidden
+	v.b1 = vec[off : off+c.Hidden]
+	off += c.Hidden
+	v.w2 = tensor.FromData(c.Hidden, c.Dim, vec[off:off+c.Hidden*c.Dim])
+	off += c.Hidden * c.Dim
+	v.b2 = vec[off : off+c.Dim]
+	return v
+}
+
+// blockForward runs one residual MLP block, returning the output and the
+// intermediates needed for its backward pass.
+func blockForward(x tensor.Matrix, v layerViews) (y, z1, h tensor.Matrix) {
+	z1 = tensor.MatMul(x, v.w1)
+	tensor.AddBias(z1, v.b1)
+	h = tensor.GELU(z1)
+	y = tensor.MatMul(h, v.w2)
+	tensor.AddBias(y, v.b2)
+	tensor.AddInto(y, x) // residual
+	return y, z1, h
+}
+
+// forward executes Forward(stage, micro): consume the stage input, run the
+// stage's layers, and pass the output on.
+func (d *device) forward(stage, micro int, inputs tensor.Matrix, fwd [][][]chan tensor.Matrix) {
+	tr := d.tr
+	var x tensor.Matrix
+	if stage == 0 {
+		x = d.microRows(inputs, micro).Clone()
+	} else {
+		x = <-fwd[d.dp][stage][micro]
+	}
+	d.saved[actKey{stage, micro}] = x.Clone() // activation checkpoint
+	for l := 0; l < tr.perStg; l++ {
+		x, _, _ = blockForward(x, d.views(d.params[stage], l))
+	}
+	if stage == tr.nStages-1 {
+		d.outs[micro] = x
+	} else {
+		fwd[d.dp][stage+1][micro] <- x
+	}
+}
+
+// backward executes Backward(stage, micro): recompute the stage forward
+// from the checkpoint, backpropagate, accumulate weight gradients, and
+// pass the input gradient upstream.
+func (d *device) backward(stage, micro int, targets tensor.Matrix,
+	fwd, bwd [][][]chan tensor.Matrix) {
+	tr := d.tr
+	x0, ok := d.saved[actKey{stage, micro}]
+	if !ok {
+		panic(fmt.Sprintf("backward before forward for stage %d micro %d", stage, micro))
+	}
+	delete(d.saved, actKey{stage, micro})
+
+	// Recompute the stage forward (activation checkpointing).
+	xs := make([]tensor.Matrix, tr.perStg)
+	z1s := make([]tensor.Matrix, tr.perStg)
+	hs := make([]tensor.Matrix, tr.perStg)
+	x := x0
+	for l := 0; l < tr.perStg; l++ {
+		xs[l] = x
+		x, z1s[l], hs[l] = blockForward(x, d.views(d.params[stage], l))
+	}
+
+	// Loss gradient at the pipeline output, or the downstream gradient.
+	var dy tensor.Matrix
+	if stage == tr.nStages-1 {
+		out, ok := d.outs[micro]
+		if !ok {
+			panic(fmt.Sprintf("missing output for micro %d", micro))
+		}
+		delete(d.outs, micro)
+		tgt := d.microRows(targets, micro)
+		scale := 1 / float64(tr.plan.BatchSize()*tr.cfg.Dim)
+		dy = tensor.New(out.Rows, out.Cols)
+		for i := range out.Data {
+			diff := out.Data[i] - tgt.Data[i]
+			d.loss += 0.5 * diff * diff * scale
+			dy.Data[i] = diff * scale
+		}
+	} else {
+		dy = <-bwd[d.dp][stage][micro]
+	}
+
+	// Backpropagate through the stage's layers in reverse.
+	for l := tr.perStg - 1; l >= 0; l-- {
+		v := d.views(d.params[stage], l)
+		g := d.views(d.grads[stage], l)
+		// y = x + W2*gelu(W1*x + b1) + b2
+		tensor.BiasGradInto(g.b2, dy)
+		tensor.MatMulTransAInto(g.w2, hs[l], dy)
+		dh := tensor.MatMulTransB(dy, v.w2)
+		dz1 := tensor.GELUBackward(dh, z1s[l])
+		tensor.BiasGradInto(g.b1, dz1)
+		tensor.MatMulTransAInto(g.w1, xs[l], dz1)
+		dx := tensor.MatMulTransB(dz1, v.w1)
+		tensor.AddInto(dx, dy) // residual path
+		dy = dx
+	}
+	if stage > 0 {
+		bwd[d.dp][stage-1][micro] <- dy
+	}
+}
+
+// restore reconstructs a stage's full parameters from the data-parallel
+// shards (DP-FS weight all-gather).
+func (d *device) restore(stage int) {
+	g := d.tr.dpGroups[d.pp]
+	size := len(d.params[stage])
+	lo, hi := g.ShardBounds(size, d.dp)
+	copy(d.params[stage][lo:hi], d.shard[stage])
+	g.AllGather(d.dp, d.params[stage])
+}
+
+// reduce runs the gradient reduction for a stage: an all-reduce under DP0,
+// a reduce-scatter (accumulated into the shard gradient) under DP-PS and
+// DP-FS. A per-micro-batch reduction (micro >= 0) clears the dense buffer
+// so the next micro-batch accumulates from zero.
+func (d *device) reduce(stage, micro int) {
+	g := d.tr.dpGroups[d.pp]
+	switch d.tr.plan.Sharding {
+	case core.DP0:
+		g.AllReduce(d.dp, d.grads[stage])
+	default:
+		shard := g.ReduceScatter(d.dp, d.grads[stage])
+		acc := d.gradShard[stage]
+		for i, v := range shard {
+			acc[i] += v
+		}
+		for i := range d.grads[stage] {
+			d.grads[stage][i] = 0
+		}
+	}
+	_ = micro
+}
+
+// optimize applies one Adam step to the device's (shard of the) state and
+// refreshes replicated parameters as the sharding mode requires.
+func (d *device) optimize() {
+	tr := d.tr
+	g := tr.dpGroups[d.pp]
+	t := float64(tr.step)
+	c1 := 1 - math.Pow(tr.adam.Beta1, t)
+	c2 := 1 - math.Pow(tr.adam.Beta2, t)
+	adam := func(p, grad, m, v []float64) {
+		for i := range p {
+			m[i] = tr.adam.Beta1*m[i] + (1-tr.adam.Beta1)*grad[i]
+			v[i] = tr.adam.Beta2*v[i] + (1-tr.adam.Beta2)*grad[i]*grad[i]
+			mh := m[i] / c1
+			vh := v[i] / c2
+			p[i] -= tr.adam.LR * mh / (math.Sqrt(vh) + tr.adam.Eps)
+		}
+	}
+	for s := 0; s < tr.nStages; s++ {
+		if d.grads[s] == nil {
+			continue // not owned
+		}
+		if tr.CaptureGrads {
+			src := d.grads[s]
+			if tr.plan.Sharding != core.DP0 {
+				src = d.gradShard[s]
+			}
+			d.captured[s] = append([]float64(nil), src...)
+		}
+		switch tr.plan.Sharding {
+		case core.DP0:
+			adam(d.params[s], d.grads[s], d.adamM[s], d.adamV[s])
+			for i := range d.grads[s] {
+				d.grads[s][i] = 0
+			}
+		case core.DPPS:
+			lo, hi := g.ShardBounds(len(d.params[s]), d.dp)
+			adam(d.params[s][lo:hi], d.gradShard[s], d.adamM[s], d.adamV[s])
+			g.AllGather(d.dp, d.params[s])
+			for i := range d.gradShard[s] {
+				d.gradShard[s][i] = 0
+			}
+		case core.DPFS:
+			adam(d.shard[s], d.gradShard[s], d.adamM[s], d.adamV[s])
+			for i := range d.gradShard[s] {
+				d.gradShard[s][i] = 0
+			}
+		}
+	}
+}

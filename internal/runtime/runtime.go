@@ -1,0 +1,294 @@
+// Package runtime executes the paper's schedules for real: a multi-worker
+// pipeline-parallel training run where every "GPU" is a goroutine, the
+// interconnect is Go channels, gradients are reduced with ring collectives
+// and the optimizer state can be fully sharded (DP-FS), partially sharded
+// (DP-PS) or replicated (DP0).
+//
+// The point of this substrate is correctness, not speed: it proves that
+// GPipe, 1F1B, depth-first and breadth-first orderings — and the sharded
+// data-parallel variants the breadth-first schedule enables — all compute
+// identical gradients and identical post-optimizer weights, which is the
+// premise the paper's performance comparison rests on.
+//
+// The model is a stack of residual MLP blocks (a transformer layer without
+// attention): Y = X + W2*gelu(W1*X + b1) + b2. Backward recomputes the
+// stage forward from the checkpointed stage input, mirroring the paper's
+// activation-checkpointing assumption. Tensor parallelism is not executed
+// (TP must be 1); it is a within-layer concern orthogonal to the schedule.
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"bfpp/internal/collective"
+	"bfpp/internal/core"
+	"bfpp/internal/schedule"
+	"bfpp/internal/tensor"
+)
+
+// NetConfig describes the toy network.
+type NetConfig struct {
+	// Layers is the number of residual MLP blocks.
+	Layers int
+	// Dim is the model width (input, output and residual stream).
+	Dim int
+	// Hidden is the MLP hidden width.
+	Hidden int
+	// Seed makes weight initialization reproducible; all replicas
+	// initialize identically.
+	Seed int64
+}
+
+// Validate checks the network shape.
+func (c NetConfig) Validate() error {
+	if c.Layers <= 0 || c.Dim <= 0 || c.Hidden <= 0 {
+		return fmt.Errorf("runtime: invalid net config %+v", c)
+	}
+	return nil
+}
+
+// layerParams returns the parameter count of one block.
+func (c NetConfig) layerParams() int {
+	return c.Dim*c.Hidden + c.Hidden + c.Hidden*c.Dim + c.Dim
+}
+
+// AdamConfig holds the optimizer hyperparameters.
+type AdamConfig struct {
+	LR, Beta1, Beta2, Eps float64
+}
+
+// DefaultAdam returns conventional Adam hyperparameters.
+func DefaultAdam() AdamConfig {
+	return AdamConfig{LR: 1e-3, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Trainer drives training of the toy network under a parallelism plan.
+type Trainer struct {
+	cfg     NetConfig
+	plan    core.Plan
+	adam    AdamConfig
+	sched   *schedule.Schedule
+	nStages int
+	perStg  int // layers per stage
+
+	devices  [][]*device         // [pp][dp]
+	dpGroups []*collective.Group // one communicator per pipeline rank
+	step     int
+
+	// CaptureGrads, when set before a Step, makes the devices keep a copy
+	// of the reduced gradients for inspection via Gradients().
+	CaptureGrads bool
+}
+
+// NewTrainer validates the configuration, generates the schedule and
+// initializes identical weights on every replica.
+func NewTrainer(cfg NetConfig, plan core.Plan, adam AdamConfig) (*Trainer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.TP != 1 {
+		return nil, fmt.Errorf("runtime: tensor parallelism is not executed (TP=%d)", plan.TP)
+	}
+	nStages := plan.Stages()
+	if !plan.Method.Pipelined() {
+		nStages = plan.Loops
+	}
+	if cfg.Layers%nStages != 0 {
+		return nil, fmt.Errorf("runtime: %d layers not divisible into %d stages", cfg.Layers, nStages)
+	}
+	sched, err := schedule.Generate(plan)
+	if err != nil {
+		return nil, err
+	}
+	if err := schedule.Check(sched); err != nil {
+		return nil, err
+	}
+	if plan.DP == 1 && plan.Sharding == core.DPPS {
+		// Partial sharding over a single replica is replication.
+		plan.Sharding = core.DP0
+	}
+	tr := &Trainer{
+		cfg: cfg, plan: plan, adam: adam, sched: sched,
+		nStages: nStages, perStg: cfg.Layers / nStages,
+	}
+	nDev := len(sched.Devices)
+	tr.devices = make([][]*device, nDev)
+	tr.dpGroups = make([]*collective.Group, nDev)
+	for pp := 0; pp < nDev; pp++ {
+		tr.dpGroups[pp] = collective.NewGroup(plan.DP)
+		tr.devices[pp] = make([]*device, plan.DP)
+		for dp := 0; dp < plan.DP; dp++ {
+			tr.devices[pp][dp] = newDevice(tr, pp, dp)
+		}
+	}
+	return tr, nil
+}
+
+// Plan returns the trainer's parallelism plan.
+func (tr *Trainer) Plan() core.Plan { return tr.plan }
+
+// stageParamVec builds the deterministic initial parameter vector of a
+// stage; every device computes the same values.
+func (tr *Trainer) stageParamVec(stage int) []float64 {
+	c := tr.cfg
+	vec := make([]float64, tr.perStg*c.layerParams())
+	off := 0
+	for i := 0; i < tr.perStg; i++ {
+		layer := stage*tr.perStg + i
+		rng := rand.New(rand.NewSource(c.Seed + int64(layer)*7919))
+		w1 := tensor.FromData(c.Dim, c.Hidden, vec[off:off+c.Dim*c.Hidden])
+		w1.RandInit(rng, 1/math.Sqrt(float64(c.Dim)))
+		off += c.Dim * c.Hidden
+		off += c.Hidden // b1 stays zero
+		w2 := tensor.FromData(c.Hidden, c.Dim, vec[off:off+c.Hidden*c.Dim])
+		w2.RandInit(rng, 0.5/math.Sqrt(float64(c.Hidden)))
+		off += c.Hidden * c.Dim
+		off += c.Dim // b2 stays zero
+	}
+	return vec
+}
+
+// Step runs one training batch. inputs and targets must have
+// DP*NumMicro*MicroBatch rows and Dim columns. It returns the batch loss
+// (mean squared error over all rows and columns, halved).
+func (tr *Trainer) Step(inputs, targets tensor.Matrix) (float64, error) {
+	rows := tr.plan.BatchSize()
+	if inputs.Rows != rows || targets.Rows != rows {
+		return 0, fmt.Errorf("runtime: batch needs %d rows, got %d/%d", rows, inputs.Rows, targets.Rows)
+	}
+	if inputs.Cols != tr.cfg.Dim || targets.Cols != tr.cfg.Dim {
+		return 0, fmt.Errorf("runtime: inputs need %d columns", tr.cfg.Dim)
+	}
+	tr.step++
+
+	// Fresh transfer channels per step: fwd[dp][stage][micro] carries the
+	// output of stage-1 into stage; bwd[dp][stage][micro] carries the loss
+	// gradient w.r.t. the output of stage.
+	nmb := tr.plan.NumMicro
+	mkCh := func() [][][]chan tensor.Matrix {
+		out := make([][][]chan tensor.Matrix, tr.plan.DP)
+		for dp := range out {
+			out[dp] = make([][]chan tensor.Matrix, tr.nStages)
+			for s := range out[dp] {
+				out[dp][s] = make([]chan tensor.Matrix, nmb)
+				for mb := range out[dp][s] {
+					out[dp][s][mb] = make(chan tensor.Matrix, 1)
+				}
+			}
+		}
+		return out
+	}
+	fwd, bwd := mkCh(), mkCh()
+
+	var wg sync.WaitGroup
+	for pp := range tr.devices {
+		for dp := 0; dp < tr.plan.DP; dp++ {
+			wg.Add(1)
+			go func(d *device) {
+				defer wg.Done()
+				d.runProgram(inputs, targets, fwd, bwd)
+			}(tr.devices[pp][dp])
+		}
+	}
+	wg.Wait()
+
+	var loss float64
+	for pp := range tr.devices {
+		for dp := 0; dp < tr.plan.DP; dp++ {
+			d := tr.devices[pp][dp]
+			if d.err != nil {
+				return 0, d.err
+			}
+			loss += d.loss
+			d.loss = 0
+		}
+	}
+	return loss, nil
+}
+
+// SetWeights overwrites the full parameter vector (stages concatenated in
+// order) on every replica and shard, enabling finite-difference testing.
+func (tr *Trainer) SetWeights(w []float64) error {
+	size := tr.perStg * tr.cfg.layerParams()
+	if len(w) != size*tr.nStages {
+		return fmt.Errorf("runtime: weights length %d, want %d", len(w), size*tr.nStages)
+	}
+	for s := 0; s < tr.nStages; s++ {
+		owner := tr.plan.StageDevice(s)
+		vec := w[s*size : (s+1)*size]
+		g := tr.dpGroups[owner]
+		for dp := 0; dp < tr.plan.DP; dp++ {
+			d := tr.devices[owner][dp]
+			if d.params[s] != nil {
+				copy(d.params[s], vec)
+			}
+			if d.shard[s] != nil {
+				lo, hi := g.ShardBounds(size, dp)
+				copy(d.shard[s], vec[lo:hi])
+			}
+		}
+	}
+	return nil
+}
+
+// Gradients returns the most recent step's reduced gradient vector (summed
+// over the data-parallel group), stages concatenated in order. It requires
+// CaptureGrads to have been set before the Step.
+func (tr *Trainer) Gradients() ([]float64, error) {
+	if !tr.CaptureGrads {
+		return nil, fmt.Errorf("runtime: CaptureGrads not enabled")
+	}
+	var out []float64
+	size := tr.perStg * tr.cfg.layerParams()
+	for s := 0; s < tr.nStages; s++ {
+		owner := tr.plan.StageDevice(s)
+		switch tr.plan.Sharding {
+		case core.DP0:
+			cap0 := tr.devices[owner][0].captured[s]
+			if cap0 == nil {
+				return nil, fmt.Errorf("runtime: no captured gradients for stage %d", s)
+			}
+			out = append(out, cap0...)
+		default:
+			full := make([]float64, size)
+			g := tr.dpGroups[owner]
+			for dp := 0; dp < tr.plan.DP; dp++ {
+				capS := tr.devices[owner][dp].captured[s]
+				if capS == nil {
+					return nil, fmt.Errorf("runtime: no captured gradients for stage %d", s)
+				}
+				lo, hi := g.ShardBounds(size, dp)
+				copy(full[lo:hi], capS)
+			}
+			out = append(out, full...)
+		}
+	}
+	return out, nil
+}
+
+// Weights returns the full parameter vector (stages concatenated in
+// order), reconstructing sharded state as needed. Used by tests and for
+// checkpoint-style export.
+func (tr *Trainer) Weights() []float64 {
+	var out []float64
+	for s := 0; s < tr.nStages; s++ {
+		owner := tr.plan.StageDevice(s)
+		size := tr.perStg * tr.cfg.layerParams()
+		switch tr.plan.Sharding {
+		case core.DPFS:
+			full := make([]float64, size)
+			g := tr.dpGroups[owner]
+			for dp := 0; dp < tr.plan.DP; dp++ {
+				lo, hi := g.ShardBounds(size, dp)
+				copy(full[lo:hi], tr.devices[owner][dp].shard[s])
+			}
+			out = append(out, full...)
+		default:
+			out = append(out, tr.devices[owner][0].params[s]...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package runtime
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bfpp/internal/core"
+	"bfpp/internal/tensor"
+)
+
+func cfg4() NetConfig { return NetConfig{Layers: 4, Dim: 6, Hidden: 10, Seed: 11} }
+
+func batchFor(p core.Plan, dim int, seed int64) (tensor.Matrix, tensor.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	rows := p.BatchSize()
+	in := tensor.New(rows, dim)
+	tgt := tensor.New(rows, dim)
+	in.RandInit(rng, 1)
+	tgt.RandInit(rng, 1)
+	return in, tgt
+}
+
+func planFor(m core.Method, dp, pp, nmb, loops int, sh core.Sharding) core.Plan {
+	return core.Plan{Method: m, DP: dp, PP: pp, TP: 1, MicroBatch: 2,
+		NumMicro: nmb, Loops: loops, Sharding: sh, OverlapDP: true, OverlapPP: true}
+}
+
+func stepOnce(t *testing.T, p core.Plan, seed int64) (float64, []float64) {
+	t.Helper()
+	tr, err := NewTrainer(cfg4(), p, DefaultAdam())
+	if err != nil {
+		t.Fatalf("NewTrainer(%v): %v", p, err)
+	}
+	in, tgt := batchFor(p, cfg4().Dim, seed)
+	loss, err := tr.Step(in, tgt)
+	if err != nil {
+		t.Fatalf("Step(%v): %v", p, err)
+	}
+	return loss, tr.Weights()
+}
+
+// The paper's premise: every schedule computes the same optimization step.
+// All four pipeline schedules plus the no-pipeline accumulations must yield
+// identical losses and post-Adam weights.
+func TestAllSchedulesEquivalent(t *testing.T) {
+	ref, refW := stepOnce(t, planFor(core.NoPipelineDF, 1, 1, 4, 1, core.DP0), 3)
+	cases := []core.Plan{
+		planFor(core.NoPipelineBF, 1, 1, 4, 4, core.DP0),
+		planFor(core.GPipe, 1, 4, 4, 1, core.DP0),
+		planFor(core.OneFOneB, 1, 4, 4, 1, core.DP0),
+		planFor(core.DepthFirst, 1, 2, 4, 2, core.DP0),
+		planFor(core.BreadthFirst, 1, 2, 4, 2, core.DP0),
+		planFor(core.BreadthFirst, 1, 4, 4, 1, core.DP0),
+		{Method: core.Hybrid, DP: 1, PP: 2, TP: 1, MicroBatch: 2,
+			NumMicro: 4, Loops: 2, Sequence: 4, OverlapDP: true, OverlapPP: true},
+	}
+	for _, p := range cases {
+		loss, w := stepOnce(t, p, 3)
+		if math.Abs(loss-ref)/ref > 1e-12 {
+			t.Errorf("%v: loss %v != reference %v", p, loss, ref)
+		}
+		if d := tensor.MaxAbsDiffSlice(w, refW); d > 1e-12 {
+			t.Errorf("%v: weights differ from reference by %v", p, d)
+		}
+	}
+}
+
+// Splitting the batch across data-parallel replicas must not change the
+// result (gradients are summed with a global 1/B scale).
+func TestDataParallelEquivalence(t *testing.T) {
+	_, w1 := stepOnce(t, planFor(core.BreadthFirst, 1, 2, 8, 2, core.DP0), 5)
+	_, w2 := stepOnce(t, planFor(core.BreadthFirst, 2, 2, 4, 2, core.DP0), 5)
+	_, w4 := stepOnce(t, planFor(core.BreadthFirst, 4, 2, 2, 2, core.DP0), 5)
+	if d := tensor.MaxAbsDiffSlice(w1, w2); d > 1e-9 {
+		t.Errorf("DP=1 vs DP=2 weights differ by %v", d)
+	}
+	if d := tensor.MaxAbsDiffSlice(w1, w4); d > 1e-9 {
+		t.Errorf("DP=1 vs DP=4 weights differ by %v", d)
+	}
+}
+
+// Sharded optimizers must match the replicated one exactly: DP0 vs DP-PS vs
+// DP-FS under the breadth-first schedule.
+func TestShardingEquivalence(t *testing.T) {
+	_, w0 := stepOnce(t, planFor(core.BreadthFirst, 2, 2, 4, 2, core.DP0), 7)
+	_, wps := stepOnce(t, planFor(core.BreadthFirst, 2, 2, 4, 2, core.DPPS), 7)
+	_, wfs := stepOnce(t, planFor(core.BreadthFirst, 2, 2, 4, 2, core.DPFS), 7)
+	if d := tensor.MaxAbsDiffSlice(w0, wps); d > 1e-12 {
+		t.Errorf("DP0 vs DP-PS weights differ by %v", d)
+	}
+	if d := tensor.MaxAbsDiffSlice(w0, wfs); d > 1e-12 {
+		t.Errorf("DP0 vs DP-FS weights differ by %v", d)
+	}
+	// And the no-pipeline accumulations with DP-FS (Appendix C).
+	_, wnp0 := stepOnce(t, planFor(core.NoPipelineBF, 2, 1, 4, 4, core.DP0), 7)
+	_, wnpf := stepOnce(t, planFor(core.NoPipelineBF, 2, 1, 4, 4, core.DPFS), 7)
+	_, wnpd := stepOnce(t, planFor(core.NoPipelineDF, 2, 1, 4, 4, core.DPFS), 7)
+	if d := tensor.MaxAbsDiffSlice(wnp0, wnpf); d > 1e-12 {
+		t.Errorf("no-pipeline DP0 vs DP-FS differ by %v", d)
+	}
+	if d := tensor.MaxAbsDiffSlice(wnpf, wnpd); d > 1e-12 {
+		t.Errorf("BF vs DF accumulation under DP-FS differ by %v", d)
+	}
+}
+
+// Finite-difference check: the captured gradient matches dLoss/dW on a
+// handful of coordinates.
+func TestGradientsNumerically(t *testing.T) {
+	p := planFor(core.BreadthFirst, 1, 2, 4, 2, core.DP0)
+	tr, err := NewTrainer(cfg4(), p, AdamConfig{LR: 0, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.CaptureGrads = true
+	in, tgt := batchFor(p, cfg4().Dim, 13)
+	base := tr.Weights()
+	if _, err := tr.Step(in, tgt); err != nil {
+		t.Fatal(err)
+	}
+	grads, err := tr.Gradients()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grads) != len(base) {
+		t.Fatalf("gradient length %d != weights %d", len(grads), len(base))
+	}
+	// LR=0 keeps weights unchanged, so we can reuse the trainer for loss
+	// evaluations.
+	lossAt := func(w []float64) float64 {
+		if err := tr.SetWeights(w); err != nil {
+			t.Fatal(err)
+		}
+		l, err := tr.Step(in, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	rng := rand.New(rand.NewSource(99))
+	const h = 1e-6
+	for trial := 0; trial < 12; trial++ {
+		i := rng.Intn(len(base))
+		wp := append([]float64(nil), base...)
+		wp[i] += h
+		lp := lossAt(wp)
+		wp[i] -= 2 * h
+		lm := lossAt(wp)
+		numeric := (lp - lm) / (2 * h)
+		if math.Abs(numeric-grads[i]) > 1e-6*(1+math.Abs(numeric)) {
+			t.Errorf("coord %d: grad %v, numeric %v", i, grads[i], numeric)
+		}
+	}
+}
+
+// Training must actually work: loss decreases substantially on a fixed
+// regression task under the full breadth-first + DP-FS configuration.
+func TestLossDecreases(t *testing.T) {
+	p := planFor(core.BreadthFirst, 2, 2, 4, 2, core.DPFS)
+	tr, err := NewTrainer(cfg4(), p, AdamConfig{LR: 5e-3, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, tgt := batchFor(p, cfg4().Dim, 21)
+	var first, last float64
+	for step := 0; step < 60; step++ {
+		loss, err := tr.Step(in, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if !(last < 0.5*first) {
+		t.Errorf("loss did not halve: first %v, last %v", first, last)
+	}
+}
+
+// Multi-step determinism: identical trainers stay bitwise identical.
+func TestMultiStepDeterminism(t *testing.T) {
+	p := planFor(core.OneFOneB, 2, 2, 4, 1, core.DP0)
+	mk := func() []float64 {
+		tr, err := NewTrainer(cfg4(), p, DefaultAdam())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 3; s++ {
+			in, tgt := batchFor(p, cfg4().Dim, int64(s))
+			if _, err := tr.Step(in, tgt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tr.Weights()
+	}
+	a, b := mk(), mk()
+	if d := tensor.MaxAbsDiffSlice(a, b); d != 0 {
+		t.Errorf("multi-step runs differ by %v", d)
+	}
+}
+
+func TestTrainerErrors(t *testing.T) {
+	if _, err := NewTrainer(NetConfig{}, planFor(core.GPipe, 1, 2, 4, 1, core.DP0), DefaultAdam()); err == nil {
+		t.Error("invalid net config should fail")
+	}
+	p := planFor(core.GPipe, 1, 2, 4, 1, core.DP0)
+	p.TP = 2
+	if _, err := NewTrainer(cfg4(), p, DefaultAdam()); err == nil {
+		t.Error("TP=2 should be rejected")
+	}
+	p = planFor(core.GPipe, 1, 3, 4, 1, core.DP0) // 4 layers not divisible by 3
+	if _, err := NewTrainer(cfg4(), p, DefaultAdam()); err == nil {
+		t.Error("indivisible layers should be rejected")
+	}
+	tr, err := NewTrainer(cfg4(), planFor(core.GPipe, 1, 2, 4, 1, core.DP0), DefaultAdam())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Step(tensor.New(3, cfg4().Dim), tensor.New(3, cfg4().Dim)); err == nil {
+		t.Error("wrong batch rows should fail")
+	}
+	if _, err := tr.Step(tensor.New(8, 2), tensor.New(8, 2)); err == nil {
+		t.Error("wrong columns should fail")
+	}
+	if err := tr.SetWeights([]float64{1}); err == nil {
+		t.Error("wrong weights length should fail")
+	}
+	if _, err := tr.Gradients(); err == nil {
+		t.Error("Gradients without capture should fail")
+	}
+}
+
+// The gradient vector must also agree across sharding modes.
+func TestCapturedGradientsAcrossSharding(t *testing.T) {
+	grads := func(sh core.Sharding) []float64 {
+		p := planFor(core.BreadthFirst, 2, 2, 4, 2, sh)
+		tr, err := NewTrainer(cfg4(), p, DefaultAdam())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.CaptureGrads = true
+		in, tgt := batchFor(p, cfg4().Dim, 31)
+		if _, err := tr.Step(in, tgt); err != nil {
+			t.Fatal(err)
+		}
+		g, err := tr.Gradients()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	g0 := grads(core.DP0)
+	gfs := grads(core.DPFS)
+	if d := tensor.MaxAbsDiffSlice(g0, gfs); d > 1e-12 {
+		t.Errorf("DP0 vs DP-FS gradients differ by %v", d)
+	}
+}

@@ -1,0 +1,207 @@
+package schedule
+
+import (
+	"fmt"
+
+	"bfpp/internal/core"
+)
+
+// key identifies one (stage, micro-batch) pair.
+type key struct{ stage, micro int }
+
+// Check verifies the structural invariants every valid schedule must
+// satisfy and returns the first violation. It is used by the test suite
+// and by the engine as a guard before simulation:
+//
+//  1. Completeness: each (stage, micro-batch) pair has exactly one Forward
+//     and one Backward, both on the stage's owner device.
+//  2. Per-device causality: Forward(s,m) precedes Backward(s,m); for the
+//     stages of one device, Forward(s,m) precedes Forward(s',m) when s < s'
+//     and Backward ordering is reversed.
+//  3. Restores precede the first use of their stage (and micro-batch, when
+//     per-micro-batch) in the corresponding pass.
+//  4. Reductions follow the last Backward of their stage (per-batch) or
+//     their own micro-batch's Backward (per-micro-batch).
+//  5. Exactly one Optimize per device, as the final operation, and after
+//     every Reduce.
+func Check(s *Schedule) error {
+	p := s.Plan
+	fwdSeen := map[key]int{}
+	bwdSeen := map[key]int{}
+
+	nStages := p.Stages()
+	if !p.Method.Pipelined() {
+		nStages = p.Loops
+	}
+
+	for r, prog := range s.Devices {
+		fwdPos := map[key]int{}
+		bwdPos := map[key]int{}
+		lastBwd := map[int]int{} // stage -> last backward position
+		restorePos := map[key][]int{}
+		reducePos := map[key][]int{}
+		optPos := -1
+		for i, op := range prog {
+			switch op.Kind {
+			case Forward, Backward:
+				if op.Stage < 0 || op.Stage >= nStages {
+					return fmt.Errorf("device %d op %d: stage %d out of range", r, i, op.Stage)
+				}
+				if op.Micro < 0 || op.Micro >= p.NumMicro {
+					return fmt.Errorf("device %d op %d: micro %d out of range", r, i, op.Micro)
+				}
+				owner := p.StageDevice(op.Stage)
+				if owner != r {
+					return fmt.Errorf("device %d op %v: stage owned by device %d", r, op, owner)
+				}
+				k := key{op.Stage, op.Micro}
+				if op.Kind == Forward {
+					fwdSeen[k]++
+					fwdPos[k] = i
+				} else {
+					bwdSeen[k]++
+					bwdPos[k] = i
+					lastBwd[op.Stage] = i
+				}
+			case Restore:
+				restorePos[key{op.Stage, op.Micro}] = append(restorePos[key{op.Stage, op.Micro}], i)
+			case Reduce:
+				k := key{op.Stage, op.Micro}
+				reducePos[k] = append(reducePos[k], i)
+			case Optimize:
+				if optPos >= 0 {
+					return fmt.Errorf("device %d: multiple Optimize ops", r)
+				}
+				optPos = i
+			default:
+				return fmt.Errorf("device %d op %d: unknown kind %v", r, i, op.Kind)
+			}
+		}
+
+		// Causality within the device.
+		for k, fp := range fwdPos {
+			bp, ok := bwdPos[k]
+			if ok && bp < fp {
+				return fmt.Errorf("device %d: backward %v before forward", r, k)
+			}
+		}
+		stages := p.DeviceStages(r)
+		for mb := 0; mb < p.NumMicro; mb++ {
+			for i := 1; i < len(stages); i++ {
+				lo, hi := key{stages[i-1], mb}, key{stages[i], mb}
+				if fp, ok := fwdPos[hi]; ok {
+					if fp2, ok2 := fwdPos[lo]; ok2 && fp < fp2 {
+						return fmt.Errorf("device %d: forward %v before %v", r, hi, lo)
+					}
+				}
+				if bp, ok := bwdPos[lo]; ok {
+					if bp2, ok2 := bwdPos[hi]; ok2 && bp < bp2 {
+						return fmt.Errorf("device %d: backward %v before %v", r, lo, hi)
+					}
+				}
+			}
+		}
+
+		// A per-batch reduce (micro == -1) must follow the stage's last
+		// backward; a per-micro-batch reduce must follow that micro-batch's
+		// backward of the stage.
+		for k, positions := range reducePos {
+			for _, pos := range positions {
+				if k.micro < 0 {
+					if lb, ok := lastBwd[k.stage]; ok && pos < lb {
+						return fmt.Errorf("device %d: reduce of stage %d at %d before last backward at %d",
+							r, k.stage, pos, lb)
+					}
+				} else if bp, ok := bwdPos[k]; ok && pos < bp {
+					return fmt.Errorf("device %d: reduce %v at %d before its backward at %d",
+						r, k, pos, bp)
+				}
+			}
+		}
+
+		// Restores precede first use: every compute op must see some
+		// restore of its stage (per-batch, or matching its micro-batch)
+		// earlier in the program when DP-FS is on.
+		if p.Sharding == core.DPFS {
+			for k, fp := range fwdPos {
+				if !hasRestoreBefore(restorePos, k, fp) {
+					return fmt.Errorf("device %d: forward %v without preceding restore", r, k)
+				}
+			}
+			for k, bp := range bwdPos {
+				if !hasRestoreBefore(restorePos, k, bp) {
+					return fmt.Errorf("device %d: backward %v without preceding restore", r, k)
+				}
+			}
+		}
+
+		// Optimize last.
+		if optPos != len(prog)-1 {
+			return fmt.Errorf("device %d: Optimize not final op (pos %d of %d)", r, optPos, len(prog))
+		}
+	}
+
+	// Completeness across devices.
+	for st := 0; st < nStages; st++ {
+		for mb := 0; mb < p.NumMicro; mb++ {
+			k := key{st, mb}
+			if fwdSeen[k] != 1 {
+				return fmt.Errorf("stage %d micro %d: %d forwards, want 1", st, mb, fwdSeen[k])
+			}
+			if bwdSeen[k] != 1 {
+				return fmt.Errorf("stage %d micro %d: %d backwards, want 1", st, mb, bwdSeen[k])
+			}
+		}
+	}
+	return nil
+}
+
+// hasRestoreBefore reports whether some restore of the stage (per-batch or
+// matching micro-batch) appears before position pos.
+func hasRestoreBefore(restores map[key][]int, k key, pos int) bool {
+	for _, p := range restores[key{k.stage, -1}] {
+		if p < pos {
+			return true
+		}
+	}
+	for _, p := range restores[k] {
+		if p < pos {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxInFlight returns, for one device, the maximum number of micro-batch
+// activations held at once: the peak over the program of
+// (#forwards issued - #backwards completed). This drives the activation
+// checkpoint memory differences between the schedules (Table 4.1): GPipe
+// and breadth-first hold N_mb * N_loop, 1F1B holds about PP - rank, and
+// depth-first about PP * Loops in the worst device.
+func MaxInFlight(prog Program) int {
+	cur, peak := 0, 0
+	for _, op := range prog {
+		switch op.Kind {
+		case Forward:
+			cur++
+			if cur > peak {
+				peak = cur
+			}
+		case Backward:
+			cur--
+		}
+	}
+	return peak
+}
+
+// Counts summarizes a schedule's operation totals per kind, used by tests
+// and by the network-volume accounting (paper Eqs. 20-29).
+func Counts(s *Schedule) map[Kind]int {
+	c := map[Kind]int{}
+	for _, prog := range s.Devices {
+		for _, op := range prog {
+			c[op.Kind]++
+		}
+	}
+	return c
+}

@@ -1,0 +1,98 @@
+package schedule
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"bfpp/internal/core"
+)
+
+func hybridPlan(pp, nmb, loops, seq int) core.Plan {
+	return core.Plan{Method: core.Hybrid, DP: 1, PP: pp, TP: 1,
+		MicroBatch: 1, NumMicro: nmb, Loops: loops, Sequence: seq,
+		OverlapDP: true, OverlapPP: true}
+}
+
+// With Sequence = PP the hybrid is exactly the depth-first schedule.
+func TestHybridReducesToDepthFirst(t *testing.T) {
+	h := mustGen(t, hybridPlan(4, 8, 2, 4))
+	d := mustGen(t, plan(core.DepthFirst, 4, 8, 2))
+	for r := range h.Devices {
+		hp := h.Devices[r]
+		dp := d.Devices[r]
+		// Compare compute ops only (reduce placement is identical too, but
+		// plans differ in Method so compare structurally).
+		if len(hp) != len(dp) {
+			t.Fatalf("device %d: lengths %d vs %d", r, len(hp), len(dp))
+		}
+		for i := range hp {
+			if !reflect.DeepEqual(hp[i], dp[i]) {
+				t.Fatalf("device %d op %d: %v vs %v", r, i, hp[i], dp[i])
+			}
+		}
+	}
+}
+
+// With Sequence = NumMicro, every local stage processes the whole batch
+// contiguously in the forward phase — the breadth-first ordering property.
+func TestHybridAtFullSequenceIsStageContiguous(t *testing.T) {
+	s := mustGen(t, hybridPlan(4, 8, 2, 8))
+	for r, prog := range s.Devices {
+		lastStage := -1
+		seen := map[int]bool{}
+		for _, op := range prog {
+			if op.Kind != Forward {
+				continue
+			}
+			if op.Stage != lastStage {
+				if seen[op.Stage] {
+					t.Fatalf("device %d: forward stage %d revisited (not contiguous)", r, op.Stage)
+				}
+				seen[op.Stage] = true
+				lastStage = op.Stage
+			}
+		}
+	}
+}
+
+func TestHybridInvariantsProperty(t *testing.T) {
+	f := func(ppE, loopE, seqMul, nmbMul uint8) bool {
+		pp := 1 << (ppE%3 + 1) // 2,4,8
+		loops := 1 << (loopE % 3)
+		seq := pp * (1 + int(seqMul)%3)  // pp, 2pp, 3pp
+		nmb := seq * (1 + int(nmbMul)%3) // multiple of seq
+		p := hybridPlan(pp, nmb, loops, seq)
+		s, err := Generate(p)
+		if err != nil {
+			return false
+		}
+		return Check(s) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHybridRejectsBadSequence(t *testing.T) {
+	if _, err := Generate(hybridPlan(4, 8, 2, 6)); err == nil {
+		t.Error("sequence not a multiple of PP should fail")
+	}
+	if _, err := Generate(hybridPlan(4, 12, 2, 8)); err == nil {
+		t.Error("NumMicro not a multiple of Sequence should fail")
+	}
+}
+
+// The hybrid holds more activations in flight than depth-first but fewer
+// than breadth-first: the memory-for-overlap trade the paper describes.
+func TestHybridInFlightBetweenDFAndBF(t *testing.T) {
+	df := mustGen(t, plan(core.DepthFirst, 4, 16, 2))
+	hy := mustGen(t, hybridPlan(4, 16, 2, 8))
+	bf := mustGen(t, plan(core.BreadthFirst, 4, 16, 2))
+	dfi := MaxInFlight(df.Devices[0])
+	hyi := MaxInFlight(hy.Devices[0])
+	bfi := MaxInFlight(bf.Devices[0])
+	if !(dfi < hyi && hyi < bfi) {
+		t.Errorf("in-flight ordering DF(%d) < Hybrid(%d) < BF(%d) violated", dfi, hyi, bfi)
+	}
+}

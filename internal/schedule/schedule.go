@@ -1,0 +1,368 @@
+// Package schedule generates the per-device operation programs for the
+// pipeline schedules compared in the paper (Section 4.1, Figures 4 and 9):
+//
+//   - GPipe: non-looped, forward-first (Huang et al., 2018)
+//   - 1F1B: non-looped, backward-priority (Harlap et al., 2018)
+//   - Depth-first: looped, micro-batches in sequences of N_PP with backward
+//     priority — the Megatron-LM interleaved schedule (Narayanan et al., 2021)
+//   - Breadth-first: looped, all micro-batches through each local stage,
+//     forward-first — the paper's contribution
+//   - No-pipeline depth-first and breadth-first gradient accumulation
+//     (Appendix C)
+//   - Hybrid: the depth/breadth hybrid conjectured in Section 4.2, with a
+//     configurable micro-batch sequence length (an extension of this
+//     reproduction)
+//
+// A program is a flat list of operations in issue order. Compute operations
+// (Forward, Backward) run on the device's compute stream; data-parallel
+// operations (Restore, Reduce) run on the DP network stream when the
+// implementation overlaps them, or inline on the compute stream otherwise.
+// The engine package maps programs onto the discrete-event simulator and
+// inserts the pipeline-parallel transfers implied by stage adjacency.
+package schedule
+
+import (
+	"fmt"
+
+	"bfpp/internal/core"
+)
+
+// Kind enumerates program operation types.
+type Kind int
+
+const (
+	// Forward is the forward pass of one stage for one micro-batch.
+	Forward Kind = iota
+	// Backward is the backward pass (including the activation-checkpoint
+	// recompute) of one stage for one micro-batch.
+	Backward
+	// Restore reconstructs (all-gathers) a stage's weights under DP-FS.
+	// Micro is -1 when the restore covers the whole batch (breadth-first
+	// aggregation) and a micro-batch index when repeated per micro-batch.
+	Restore
+	// Reduce reduces a stage's gradients across the data-parallel group
+	// (all-reduce under DP0, reduce-scatter under DP-PS/DP-FS). Micro is -1
+	// for a per-batch reduction and a micro-batch index when repeated.
+	Reduce
+	// Optimize is the optimizer step for the device's (shard of the)
+	// training state; exactly one per device, after all reductions.
+	Optimize
+)
+
+// String returns a short mnemonic for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Forward:
+		return "F"
+	case Backward:
+		return "B"
+	case Restore:
+		return "W"
+	case Reduce:
+		return "G"
+	case Optimize:
+		return "S"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Op is one operation in a device program.
+type Op struct {
+	// Kind is the operation type.
+	Kind Kind
+	// Stage is the global stage index (-1 for Optimize).
+	Stage int
+	// Micro is the micro-batch index, or -1 for per-stage/per-batch ops.
+	Micro int
+}
+
+// String renders like "F3.2" (forward, stage 3, micro-batch 2) or "G1".
+func (o Op) String() string {
+	if o.Micro < 0 {
+		if o.Stage < 0 {
+			return o.Kind.String()
+		}
+		return fmt.Sprintf("%v%d", o.Kind, o.Stage)
+	}
+	return fmt.Sprintf("%v%d.%d", o.Kind, o.Stage, o.Micro)
+}
+
+// Program is the ordered operation list of one pipeline device.
+type Program []Op
+
+// Schedule is the full set of per-device programs for one pipeline-parallel
+// group (every data-parallel replica executes the same programs).
+type Schedule struct {
+	// Plan is the configuration the schedule was generated for.
+	Plan core.Plan
+	// Devices holds one program per pipeline rank (length Plan.PP, or 1
+	// for the no-pipeline methods).
+	Devices []Program
+}
+
+// Generate builds the schedule for the plan's method. The plan must already
+// be valid for the target model; Generate only checks structural fields it
+// depends on.
+func Generate(p core.Plan) (*Schedule, error) {
+	if p.PP <= 0 || p.NumMicro <= 0 || p.Loops <= 0 {
+		return nil, fmt.Errorf("schedule: invalid plan %v", p)
+	}
+	if p.Method.Pipelined() && p.NumMicro < p.PP {
+		return nil, fmt.Errorf("schedule: pipeline needs NumMicro >= PP (%d < %d)", p.NumMicro, p.PP)
+	}
+	var s *Schedule
+	switch p.Method {
+	case core.GPipe:
+		s = genGPipe(p)
+	case core.OneFOneB:
+		s = genOneFOneB(p)
+	case core.DepthFirst:
+		if p.NumMicro%p.PP != 0 {
+			return nil, fmt.Errorf("schedule: depth-first needs NumMicro %% PP == 0")
+		}
+		s = genDepthFirst(p)
+	case core.BreadthFirst:
+		s = genBreadthFirst(p)
+	case core.Hybrid:
+		q := p.SequenceLen()
+		if q%p.PP != 0 || p.NumMicro%q != 0 {
+			return nil, fmt.Errorf("schedule: hybrid needs Sequence %% PP == 0 and NumMicro %% Sequence == 0")
+		}
+		s = genSequenced(p, q)
+	case core.NoPipelineDF:
+		s = genNoPipelineDF(p)
+	case core.NoPipelineBF:
+		s = genNoPipelineBF(p)
+	default:
+		return nil, fmt.Errorf("schedule: unknown method %v", p.Method)
+	}
+	return s, nil
+}
+
+// needReduce reports whether the plan requires gradient reductions.
+func needReduce(p core.Plan) bool { return p.DP > 1 }
+
+// appendReduces appends per-stage reductions for the device's stages. With
+// a non-overlapping implementation (Megatron-LM) the reductions are bunched
+// after the compute program, which is also where this helper is invoked.
+func appendReduces(prog Program, p core.Plan, rank int) Program {
+	if !needReduce(p) {
+		return prog
+	}
+	stages := p.DeviceStages(rank)
+	for i := len(stages) - 1; i >= 0; i-- {
+		prog = append(prog, Op{Kind: Reduce, Stage: stages[i], Micro: -1})
+	}
+	return prog
+}
+
+// genGPipe: forward pass for all micro-batches, then backward pass
+// (Figure 4a). One stage per device.
+func genGPipe(p core.Plan) *Schedule {
+	devs := make([]Program, p.PP)
+	for r := 0; r < p.PP; r++ {
+		var prog Program
+		for mb := 0; mb < p.NumMicro; mb++ {
+			prog = append(prog, Op{Forward, r, mb})
+		}
+		for mb := 0; mb < p.NumMicro; mb++ {
+			prog = append(prog, Op{Backward, r, mb})
+		}
+		prog = appendReduces(prog, p, r)
+		prog = append(prog, Op{Optimize, -1, -1})
+		devs[r] = prog
+	}
+	return &Schedule{Plan: p, Devices: devs}
+}
+
+// genOneFOneB: warmup of PP-rank-1 forwards, then strict one-forward /
+// one-backward alternation, then a backward drain (Figure 4b).
+func genOneFOneB(p core.Plan) *Schedule {
+	devs := make([]Program, p.PP)
+	for r := 0; r < p.PP; r++ {
+		warmup := p.PP - r - 1
+		if warmup > p.NumMicro {
+			warmup = p.NumMicro
+		}
+		var prog Program
+		for mb := 0; mb < warmup; mb++ {
+			prog = append(prog, Op{Forward, r, mb})
+		}
+		for i := 0; i < p.NumMicro-warmup; i++ {
+			prog = append(prog, Op{Forward, r, warmup + i})
+			prog = append(prog, Op{Backward, r, i})
+		}
+		for mb := p.NumMicro - warmup; mb < p.NumMicro; mb++ {
+			prog = append(prog, Op{Backward, r, mb})
+		}
+		prog = appendReduces(prog, p, r)
+		prog = append(prog, Op{Optimize, -1, -1})
+		devs[r] = prog
+	}
+	return &Schedule{Plan: p, Devices: devs}
+}
+
+// Sequenced unit-step helpers, shared by the depth-first schedule (the
+// Megatron-LM interleaved schedule, sequence length q = PP) and the hybrid
+// schedule of Section 4.2 (q > PP). Micro-batches are processed in groups
+// of q; within a group the device runs its first local stage for all q
+// micro-batches, then its second, and so on, prioritizing backward work
+// once warmed up.
+func seqStep(p core.Plan, q, k int, backward bool) (chunk, micro int) {
+	group := k / (q * p.Loops)
+	within := k % (q * p.Loops)
+	chunk = within / q
+	if backward {
+		chunk = p.Loops - 1 - chunk
+	}
+	micro = group*q + within%q
+	return chunk, micro
+}
+
+// genDepthFirst follows the Megatron-LM interleaved 1F1B structure:
+// warmup = 2*(PP-rank-1) + (Loops-1)*PP unit forward steps, then
+// alternating forward/backward unit steps, then a backward drain.
+func genDepthFirst(p core.Plan) *Schedule {
+	return genSequenced(p, p.PP)
+}
+
+// genSequenced generates the depth-first family with micro-batch sequences
+// of length q; q = PP is plain depth-first, larger q is the hybrid, whose
+// extra in-flight micro-batches absorb transfer delays (Section 4.2).
+func genSequenced(p core.Plan, q int) *Schedule {
+	devs := make([]Program, p.PP)
+	total := p.NumMicro * p.Loops
+	for r := 0; r < p.PP; r++ {
+		warmup := 2*(p.PP-r-1) + (p.Loops-1)*q
+		if warmup > total {
+			warmup = total
+		}
+		var prog Program
+		emitF := func(k int) {
+			c, mb := seqStep(p, q, k, false)
+			prog = append(prog, Op{Forward, c*p.PP + r, mb})
+		}
+		emitB := func(k int) {
+			c, mb := seqStep(p, q, k, true)
+			prog = append(prog, Op{Backward, c*p.PP + r, mb})
+		}
+		for k := 0; k < warmup; k++ {
+			emitF(k)
+		}
+		for i := 0; i < total-warmup; i++ {
+			emitF(warmup + i)
+			emitB(i)
+		}
+		for k := total - warmup; k < total; k++ {
+			emitB(k)
+		}
+		prog = appendReduces(prog, p, r)
+		prog = append(prog, Op{Optimize, -1, -1})
+		devs[r] = prog
+	}
+	return &Schedule{Plan: p, Devices: devs}
+}
+
+// genBreadthFirst is the paper's schedule (Figure 4d): forward-first, each
+// local stage processes the entire batch before the next stage starts, and
+// the backward pass mirrors it in reverse. Data-parallel operations
+// aggregate per stage: one restore before each pass's first use of a stage
+// and one reduction after the stage's last backward, which is what makes
+// the schedule compatible with DP-FS (Section 4.2).
+func genBreadthFirst(p core.Plan) *Schedule {
+	devs := make([]Program, p.PP)
+	for r := 0; r < p.PP; r++ {
+		var prog Program
+		for l := 0; l < p.Loops; l++ {
+			s := l*p.PP + r
+			if p.Sharding == core.DPFS {
+				prog = append(prog, Op{Restore, s, -1})
+			}
+			for mb := 0; mb < p.NumMicro; mb++ {
+				prog = append(prog, Op{Forward, s, mb})
+			}
+		}
+		for l := p.Loops - 1; l >= 0; l-- {
+			s := l*p.PP + r
+			if p.Sharding == core.DPFS {
+				prog = append(prog, Op{Restore, s, -1})
+			}
+			for mb := 0; mb < p.NumMicro; mb++ {
+				prog = append(prog, Op{Backward, s, mb})
+			}
+			if needReduce(p) {
+				prog = append(prog, Op{Reduce, s, -1})
+			}
+		}
+		prog = append(prog, Op{Optimize, -1, -1})
+		devs[r] = prog
+	}
+	return &Schedule{Plan: p, Devices: devs}
+}
+
+// genNoPipelineDF is conventional gradient accumulation (Figure 9a/9b):
+// each micro-batch runs its full forward and backward before the next one.
+// Under DP-FS every stage must be restored in both passes and reduced in
+// the backward pass for every micro-batch — the repetition the paper's
+// Eq. (24) penalizes.
+func genNoPipelineDF(p core.Plan) *Schedule {
+	stages := p.Loops // stage granularity on the single device
+	var prog Program
+	fs := p.Sharding == core.DPFS
+	for mb := 0; mb < p.NumMicro; mb++ {
+		for s := 0; s < stages; s++ {
+			if fs {
+				prog = append(prog, Op{Restore, s, mb})
+			}
+			prog = append(prog, Op{Forward, s, mb})
+		}
+		for s := stages - 1; s >= 0; s-- {
+			if fs {
+				prog = append(prog, Op{Restore, s, mb})
+			}
+			prog = append(prog, Op{Backward, s, mb})
+			if fs && needReduce(p) {
+				prog = append(prog, Op{Reduce, s, mb})
+			}
+		}
+	}
+	if !fs && needReduce(p) {
+		for s := stages - 1; s >= 0; s-- {
+			prog = append(prog, Op{Reduce, s, -1})
+		}
+	}
+	prog = append(prog, Op{Optimize, -1, -1})
+	return &Schedule{Plan: p, Devices: []Program{prog}}
+}
+
+// genNoPipelineBF is the breadth-first gradient accumulation of Appendix C
+// (Figure 9c/9d): stages are processed breadth-first across micro-batches,
+// so each stage is restored once per pass and reduced once per batch, and
+// the reduction overlaps the remaining backward work.
+func genNoPipelineBF(p core.Plan) *Schedule {
+	stages := p.Loops
+	var prog Program
+	fs := p.Sharding == core.DPFS
+	for s := 0; s < stages; s++ {
+		if fs {
+			prog = append(prog, Op{Restore, s, -1})
+		}
+		for mb := 0; mb < p.NumMicro; mb++ {
+			prog = append(prog, Op{Forward, s, mb})
+		}
+	}
+	for s := stages - 1; s >= 0; s-- {
+		if fs {
+			prog = append(prog, Op{Restore, s, -1})
+		}
+		for mb := 0; mb < p.NumMicro; mb++ {
+			prog = append(prog, Op{Backward, s, mb})
+		}
+		if needReduce(p) {
+			prog = append(prog, Op{Reduce, s, -1})
+		}
+	}
+	prog = append(prog, Op{Optimize, -1, -1})
+	return &Schedule{Plan: p, Devices: []Program{prog}}
+}

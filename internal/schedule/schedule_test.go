@@ -1,0 +1,305 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bfpp/internal/core"
+)
+
+func plan(m core.Method, pp, nmb, loops int) core.Plan {
+	dp := 1
+	if !m.Pipelined() {
+		pp = 1
+	}
+	return core.Plan{
+		Method: m, DP: dp, PP: pp, TP: 1,
+		MicroBatch: 1, NumMicro: nmb, Loops: loops,
+		Sharding: core.DP0, OverlapDP: true, OverlapPP: true,
+	}
+}
+
+func mustGen(t *testing.T, p core.Plan) *Schedule {
+	t.Helper()
+	s, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate(%v): %v", p, err)
+	}
+	if err := Check(s); err != nil {
+		t.Fatalf("Check(%v): %v", p, err)
+	}
+	return s
+}
+
+func TestAllMethodsPassInvariants(t *testing.T) {
+	cases := []core.Plan{
+		plan(core.GPipe, 4, 8, 1),
+		plan(core.OneFOneB, 4, 8, 1),
+		plan(core.DepthFirst, 4, 8, 4),
+		plan(core.BreadthFirst, 4, 8, 4),
+		plan(core.NoPipelineDF, 1, 4, 4),
+		plan(core.NoPipelineBF, 1, 4, 4),
+	}
+	for _, p := range cases {
+		mustGen(t, p)
+	}
+}
+
+func TestGPipeStructure(t *testing.T) {
+	s := mustGen(t, plan(core.GPipe, 4, 8, 1))
+	prog := s.Devices[2]
+	// 8 forwards, then 8 backwards, then optimize (DP=1: no reduce).
+	if len(prog) != 17 {
+		t.Fatalf("program length = %d, want 17", len(prog))
+	}
+	for i := 0; i < 8; i++ {
+		if prog[i].Kind != Forward || prog[i].Micro != i || prog[i].Stage != 2 {
+			t.Errorf("op %d = %v, want F2.%d", i, prog[i], i)
+		}
+		if prog[8+i].Kind != Backward || prog[8+i].Micro != i {
+			t.Errorf("op %d = %v, want B2.%d", 8+i, prog[8+i], i)
+		}
+	}
+	if prog[16].Kind != Optimize {
+		t.Errorf("last op = %v, want S", prog[16])
+	}
+}
+
+// Figure 4b: the last device of a 1F1B pipeline alternates from the start
+// (F0 B0 F1 B1 ...), while device 0 warms up with PP-1 forwards.
+func TestOneFOneBStructure(t *testing.T) {
+	s := mustGen(t, plan(core.OneFOneB, 4, 8, 1))
+	last := s.Devices[3]
+	want := "F3.0 B3.0 F3.1 B3.1"
+	if got := progString(last[:4]); got != want {
+		t.Errorf("last device head = %q, want %q", got, want)
+	}
+	first := s.Devices[0]
+	want = "F0.0 F0.1 F0.2 F0.3 B0.0 F0.4 B0.1"
+	if got := progString(first[:7]); got != want {
+		t.Errorf("first device head = %q, want %q", got, want)
+	}
+}
+
+// 1F1B's raison d'etre: it holds at most ~PP-rank in-flight micro-batches,
+// while GPipe holds all of them (Table 4.1 activation memory).
+func TestInFlightActivations(t *testing.T) {
+	gp := mustGen(t, plan(core.GPipe, 4, 8, 1))
+	ob := mustGen(t, plan(core.OneFOneB, 4, 8, 1))
+	if got := MaxInFlight(gp.Devices[0]); got != 8 {
+		t.Errorf("GPipe in-flight = %d, want 8", got)
+	}
+	if got := MaxInFlight(ob.Devices[0]); got != 4 {
+		t.Errorf("1F1B device 0 in-flight = %d, want 4", got)
+	}
+	if got := MaxInFlight(ob.Devices[3]); got != 1 {
+		t.Errorf("1F1B last device in-flight = %d, want 1", got)
+	}
+	bf := mustGen(t, plan(core.BreadthFirst, 4, 8, 4))
+	if got := MaxInFlight(bf.Devices[0]); got != 32 {
+		t.Errorf("breadth-first in-flight = %d, want Nmb*Nloop = 32", got)
+	}
+}
+
+// The breadth-first program processes each local stage's whole batch
+// contiguously, in loop order (Figure 4d).
+func TestBreadthFirstStructure(t *testing.T) {
+	s := mustGen(t, plan(core.BreadthFirst, 4, 8, 4))
+	prog := s.Devices[1]
+	// Device 1 owns stages 1, 5, 9, 13.
+	wantHead := "F1.0 F1.1 F1.2 F1.3 F1.4 F1.5 F1.6 F1.7 F5.0"
+	if got := progString(prog[:9]); got != wantHead {
+		t.Errorf("head = %q, want %q", got, wantHead)
+	}
+	// Backward starts from the last local stage.
+	half := 32 // 4 stages x 8 micro-batches of forward
+	wantBwd := "B13.0 B13.1"
+	if got := progString(prog[half : half+2]); got != wantBwd {
+		t.Errorf("backward head = %q, want %q", got, wantBwd)
+	}
+}
+
+// Depth-first processes micro-batches in sequences of PP through each local
+// stage (chunk) in turn.
+func TestDepthFirstStructure(t *testing.T) {
+	s := mustGen(t, plan(core.DepthFirst, 4, 8, 2))
+	prog := s.Devices[0]
+	// Warmup for device 0, PP=4, Loops=2: 2*(4-1) + 1*4 = 10 forwards.
+	// Forward order: chunk 0 micro 0..3 (stages 0), chunk 1 micro 0..3
+	// (stage 4), then chunk 0 micro 4..7, ...
+	wantHead := "F0.0 F0.1 F0.2 F0.3 F4.0 F4.1 F4.2 F4.3 F0.4 F0.5"
+	if got := progString(prog[:10]); got != wantHead {
+		t.Errorf("head = %q, want %q", got, wantHead)
+	}
+	// First backward is the last chunk (stage 4) of micro-batch 0.
+	for _, op := range prog {
+		if op.Kind == Backward {
+			if op.Stage != 4 || op.Micro != 0 {
+				t.Errorf("first backward = %v, want B4.0", op)
+			}
+			break
+		}
+	}
+}
+
+func TestDepthFirstRejectsUnevenMicro(t *testing.T) {
+	p := plan(core.DepthFirst, 4, 6, 2)
+	if _, err := Generate(p); err == nil {
+		t.Fatal("expected error for NumMicro not a multiple of PP")
+	}
+}
+
+// Appendix C / Figure 9: DP-FS restore and reduce counts. Breadth-first
+// aggregates per stage (2 restores + 1 reduce per stage per batch);
+// depth-first repeats them per micro-batch (Eq. 24 vs 26).
+func TestDPFSNetworkOpCounts(t *testing.T) {
+	mk := func(m core.Method) core.Plan {
+		p := plan(m, 1, 4, 4)
+		p.DP = 4
+		p.Sharding = core.DPFS
+		return p
+	}
+	bf := mustGen(t, mk(core.NoPipelineBF))
+	df := mustGen(t, mk(core.NoPipelineDF))
+	cbf := Counts(bf)
+	cdf := Counts(df)
+	// BF: 4 stages x 2 passes = 8 restores; 4 reduces.
+	if cbf[Restore] != 8 || cbf[Reduce] != 4 {
+		t.Errorf("BF restores/reduces = %d/%d, want 8/4", cbf[Restore], cbf[Reduce])
+	}
+	// DF: 4 stages x 2 passes x 4 micro-batches = 32 restores; 16 reduces.
+	if cdf[Restore] != 32 || cdf[Reduce] != 16 {
+		t.Errorf("DF restores/reduces = %d/%d, want 32/16", cdf[Restore], cdf[Reduce])
+	}
+	// The factor-of-Nmb repetition is the paper's headline DP-FS argument.
+	if cdf[Restore] != cbf[Restore]*4 {
+		t.Errorf("DF should repeat restores Nmb times")
+	}
+
+	// Pipelined breadth-first with DP-FS: 2 restores and 1 reduce per stage.
+	p := plan(core.BreadthFirst, 4, 8, 4)
+	p.DP = 2
+	p.Sharding = core.DPFS
+	s := mustGen(t, p)
+	c := Counts(s)
+	if c[Restore] != 2*16 || c[Reduce] != 16 {
+		t.Errorf("pipelined BF restores/reduces = %d/%d, want 32/16", c[Restore], c[Reduce])
+	}
+}
+
+func TestReduceCountsWithDP(t *testing.T) {
+	for _, m := range []core.Method{core.GPipe, core.OneFOneB, core.DepthFirst, core.BreadthFirst} {
+		loops := 1
+		if m.Looped() {
+			loops = 2
+		}
+		p := plan(m, 4, 8, loops)
+		p.DP = 4
+		s := mustGen(t, p)
+		c := Counts(s)
+		want := 4 * loops // one reduce per stage
+		if c[Reduce] != want {
+			t.Errorf("%v: reduces = %d, want %d", m, c[Reduce], want)
+		}
+	}
+}
+
+// Property test: invariants hold across the whole (method, PP, Nmb, Loops)
+// lattice the generators accept.
+func TestInvariantsProperty(t *testing.T) {
+	methods := []core.Method{core.GPipe, core.OneFOneB, core.DepthFirst,
+		core.BreadthFirst, core.NoPipelineDF, core.NoPipelineBF}
+	f := func(mi, ppE, nmbX, loopE, dpE uint8) bool {
+		m := methods[int(mi)%len(methods)]
+		pp := 1 << (ppE % 4) // 1..8
+		loops := 1
+		if m.Looped() || !m.Pipelined() {
+			loops = 1 << (loopE % 4)
+		}
+		nmb := pp * (1 + int(nmbX)%5)
+		if m == core.NoPipelineDF || m == core.NoPipelineBF {
+			nmb = 1 + int(nmbX)%8
+		}
+		p := plan(m, pp, nmb, loops)
+		p.DP = 1 << (dpE % 3)
+		if p.DP > 1 && (m == core.NoPipelineBF || m == core.BreadthFirst) && loops > 0 {
+			p.Sharding = core.DPFS
+		}
+		s, err := Generate(p)
+		if err != nil {
+			return false
+		}
+		return Check(s) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The checker must actually catch violations.
+func TestCheckCatchesCorruption(t *testing.T) {
+	base := plan(core.GPipe, 4, 8, 1)
+	corruptions := []struct {
+		name string
+		mut  func(*Schedule)
+	}{
+		{"drop forward", func(s *Schedule) { s.Devices[0] = s.Devices[0][1:] }},
+		{"double forward", func(s *Schedule) {
+			s.Devices[0] = append(Program{s.Devices[0][0]}, s.Devices[0]...)
+		}},
+		{"backward before forward", func(s *Schedule) {
+			p := s.Devices[0]
+			p[0], p[8] = p[8], p[0] // swap F.0 with B.0
+		}},
+		{"optimize not last", func(s *Schedule) {
+			p := s.Devices[1]
+			p[len(p)-1], p[len(p)-2] = p[len(p)-2], p[len(p)-1]
+		}},
+		{"wrong owner", func(s *Schedule) { s.Devices[0][0].Stage = 1 }},
+		{"micro out of range", func(s *Schedule) { s.Devices[0][0].Micro = 99 }},
+	}
+	for _, c := range corruptions {
+		s := mustGen(t, base)
+		c.mut(s)
+		if err := Check(s); err == nil {
+			t.Errorf("%s: corruption not detected", c.name)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{Op{Forward, 3, 2}, "F3.2"},
+		{Op{Backward, 0, 0}, "B0.0"},
+		{Op{Reduce, 1, -1}, "G1"},
+		{Op{Restore, 5, 2}, "W5.2"},
+		{Op{Optimize, -1, -1}, "S"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.op, got, c.want)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(core.Plan{}); err == nil {
+		t.Error("empty plan should fail")
+	}
+	p := plan(core.GPipe, 8, 4, 1) // too few micro-batches
+	if _, err := Generate(p); err == nil {
+		t.Error("NumMicro < PP should fail")
+	}
+}
+
+func progString(prog Program) string {
+	parts := make([]string, len(prog))
+	for i, op := range prog {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,259 @@
+// Package search implements the configuration grid search of Appendix E:
+// for each method family and global batch size it enumerates the
+// distributed configurations (N_PP, N_TP, S_mb, N_mb, N_loop, sharding),
+// prunes infeasible and obviously inferior ones, simulates the rest and
+// returns the most efficient — reproducing Figure 7 and Tables E.1-E.3.
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"bfpp/internal/core"
+	"bfpp/internal/engine"
+	"bfpp/internal/hw"
+	"bfpp/internal/memsim"
+	"bfpp/internal/model"
+)
+
+// Family is a method family as compared in Figure 7. A family may span
+// several concrete schedules/implementations (the "non-looped" family
+// covers both our GPipe and Megatron-LM's 1F1B, as in the paper).
+type Family int
+
+const (
+	// FamilyBreadthFirst is the paper's method (our implementation:
+	// overlapped, DP0 or DP-FS).
+	FamilyBreadthFirst Family = iota
+	// FamilyDepthFirst is Megatron-LM's interleaved schedule
+	// (non-overlapped, DP0).
+	FamilyDepthFirst
+	// FamilyNonLooped covers GPipe (ours) and 1F1B (Megatron-LM).
+	FamilyNonLooped
+	// FamilyNoPipeline is sharded data parallelism with tensor parallelism
+	// (the "2d parallelism" baseline).
+	FamilyNoPipeline
+)
+
+// Families returns all families in display order.
+func Families() []Family {
+	return []Family{FamilyBreadthFirst, FamilyDepthFirst, FamilyNonLooped, FamilyNoPipeline}
+}
+
+// String names the family as in Figure 7's legend.
+func (f Family) String() string {
+	switch f {
+	case FamilyBreadthFirst:
+		return "Breadth-first (ours)"
+	case FamilyDepthFirst:
+		return "Depth-first (Megatron-LM)"
+	case FamilyNonLooped:
+		return "Non-looped (GPipe/1F1B)"
+	case FamilyNoPipeline:
+		return "No pipeline (Sharded)"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// Best is the winning configuration of one (family, batch) search.
+type Best struct {
+	engine.Result
+	// Configs is the number of candidate configurations simulated,
+	// mirroring the "Configs" column of Tables E.1-E.3.
+	Configs int
+}
+
+// Options tunes the search.
+type Options struct {
+	// Params overrides the engine calibration constants.
+	Params *engine.Params
+	// MaxMicroBatch caps S_mb in the enumeration (default 16).
+	MaxMicroBatch int
+}
+
+// Optimize searches one family at one global batch size and returns the
+// most efficient feasible configuration.
+func Optimize(c hw.Cluster, m model.Transformer, f Family, batch int, opt Options) (Best, error) {
+	if opt.MaxMicroBatch <= 0 {
+		opt.MaxMicroBatch = 16
+	}
+	plans := Enumerate(c, m, f, batch, opt)
+	best := Best{}
+	found := false
+	for _, p := range plans {
+		r, err := engine.SimulateOpts(c, m, p, engine.Options{Params: opt.Params})
+		if err != nil {
+			// Enumeration bugs should surface loudly; feasibility issues
+			// are filtered beforehand.
+			return Best{}, fmt.Errorf("search: %v: %w", p, err)
+		}
+		best.Configs++
+		if !found || r.Throughput > best.Throughput {
+			best.Result = r
+			found = true
+		}
+	}
+	if !found {
+		return Best{}, fmt.Errorf("search: no feasible configuration for %v at batch %d", f, batch)
+	}
+	return best, nil
+}
+
+// Sweep runs Optimize across batch sizes, skipping batches with no feasible
+// configuration, and returns the Figure 7 series for the family.
+func Sweep(c hw.Cluster, m model.Transformer, f Family, batches []int, opt Options) ([]Best, error) {
+	var out []Best
+	for _, b := range batches {
+		best, err := Optimize(c, m, f, b, opt)
+		if err != nil {
+			continue
+		}
+		out = append(out, best)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("search: no feasible configuration for %v at any batch", f)
+	}
+	return out, nil
+}
+
+// variant is one concrete (method, overlap, sharding) combination within a
+// family.
+type variant struct {
+	method    core.Method
+	overlap   bool
+	shardings []core.Sharding
+}
+
+func variants(f Family) []variant {
+	switch f {
+	case FamilyBreadthFirst:
+		return []variant{{core.BreadthFirst, true, []core.Sharding{core.DP0, core.DPFS}}}
+	case FamilyDepthFirst:
+		return []variant{{core.DepthFirst, false, []core.Sharding{core.DP0}}}
+	case FamilyNonLooped:
+		return []variant{
+			{core.GPipe, true, []core.Sharding{core.DP0, core.DPPS}},
+			{core.OneFOneB, false, []core.Sharding{core.DP0}},
+		}
+	case FamilyNoPipeline:
+		return []variant{{core.NoPipelineBF, true, []core.Sharding{core.DP0, core.DPFS}}}
+	default:
+		return nil
+	}
+}
+
+// Enumerate lists the feasible plans of a family at a global batch size.
+// The pruning mirrors Appendix E: divisibility of the device grid and the
+// batch, the depth-first N_mb constraint, stage divisibility, memory
+// feasibility, and exclusion of obviously inferior combinations (DP-FS with
+// depth-first-style gradient accumulation).
+func Enumerate(c hw.Cluster, m model.Transformer, f Family, batch int, opt Options) []core.Plan {
+	if opt.MaxMicroBatch <= 0 {
+		opt.MaxMicroBatch = 16
+	}
+	nGPU := c.NumGPUs()
+	var plans []core.Plan
+	for _, v := range variants(f) {
+		for tp := 1; tp <= c.GPUsPerNode; tp *= 2 {
+			maxPP := 1
+			if v.method.Pipelined() {
+				maxPP = m.Layers
+			}
+			for pp := 1; pp <= maxPP && pp*tp <= nGPU; pp *= 2 {
+				if v.method.Pipelined() && pp == 1 {
+					continue // a 1-deep pipeline is the no-pipeline case
+				}
+				if nGPU%(pp*tp) != 0 {
+					continue
+				}
+				dp := nGPU / (pp * tp)
+				for smb := 1; smb <= opt.MaxMicroBatch; smb *= 2 {
+					if batch%(dp*smb) != 0 {
+						continue
+					}
+					nmb := batch / (dp * smb)
+					if nmb < 1 {
+						continue
+					}
+					if v.method.Pipelined() && nmb < pp {
+						continue
+					}
+					if v.method == core.DepthFirst && nmb%pp != 0 {
+						continue
+					}
+					for _, loops := range loopOptions(m, v.method, pp) {
+						for _, sh := range v.shardings {
+							if sh != core.DP0 && dp == 1 {
+								continue
+							}
+							p := core.Plan{
+								Method: v.method, DP: dp, PP: pp, TP: tp,
+								MicroBatch: smb, NumMicro: nmb, Loops: loops,
+								Sharding: sh, OverlapDP: v.overlap, OverlapPP: v.overlap,
+							}
+							if p.Validate(m) != nil {
+								continue
+							}
+							if !memsim.Feasible(memsim.Estimate(m, p), c.GPU.MemBytes) {
+								continue
+							}
+							plans = append(plans, p)
+						}
+					}
+				}
+			}
+		}
+	}
+	return plans
+}
+
+// loopOptions returns the N_loop values to try: 1 for non-looped methods,
+// the powers of two dividing the stage budget for looped ones, and the
+// per-layer stage granularity for the no-pipeline schedules (whose "loops"
+// only set the data-parallel aggregation granularity).
+func loopOptions(m model.Transformer, method core.Method, pp int) []int {
+	switch {
+	case method == core.GPipe || method == core.OneFOneB:
+		return []int{1}
+	case !method.Pipelined():
+		return []int{m.Layers}
+	default:
+		var out []int
+		for l := 1; pp*l <= m.Layers; l *= 2 {
+			if m.Layers%(pp*l) == 0 {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
+}
+
+// Table formats a set of sweep results as a Table E.1-style listing.
+func Table(title string, results map[Family][]Best) string {
+	out := fmt.Sprintf("%s\n%-26s %6s %4s %4s %4s %5s %6s %8s %10s %8s %8s %8s\n",
+		title, "Method", "Batch", "PP", "TP", "Smb", "Nmb", "Nloop", "Sharded",
+		"Tflop/s", "Mem GiB", "Min GiB", "Configs")
+	for _, f := range Families() {
+		bests, ok := results[f]
+		if !ok {
+			continue
+		}
+		sorted := append([]Best(nil), bests...)
+		sort.Slice(sorted, func(i, j int) bool {
+			return sorted[i].Plan.BatchSize() < sorted[j].Plan.BatchSize()
+		})
+		for _, b := range sorted {
+			p := b.Plan
+			shard := "no"
+			if p.Sharding != core.DP0 {
+				shard = p.Sharding.String()
+			}
+			out += fmt.Sprintf("%-26s %6d %4d %4d %4d %5d %6d %8s %10.2f %8.2f %8.2f %8d\n",
+				f, p.BatchSize(), p.PP, p.TP, p.MicroBatch, p.NumMicro, p.Loops,
+				shard, b.Throughput/1e12, b.Memory.Total()/(1<<30),
+				b.Memory.TotalMin()/(1<<30), b.Configs)
+		}
+	}
+	return out
+}

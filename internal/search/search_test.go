@@ -1,0 +1,226 @@
+package search
+
+import (
+	"strings"
+	"testing"
+
+	"bfpp/internal/core"
+	"bfpp/internal/hw"
+	"bfpp/internal/model"
+)
+
+func TestEnumerateProducesValidPlans(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	for _, f := range Families() {
+		plans := Enumerate(c, m, f, 64, Options{})
+		if len(plans) == 0 {
+			t.Errorf("%v: no plans at batch 64", f)
+			continue
+		}
+		for _, p := range plans {
+			if err := p.Validate(m); err != nil {
+				t.Errorf("%v: invalid plan %v: %v", f, p, err)
+			}
+			if p.BatchSize() != 64 {
+				t.Errorf("%v: plan %v has batch %d, want 64", f, p, p.BatchSize())
+			}
+			if p.GPUs() > c.NumGPUs() {
+				t.Errorf("%v: plan %v oversubscribes", f, p)
+			}
+		}
+	}
+}
+
+func TestEnumerateRespectsFamilies(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	for _, p := range Enumerate(c, m, FamilyDepthFirst, 64, Options{}) {
+		if p.Method != core.DepthFirst || p.OverlapDP || p.Sharding == core.DPFS {
+			t.Errorf("depth-first family produced %v", p)
+		}
+	}
+	for _, p := range Enumerate(c, m, FamilyNoPipeline, 64, Options{}) {
+		if p.PP != 1 {
+			t.Errorf("no-pipeline family produced PP=%d", p.PP)
+		}
+	}
+	sawGPipe, saw1F1B := false, false
+	for _, p := range Enumerate(c, m, FamilyNonLooped, 64, Options{}) {
+		if p.Loops != 1 {
+			t.Errorf("non-looped family produced Loops=%d", p.Loops)
+		}
+		switch p.Method {
+		case core.GPipe:
+			sawGPipe = true
+		case core.OneFOneB:
+			saw1F1B = true
+		default:
+			t.Errorf("non-looped family produced %v", p.Method)
+		}
+	}
+	if !sawGPipe || !saw1F1B {
+		t.Error("non-looped family should cover both implementations")
+	}
+}
+
+// Section 5.3 headline: the optimized breadth-first configuration is the
+// fastest method at small batch sizes (paper: 43-53% over the baselines at
+// B=8-9), while no-pipeline catches up at large batches.
+func TestFigure7Shape52B(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search sweep")
+	}
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	get := func(f Family, batch int) Best {
+		b, err := Optimize(c, m, f, batch, Options{})
+		if err != nil {
+			t.Fatalf("%v at %d: %v", f, batch, err)
+		}
+		return b
+	}
+	bf8 := get(FamilyBreadthFirst, 8)
+	df8 := get(FamilyDepthFirst, 8)
+	nl8 := get(FamilyNonLooped, 8)
+	np8 := get(FamilyNoPipeline, 8)
+	if bf8.Throughput < 1.2*df8.Throughput {
+		t.Errorf("BF should beat DF by >20%% at B=8: %.1f vs %.1f",
+			bf8.Throughput/1e12, df8.Throughput/1e12)
+	}
+	if bf8.Throughput < 1.2*nl8.Throughput {
+		t.Errorf("BF should beat non-looped by >20%% at B=8: %.1f vs %.1f",
+			bf8.Throughput/1e12, nl8.Throughput/1e12)
+	}
+	if np8.Throughput > 0.5*bf8.Throughput {
+		t.Errorf("no-pipeline should collapse at B=8: %.1f vs %.1f",
+			np8.Throughput/1e12, bf8.Throughput/1e12)
+	}
+	// At B=512 the methods converge (paper: 55-62 Tflop/s, a <=1.25x
+	// spread vs the >=2x spread at B=8), and the breadth-first advantage
+	// over no-pipeline shrinks to near parity.
+	bf512 := get(FamilyBreadthFirst, 512)
+	df512 := get(FamilyDepthFirst, 512)
+	nl512 := get(FamilyNonLooped, 512)
+	np512 := get(FamilyNoPipeline, 512)
+	lo, hi := np512.Throughput, np512.Throughput
+	for _, b := range []Best{bf512, df512, nl512} {
+		if b.Throughput < lo {
+			lo = b.Throughput
+		}
+		if b.Throughput > hi {
+			hi = b.Throughput
+		}
+	}
+	if hi/lo > 1.25 {
+		t.Errorf("methods should converge at B=512: spread %.2fx", hi/lo)
+	}
+	if bf512.Throughput > 1.2*np512.Throughput {
+		t.Errorf("BF advantage at B=512 should be small: %.1f vs %.1f",
+			bf512.Throughput/1e12, np512.Throughput/1e12)
+	}
+	if adv8, adv512 := bf8.Throughput/np8.Throughput, bf512.Throughput/np512.Throughput; adv512 > adv8/2 {
+		t.Errorf("BF advantage should shrink with batch: %.2fx at B=8 vs %.2fx at B=512", adv8, adv512)
+	}
+	// Utilization bands: paper sees ~29-50%% across the sweep.
+	if bf8.Utilization < 0.22 || bf8.Utilization > 0.45 {
+		t.Errorf("BF at B=8 utilization %.1f%% outside plausible band", 100*bf8.Utilization)
+	}
+	if np512.Utilization < 0.40 || np512.Utilization > 0.60 {
+		t.Errorf("no-pipeline at B=512 utilization %.1f%% outside plausible band", 100*np512.Utilization)
+	}
+}
+
+// The optimizer must respect memory: every winning config fits, and the 52B
+// model at B=8 must use heavy model parallelism (the paper's optimum is
+// PP=TP=8).
+func TestOptimalConfigShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search sweep")
+	}
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	b, err := Optimize(c, m, FamilyBreadthFirst, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.Plan
+	if p.PP*p.TP < 32 {
+		t.Errorf("52B at B=8 should need heavy model parallelism, got PP=%d TP=%d", p.PP, p.TP)
+	}
+	if b.Memory.Total() > float64(c.GPU.MemBytes) {
+		t.Errorf("winning config exceeds GPU memory: %v", b.Memory)
+	}
+	if b.Configs < 2 {
+		t.Errorf("expected multiple candidates, got %d", b.Configs)
+	}
+}
+
+// Sharding should appear in the breadth-first optimum once DP > 1 is viable
+// (the paper's BF winners use DP-FS from B=16 up).
+func TestBreadthFirstAdoptsSharding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search sweep")
+	}
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	sawFS := false
+	for _, batch := range []int{32, 48, 64} {
+		b, err := Optimize(c, m, FamilyBreadthFirst, batch, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Plan.Sharding == core.DPFS {
+			sawFS = true
+		}
+	}
+	if !sawFS {
+		t.Error("breadth-first optimum should adopt DP-FS at medium batches")
+	}
+}
+
+func TestSweepSkipsInfeasible(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	// Batch 1 is below beta_min * NGPU for every grid: infeasible; batch 64
+	// works. Sweep must skip and carry on.
+	bests, err := Sweep(c, m, FamilyBreadthFirst, []int{1, 64}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bests) != 1 || bests[0].Plan.BatchSize() != 64 {
+		t.Errorf("sweep should keep only batch 64, got %d results", len(bests))
+	}
+	if _, err := Sweep(c, m, FamilyBreadthFirst, []int{1}, Options{}); err == nil {
+		t.Error("all-infeasible sweep should fail")
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	if _, err := Optimize(c, m, FamilyBreadthFirst, 1, Options{}); err == nil {
+		t.Error("infeasible batch should fail")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model6p6B()
+	b, err := Optimize(c, m, FamilyBreadthFirst, 64, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Table("Table E.2", map[Family][]Best{FamilyBreadthFirst: {b}})
+	if !strings.Contains(s, "Breadth-first (ours)") || !strings.Contains(s, "Table E.2") {
+		t.Errorf("table missing content:\n%s", s)
+	}
+}
+
+func TestFamilyStrings(t *testing.T) {
+	for _, f := range append(Families(), Family(99)) {
+		if f.String() == "" {
+			t.Error("empty family name")
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromData(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Errorf("c[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulTransBMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, b := New(4, 5), New(3, 5)
+	a.RandInit(rng, 1)
+	b.RandInit(rng, 1)
+	// b^T explicitly.
+	bt := New(5, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			bt.Set(j, i, b.At(i, j))
+		}
+	}
+	got := MatMulTransB(a, b)
+	want := MatMul(a, bt)
+	if d := MaxAbsDiff(got, want); d > 1e-12 {
+		t.Errorf("MatMulTransB differs from explicit transpose by %v", d)
+	}
+}
+
+func TestMatMulTransAIntoAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b := New(4, 3), New(4, 2)
+	a.RandInit(rng, 1)
+	b.RandInit(rng, 1)
+	at := New(3, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	want := MatMul(at, b)
+	out := New(3, 2)
+	MatMulTransAInto(out, a, b)
+	if d := MaxAbsDiff(out, want); d > 1e-12 {
+		t.Errorf("MatMulTransAInto differs by %v", d)
+	}
+	// Accumulation: calling twice doubles.
+	MatMulTransAInto(out, a, b)
+	for i := range out.Data {
+		if math.Abs(out.Data[i]-2*want.Data[i]) > 1e-12 {
+			t.Fatal("second call should accumulate")
+		}
+	}
+}
+
+func TestBiasOps(t *testing.T) {
+	m := FromData(2, 3, []float64{0, 0, 0, 1, 1, 1})
+	AddBias(m, []float64{1, 2, 3})
+	want := []float64{1, 2, 3, 2, 3, 4}
+	for i, w := range want {
+		if m.Data[i] != w {
+			t.Errorf("bias add: [%d] = %v, want %v", i, m.Data[i], w)
+		}
+	}
+	db := make([]float64, 3)
+	BiasGradInto(db, m)
+	for j, w := range []float64{3, 5, 7} {
+		if db[j] != w {
+			t.Errorf("bias grad [%d] = %v, want %v", j, db[j], w)
+		}
+	}
+}
+
+// Finite-difference check of the GELU gradient.
+func TestGELUGradientNumerically(t *testing.T) {
+	for _, x := range []float64{-3, -1, -0.1, 0, 0.1, 1, 3} {
+		h := 1e-6
+		want := (gelu(x+h) - gelu(x-h)) / (2 * h)
+		got := geluGrad(x)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("gelu'(%v) = %v, numeric %v", x, got, want)
+		}
+	}
+}
+
+func TestGELUShapes(t *testing.T) {
+	x := FromData(1, 3, []float64{-1, 0, 2})
+	y := GELU(x)
+	if y.At(0, 1) != 0 {
+		t.Error("gelu(0) should be 0")
+	}
+	if y.At(0, 2) <= 1.9 || y.At(0, 2) >= 2 {
+		t.Errorf("gelu(2) = %v, want just below 2", y.At(0, 2))
+	}
+	dy := FromData(1, 3, []float64{1, 1, 1})
+	dx := GELUBackward(dy, x)
+	if dx.At(0, 2) <= 0.9 {
+		t.Errorf("gelu'(2) = %v, want close to 1", dx.At(0, 2))
+	}
+}
+
+// Property: matmul distributes over addition.
+func TestMatMulLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := New(3, 4), New(4, 2), New(4, 2)
+		a.RandInit(rng, 1)
+		b.RandInit(rng, 1)
+		c.RandInit(rng, 1)
+		bc := b.Clone()
+		AddInto(bc, c)
+		lhs := MatMul(a, bc)
+		rhs := MatMul(a, b)
+		AddInto(rhs, MatMul(a, c))
+		return MaxAbsDiff(lhs, rhs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowSlice(t *testing.T) {
+	m := FromData(4, 2, []float64{0, 1, 2, 3, 4, 5, 6, 7})
+	s := m.RowSlice(1, 3)
+	if s.Rows != 2 || s.At(0, 0) != 2 || s.At(1, 1) != 5 {
+		t.Errorf("row slice wrong: %+v", s)
+	}
+	// Views share memory.
+	s.Set(0, 0, 99)
+	if m.At(1, 0) != 99 {
+		t.Error("RowSlice should be a view")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { MatMul(New(2, 3), New(2, 3)) },
+		func() { MatMulTransB(New(2, 3), New(2, 4)) },
+		func() { MatMulTransAInto(New(1, 1), New(2, 3), New(3, 2)) },
+		func() { AddBias(New(2, 3), []float64{1}) },
+		func() { BiasGradInto([]float64{1}, New(2, 3)) },
+		func() { AddInto(New(1, 2), New(2, 1)) },
+		func() { GELUBackward(New(1, 2), New(2, 1)) },
+		func() { FromData(2, 2, []float64{1}) },
+		func() { New(-1, 2) },
+		func() { New(2, 2).RowSlice(1, 3) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := FromData(1, 2, []float64{1, 2})
+	b := FromData(1, 2, []float64{1, 2.5})
+	if d := MaxAbsDiff(a, b); d != 0.5 {
+		t.Errorf("diff = %v, want 0.5", d)
+	}
+	if !math.IsInf(MaxAbsDiff(a, New(2, 2)), 1) {
+		t.Error("shape mismatch should be +inf")
+	}
+	if d := MaxAbsDiffSlice([]float64{1}, []float64{1, 2}); !math.IsInf(d, 1) {
+		t.Error("length mismatch should be +inf")
+	}
+}

@@ -1,0 +1,98 @@
+// Package topology maps the (up to) three-dimensional device grid of
+// Appendix A.1 — N_DP x N_TP x N_PP — onto linear global ranks and derives
+// the communication groups each rank belongs to. The ordering follows the
+// Megatron-LM convention: tensor-parallel ranks are innermost (consecutive,
+// sharing a node's NVLink), data-parallel next, pipeline-parallel outermost.
+package topology
+
+import "fmt"
+
+// Grid is a parallelism grid.
+type Grid struct {
+	// TP, DP, PP are the group sizes; all must be positive.
+	TP, DP, PP int
+}
+
+// World returns the total rank count.
+func (g Grid) World() int { return g.TP * g.DP * g.PP }
+
+// Validate reports whether the grid is usable.
+func (g Grid) Validate() error {
+	if g.TP <= 0 || g.DP <= 0 || g.PP <= 0 {
+		return fmt.Errorf("topology: group sizes must be positive (TP=%d DP=%d PP=%d)",
+			g.TP, g.DP, g.PP)
+	}
+	return nil
+}
+
+// Rank returns the global rank at coordinates (dp, pp, tp).
+func (g Grid) Rank(dp, pp, tp int) int {
+	if dp < 0 || dp >= g.DP || pp < 0 || pp >= g.PP || tp < 0 || tp >= g.TP {
+		panic(fmt.Sprintf("topology: coords (dp=%d pp=%d tp=%d) out of %dx%dx%d",
+			dp, pp, tp, g.DP, g.PP, g.TP))
+	}
+	return (pp*g.DP+dp)*g.TP + tp
+}
+
+// Coords returns the (dp, pp, tp) coordinates of a global rank.
+func (g Grid) Coords(rank int) (dp, pp, tp int) {
+	if rank < 0 || rank >= g.World() {
+		panic(fmt.Sprintf("topology: rank %d out of %d", rank, g.World()))
+	}
+	tp = rank % g.TP
+	rest := rank / g.TP
+	dp = rest % g.DP
+	pp = rest / g.DP
+	return dp, pp, tp
+}
+
+// TPGroup returns the tensor-parallel group containing the ranks with the
+// given (dp, pp) coordinates, in tp order.
+func (g Grid) TPGroup(dp, pp int) []int {
+	out := make([]int, g.TP)
+	for tp := 0; tp < g.TP; tp++ {
+		out[tp] = g.Rank(dp, pp, tp)
+	}
+	return out
+}
+
+// DPGroup returns the data-parallel group for fixed (pp, tp), in dp order.
+func (g Grid) DPGroup(pp, tp int) []int {
+	out := make([]int, g.DP)
+	for dp := 0; dp < g.DP; dp++ {
+		out[dp] = g.Rank(dp, pp, tp)
+	}
+	return out
+}
+
+// PPGroup returns the pipeline-parallel group for fixed (dp, tp), in pp
+// order (the pipeline's device chain).
+func (g Grid) PPGroup(dp, tp int) []int {
+	out := make([]int, g.PP)
+	for pp := 0; pp < g.PP; pp++ {
+		out[pp] = g.Rank(dp, pp, tp)
+	}
+	return out
+}
+
+// Node returns the node index of a rank for the given node size.
+func (g Grid) Node(rank, gpusPerNode int) int {
+	if gpusPerNode <= 0 {
+		panic("topology: gpusPerNode must be positive")
+	}
+	return rank / gpusPerNode
+}
+
+// DPGroupSpansNodes reports whether a data-parallel group crosses node
+// boundaries, which determines whether its collectives ride NVLink or the
+// inter-node network (the engine's bandwidth-sharing model).
+func (g Grid) DPGroupSpansNodes(gpusPerNode int) bool {
+	grp := g.DPGroup(0, 0)
+	first := g.Node(grp[0], gpusPerNode)
+	for _, r := range grp[1:] {
+		if g.Node(r, gpusPerNode) != first {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRankCoordsInverse(t *testing.T) {
+	g := Grid{TP: 2, DP: 4, PP: 8}
+	if g.World() != 64 {
+		t.Fatalf("world = %d, want 64", g.World())
+	}
+	seen := map[int]bool{}
+	for dp := 0; dp < g.DP; dp++ {
+		for pp := 0; pp < g.PP; pp++ {
+			for tp := 0; tp < g.TP; tp++ {
+				r := g.Rank(dp, pp, tp)
+				if seen[r] {
+					t.Fatalf("rank %d assigned twice", r)
+				}
+				seen[r] = true
+				d2, p2, t2 := g.Coords(r)
+				if d2 != dp || p2 != pp || t2 != tp {
+					t.Fatalf("coords(%d) = (%d,%d,%d), want (%d,%d,%d)",
+						r, d2, p2, t2, dp, pp, tp)
+				}
+			}
+		}
+	}
+	if len(seen) != 64 {
+		t.Fatalf("assigned %d ranks", len(seen))
+	}
+}
+
+// TP ranks are consecutive (the NVLink requirement of Section 3.3).
+func TestTPGroupConsecutive(t *testing.T) {
+	g := Grid{TP: 8, DP: 2, PP: 4}
+	grp := g.TPGroup(1, 2)
+	for i := 1; i < len(grp); i++ {
+		if grp[i] != grp[i-1]+1 {
+			t.Fatalf("TP group not consecutive: %v", grp)
+		}
+	}
+}
+
+// Groups partition the world: every rank appears in exactly one DP group,
+// one TP group and one PP group.
+func TestGroupsPartitionWorld(t *testing.T) {
+	g := Grid{TP: 2, DP: 2, PP: 4}
+	count := map[int]int{}
+	for pp := 0; pp < g.PP; pp++ {
+		for tp := 0; tp < g.TP; tp++ {
+			for _, r := range g.DPGroup(pp, tp) {
+				count[r]++
+			}
+		}
+	}
+	for r := 0; r < g.World(); r++ {
+		if count[r] != 1 {
+			t.Fatalf("rank %d in %d DP groups", r, count[r])
+		}
+	}
+	count = map[int]int{}
+	for dp := 0; dp < g.DP; dp++ {
+		for tp := 0; tp < g.TP; tp++ {
+			for _, r := range g.PPGroup(dp, tp) {
+				count[r]++
+			}
+		}
+	}
+	for r := 0; r < g.World(); r++ {
+		if count[r] != 1 {
+			t.Fatalf("rank %d in %d PP groups", r, count[r])
+		}
+	}
+}
+
+func TestDPGroupSpansNodes(t *testing.T) {
+	// TP=8 fills a node, so DP groups must cross nodes.
+	if !(Grid{TP: 8, DP: 8, PP: 1}).DPGroupSpansNodes(8) {
+		t.Error("TP=8 DP groups should span nodes")
+	}
+	// TP=1, DP=8 fits in one node.
+	if (Grid{TP: 1, DP: 8, PP: 8}).DPGroupSpansNodes(8) {
+		t.Error("TP=1 DP=8 group should fit in one node")
+	}
+	// TP=2, DP=4 also fits (8 consecutive ranks).
+	if (Grid{TP: 2, DP: 4, PP: 8}).DPGroupSpansNodes(8) {
+		t.Error("TP=2 DP=4 group should fit in one node")
+	}
+	// TP=2, DP=8 does not (16 consecutive ranks over 2 nodes).
+	if !(Grid{TP: 2, DP: 8, PP: 4}).DPGroupSpansNodes(8) {
+		t.Error("TP=2 DP=8 group should span nodes")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Grid{TP: 1, DP: 1, PP: 1}).Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, g := range []Grid{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 2, 2}} {
+		if err := g.Validate(); err == nil {
+			t.Errorf("grid %+v should fail validation", g)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	g := Grid{TP: 2, DP: 2, PP: 2}
+	cases := []func(){
+		func() { g.Rank(2, 0, 0) },
+		func() { g.Rank(0, -1, 0) },
+		func() { g.Coords(8) },
+		func() { g.Coords(-1) },
+		func() { g.Node(0, 0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: rank <-> coords round-trips on random grids.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(tpE, dpE, ppE, pick uint8) bool {
+		g := Grid{TP: int(tpE%4) + 1, DP: int(dpE%4) + 1, PP: int(ppE%4) + 1}
+		r := int(pick) % g.World()
+		dp, pp, tp := g.Coords(r)
+		return g.Rank(dp, pp, tp) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,161 @@
+// Package trace renders simulated timelines: ASCII Gantt charts in the
+// style of the paper's Figures 4 and 9 (micro-batch numbers over per-device
+// rows, compute and communication streams separated), the layer-placement
+// diagram of Figure 3, and a Chrome trace JSON export for interactive
+// inspection in chrome://tracing or Perfetto.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"bfpp/internal/core"
+	"bfpp/internal/des"
+	"bfpp/internal/model"
+)
+
+// fillChar maps a span class to its Gantt fill character.
+func fillChar(class string) byte {
+	switch class {
+	case "fwd":
+		return 'f'
+	case "bwd":
+		return 'b'
+	case "reduce":
+		return 'G'
+	case "restore":
+		return 'W'
+	case "send":
+		return '>'
+	case "opt":
+		return 'S'
+	default:
+		return '#'
+	}
+}
+
+// Gantt renders the timeline as one row per stream, scaled to the given
+// character width. Forward and backward spans are labelled with their
+// micro-batch number (modulo 10), mirroring Figure 4; idle time is dots.
+func Gantt(tl *des.Timeline, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if tl.Makespan <= 0 {
+		return "(empty timeline)\n"
+	}
+	scale := float64(width) / tl.Makespan
+	var b strings.Builder
+	nameW := 0
+	for _, n := range tl.StreamNames {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	for sid, name := range tl.StreamNames {
+		spans := tl.StreamSpans(des.StreamID(sid))
+		if len(spans) == 0 {
+			continue
+		}
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, sp := range spans {
+			lo := int(math.Round(sp.Start * scale))
+			hi := int(math.Round(sp.End * scale))
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > width {
+				hi = width
+			}
+			if lo >= width {
+				lo = width - 1
+			}
+			c := fillChar(sp.Class)
+			for i := lo; i < hi; i++ {
+				row[i] = c
+			}
+			if sp.Micro >= 0 && (sp.Class == "fwd" || sp.Class == "bwd") {
+				row[lo] = byte('0' + sp.Micro%10)
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, name, row)
+	}
+	return b.String()
+}
+
+// Legend returns the fill-character key for Gantt output.
+func Legend() string {
+	return "legend: digit+f forward (micro-batch)  digit+b backward  " +
+		"W restore  G reduce  > transfer  S optimizer  . idle\n"
+}
+
+// Placement renders the layer placement of a plan in the style of
+// Figure 3: one row per pipeline device listing its layer indices in
+// execution order (loop by loop).
+func Placement(m model.Transformer, p core.Plan) string {
+	var b strings.Builder
+	style := "standard"
+	if p.Loops > 1 {
+		style = "looping"
+	}
+	fmt.Fprintf(&b, "%s placement: %d layers over %d devices, %d stage(s)/device\n",
+		style, m.Layers, p.PP, p.Loops)
+	for r := 0; r < p.PP; r++ {
+		var layers []string
+		for _, s := range p.DeviceStages(r) {
+			lo, hi := p.StageLayers(m, s)
+			for l := lo; l < hi; l++ {
+				layers = append(layers, fmt.Sprint(l))
+			}
+		}
+		fmt.Fprintf(&b, "GPU %d | %s\n", r, strings.Join(layers, " "))
+	}
+	return b.String()
+}
+
+// chromeEvent is one Chrome trace "complete" event.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+}
+
+// chromeFile is the JSON object format of the Chrome tracing schema.
+type chromeFile struct {
+	TraceEvents []chromeEvent     `json:"traceEvents"`
+	Metadata    map[string]string `json:"otherData,omitempty"`
+}
+
+// ChromeTrace serializes the timeline in the Chrome tracing JSON format
+// (timestamps in microseconds; one thread per stream).
+func ChromeTrace(tl *des.Timeline) ([]byte, error) {
+	f := chromeFile{Metadata: map[string]string{"generator": "bfpp"}}
+	for _, sp := range tl.Spans {
+		name := sp.Class
+		if sp.Micro >= 0 {
+			name = fmt.Sprintf("%s s%d m%d", sp.Class, sp.Stage, sp.Micro)
+		} else if sp.Stage >= 0 {
+			name = fmt.Sprintf("%s s%d", sp.Class, sp.Stage)
+		}
+		ev := chromeEvent{
+			Name: name, Ph: "X", Cat: sp.Class,
+			Ts: sp.Start * 1e6, Dur: sp.Dur() * 1e6,
+			Pid: 0, Tid: int(sp.Stream),
+		}
+		if sp.Stage >= 0 {
+			ev.Args = map[string]any{"stage": sp.Stage, "micro": sp.Micro}
+		}
+		f.TraceEvents = append(f.TraceEvents, ev)
+	}
+	return json.MarshalIndent(f, "", " ")
+}

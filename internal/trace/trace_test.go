@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bfpp/internal/core"
+	"bfpp/internal/des"
+	"bfpp/internal/engine"
+	"bfpp/internal/hw"
+	"bfpp/internal/model"
+)
+
+func timeline(t *testing.T, p core.Plan) *des.Timeline {
+	t.Helper()
+	r, err := engine.SimulateOpts(hw.PaperCluster(), model.Tiny(), p,
+		engine.Options{CaptureTimeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Timeline
+}
+
+func figure4Plan(m core.Method, loops int) core.Plan {
+	// MicroBatch 4 keeps per-stage compute well above the fixed per-op
+	// overheads on the tiny model, so the bubble dominates as in Figure 4.
+	p := core.Plan{Method: m, DP: 1, PP: 4, TP: 1, MicroBatch: 4,
+		NumMicro: 8, Loops: loops}
+	if m == core.GPipe || m == core.BreadthFirst {
+		p.OverlapDP, p.OverlapPP = true, true
+	}
+	return p
+}
+
+func TestGanttRendersAllStreams(t *testing.T) {
+	tl := timeline(t, figure4Plan(core.BreadthFirst, 4))
+	// Wide enough that forward spans cover more than their digit label.
+	g := Gantt(tl, 400)
+	for _, want := range []string{"gpu0/compute", "gpu3/compute", "gpu0/pp"} {
+		if !strings.Contains(g, want) {
+			t.Errorf("gantt missing stream %q:\n%s", want, g)
+		}
+	}
+	if !strings.Contains(g, "f") || !strings.Contains(g, "b") || !strings.Contains(g, "S") {
+		t.Errorf("gantt missing op classes:\n%s", g)
+	}
+}
+
+// Figure 4a structure: on GPU 0 of a GPipe pipeline, micro-batch 0's
+// forward comes first; the last device's row starts idle (the bubble).
+func TestGanttShowsBubble(t *testing.T) {
+	tl := timeline(t, figure4Plan(core.GPipe, 1))
+	g := Gantt(tl, 120)
+	lines := strings.Split(g, "\n")
+	var first, last string
+	for _, l := range lines {
+		if strings.Contains(l, "gpu0/compute") {
+			first = l
+		}
+		if strings.Contains(l, "gpu3/compute") {
+			last = l
+		}
+	}
+	if first == "" || last == "" {
+		t.Fatalf("missing rows:\n%s", g)
+	}
+	body := func(s string) string { return s[strings.Index(s, "|")+1:] }
+	if !strings.HasPrefix(body(first), "0") {
+		t.Errorf("GPU0 should start with micro-batch 0: %q", body(first))
+	}
+	if !strings.HasPrefix(body(last), ".") {
+		t.Errorf("last device should start idle (pipeline bubble): %q", body(last))
+	}
+	// The bubble is visible as leading idle on the last device (the first
+	// device instead idles at the end while backwards drain).
+	leadingIdle := func(s string) int {
+		return len(body(s)) - len(strings.TrimLeft(body(s), "."))
+	}
+	if leadingIdle(last) <= leadingIdle(first) {
+		t.Errorf("expected leading bubble idle on last device: %d vs %d",
+			leadingIdle(last), leadingIdle(first))
+	}
+}
+
+// The looped breadth-first timeline must be visibly shorter than GPipe at
+// the same configuration (smaller bubble), mirroring Figure 4's "times to
+// scale" comparison.
+func TestLoopedTimelineShorter(t *testing.T) {
+	gp := timeline(t, figure4Plan(core.GPipe, 1))
+	bf := timeline(t, figure4Plan(core.BreadthFirst, 4))
+	if bf.Makespan >= gp.Makespan {
+		t.Errorf("breadth-first (%.4fs) should beat GPipe (%.4fs)", bf.Makespan, gp.Makespan)
+	}
+}
+
+func TestGanttEdgeCases(t *testing.T) {
+	empty := &des.Timeline{StreamNames: []string{"x"}}
+	if g := Gantt(empty, 50); !strings.Contains(g, "empty") {
+		t.Errorf("empty timeline: %q", g)
+	}
+	tl := timeline(t, figure4Plan(core.GPipe, 1))
+	if g := Gantt(tl, 1); g == "" { // width clamped up
+		t.Error("tiny width should still render")
+	}
+	if Legend() == "" {
+		t.Error("empty legend")
+	}
+}
+
+// Figure 3: the placement diagram for a 16-layer model on 4 devices.
+func TestPlacementMatchesFigure3(t *testing.T) {
+	m := model.Tiny()
+	std := core.Plan{Method: core.GPipe, DP: 1, PP: 4, TP: 1, MicroBatch: 1, NumMicro: 8, Loops: 1}
+	looped := core.Plan{Method: core.BreadthFirst, DP: 1, PP: 4, TP: 1, MicroBatch: 1, NumMicro: 8, Loops: 4}
+	s := Placement(m, std)
+	if !strings.Contains(s, "GPU 0 | 0 1 2 3") || !strings.Contains(s, "GPU 3 | 12 13 14 15") {
+		t.Errorf("standard placement wrong:\n%s", s)
+	}
+	l := Placement(m, looped)
+	if !strings.Contains(l, "GPU 0 | 0 4 8 12") || !strings.Contains(l, "GPU 1 | 1 5 9 13") {
+		t.Errorf("looping placement wrong:\n%s", l)
+	}
+	if !strings.Contains(l, "looping") || !strings.Contains(s, "standard") {
+		t.Error("placement style labels missing")
+	}
+}
+
+func TestChromeTraceValidJSON(t *testing.T) {
+	tl := timeline(t, figure4Plan(core.BreadthFirst, 4))
+	raw, err := ChromeTrace(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != len(tl.Spans) {
+		t.Errorf("events %d != spans %d", len(parsed.TraceEvents), len(tl.Spans))
+	}
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph != "X" || ev.Dur < 0 || ev.Ts < 0 {
+			t.Errorf("bad event: %+v", ev)
+		}
+	}
+}
+
+// Figure 9: breadth-first gradient accumulation with DP-FS shows one
+// restore pair and one reduce per stage, while depth-first repeats them
+// per micro-batch — visible as W/G density in the gantt.
+func TestFigure9AccumulationGantt(t *testing.T) {
+	mk := func(m core.Method) string {
+		p := core.Plan{Method: m, DP: 4, PP: 1, TP: 1, MicroBatch: 1,
+			NumMicro: 4, Loops: 4, Sharding: core.DPFS, OverlapDP: true}
+		r, err := engine.SimulateOpts(hw.PaperCluster(), model.Tiny(), p,
+			engine.Options{CaptureTimeline: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Gantt(r.Timeline, 150)
+	}
+	df := mk(core.NoPipelineDF)
+	bf := mk(core.NoPipelineBF)
+	if !strings.Contains(df, "W") || !strings.Contains(bf, "W") {
+		t.Error("restores should be visible")
+	}
+	// Count W-runs (restore blocks) in the DP rows: DF has 4x more.
+	countRuns := func(s, sub string) int {
+		return len(strings.FieldsFunc(s, func(r rune) bool { return r != rune(sub[0]) })) - 0
+	}
+	_ = countRuns
+	if strings.Count(df, "W") <= strings.Count(bf, "W") {
+		t.Error("depth-first accumulation should show more restore time")
+	}
+}
