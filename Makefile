@@ -1,0 +1,27 @@
+# Makefile — common entry points. `make ci` is what the repo considers a
+# green build; `make bench` refreshes BENCH_search.json (the perf
+# trajectory of the parallel grid-search engine).
+
+.PHONY: build test vet race bench ci
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go test -race -count=1 \
+		-run 'Parallel|Cache|Concurrent|Sweep|FastPath|RunMatches|Curve|CheapArtifacts' \
+		./internal/parallel ./internal/search ./internal/schedule \
+		./internal/memsim ./internal/des ./internal/engine \
+		./internal/figures ./internal/tradeoff
+
+bench:
+	sh scripts/bench.sh
+
+ci:
+	sh ci.sh

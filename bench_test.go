@@ -20,6 +20,7 @@ import (
 	"bfpp/internal/batchsize"
 	"bfpp/internal/collective"
 	"bfpp/internal/core"
+	"bfpp/internal/des"
 	"bfpp/internal/engine"
 	"bfpp/internal/figures"
 	"bfpp/internal/hw"
@@ -152,6 +153,146 @@ func BenchmarkGridSearchOneBatch(b *testing.B) {
 	m := model.Model52B()
 	for i := 0; i < b.N; i++ {
 		if _, err := search.Optimize(c, m, search.FamilyBreadthFirst, 64, search.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Parallel search engine benchmarks: the perf harness (scripts/bench.sh)
+// turns these into BENCH_search.json, tracking the speedup of the
+// worker-pool + memo-cache + DES-fast-path evaluator over the seed-faithful
+// baseline from this PR onward.
+
+// benchOptimize runs one 52B breadth-first search at batch 64.
+func benchOptimize(b *testing.B, opt search.Options) {
+	b.Helper()
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Optimize(c, m, search.FamilyBreadthFirst, 64, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchOptimizeBaseline is the seed-faithful evaluator: serial,
+// no memo caches, reference DES loop.
+func BenchmarkSearchOptimizeBaseline(b *testing.B) {
+	benchOptimize(b, search.Options{Baseline: true})
+}
+
+// BenchmarkSearchOptimizeSerial is the optimized path pinned to 1 worker
+// (caches and DES fast path on): it isolates the single-core wins.
+func BenchmarkSearchOptimizeSerial(b *testing.B) {
+	benchOptimize(b, search.Options{Workers: 1})
+}
+
+// BenchmarkSearchOptimizeParallel is the default configuration: GOMAXPROCS
+// workers plus caches and the DES fast path.
+func BenchmarkSearchOptimizeParallel(b *testing.B) {
+	benchOptimize(b, search.Options{})
+}
+
+// benchSweep runs the full Figure 7 / Table E.1 grid: every family at every
+// 52B paper batch size.
+func benchSweep(b *testing.B, opt search.Options) {
+	b.Helper()
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	batches := []int{8, 16, 32, 64, 128, 256, 512}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range search.Families() {
+			if _, err := search.Sweep(c, m, f, batches, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepFigure7Baseline measures the whole Figure-7 sweep with the
+// seed-faithful evaluator (the perf-harness speedup denominator).
+func BenchmarkSweepFigure7Baseline(b *testing.B) {
+	benchSweep(b, search.Options{Baseline: true})
+}
+
+// BenchmarkSweepFigure7Parallel measures the same sweep on the worker pool
+// with caches and the DES fast path (the speedup numerator).
+func BenchmarkSweepFigure7Parallel(b *testing.B) {
+	benchSweep(b, search.Options{})
+}
+
+// benchDESSim builds a breadth-first-shaped synthetic task graph: nDev
+// compute streams plus nDev transfer streams, loops×micros compute tasks
+// per device with stage-boundary transfer wiring, roughly matching the
+// graphs the engine submits. Run/RunReference leave the task graph
+// untouched (Run only reuses the Sim's internal scratch buffers), so one
+// graph serves all sequential iterations; a Sim must not be shared across
+// goroutines.
+func benchDESSim() *des.Sim {
+	const nDev, loops, micros = 8, 8, 16
+	s := des.New()
+	comp := make([]des.StreamID, nDev)
+	xfer := make([]des.StreamID, nDev)
+	for d := 0; d < nDev; d++ {
+		comp[d] = s.Stream("compute")
+		xfer[d] = s.Stream("xfer")
+	}
+	prev := make(map[[2]int]des.TaskID) // (stage, micro) -> producing transfer
+	for l := 0; l < loops; l++ {
+		for d := 0; d < nDev; d++ {
+			for mb := 0; mb < micros; mb++ {
+				var deps []des.TaskID
+				if t, ok := prev[[2]int{l*nDev + d, mb}]; ok {
+					deps = append(deps, t)
+				}
+				ct := s.AddTagged(comp[d], 1, "fwd", l*nDev+d, mb, deps...)
+				if l < loops-1 || d < nDev-1 {
+					st := s.AddTagged(xfer[d], 0.5, "send", l*nDev+d, mb, ct)
+					prev[[2]int{l*nDev + d + 1, mb}] = st
+				}
+			}
+		}
+	}
+	return s
+}
+
+// BenchmarkDESRunFast measures the indexed DES execution loop.
+func BenchmarkDESRunFast(b *testing.B) {
+	s := benchDESSim()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDESRunReference measures the original rescanning loop on the
+// identical graph.
+func BenchmarkDESRunReference(b *testing.B) {
+	s := benchDESSim()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunReference(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateBatchBaseline is BenchmarkSimulateBatch without the memo
+// caches and DES fast path, for allocs/op comparison.
+func BenchmarkSimulateBatchBaseline(b *testing.B) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	p := core.Plan{Method: core.BreadthFirst, DP: 4, PP: 8, TP: 2,
+		MicroBatch: 1, NumMicro: 12, Loops: 8, Sharding: core.DPFS,
+		OverlapDP: true, OverlapPP: true}
+	opt := engine.Options{DisableCache: true, ReferenceDES: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.SimulateOpts(c, m, p, opt); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -15,10 +15,24 @@
 //	internal/memsim    the memory model (paper Eqs. 13-17)
 //	internal/analytic  closed-form efficiency model and Table 4.1
 //	internal/search    the Appendix E configuration grid search
+//	internal/parallel  bounded worker pool with deterministic ordering
 //	internal/tradeoff  cluster-scale cost/time extrapolation (Figures 1, 8)
 //	internal/batchsize critical-batch-size law and SGD noise simulator
 //	internal/runtime   goroutine-based pipeline-parallel training runtime
 //	internal/trace     ASCII Gantt and Chrome trace rendering
+//
+// # Concurrency
+//
+// The grid search (Optimize, Sweep) evaluates candidate configurations on
+// a bounded worker pool, defaulting to GOMAXPROCS goroutines;
+// SearchOptions.Workers overrides the width (1 forces the serial path) and
+// the bfpp-search/bfpp-figures/bfpp-tradeoff commands expose it as
+// -workers. Results are deterministic and byte-identical at any worker
+// count: winner selection is tie-stable in enumeration order. Schedule
+// generation and memory estimates are memoized across simulations (plans
+// differing only in TP, micro-batch size or DP width share device
+// programs), and the discrete-event simulator runs an indexed fast path;
+// scripts/bench.sh tracks the resulting speedups in BENCH_search.json.
 //
 // # Quick start
 //

@@ -1,0 +1,32 @@
+#!/bin/sh
+# ci.sh — build + vet + format check + tests + race pass over the
+# concurrent search paths. Set SKIP_RACE=1 on toolchains without cgo.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== gofmt"
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+	echo "gofmt needed on:" "$UNFORMATTED"
+	exit 1
+fi
+
+echo "== go test"
+go test ./...
+
+if [ "${SKIP_RACE:-0}" != "1" ]; then
+	echo "== go test -race (concurrent search paths)"
+	go test -race -count=1 \
+		-run 'Parallel|Cache|Concurrent|Sweep|FastPath|RunMatches|Curve|CheapArtifacts' \
+		./internal/parallel ./internal/search ./internal/schedule \
+		./internal/memsim ./internal/des ./internal/engine \
+		./internal/figures ./internal/tradeoff
+fi
+
+echo "== ci OK"

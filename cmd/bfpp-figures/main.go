@@ -19,15 +19,18 @@ import (
 	"time"
 
 	"bfpp/internal/figures"
+	"bfpp/internal/parallel"
 )
 
 func main() {
 	var (
-		out    = flag.String("out", "results", "output directory")
-		only   = flag.String("only", "", "regenerate a single artifact (comma-separated list allowed)")
-		stdout = flag.Bool("stdout", false, "also print artifacts to stdout")
+		out     = flag.String("out", "results", "output directory")
+		only    = flag.String("only", "", "regenerate a single artifact (comma-separated list allowed)")
+		stdout  = flag.Bool("stdout", false, "also print artifacts to stdout")
+		workers = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
 	gens := figures.Generators()
 	if *only != "" {

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"bfpp/internal/cli"
+	"bfpp/internal/parallel"
 	"bfpp/internal/search"
 )
 
@@ -24,8 +25,10 @@ func main() {
 		clusterName = flag.String("cluster", "paper", "cluster: paper, ethernet, or a GPU count")
 		familyName  = flag.String("family", "all", "family: all, bf, df, nl, np")
 		batchesStr  = flag.String("batches", "8,16,32,64,128,256,512", "comma-separated global batch sizes")
+		workers     = flag.Int("workers", 0, "search worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
 	m, err := cli.ParseModel(*modelName)
 	fatalIf(err)

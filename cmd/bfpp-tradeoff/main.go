@@ -14,6 +14,7 @@ import (
 	"bfpp/internal/batchsize"
 	"bfpp/internal/cli"
 	"bfpp/internal/engine"
+	"bfpp/internal/parallel"
 	"bfpp/internal/search"
 	"bfpp/internal/tradeoff"
 )
@@ -25,8 +26,10 @@ func main() {
 		batchesStr  = flag.String("batches", "8,16,32,64,128,256,512", "measured batch sizes")
 		gpusStr     = flag.String("gpus", "256,512,1024,2048,4096,8192,16384", "cluster sizes to extrapolate to")
 		figure1At   = flag.Int("figure1", 4096, "cluster size for the Figure 1 summary (0 to skip)")
+		workers     = flag.Int("workers", 0, "search worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
 	m, err := cli.ParseModel(*modelName)
 	fatalIf(err)

@@ -1,0 +1,3 @@
+module bfpp
+
+go 1.24

@@ -1,0 +1,163 @@
+package des
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomSim builds a randomized stream/task graph whose AddDep wiring only
+// ever points backwards or to already-created tasks, so it is deadlock-free
+// by construction.
+func randomSim(rng *rand.Rand) *Sim {
+	s := New()
+	nStreams := 1 + rng.Intn(6)
+	streams := make([]StreamID, nStreams)
+	for i := range streams {
+		streams[i] = s.Stream("s")
+	}
+	nTasks := 1 + rng.Intn(200)
+	var ids []TaskID
+	for i := 0; i < nTasks; i++ {
+		st := streams[rng.Intn(nStreams)]
+		dur := float64(rng.Intn(5)) // include zero-duration ties
+		var deps []TaskID
+		for d := 0; d < rng.Intn(3) && len(ids) > 0; d++ {
+			deps = append(deps, ids[rng.Intn(len(ids))])
+		}
+		ids = append(ids, s.Add(st, dur, "t", deps...))
+	}
+	// Second-pass wiring, like the engine's cross-device transfers: extra
+	// edges from later tasks to earlier ones.
+	for i := 0; i < nTasks/4; i++ {
+		a, b := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+		if a > b {
+			s.AddDep(a, b)
+		}
+	}
+	return s
+}
+
+// TestRunMatchesReference asserts the indexed fast path and the reference
+// rescanning loop produce bit-identical timelines on randomized graphs.
+func TestRunMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		s := randomSim(rng)
+		fast, errFast := s.Run()
+		ref, errRef := s.RunReference()
+		if (errFast == nil) != (errRef == nil) {
+			t.Fatalf("trial %d: fast err %v, reference err %v", trial, errFast, errRef)
+		}
+		if errFast != nil {
+			continue
+		}
+		if fast.Makespan != ref.Makespan {
+			t.Fatalf("trial %d: makespan %v != %v", trial, fast.Makespan, ref.Makespan)
+		}
+		if !reflect.DeepEqual(fast.Spans, ref.Spans) {
+			t.Fatalf("trial %d: spans differ\nfast: %v\nref:  %v", trial, fast.Spans, ref.Spans)
+		}
+		if !reflect.DeepEqual(fast.StreamNames, ref.StreamNames) {
+			t.Fatalf("trial %d: stream names differ", trial)
+		}
+		// Accessor parity: the fast timeline answers through its index, the
+		// reference through full scans.
+		for st := 0; st < len(fast.StreamNames); st++ {
+			sid := StreamID(st)
+			if fast.BusyTime(sid) != ref.BusyTime(sid) {
+				t.Fatalf("trial %d: BusyTime(%d) differs", trial, st)
+			}
+			if fast.ClassTime(sid, "t") != ref.ClassTime(sid, "t") {
+				t.Fatalf("trial %d: ClassTime(%d) differs", trial, st)
+			}
+			if !reflect.DeepEqual(fast.StreamSpans(sid), ref.StreamSpans(sid)) {
+				t.Fatalf("trial %d: StreamSpans(%d) differs", trial, st)
+			}
+		}
+		if fast.ClassTime(-1, "t") != ref.ClassTime(-1, "t") {
+			t.Fatalf("trial %d: all-stream ClassTime differs", trial)
+		}
+	}
+}
+
+// TestRunDeadlockParity checks both paths report a cycle the same way.
+func TestRunDeadlockParity(t *testing.T) {
+	s := New()
+	a := s.Stream("a")
+	b := s.Stream("b")
+	t1 := s.Add(a, 1, "x")
+	t2 := s.Add(b, 1, "y")
+	s.AddDep(t1, t2)
+	s.AddDep(t2, t1)
+	_, errFast := s.Run()
+	_, errRef := s.RunReference()
+	if errFast == nil || errRef == nil {
+		t.Fatal("cycle should deadlock on both paths")
+	}
+	if errFast.Error() != errRef.Error() {
+		t.Fatalf("deadlock messages differ:\nfast: %v\nref:  %v", errFast, errRef)
+	}
+}
+
+// TestRunRepeatable: Run does not mutate the Sim, so repeated runs agree.
+func TestRunRepeatable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := randomSim(rng)
+	a, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Spans, b.Spans) || a.Makespan != b.Makespan {
+		t.Fatal("repeated Run on one Sim diverged")
+	}
+}
+
+func TestReserve(t *testing.T) {
+	s := New()
+	st := s.Stream("c")
+	s.Reserve(100, 200)
+	prev := s.Add(st, 1, "op")
+	for i := 0; i < 99; i++ {
+		prev = s.Add(st, 1, "op", prev)
+	}
+	tl, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Makespan != 100 {
+		t.Fatalf("makespan %v, want 100", tl.Makespan)
+	}
+	// Shrinking Reserve is a no-op, not a truncation.
+	s.Reserve(1, 1)
+	if s.NumTasks() != 100 {
+		t.Fatalf("Reserve truncated tasks to %d", s.NumTasks())
+	}
+}
+
+// TestArenaDepsIsolation guards the arena-backed Deps slices: appending
+// dependencies to one task (AddDep) must never clobber another task's
+// dependency list that sits adjacent in the arena.
+func TestArenaDepsIsolation(t *testing.T) {
+	s := New()
+	st := s.Stream("c")
+	a := s.Add(st, 1, "a")
+	b := s.Add(st, 1, "b", a)
+	c := s.Add(st, 1, "c", a) // lives right after b's deps in the arena
+	d := s.Add(st, 1, "d", a)
+	s.AddDep(b, a) // append to b's full-capacity slice: must reallocate
+	if got := s.tasks[c].Deps; len(got) != 1 || got[0] != a {
+		t.Fatalf("task c's deps clobbered: %v", got)
+	}
+	if got := s.tasks[b].Deps; len(got) != 2 || got[0] != a || got[1] != a {
+		t.Fatalf("task b's deps wrong: %v", got)
+	}
+	_ = d
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

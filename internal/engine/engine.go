@@ -12,10 +12,18 @@
 // depth-first) does not, paying per-message blocking costs on the compute
 // stream that Section 5.2 and Appendix D.2 attribute to latency,
 // synchronization and allocator stalls.
+//
+// Simulate is safe for concurrent use: the grid search fans plans out
+// across a worker pool (internal/parallel), and by default schedule
+// generation and memory estimates are memoized across calls (plans that
+// differ only in TP, micro-batch size or DP width share device programs).
+// Options.DisableCache and Options.ReferenceDES select the seed-faithful
+// slow path used by the equivalence tests and the perf harness.
 package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"bfpp/internal/core"
 	"bfpp/internal/des"
@@ -99,6 +107,15 @@ type Options struct {
 	CaptureTimeline bool
 	// Params overrides the calibration constants when non-zero.
 	Params *Params
+	// DisableCache bypasses the schedule and memory memo caches, generating
+	// and invariant-checking the schedule from scratch on every call (the
+	// seed-faithful behavior). Used by equivalence tests and as the perf
+	// harness baseline.
+	DisableCache bool
+	// ReferenceDES runs the simulator's reference rescanning loop
+	// (des.Sim.RunReference) instead of the indexed fast path. Timelines
+	// are bit-identical either way.
+	ReferenceDES bool
 }
 
 // Simulate runs one batch with default options.
@@ -117,30 +134,44 @@ func SimulateOpts(c hw.Cluster, m model.Transformer, p core.Plan, opt Options) (
 	if p.GPUs() > c.NumGPUs() {
 		return Result{}, fmt.Errorf("engine: plan needs %d GPUs, cluster has %d", p.GPUs(), c.NumGPUs())
 	}
-	sched, err := schedule.Generate(p)
-	if err != nil {
-		return Result{}, err
-	}
-	if err := schedule.Check(sched); err != nil {
-		return Result{}, fmt.Errorf("engine: generated schedule invalid: %w", err)
+	var sched *schedule.Schedule
+	if opt.DisableCache {
+		var err error
+		sched, err = schedule.Generate(p)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := schedule.Check(sched); err != nil {
+			return Result{}, fmt.Errorf("engine: generated schedule invalid: %w", err)
+		}
+	} else {
+		var err error
+		sched, err = schedule.Cached(p)
+		if err != nil {
+			return Result{}, fmt.Errorf("engine: %w", err)
+		}
 	}
 	par := Defaults()
 	if opt.Params != nil {
 		par = *opt.Params
 	}
 
-	b := builder{c: c, m: m, p: p, par: par, sched: sched}
+	b := builder{c: c, m: m, p: p, par: par, sched: sched, reference: opt.ReferenceDES}
 	tl, err := b.run()
 	if err != nil {
 		return Result{}, err
 	}
 
+	mem := memsim.CachedEstimate
+	if opt.DisableCache {
+		mem = memsim.Estimate
+	}
 	res := Result{
 		Plan:       p,
 		BatchTime:  tl.Makespan,
 		FlopPerGPU: m.BatchFlopPerGPU(p.MicroBatch, p.NumMicro, p.PP, p.TP),
 		Bubble:     p.Bubble(),
-		Memory:     memsim.Estimate(m, p),
+		Memory:     mem(m, p),
 	}
 	res.Throughput = res.FlopPerGPU / res.BatchTime
 	res.Utilization = res.Throughput / c.GPU.PeakFlops
@@ -174,11 +205,12 @@ func SimulateOpts(c hw.Cluster, m model.Transformer, p core.Plan, opt Options) (
 
 // builder assembles the DES model.
 type builder struct {
-	c     hw.Cluster
-	m     model.Transformer
-	p     core.Plan
-	par   Params
-	sched *schedule.Schedule
+	c         hw.Cluster
+	m         model.Transformer
+	p         core.Plan
+	par       Params
+	sched     *schedule.Schedule
+	reference bool
 
 	sim           *des.Sim
 	computeStream []des.StreamID
@@ -195,14 +227,23 @@ type builder struct {
 	nStages    int
 }
 
-type opKey struct{ stage, micro int }
+const noTask = des.TaskID(-1)
+
+// simPool recycles simulators across simulations: a Reset Sim keeps its
+// task, queue and dependency storage, so the steady-state build path of a
+// sweep allocates almost nothing. Sims are handed to exactly one goroutine
+// at a time; the returned Timeline shares nothing with the pooled Sim.
+var simPool = sync.Pool{New: func() any { return des.New() }}
 
 func (b *builder) run() (*des.Timeline, error) {
-	p, m, c := b.p, b.m, b.c
+	p := b.p
 	b.deriveCosts()
-	b.sim = des.New()
-	_ = m
-	_ = c
+	b.sim = simPool.Get().(*des.Sim)
+	b.sim.Reset()
+	defer func() {
+		simPool.Put(b.sim)
+		b.sim = nil
+	}()
 
 	nDev := len(b.sched.Devices)
 	b.computeStream = make([]des.StreamID, nDev)
@@ -223,13 +264,55 @@ func (b *builder) run() (*des.Timeline, error) {
 		}
 	}
 
+	// Pre-size the simulator: every schedule op becomes one task, plus one
+	// transfer task per cross-device stage boundary crossing (with the
+	// looping placement every adjacent stage pair is cross-device when
+	// PP > 1). Each task carries a couple of dependency edges, and the
+	// transfer wiring rewrites its consumers' lists once more.
+	var nOps int
+	for _, prog := range b.sched.Devices {
+		nOps += len(prog)
+	}
+	nTransfers := 0
+	if p.Method.Pipelined() && p.PP > 1 {
+		nTransfers = 2 * (b.nStages - 1) * p.NumMicro
+	}
+	b.sim.Reserve(nOps+nTransfers, 2*nOps+4*nTransfers)
+	for dev, prog := range b.sched.Devices {
+		b.sim.ReserveStream(b.computeStream[dev], len(prog))
+		if b.ppStream != nil {
+			b.sim.ReserveStream(b.ppStream[dev], len(prog))
+		}
+		if b.dpStream != nil {
+			b.sim.ReserveStream(b.dpStream[dev], len(prog))
+		}
+	}
+
+	// Compute task and inbound-transfer trackers per (stage, micro),
+	// flattened to slices: the hot path replaces four map lookups per op
+	// with array indexing.
+	nm := p.NumMicro
+	nk := b.nStages * nm
+	fwdTask := make([]des.TaskID, nk) // compute task per (stage, micro)
+	bwdTask := make([]des.TaskID, nk)
+	fwdSend := make([]des.TaskID, nk) // transfer feeding Forward(stage, micro)
+	bwdSend := make([]des.TaskID, nk) // transfer feeding Backward(stage, micro)
+	for i := 0; i < nk; i++ {
+		fwdTask[i], bwdTask[i], fwdSend[i], bwdSend[i] = noTask, noTask, noTask, noTask
+	}
+	key := func(stage, micro int) int { return stage*nm + micro }
+
+	// Per-device restore bookkeeping, reused across devices. restoreIdx is
+	// keyed by (stage, micro) with micro in [-1, NumMicro): index
+	// stage*(nm+1) + micro + 1.
+	restoreIdx := make([]int, b.nStages*(nm+1))
+	var restores []des.TaskID        // device restores in order (double buffering)
+	var restoreConsumer []des.TaskID // per restore: last consumer
+	var reduces []des.TaskID
+	deps := make([]des.TaskID, 0, 2)
+
 	// Pass 1: create tasks in program order; wire same-device dependencies
 	// immediately, recording cross-device endpoints for pass 2.
-	fwdTask := map[opKey]des.TaskID{} // compute task per (stage, micro)
-	bwdTask := map[opKey]des.TaskID{}
-	fwdSend := map[opKey]des.TaskID{} // transfer feeding Forward(stage, micro)
-	bwdSend := map[opKey]des.TaskID{} // transfer feeding Backward(stage, micro)
-
 	for dev, prog := range b.sched.Devices {
 		comp := b.computeStream[dev]
 		sendStream := comp
@@ -240,16 +323,18 @@ func (b *builder) run() (*des.Timeline, error) {
 		if b.dpStream != nil {
 			dpStream = b.dpStream[dev]
 		}
-		var restores []des.TaskID               // device restores in order (double buffering)
-		restoreConsumer := map[int]des.TaskID{} // restore index -> last consumer
-		restoreIdx := map[opKey]int{}           // latest restore covering a key
-		var reduces []des.TaskID
+		for i := range restoreIdx {
+			restoreIdx[i] = -1
+		}
+		restores = restores[:0]
+		restoreConsumer = restoreConsumer[:0]
+		reduces = reduces[:0]
 
-		lastRestoreFor := func(k opKey) (des.TaskID, int, bool) {
-			if i, ok := restoreIdx[k]; ok {
+		lastRestoreFor := func(stage, micro int) (des.TaskID, int, bool) {
+			if i := restoreIdx[stage*(nm+1)+micro+1]; i >= 0 {
 				return restores[i], i, true
 			}
-			if i, ok := restoreIdx[opKey{k.stage, -1}]; ok {
+			if i := restoreIdx[stage*(nm+1)]; i >= 0 { // per-batch restore (micro -1)
 				return restores[i], i, true
 			}
 			return 0, 0, false
@@ -258,22 +343,21 @@ func (b *builder) run() (*des.Timeline, error) {
 		for _, op := range prog {
 			switch op.Kind {
 			case schedule.Forward, schedule.Backward:
-				k := opKey{op.Stage, op.Micro}
 				class := "fwd"
 				dur := b.tFwd
 				if op.Kind == schedule.Backward {
 					class, dur = "bwd", b.tBwd
 				}
-				var deps []des.TaskID
-				rt, ri, hasRestore := lastRestoreFor(k)
+				deps = deps[:0]
+				rt, ri, hasRestore := lastRestoreFor(op.Stage, op.Micro)
 				if hasRestore {
 					deps = append(deps, rt)
 				}
 				t := b.sim.AddTagged(comp, dur, class, op.Stage, op.Micro, deps...)
 				if op.Kind == schedule.Forward {
-					fwdTask[k] = t
+					fwdTask[key(op.Stage, op.Micro)] = t
 				} else {
-					bwdTask[k] = t
+					bwdTask[key(op.Stage, op.Micro)] = t
 				}
 				if hasRestore {
 					restoreConsumer[ri] = t
@@ -292,25 +376,25 @@ func (b *builder) run() (*des.Timeline, error) {
 					}
 				}
 			case schedule.Restore:
-				var deps []des.TaskID
+				deps = deps[:0]
 				// Double buffering: this restore may only start once the
 				// buffer two restores back has been consumed.
 				if len(restores) >= 2 {
-					if c, ok := restoreConsumer[len(restores)-2]; ok {
+					if c := restoreConsumer[len(restores)-2]; c != noTask {
 						deps = append(deps, c)
 					}
 				}
 				t := b.sim.AddTagged(dpStream, b.tRestore, "restore", op.Stage, op.Micro, deps...)
-				restoreIdx[opKey{op.Stage, op.Micro}] = len(restores)
+				restoreIdx[op.Stage*(nm+1)+op.Micro+1] = len(restores)
 				restores = append(restores, t)
+				restoreConsumer = append(restoreConsumer, noTask)
 			case schedule.Reduce:
-				var deps []des.TaskID
-				k := opKey{op.Stage, op.Micro}
+				deps = deps[:0]
 				if op.Micro >= 0 {
-					if bt, ok := bwdTask[k]; ok {
+					if bt := bwdTask[key(op.Stage, op.Micro)]; bt != noTask {
 						deps = append(deps, bt)
 					}
-				} else if bt, ok := bwdTask[opKey{op.Stage, p.NumMicro - 1}]; ok {
+				} else if bt := bwdTask[key(op.Stage, p.NumMicro-1)]; bt != noTask {
 					// Per-batch reduce waits for the stage's last backward.
 					deps = append(deps, bt)
 				}
@@ -324,36 +408,46 @@ func (b *builder) run() (*des.Timeline, error) {
 
 	// Pass 2: wire cross-device transfer dependencies. The consuming op
 	// waits on the transfer directly; an in-order compute stream therefore
-	// blocks exactly like a synchronous receive.
+	// blocks exactly like a synchronous receive. Index order makes the
+	// wiring order deterministic (the timeline is order-independent anyway).
 	for k, send := range fwdSend {
-		if t, ok := fwdTask[k]; ok {
+		if send == noTask {
+			continue
+		}
+		if t := fwdTask[k]; t != noTask {
 			b.sim.AddDep(t, send)
 		}
 	}
 	for k, send := range bwdSend {
-		if t, ok := bwdTask[k]; ok {
+		if send == noTask {
+			continue
+		}
+		if t := bwdTask[k]; t != noTask {
 			b.sim.AddDep(t, send)
 		}
+	}
+	if b.reference {
+		return b.sim.RunReference()
 	}
 	return b.sim.Run()
 }
 
-// transferOutOf returns the (stage, micro) key of the op consuming this
-// op's cross-device output, if any.
-func (b *builder) transferOutOf(op schedule.Op) (opKey, bool) {
+// transferOutOf returns the (stage, micro) key index of the op consuming
+// this op's cross-device output, if any.
+func (b *builder) transferOutOf(op schedule.Op) (int, bool) {
 	if !b.p.Method.Pipelined() || b.p.PP == 1 {
-		return opKey{}, false
+		return 0, false
 	}
 	if op.Kind == schedule.Forward {
 		if op.Stage < b.nStages-1 && b.p.StageDevice(op.Stage+1) != b.p.StageDevice(op.Stage) {
-			return opKey{op.Stage + 1, op.Micro}, true
+			return (op.Stage+1)*b.p.NumMicro + op.Micro, true
 		}
-		return opKey{}, false
+		return 0, false
 	}
 	if op.Stage > 0 && b.p.StageDevice(op.Stage-1) != b.p.StageDevice(op.Stage) {
-		return opKey{op.Stage - 1, op.Micro}, true
+		return (op.Stage-1)*b.p.NumMicro + op.Micro, true
 	}
-	return opKey{}, false
+	return 0, false
 }
 
 // deriveCosts computes the per-op durations from the hardware and model.

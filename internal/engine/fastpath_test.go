@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"testing"
+
+	"bfpp/internal/core"
+	"bfpp/internal/hw"
+	"bfpp/internal/model"
+)
+
+// fastpathPlans covers every schedule family, both overlap settings and
+// all sharding modes on the paper cluster.
+func fastpathPlans() []core.Plan {
+	return []core.Plan{
+		{Method: core.BreadthFirst, DP: 4, PP: 8, TP: 2, MicroBatch: 1, NumMicro: 12, Loops: 8,
+			Sharding: core.DPFS, OverlapDP: true, OverlapPP: true},
+		{Method: core.BreadthFirst, DP: 2, PP: 4, TP: 8, MicroBatch: 1, NumMicro: 8, Loops: 2,
+			OverlapDP: true, OverlapPP: true},
+		{Method: core.DepthFirst, DP: 1, PP: 8, TP: 8, MicroBatch: 1, NumMicro: 16, Loops: 4},
+		{Method: core.GPipe, DP: 2, PP: 8, TP: 4, MicroBatch: 1, NumMicro: 16, Loops: 1,
+			Sharding: core.DPPS, OverlapDP: true, OverlapPP: true},
+		{Method: core.OneFOneB, DP: 1, PP: 8, TP: 8, MicroBatch: 2, NumMicro: 16, Loops: 1},
+		{Method: core.NoPipelineBF, DP: 32, PP: 1, TP: 2, MicroBatch: 1, NumMicro: 2, Loops: 8,
+			Sharding: core.DPFS, OverlapDP: true},
+		{Method: core.NoPipelineDF, DP: 64, PP: 1, TP: 1, MicroBatch: 1, NumMicro: 2, Loops: 16},
+		{Method: core.Hybrid, DP: 1, PP: 8, TP: 8, MicroBatch: 1, NumMicro: 32, Loops: 2,
+			Sequence: 16, OverlapDP: true, OverlapPP: true},
+	}
+}
+
+// TestFastPathMatchesBaseline asserts the cached/indexed simulation path
+// returns results identical to the seed-faithful one (no caches, reference
+// DES loop) — every float, not just the headline throughput.
+func TestFastPathMatchesBaseline(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	for _, p := range fastpathPlans() {
+		fast, err := SimulateOpts(c, m, p, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		base, err := SimulateOpts(c, m, p, Options{DisableCache: true, ReferenceDES: true})
+		if err != nil {
+			t.Fatalf("%v baseline: %v", p, err)
+		}
+		if fast != base {
+			t.Errorf("%v: fast path diverges from baseline\nfast: %+v\nbase: %+v", p, fast, base)
+		}
+	}
+}
+
+// TestFastPathTimelineMatchesBaseline compares the captured DES timelines
+// span by span.
+func TestFastPathTimelineMatchesBaseline(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model6p6B()
+	p := core.Plan{Method: core.BreadthFirst, DP: 8, PP: 4, TP: 2, MicroBatch: 1,
+		NumMicro: 16, Loops: 4, Sharding: core.DPFS, OverlapDP: true, OverlapPP: true}
+	fast, err := SimulateOpts(c, m, p, Options{CaptureTimeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := SimulateOpts(c, m, p, Options{CaptureTimeline: true, DisableCache: true, ReferenceDES: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Timeline.Makespan != base.Timeline.Makespan {
+		t.Fatalf("makespan %v != %v", fast.Timeline.Makespan, base.Timeline.Makespan)
+	}
+	if len(fast.Timeline.Spans) != len(base.Timeline.Spans) {
+		t.Fatalf("span count %d != %d", len(fast.Timeline.Spans), len(base.Timeline.Spans))
+	}
+	for i := range fast.Timeline.Spans {
+		if fast.Timeline.Spans[i] != base.Timeline.Spans[i] {
+			t.Fatalf("span %d differs: %+v != %+v", i, fast.Timeline.Spans[i], base.Timeline.Spans[i])
+		}
+	}
+}

@@ -245,7 +245,10 @@ func scenarios() []scenario {
 	}
 }
 
-// sweepAll runs the grid search for all families of a scenario.
+// sweepAll runs the grid search for all families of a scenario. Families
+// are iterated sequentially on purpose: each family's Sweep already
+// saturates the worker pool with its flattened batch x plan work list, so
+// fanning out here would only oversubscribe past the -workers bound.
 func sweepAll(sc scenario) (map[search.Family][]search.Best, error) {
 	out := map[search.Family][]search.Best{}
 	for _, f := range search.Families() {

@@ -1,0 +1,32 @@
+package memsim
+
+import (
+	"sync"
+
+	"bfpp/internal/core"
+	"bfpp/internal/model"
+)
+
+// estimateKey memoizes Estimate per (architecture, plan) pair. Both structs
+// are plain comparable values, so the key is exact: the grid search asks
+// for the same estimate at least twice per candidate (feasibility pruning
+// in Enumerate, then the Result breakdown in the engine).
+type estimateKey struct {
+	model model.Transformer
+	plan  core.Plan
+}
+
+var estimateCache sync.Map // estimateKey -> Breakdown
+
+// CachedEstimate is Estimate memoized per (model, plan). The plan space a
+// search enumerates is small (hundreds of configurations per model), so the
+// cache is unbounded by design.
+func CachedEstimate(m model.Transformer, p core.Plan) Breakdown {
+	k := estimateKey{m, p}
+	if v, ok := estimateCache.Load(k); ok {
+		return v.(Breakdown)
+	}
+	b := Estimate(m, p)
+	estimateCache.Store(k, b)
+	return b
+}

@@ -1,0 +1,52 @@
+package memsim
+
+import (
+	"sync"
+	"testing"
+
+	"bfpp/internal/core"
+	"bfpp/internal/model"
+)
+
+func TestCachedEstimateMatchesEstimate(t *testing.T) {
+	plans := []core.Plan{
+		{Method: core.BreadthFirst, DP: 4, PP: 8, TP: 2, MicroBatch: 1, NumMicro: 8, Loops: 2,
+			Sharding: core.DPFS, OverlapDP: true, OverlapPP: true},
+		{Method: core.OneFOneB, DP: 1, PP: 8, TP: 8, MicroBatch: 1, NumMicro: 8, Loops: 1},
+		{Method: core.NoPipelineBF, DP: 64, PP: 1, TP: 1, MicroBatch: 1, NumMicro: 4, Loops: 16,
+			Sharding: core.DPPS},
+	}
+	for _, m := range []model.Transformer{model.Model52B(), model.Model6p6B()} {
+		for _, p := range plans {
+			want := Estimate(m, p)
+			if got := CachedEstimate(m, p); got != want {
+				t.Errorf("%s %v: cached %+v != %+v", m.Name, p, got, want)
+			}
+			// Second lookup hits the cache and must return the same value.
+			if got := CachedEstimate(m, p); got != want {
+				t.Errorf("%s %v: second cached lookup differs", m.Name, p)
+			}
+		}
+	}
+}
+
+func TestCachedEstimateConcurrent(t *testing.T) {
+	m := model.Model6p6B()
+	p := core.Plan{Method: core.BreadthFirst, DP: 8, PP: 4, TP: 2, MicroBatch: 1,
+		NumMicro: 16, Loops: 4, Sharding: core.DPFS, OverlapDP: true, OverlapPP: true}
+	want := Estimate(m, p)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if got := CachedEstimate(m, p); got != want {
+					t.Errorf("concurrent cached estimate differs")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

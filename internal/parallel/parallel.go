@@ -1,0 +1,124 @@
+// Package parallel provides the bounded worker-pool primitives used by the
+// grid search, the figure generators and the trade-off extrapolation to fan
+// independent simulations out across CPU cores.
+//
+// The package guarantees determinism: Map returns results in input order
+// regardless of scheduling, and when several items fail it reports the error
+// of the lowest-indexed item — exactly the error a serial loop would have
+// hit first. Callers therefore produce byte-identical output whether they
+// run with 1 worker or many.
+//
+// The default worker count is runtime.GOMAXPROCS(0); SetDefaultWorkers
+// overrides it process-wide (the commands expose it as -workers).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the process-wide override; zero means "use
+// GOMAXPROCS at call time".
+var defaultWorkers atomic.Int64
+
+// DefaultWorkers returns the worker count used when a caller passes 0:
+// the SetDefaultWorkers override if set, else runtime.GOMAXPROCS(0).
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetDefaultWorkers overrides the process-wide default worker count.
+// n <= 0 restores the GOMAXPROCS default.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Resolve maps a caller-supplied worker count to an effective one:
+// n > 0 is used as-is, anything else resolves to DefaultWorkers().
+func Resolve(n int) int {
+	if n > 0 {
+		return n
+	}
+	return DefaultWorkers()
+}
+
+// Map applies fn to every item on a bounded worker pool and returns the
+// results in input order. workers <= 0 resolves to DefaultWorkers(); with
+// one worker (or one item) it degenerates to a plain serial loop.
+//
+// All items are evaluated even when some fail, and the returned error is
+// the one attached to the lowest index, so error reporting is independent
+// of goroutine scheduling.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	n := len(items)
+	if n == 0 {
+		return nil, nil
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]R, n)
+	if workers <= 1 {
+		// Same contract as the concurrent path: every item is evaluated
+		// and the lowest-indexed error wins.
+		var firstErr error
+		for i, item := range items {
+			r, err := fn(i, item)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			out[i] = r
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				r, err := fn(i, items[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ForEach is Map for side-effecting functions with no result value.
+func ForEach[T any](workers int, items []T, fn func(i int, item T) error) error {
+	_, err := Map(workers, items, func(i int, item T) (struct{}, error) {
+		return struct{}{}, fn(i, item)
+	})
+	return err
+}

@@ -3,6 +3,21 @@
 // distributed configurations (N_PP, N_TP, S_mb, N_mb, N_loop, sharding),
 // prunes infeasible and obviously inferior ones, simulates the rest and
 // returns the most efficient — reproducing Figure 7 and Tables E.1-E.3.
+//
+// # Concurrency
+//
+// Optimize fans the enumerated plans out across a bounded worker pool
+// (internal/parallel); Sweep flattens all batches' candidates into one
+// work list over the same pool, so Options.Workers is a true bound on
+// concurrent simulations (0 means parallel.DefaultWorkers(), i.e.
+// GOMAXPROCS or the commands' -workers override, and 1 forces the serial
+// path). Winner selection is deterministic and tie-stable — the
+// lowest-indexed plan in enumeration order wins among equal throughputs —
+// so the parallel search returns byte-identical results (including Table
+// output) to the serial one. Options.Baseline additionally bypasses the
+// schedule/memory memo caches and the DES fast path, reproducing the seed
+// evaluator for equivalence tests and as the perf-harness speedup
+// denominator.
 package search
 
 import (
@@ -14,6 +29,7 @@ import (
 	"bfpp/internal/hw"
 	"bfpp/internal/memsim"
 	"bfpp/internal/model"
+	"bfpp/internal/parallel"
 )
 
 // Family is a method family as compared in Figure 7. A family may span
@@ -70,46 +86,128 @@ type Options struct {
 	Params *engine.Params
 	// MaxMicroBatch caps S_mb in the enumeration (default 16).
 	MaxMicroBatch int
+	// Workers bounds the pool of goroutines simulating candidate plans
+	// (one flat pool even across a Sweep's batches): 0 resolves to
+	// parallel.DefaultWorkers() (GOMAXPROCS, or the -workers override of
+	// the commands), 1 forces the serial path. Any worker count produces
+	// byte-identical results.
+	Workers int
+	// Baseline selects the seed-faithful serial evaluator: one plan at a
+	// time, memo caches bypassed, reference DES loop. It exists for the
+	// parallel-vs-serial equivalence tests and as the denominator of the
+	// perf harness (scripts/bench.sh); everyday callers leave it false.
+	Baseline bool
+}
+
+// engineOptions maps the search options onto the per-simulation options.
+func (o Options) engineOptions() engine.Options {
+	return engine.Options{Params: o.Params, DisableCache: o.Baseline, ReferenceDES: o.Baseline}
+}
+
+// workers resolves the effective pool width (1 under Baseline).
+func (o Options) workers() int {
+	if o.Baseline {
+		return 1
+	}
+	return parallel.Resolve(o.Workers)
 }
 
 // Optimize searches one family at one global batch size and returns the
-// most efficient feasible configuration.
+// most efficient feasible configuration. Candidate plans are simulated
+// concurrently on Options.Workers goroutines; the winner is the
+// lowest-indexed plan (in Enumerate order) of maximal throughput, matching
+// the serial path tie-for-tie.
 func Optimize(c hw.Cluster, m model.Transformer, f Family, batch int, opt Options) (Best, error) {
 	if opt.MaxMicroBatch <= 0 {
 		opt.MaxMicroBatch = 16
 	}
 	plans := Enumerate(c, m, f, batch, opt)
-	best := Best{}
-	found := false
-	for _, p := range plans {
-		r, err := engine.SimulateOpts(c, m, p, engine.Options{Params: opt.Params})
+	if len(plans) == 0 {
+		return Best{}, fmt.Errorf("search: no feasible configuration for %v at batch %d", f, batch)
+	}
+	eopt := opt.engineOptions()
+	results, err := parallel.Map(opt.workers(), plans, func(_ int, p core.Plan) (engine.Result, error) {
+		r, err := engine.SimulateOpts(c, m, p, eopt)
 		if err != nil {
 			// Enumeration bugs should surface loudly; feasibility issues
 			// are filtered beforehand.
-			return Best{}, fmt.Errorf("search: %v: %w", p, err)
+			return engine.Result{}, fmt.Errorf("search: %v: %w", p, err)
 		}
-		best.Configs++
-		if !found || r.Throughput > best.Throughput {
-			best.Result = r
-			found = true
-		}
+		return r, nil
+	})
+	if err != nil {
+		return Best{}, err
 	}
-	if !found {
-		return Best{}, fmt.Errorf("search: no feasible configuration for %v at batch %d", f, batch)
-	}
-	return best, nil
+	return pickBest(results), nil
 }
 
-// Sweep runs Optimize across batch sizes, skipping batches with no feasible
-// configuration, and returns the Figure 7 series for the family.
+// pickBest selects the winner deterministically: the first result (in
+// enumeration order) whose throughput no later result strictly exceeds.
+// This is exactly what the serial loop's `>` comparison kept, so ties
+// resolve identically regardless of worker count.
+func pickBest(results []engine.Result) Best {
+	best := Best{Result: results[0], Configs: len(results)}
+	for _, r := range results[1:] {
+		if r.Throughput > best.Throughput {
+			best.Result = r
+		}
+	}
+	return best
+}
+
+// Sweep runs the family's search across batch sizes, skipping batches with
+// no feasible configuration, and returns the Figure 7 series in batch
+// order. All batches' candidate plans are flattened into one work list
+// evaluated by a single worker pool, so Options.Workers is a true bound on
+// concurrent simulations (no nested fan-out) and no barrier separates
+// batches. Results are identical to calling Optimize per batch.
 func Sweep(c hw.Cluster, m model.Transformer, f Family, batches []int, opt Options) ([]Best, error) {
-	var out []Best
-	for _, b := range batches {
-		best, err := Optimize(c, m, f, b, opt)
+	if opt.MaxMicroBatch <= 0 {
+		opt.MaxMicroBatch = 16
+	}
+	var jobs []core.Plan
+	counts := make([]int, len(batches)) // candidate plans per batch
+	for bi, b := range batches {
+		plans := Enumerate(c, m, f, b, opt)
+		counts[bi] = len(plans)
+		jobs = append(jobs, plans...)
+	}
+	type outcome struct {
+		res engine.Result
+		err error
+	}
+	eopt := opt.engineOptions()
+	// Per-plan errors skip their batch (as in Optimize) rather than
+	// aborting the sweep, so they ride in the outcome and the Map error is
+	// always nil.
+	results, _ := parallel.Map(opt.workers(), jobs, func(_ int, p core.Plan) (outcome, error) {
+		r, err := engine.SimulateOpts(c, m, p, eopt)
 		if err != nil {
+			return outcome{err: fmt.Errorf("search: %v: %w", p, err)}, nil
+		}
+		return outcome{res: r}, nil
+	})
+	var out []Best
+	lo := 0
+	for bi := range batches {
+		group := results[lo : lo+counts[bi]]
+		lo += counts[bi]
+		if len(group) == 0 {
+			continue // no feasible configuration at this batch
+		}
+		batchResults := make([]engine.Result, 0, len(group))
+		failed := false
+		for _, o := range group {
+			if o.err != nil {
+				failed = true // skip the batch, matching Optimize's error
+				break
+			}
+			batchResults = append(batchResults, o.res)
+		}
+		if failed {
 			continue
 		}
-		out = append(out, best)
+		out = append(out, pickBest(batchResults))
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("search: no feasible configuration for %v at any batch", f)
@@ -151,6 +249,10 @@ func variants(f Family) []variant {
 func Enumerate(c hw.Cluster, m model.Transformer, f Family, batch int, opt Options) []core.Plan {
 	if opt.MaxMicroBatch <= 0 {
 		opt.MaxMicroBatch = 16
+	}
+	estimate := memsim.CachedEstimate
+	if opt.Baseline {
+		estimate = memsim.Estimate
 	}
 	nGPU := c.NumGPUs()
 	var plans []core.Plan
@@ -195,7 +297,7 @@ func Enumerate(c hw.Cluster, m model.Transformer, f Family, batch int, opt Optio
 							if p.Validate(m) != nil {
 								continue
 							}
-							if !memsim.Feasible(memsim.Estimate(m, p), c.GPU.MemBytes) {
+							if !memsim.Feasible(estimate(m, p), c.GPU.MemBytes) {
 								continue
 							}
 							plans = append(plans, p)

@@ -16,6 +16,7 @@ import (
 	"bfpp/internal/core"
 	"bfpp/internal/engine"
 	"bfpp/internal/model"
+	"bfpp/internal/parallel"
 )
 
 // Point is one (cluster size, configuration) extrapolation.
@@ -60,7 +61,9 @@ func Extrapolate(m model.Transformer, r engine.Result, bcrit float64, nGPUs int)
 
 // Curve picks, for each cluster size, the measured configuration with the
 // lowest projected training time (equivalently cost, at fixed size) and
-// returns the resulting cost/time curve sorted by cluster size.
+// returns the resulting cost/time curve sorted by cluster size. Cluster
+// sizes are extrapolated concurrently; the per-size selection keeps the
+// serial iteration order, so the curve is deterministic.
 func Curve(m model.Transformer, results []engine.Result, bcrit float64, clusterSizes []int) ([]Point, error) {
 	if len(results) == 0 {
 		return nil, fmt.Errorf("tradeoff: no measured results")
@@ -68,11 +71,12 @@ func Curve(m model.Transformer, results []engine.Result, bcrit float64, clusterS
 	if bcrit <= 0 {
 		return nil, fmt.Errorf("tradeoff: bcrit must be positive, got %v", bcrit)
 	}
-	var out []Point
 	for _, n := range clusterSizes {
 		if n <= 0 {
 			return nil, fmt.Errorf("tradeoff: cluster size must be positive, got %d", n)
 		}
+	}
+	out, _ := parallel.Map(0, clusterSizes, func(_ int, n int) (Point, error) {
 		best := Point{TimeDays: math.Inf(1)}
 		for _, r := range results {
 			p := Extrapolate(m, r, bcrit, n)
@@ -80,8 +84,8 @@ func Curve(m model.Transformer, results []engine.Result, bcrit float64, clusterS
 				best = p
 			}
 		}
-		out = append(out, best)
-	}
+		return best, nil
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].GPUs < out[j].GPUs })
 	return out, nil
 }

@@ -1,0 +1,69 @@
+#!/bin/sh
+# scripts/bench.sh — perf harness for the parallel grid-search engine.
+#
+# Runs the search/DES benchmarks and emits BENCH_search.json with ns/op,
+# B/op and allocs/op per benchmark plus the headline speedups:
+#
+#   sweep_figure7   full Figure-7 grid (all families x 52B batches),
+#                   seed-faithful baseline vs worker-pool + caches + fast DES
+#   optimize        one (family, batch) search, baseline vs optimized
+#   parallel_scaling optimized serial (1 worker) vs GOMAXPROCS workers
+#   des_run         DES inner loop, reference rescanning vs indexed fast path
+#   simulate_batch  one engine simulation, baseline vs optimized
+#
+# Usage: scripts/bench.sh [output.json]   (env: BENCHTIME=3x)
+set -eu
+cd "$(dirname "$0")/.."
+OUT=${1:-BENCH_search.json}
+BENCHTIME=${BENCHTIME:-3x}
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' \
+	-bench 'BenchmarkSearchOptimize(Baseline|Serial|Parallel)$|BenchmarkSweepFigure7(Baseline|Parallel)$|BenchmarkDESRun(Fast|Reference)$|BenchmarkSimulateBatch(Baseline)?$' \
+	-benchmem -benchtime="$BENCHTIME" . | tee "$TMP"
+
+GOMAXPROCS_N=$(go run ./scripts/gomaxprocs 2>/dev/null || nproc 2>/dev/null || echo 1)
+
+awk -v out="$OUT" -v maxprocs="$GOMAXPROCS_N" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	ns[name] = $3
+	for (i = 4; i <= NF; i++) {
+		if ($(i+1) == "B/op") bytes[name] = $i
+		if ($(i+1) == "allocs/op") allocs[name] = $i
+	}
+	order[n++] = name
+}
+END {
+	printf "{\n" > out
+	printf "  \"generated\": \"%s\",\n", date > out
+	printf "  \"gomaxprocs\": %d,\n", maxprocs > out
+	printf "  \"benchtime\": \"%s\",\n", "'"$BENCHTIME"'" > out
+	printf "  \"benchmarks\": {\n" > out
+	for (i = 0; i < n; i++) {
+		k = order[i]
+		printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+			k, ns[k], bytes[k] == "" ? 0 : bytes[k], allocs[k] == "" ? 0 : allocs[k], \
+			i < n-1 ? "," : "" > out
+	}
+	printf "  },\n" > out
+	printf "  \"speedups\": {\n" > out
+	printf "    \"sweep_figure7\": %.2f,\n", ns["SweepFigure7Baseline"] / ns["SweepFigure7Parallel"] > out
+	printf "    \"optimize\": %.2f,\n", ns["SearchOptimizeBaseline"] / ns["SearchOptimizeParallel"] > out
+	printf "    \"parallel_scaling\": %.2f,\n", ns["SearchOptimizeSerial"] / ns["SearchOptimizeParallel"] > out
+	printf "    \"des_run\": %.2f,\n", ns["DESRunReference"] / ns["DESRunFast"] > out
+	printf "    \"simulate_batch\": %.2f\n", ns["SimulateBatchBaseline"] / ns["SimulateBatch"] > out
+	printf "  },\n" > out
+	printf "  \"allocs_reduction\": {\n" > out
+	printf "    \"simulate_batch\": \"%s -> %s allocs/op\",\n", allocs["SimulateBatchBaseline"], allocs["SimulateBatch"] > out
+	printf "    \"optimize\": \"%s -> %s allocs/op\"\n", allocs["SearchOptimizeBaseline"], allocs["SearchOptimizeParallel"] > out
+	printf "  }\n" > out
+	printf "}\n" > out
+}
+' "$TMP"
+
+echo "wrote $OUT"
+cat "$OUT"

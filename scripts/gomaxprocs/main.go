@@ -1,0 +1,10 @@
+// Command gomaxprocs prints runtime.GOMAXPROCS(0), so shell scripts can
+// report the effective worker default without guessing from nproc.
+package main
+
+import (
+	"fmt"
+	"runtime"
+)
+
+func main() { fmt.Println(runtime.GOMAXPROCS(0)) }
