@@ -247,9 +247,9 @@ func benchDESSim() *des.Sim {
 				if t, ok := prev[[2]int{l*nDev + d, mb}]; ok {
 					deps = append(deps, t)
 				}
-				ct := s.AddTagged(comp[d], 1, "fwd", l*nDev+d, mb, deps...)
+				ct := s.AddTagged(comp[d], 1, des.ClassFwd, l*nDev+d, mb, deps...)
 				if l < loops-1 || d < nDev-1 {
-					st := s.AddTagged(xfer[d], 0.5, "send", l*nDev+d, mb, ct)
+					st := s.AddTagged(xfer[d], 0.5, des.ClassSend, l*nDev+d, mb, ct)
 					prev[[2]int{l*nDev + d + 1, mb}] = st
 				}
 			}

@@ -18,19 +18,28 @@ import (
 	"strings"
 	"time"
 
+	"bfpp/internal/cli"
 	"bfpp/internal/figures"
 	"bfpp/internal/parallel"
 )
 
 func main() {
 	var (
-		out     = flag.String("out", "results", "output directory")
-		only    = flag.String("only", "", "regenerate a single artifact (comma-separated list allowed)")
-		stdout  = flag.Bool("stdout", false, "also print artifacts to stdout")
-		workers = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		out      = flag.String("out", "results", "output directory")
+		only     = flag.String("only", "", "regenerate a single artifact (comma-separated list allowed)")
+		stdout   = flag.Bool("stdout", false, "also print artifacts to stdout")
+		workers  = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		families = flag.String("families", "", "family selection for the sweep artifacts (figure1/7/8, tableE*): comma-separated keys, \"all\" (paper) or \"every\" (all registered)")
 	)
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
+	if *families != "" {
+		fams, err := cli.ParseFamilies(*families)
+		if err != nil {
+			fatal(err)
+		}
+		figures.SetSweepFamilies(fams)
+	}
 
 	gens := figures.Generators()
 	if *only != "" {

@@ -3,10 +3,17 @@
 // configurations, simulates them and prints the winners in the format of
 // Tables E.1-E.3 (which also yields the Figure 7 curves).
 //
+// Families come from the schedule registry: -families selects by key
+// ("all" = the paper's four, "every" = all registered, including the
+// extension schedules), and -methods selects the families containing the
+// named schedules.
+//
 // Examples:
 //
 //	bfpp-search -model 52B -batches 8,16,32,64,128,256,512      # Table E.1
 //	bfpp-search -model 6.6B -cluster ethernet -batches 64,128   # Table E.3
+//	bfpp-search -model 6.6B -families every -batches 64         # + extensions
+//	bfpp-search -model 6.6B -methods ws-1f1b,v-schedule -batches 64
 package main
 
 import (
@@ -23,7 +30,8 @@ func main() {
 	var (
 		modelName   = flag.String("model", "52B", "model: 52B, 6.6B, gpt3, 1T")
 		clusterName = flag.String("cluster", "paper", "cluster: paper, ethernet, or a GPU count")
-		familyName  = flag.String("family", "all", "family: all, bf, df, nl, np")
+		familyNames = flag.String("families", "all", "comma-separated family keys (bf, df, nl, np, ws, v, ...), \"all\" (paper) or \"every\" (all registered)")
+		methodNames = flag.String("methods", "", "comma-separated schedule names; selects the families containing them (overrides -families)")
 		batchesStr  = flag.String("batches", "8,16,32,64,128,256,512", "comma-separated global batch sizes")
 		workers     = flag.Int("workers", 0, "search worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	)
@@ -37,21 +45,25 @@ func main() {
 	batches, err := cli.ParseInts(*batchesStr)
 	fatalIf(err)
 
-	families := search.Families()
-	if *familyName != "all" {
-		f, err := cli.ParseFamily(*familyName)
+	families, err := cli.ParseFamilies(*familyNames)
+	fatalIf(err)
+	if *methodNames != "" {
+		methods, err := cli.ParseMethods(*methodNames)
 		fatalIf(err)
-		families = []search.Family{f}
+		families, err = cli.FamiliesForMethods(methods)
+		fatalIf(err)
 	}
 
-	results := map[search.Family][]search.Best{}
+	// One shared work queue across all selected families: a short family's
+	// tail no longer idles the pool while the next family enumerates.
+	results, err := search.SweepAll(c, m, families, batches, search.Options{})
+	if err != nil {
+		results = map[search.Family][]search.Best{}
+	}
 	for _, f := range families {
-		bests, err := search.Sweep(c, m, f, batches, search.Options{})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bfpp-search: %v: %v (skipping)\n", f, err)
-			continue
+		if _, ok := results[f]; !ok {
+			fmt.Fprintf(os.Stderr, "bfpp-search: %v: no feasible configuration at any batch (skipping)\n", f)
 		}
-		results[f] = bests
 	}
 	title := fmt.Sprintf("Optimal configurations: %s on %s (%d GPUs)", m.Name, c.Name, c.NumGPUs())
 	fmt.Print(search.Table(title, results))

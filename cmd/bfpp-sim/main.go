@@ -24,7 +24,7 @@ func main() {
 	var (
 		modelName   = flag.String("model", "52B", "model: 52B, 6.6B, gpt3, 1T, tiny")
 		clusterName = flag.String("cluster", "paper", "cluster: paper, ethernet, or a GPU count")
-		methodName  = flag.String("method", "breadth-first", "schedule: gpipe, 1f1b, depth-first, breadth-first, nopipeline-bf, nopipeline-df")
+		methodName  = flag.String("method", "breadth-first", "schedule: any registered method (gpipe, 1f1b, depth-first, breadth-first, nopipeline-bf, nopipeline-df, hybrid, ws-1f1b, v-schedule)")
 		dp          = flag.Int("dp", 1, "data-parallel size")
 		pp          = flag.Int("pp", 8, "pipeline-parallel size")
 		tp          = flag.Int("tp", 8, "tensor-parallel size")

@@ -47,24 +47,38 @@ func ParseCluster(name string) (hw.Cluster, error) {
 	}
 }
 
-// ParseMethod resolves a schedule name.
+// ParseMethod resolves a schedule name through the method registry, so
+// registered extension schedules (ws-1f1b, v-schedule, hybrid, ...) parse
+// without touching this package.
 func ParseMethod(name string) (core.Method, error) {
-	switch strings.ToLower(name) {
-	case "gpipe":
-		return core.GPipe, nil
-	case "1f1b":
-		return core.OneFOneB, nil
-	case "depth-first", "depthfirst", "df":
-		return core.DepthFirst, nil
-	case "breadth-first", "breadthfirst", "bf":
-		return core.BreadthFirst, nil
-	case "nopipeline-df", "np-df":
-		return core.NoPipelineDF, nil
-	case "nopipeline-bf", "np-bf", "nopipeline":
-		return core.NoPipelineBF, nil
-	default:
-		return 0, fmt.Errorf("unknown method %q (gpipe, 1f1b, depth-first, breadth-first, nopipeline-df, nopipeline-bf)", name)
+	if m, ok := core.MethodByName(name); ok {
+		return m, nil
 	}
+	names := make([]string, 0, 8)
+	for _, m := range core.Methods() {
+		names = append(names, strings.ToLower(m.String()))
+	}
+	return 0, fmt.Errorf("unknown method %q (%s)", name, strings.Join(names, ", "))
+}
+
+// ParseMethods resolves a comma-separated schedule-name list.
+func ParseMethods(s string) ([]core.Method, error) {
+	var out []core.Method
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		m, err := ParseMethod(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty method list %q", s)
+	}
+	return out, nil
 }
 
 // ParseSharding resolves a sharding-mode name.
@@ -81,20 +95,75 @@ func ParseSharding(name string) (core.Sharding, error) {
 	}
 }
 
-// ParseFamily resolves a Figure 7 method family.
+// ParseFamily resolves a method family from its registry key ("bf") or a
+// legacy long name ("breadth-first").
 func ParseFamily(name string) (search.Family, error) {
-	switch strings.ToLower(name) {
-	case "bf", "breadth-first":
-		return search.FamilyBreadthFirst, nil
-	case "df", "depth-first":
-		return search.FamilyDepthFirst, nil
-	case "nl", "non-looped":
-		return search.FamilyNonLooped, nil
-	case "np", "no-pipeline":
-		return search.FamilyNoPipeline, nil
-	default:
-		return 0, fmt.Errorf("unknown family %q (bf, df, nl, np)", name)
+	key := strings.ToLower(name)
+	switch key {
+	// Legacy long spellings of the paper families.
+	case "breadth-first":
+		key = "bf"
+	case "depth-first":
+		key = "df"
+	case "non-looped":
+		key = "nl"
+	case "no-pipeline":
+		key = "np"
 	}
+	if f, ok := search.FamilyByKey(key); ok {
+		return f, nil
+	}
+	keys := make([]string, 0, 8)
+	for _, f := range search.AllFamilies() {
+		keys = append(keys, f.Info().Key)
+	}
+	return 0, fmt.Errorf("unknown family %q (%s)", name, strings.Join(keys, ", "))
+}
+
+// ParseFamilies resolves a comma-separated family-key list; "all" selects
+// the paper's Figure 7 families and "every" all registered families
+// (including the extension schedules).
+func ParseFamilies(s string) ([]search.Family, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "all", "":
+		return search.Families(), nil
+	case "every":
+		return search.AllFamilies(), nil
+	}
+	var out []search.Family
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := ParseFamily(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty family list %q", s)
+	}
+	return out, nil
+}
+
+// FamiliesForMethods maps methods to their containing families (one entry
+// per family, in method order), powering the -methods selection flags.
+func FamiliesForMethods(methods []core.Method) ([]search.Family, error) {
+	var out []search.Family
+	seen := map[search.Family]bool{}
+	for _, m := range methods {
+		f, ok := search.FamilyOf(m)
+		if !ok {
+			return nil, fmt.Errorf("method %v is in no search family", m)
+		}
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out, nil
 }
 
 // ParseInts parses a comma-separated integer list.

@@ -15,31 +15,18 @@ func (m Method) MarshalJSON() ([]byte, error) {
 	return json.Marshal(m.String())
 }
 
-// UnmarshalJSON decodes a method from its display name (case-insensitive;
-// the aliases "df", "bf", "1f1b", "gpipe" are accepted).
+// UnmarshalJSON decodes a method from its registered display name or one
+// of its aliases (case-insensitive; e.g. "df", "bf", "1f1b", "gpipe").
 func (m *Method) UnmarshalJSON(data []byte) error {
 	var s string
 	if err := json.Unmarshal(data, &s); err != nil {
 		return err
 	}
-	switch strings.ToLower(s) {
-	case "gpipe":
-		*m = GPipe
-	case "1f1b":
-		*m = OneFOneB
-	case "depth-first", "df":
-		*m = DepthFirst
-	case "breadth-first", "bf":
-		*m = BreadthFirst
-	case "no-pipeline(df)", "nopipeline-df":
-		*m = NoPipelineDF
-	case "no-pipeline(bf)", "nopipeline-bf":
-		*m = NoPipelineBF
-	case "hybrid":
-		*m = Hybrid
-	default:
+	v, ok := MethodByName(s)
+	if !ok {
 		return fmt.Errorf("core: unknown method %q", s)
 	}
+	*m = v
 	return nil
 }
 

@@ -41,77 +41,6 @@ func (s Sharding) String() string {
 	}
 }
 
-// Method selects the pipeline schedule (Sections 3.2 and 4.1).
-type Method int
-
-const (
-	// GPipe is the non-looped forward-first schedule of Huang et al.
-	GPipe Method = iota
-	// OneFOneB is the non-looped 1F1B schedule of Harlap et al.
-	OneFOneB
-	// DepthFirst is the looped depth-first schedule of Narayanan et al.
-	// (Megatron-LM interleaved), running micro-batches in sequences of
-	// N_PP with backward priority.
-	DepthFirst
-	// BreadthFirst is the paper's contribution: a looped schedule running
-	// all micro-batches through each local stage before moving on,
-	// forward-first, maximizing network overlap.
-	BreadthFirst
-	// NoPipelineDF is data parallelism without pipelining, accumulating
-	// gradients depth-first (each micro-batch runs its full forward and
-	// backward before the next starts).
-	NoPipelineDF
-	// NoPipelineBF is data parallelism without pipelining with the
-	// breadth-first gradient accumulation of Appendix C (stages processed
-	// breadth-first across micro-batches on a single device).
-	NoPipelineBF
-	// Hybrid is the depth/breadth hybrid the paper conjectures in Section
-	// 4.2: a looping schedule processing micro-batches in sequences of
-	// Plan.Sequence >= N_PP (Sequence = N_PP reduces to DepthFirst;
-	// Sequence = N_mb approaches BreadthFirst). The extra slack lets the
-	// pipeline-parallel transfers overlap, addressing the depth-first
-	// schedule's input starvation.
-	Hybrid
-)
-
-// String returns a short name for the schedule.
-func (m Method) String() string {
-	switch m {
-	case GPipe:
-		return "GPipe"
-	case OneFOneB:
-		return "1F1B"
-	case DepthFirst:
-		return "Depth-first"
-	case BreadthFirst:
-		return "Breadth-first"
-	case NoPipelineDF:
-		return "No-pipeline(DF)"
-	case NoPipelineBF:
-		return "No-pipeline(BF)"
-	case Hybrid:
-		return "Hybrid"
-	default:
-		return fmt.Sprintf("Method(%d)", int(m))
-	}
-}
-
-// Looped reports whether the schedule uses a looping placement (N_loop > 1
-// is meaningful).
-func (m Method) Looped() bool {
-	return m == DepthFirst || m == BreadthFirst || m == Hybrid
-}
-
-// Pipelined reports whether the schedule uses pipeline parallelism.
-func (m Method) Pipelined() bool { return m != NoPipelineDF && m != NoPipelineBF }
-
-// ForwardFirst reports whether the schedule completes the forward pass of
-// queued micro-batches before starting backward work (GPipe-style) rather
-// than alternating (1F1B-style).
-func (m Method) ForwardFirst() bool {
-	return m == GPipe || m == BreadthFirst || m == NoPipelineBF || m == NoPipelineDF
-}
-
 // Plan is a complete distributed-training configuration: the (up to)
 // three-dimensional device grid N_DP x N_PP x N_TP, the micro-batch
 // structure, the looping factor and the sharding and overlap traits.
@@ -135,9 +64,11 @@ type Plan struct {
 	OverlapDP bool
 	// OverlapPP likewise for pipeline-parallel transfers.
 	OverlapPP bool
-	// Sequence is the micro-batch sequence length of the Hybrid schedule
-	// (ignored by the other methods). It must be a multiple of PP dividing
-	// NumMicro; zero defaults to PP (plain depth-first ordering).
+	// Sequence is the schedule's tunable parameter, interpreted per
+	// method: the micro-batch sequence length of the Hybrid schedule (a
+	// multiple of PP dividing NumMicro; zero defaults to PP, the plain
+	// depth-first ordering), or the per-device in-flight micro-batch cap
+	// of the V-schedule (zero defaults to PP). Other methods ignore it.
 	Sequence int
 }
 
@@ -146,6 +77,17 @@ func (p Plan) GPUs() int { return p.DP * p.PP * p.TP }
 
 // Stages returns the total stage count N_stage = N_PP * N_loop.
 func (p Plan) Stages() int { return p.PP * p.Loops }
+
+// NumStages returns the number of stages the model is split into for this
+// plan: Stages() for pipelined methods, and Loops for the no-pipeline
+// schedules (whose "loops" only set the gradient-accumulation stage
+// granularity on the single device).
+func (p Plan) NumStages() int {
+	if !p.Method.Pipelined() {
+		return p.Loops
+	}
+	return p.Stages()
+}
 
 // BatchSize returns the global batch size B = N_DP * N_mb * S_mb.
 func (p Plan) BatchSize() int { return p.DP * p.NumMicro * p.MicroBatch }
@@ -183,49 +125,34 @@ func (p Plan) Validate(m model.Transformer) error {
 	case p.Loops <= 0:
 		return fmt.Errorf("plan: Loops must be positive, got %d", p.Loops)
 	}
-	if !p.Method.Pipelined() && p.PP != 1 {
+	info, ok := p.Method.Info()
+	if !ok {
+		return fmt.Errorf("plan: unregistered method %v", p.Method)
+	}
+	if !info.Pipelined && p.PP != 1 {
 		return fmt.Errorf("plan: %v requires PP=1, got %d", p.Method, p.PP)
 	}
-	if !p.Method.Looped() && p.Method.Pipelined() && p.Loops != 1 {
+	if !info.Looped && info.Pipelined && p.Loops != 1 {
 		return fmt.Errorf("plan: %v is non-looped but Loops=%d", p.Method, p.Loops)
 	}
-	if p.Method.Pipelined() && p.NumMicro < p.PP {
+	if info.Pipelined && p.NumMicro < p.PP {
 		return fmt.Errorf("plan: pipeline needs NumMicro >= PP (%d < %d)", p.NumMicro, p.PP)
 	}
-	if p.Method == DepthFirst && p.NumMicro%p.PP != 0 {
-		// Section 4.1: the depth-first schedule constrains N_mb to a
-		// multiple of N_PP.
-		return fmt.Errorf("plan: depth-first requires NumMicro %% PP == 0 (%d %% %d)", p.NumMicro, p.PP)
-	}
-	if p.Method == Hybrid {
-		q := p.SequenceLen()
-		if q%p.PP != 0 {
-			return fmt.Errorf("plan: hybrid sequence %d must be a multiple of PP %d", q, p.PP)
-		}
-		if p.NumMicro%q != 0 {
-			return fmt.Errorf("plan: hybrid requires NumMicro %% Sequence == 0 (%d %% %d)", p.NumMicro, q)
+	if info.CheckPlan != nil {
+		if err := info.CheckPlan(p); err != nil {
+			return err
 		}
 	}
-	nStages := p.Stages()
-	if !p.Method.Pipelined() {
-		// No-pipeline plans still break the model into stages for
-		// breadth-first gradient accumulation; Loops counts those stages.
-		nStages = p.Loops
-	}
-	if m.Layers%nStages != 0 {
-		return fmt.Errorf("plan: %d layers not divisible into %d stages", m.Layers, nStages)
+	if m.Layers%p.NumStages() != 0 {
+		return fmt.Errorf("plan: %d layers not divisible into %d stages", m.Layers, p.NumStages())
 	}
 	if p.Sharding == DPFS && p.DP == 1 {
 		return fmt.Errorf("plan: DP-FS requires DP > 1")
 	}
-	if (p.Method == DepthFirst || p.Method == Hybrid) && p.Sharding == DPFS {
-		// Section 3.2: PP with per-micro-batch gradient accumulation makes
-		// DP-FS impractical; the paper only pairs DP-FS with breadth-first
-		// or non-pipelined schedules (Appendix E grid).
-		return fmt.Errorf("plan: %v with DP-FS is excluded (Appendix E)", p.Method)
-	}
-	if (p.Method == GPipe || p.Method == OneFOneB) && p.Sharding == DPFS {
-		return fmt.Errorf("plan: non-looped pipeline with DP-FS is excluded (Section 3.2)")
+	if info.CheckSharding != nil {
+		if err := info.CheckSharding(p); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -241,26 +168,28 @@ func (p Plan) SequenceLen() int {
 
 // LayersPerStage returns the number of transformer layers in each stage.
 func (p Plan) LayersPerStage(m model.Transformer) int {
-	n := p.Stages()
-	if !p.Method.Pipelined() {
-		n = p.Loops
-	}
-	return m.Layers / n
+	return m.Layers / p.NumStages()
 }
 
 // StageDevice returns the pipeline rank hosting the given global stage
-// index. The looping placement (Figure 3b) assigns stage s to device
-// s mod N_PP, wrapping the stages around the ring; with Loops == 1 this
-// reduces to the standard placement (Figure 3a) of one stage per device.
+// index, following the method's registered placement. The looping wrap
+// placement (Figure 3b) assigns stage s to device s mod N_PP, wrapping the
+// stages around the ring; with Loops == 1 this reduces to the standard
+// placement (Figure 3a) of one stage per device. The zigzag "V" placement
+// reverses direction on odd loops.
 func (p Plan) StageDevice(stage int) int {
 	if !p.Method.Pipelined() {
 		return 0
 	}
-	return stage % p.PP
+	r := stage % p.PP
+	if p.Method.Placement() == PlacementVee && (stage/p.PP)%2 == 1 {
+		return p.PP - 1 - r
+	}
+	return r
 }
 
 // DeviceStages returns the global stage indices hosted by a pipeline rank in
-// execution order (loop by loop).
+// execution order (loop by loop), under the method's placement.
 func (p Plan) DeviceStages(rank int) []int {
 	if !p.Method.Pipelined() {
 		if rank != 0 {
@@ -272,9 +201,14 @@ func (p Plan) DeviceStages(rank int) []int {
 		}
 		return stages
 	}
+	vee := p.Method.Placement() == PlacementVee
 	stages := make([]int, 0, p.Loops)
 	for l := 0; l < p.Loops; l++ {
-		stages = append(stages, l*p.PP+rank)
+		r := rank
+		if vee && l%2 == 1 {
+			r = p.PP - 1 - rank
+		}
+		stages = append(stages, l*p.PP+r)
 	}
 	return stages
 }

@@ -28,6 +28,39 @@ type StreamID int
 // TaskID identifies an enqueued task.
 type TaskID int
 
+// Class categorizes a task for rendering and accounting. It is a small
+// interned enum — Task and Span carry no strings, so clearing or copying
+// span slices never forces pointer-aware memory clears — and the names are
+// resolved through a string table at render time only.
+type Class uint8
+
+const (
+	// ClassOther is the zero class for uncategorized tasks.
+	ClassOther Class = iota
+	// ClassFwd is a forward compute pass.
+	ClassFwd
+	// ClassBwd is a backward compute pass.
+	ClassBwd
+	// ClassSend is a pipeline-parallel activation/gradient transfer.
+	ClassSend
+	// ClassReduce is a data-parallel gradient reduction.
+	ClassReduce
+	// ClassRestore is a DP-FS weight reconstruction.
+	ClassRestore
+	// ClassOpt is the optimizer step.
+	ClassOpt
+)
+
+var classNames = [...]string{"other", "fwd", "bwd", "send", "reduce", "restore", "opt"}
+
+// String returns the class's render-time name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
 // Task is one unit of work on a stream. A task starts when (a) all its
 // dependencies have finished and (b) all earlier tasks on its stream have
 // finished; it then runs for Dur seconds without preemption.
@@ -41,9 +74,8 @@ type Task struct {
 	Dur float64
 	// Deps lists tasks that must complete before this one may start.
 	Deps []TaskID
-	// Class is a free-form category used by renderers and accounting, for
-	// example "fwd", "bwd", "reduce", "restore", "send", "opt".
-	Class string
+	// Class is the task's category, used by renderers and accounting.
+	Class Class
 	// Stage and Micro carry pipeline metadata for rendering (negative when
 	// not applicable).
 	Stage, Micro int
@@ -53,7 +85,7 @@ type Task struct {
 type Span struct {
 	Task         TaskID
 	Stream       StreamID
-	Class        string
+	Class        Class
 	Stage, Micro int
 	Start, End   float64
 }
@@ -104,7 +136,7 @@ func (t *Timeline) BusyTime(s StreamID) float64 {
 
 // ClassTime returns the total duration of spans of the given class on a
 // stream (or on all streams when stream is negative).
-func (t *Timeline) ClassTime(stream StreamID, class string) float64 {
+func (t *Timeline) ClassTime(stream StreamID, class Class) float64 {
 	var b float64
 	if stream >= 0 {
 		if spans, ok := t.streamSpans(stream); ok {
@@ -243,13 +275,13 @@ func (s *Sim) ReserveStream(st StreamID, n int) {
 func (s *Sim) NumTasks() int { return len(s.tasks) }
 
 // Add enqueues a task at the tail of stream st and returns its ID.
-func (s *Sim) Add(st StreamID, dur float64, class string, deps ...TaskID) TaskID {
+func (s *Sim) Add(st StreamID, dur float64, class Class, deps ...TaskID) TaskID {
 	return s.AddTagged(st, dur, class, -1, -1, deps...)
 }
 
 // AddTagged is Add with pipeline metadata (stage and micro-batch indices)
 // attached for rendering.
-func (s *Sim) AddTagged(st StreamID, dur float64, class string, stage, micro int, deps ...TaskID) TaskID {
+func (s *Sim) AddTagged(st StreamID, dur float64, class Class, stage, micro int, deps ...TaskID) TaskID {
 	if int(st) < 0 || int(st) >= len(s.streams) {
 		panic(fmt.Sprintf("des: unknown stream %d", st))
 	}

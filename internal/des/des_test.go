@@ -11,8 +11,8 @@ import (
 func TestSequentialStream(t *testing.T) {
 	s := New()
 	c := s.Stream("compute")
-	a := s.Add(c, 1.0, "a")
-	b := s.Add(c, 2.0, "b")
+	a := s.Add(c, 1.0, ClassOther)
+	b := s.Add(c, 2.0, ClassOther)
 	_ = a
 	_ = b
 	tl, err := s.Run()
@@ -32,8 +32,8 @@ func TestParallelStreamsOverlap(t *testing.T) {
 	s := New()
 	c := s.Stream("compute")
 	n := s.Stream("net")
-	s.Add(c, 2.0, "fwd")
-	s.Add(n, 2.0, "send") // independent: fully overlapped
+	s.Add(c, 2.0, ClassFwd)
+	s.Add(n, 2.0, ClassSend) // independent: fully overlapped
 	tl, err := s.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -47,10 +47,10 @@ func TestCrossStreamDependency(t *testing.T) {
 	s := New()
 	c := s.Stream("compute")
 	n := s.Stream("net")
-	f := s.Add(c, 1.0, "fwd")
-	snd := s.Add(n, 0.5, "send", f)
-	s.Add(c, 1.0, "more") // compute continues while send runs
-	g := s.Add(c, 1.0, "bwd", snd)
+	f := s.Add(c, 1.0, ClassFwd)
+	snd := s.Add(n, 0.5, ClassSend, f)
+	s.Add(c, 1.0, ClassOther) // compute continues while send runs
+	g := s.Add(c, 1.0, ClassBwd, snd)
 	_ = g
 	tl, err := s.Run()
 	if err != nil {
@@ -67,8 +67,8 @@ func TestDependencyDelaysStart(t *testing.T) {
 	s := New()
 	a := s.Stream("a")
 	b := s.Stream("b")
-	long := s.Add(a, 5.0, "long")
-	dep := s.Add(b, 1.0, "dep", long)
+	long := s.Add(a, 5.0, ClassOther)
+	dep := s.Add(b, 1.0, ClassOther, long)
 	_ = dep
 	tl, err := s.Run()
 	if err != nil {
@@ -85,10 +85,10 @@ func TestCrossStreamResolvableOrder(t *testing.T) {
 	s := New()
 	ca := s.Stream("a")
 	cb := s.Stream("b")
-	p := s.Add(ca, 1, "p")
-	s.Add(cb, 1, "q", p)
-	r := s.Add(cb, 1, "r")
-	s.Add(ca, 1, "w", r)
+	p := s.Add(ca, 1, ClassOther)
+	s.Add(cb, 1, ClassOther, p)
+	r := s.Add(cb, 1, ClassOther)
+	s.Add(ca, 1, ClassOther, r)
 	tl, err := s.Run()
 	if err != nil {
 		t.Fatalf("resolvable graph reported deadlock: %v", err)
@@ -105,8 +105,8 @@ func TestDeadlockDetection(t *testing.T) {
 	s := New()
 	ha := s.Stream("a")
 	hb := s.Stream("b")
-	hA := s.Add(ha, 1, "hA")
-	hB := s.Add(hb, 1, "hB")
+	hA := s.Add(ha, 1, ClassOther)
+	hB := s.Add(hb, 1, ClassOther)
 	s.tasks[hA].Deps = []TaskID{hB}
 	s.tasks[hB].Deps = []TaskID{hA}
 	if _, err := s.Run(); err == nil {
@@ -131,7 +131,7 @@ func TestNoOverlapWithinStream(t *testing.T) {
 				}
 			}
 			st := streams[rng.Intn(len(streams))]
-			ids = append(ids, s.Add(st, rng.Float64(), "t", deps...))
+			ids = append(ids, s.Add(st, rng.Float64(), ClassOther, deps...))
 		}
 		tl, err := s.Run()
 		if err != nil {
@@ -171,9 +171,9 @@ func TestBusyAndClassTime(t *testing.T) {
 	s := New()
 	c := s.Stream("compute")
 	n := s.Stream("net")
-	s.AddTagged(c, 1.0, "fwd", 0, 0)
-	s.AddTagged(c, 3.0, "bwd", 0, 0)
-	s.AddTagged(n, 2.0, "reduce", 0, -1)
+	s.AddTagged(c, 1.0, ClassFwd, 0, 0)
+	s.AddTagged(c, 3.0, ClassBwd, 0, 0)
+	s.AddTagged(n, 2.0, ClassReduce, 0, -1)
 	tl, err := s.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -181,10 +181,10 @@ func TestBusyAndClassTime(t *testing.T) {
 	if got := tl.BusyTime(c); math.Abs(got-4.0) > 1e-12 {
 		t.Errorf("busy(compute) = %v, want 4", got)
 	}
-	if got := tl.ClassTime(c, "bwd"); math.Abs(got-3.0) > 1e-12 {
+	if got := tl.ClassTime(c, ClassBwd); math.Abs(got-3.0) > 1e-12 {
 		t.Errorf("class(bwd) = %v, want 3", got)
 	}
-	if got := tl.ClassTime(-1, "reduce"); math.Abs(got-2.0) > 1e-12 {
+	if got := tl.ClassTime(-1, ClassReduce); math.Abs(got-2.0) > 1e-12 {
 		t.Errorf("class(reduce) = %v, want 2", got)
 	}
 }
@@ -192,8 +192,8 @@ func TestBusyAndClassTime(t *testing.T) {
 func TestZeroDurationTasks(t *testing.T) {
 	s := New()
 	c := s.Stream("c")
-	a := s.Add(c, 0, "sync")
-	b := s.Add(c, 1, "work", a)
+	a := s.Add(c, 0, ClassOther)
+	b := s.Add(c, 1, ClassOther, a)
 	_ = b
 	tl, err := s.Run()
 	if err != nil {
@@ -212,7 +212,7 @@ func TestPanicsOnBadInput(t *testing.T) {
 	}()
 	s := New()
 	c := s.Stream("c")
-	s.Add(c, -1, "bad")
+	s.Add(c, -1, ClassOther)
 }
 
 func TestPanicsOnUnknownDep(t *testing.T) {
@@ -223,7 +223,7 @@ func TestPanicsOnUnknownDep(t *testing.T) {
 	}()
 	s := New()
 	c := s.Stream("c")
-	s.Add(c, 1, "t", TaskID(99))
+	s.Add(c, 1, ClassOther, TaskID(99))
 }
 
 func TestDeterminism(t *testing.T) {
@@ -237,8 +237,8 @@ func TestDeterminism(t *testing.T) {
 			if prev >= 0 {
 				deps = append(deps, prev)
 			}
-			id := s.Add(c, float64(i%3)+0.5, "w", deps...)
-			s.Add(n, 0.25, "x", id)
+			id := s.Add(c, float64(i%3)+0.5, ClassOther, deps...)
+			s.Add(n, 0.25, ClassOther, id)
 			prev = id
 		}
 		tl, err := s.Run()

@@ -25,7 +25,7 @@ func randomSim(rng *rand.Rand) *Sim {
 		for d := 0; d < rng.Intn(3) && len(ids) > 0; d++ {
 			deps = append(deps, ids[rng.Intn(len(ids))])
 		}
-		ids = append(ids, s.Add(st, dur, "t", deps...))
+		ids = append(ids, s.Add(st, dur, ClassOther, deps...))
 	}
 	// Second-pass wiring, like the engine's cross-device transfers: extra
 	// edges from later tasks to earlier ones.
@@ -68,14 +68,14 @@ func TestRunMatchesReference(t *testing.T) {
 			if fast.BusyTime(sid) != ref.BusyTime(sid) {
 				t.Fatalf("trial %d: BusyTime(%d) differs", trial, st)
 			}
-			if fast.ClassTime(sid, "t") != ref.ClassTime(sid, "t") {
+			if fast.ClassTime(sid, ClassOther) != ref.ClassTime(sid, ClassOther) {
 				t.Fatalf("trial %d: ClassTime(%d) differs", trial, st)
 			}
 			if !reflect.DeepEqual(fast.StreamSpans(sid), ref.StreamSpans(sid)) {
 				t.Fatalf("trial %d: StreamSpans(%d) differs", trial, st)
 			}
 		}
-		if fast.ClassTime(-1, "t") != ref.ClassTime(-1, "t") {
+		if fast.ClassTime(-1, ClassOther) != ref.ClassTime(-1, ClassOther) {
 			t.Fatalf("trial %d: all-stream ClassTime differs", trial)
 		}
 	}
@@ -86,8 +86,8 @@ func TestRunDeadlockParity(t *testing.T) {
 	s := New()
 	a := s.Stream("a")
 	b := s.Stream("b")
-	t1 := s.Add(a, 1, "x")
-	t2 := s.Add(b, 1, "y")
+	t1 := s.Add(a, 1, ClassOther)
+	t2 := s.Add(b, 1, ClassOther)
 	s.AddDep(t1, t2)
 	s.AddDep(t2, t1)
 	_, errFast := s.Run()
@@ -121,9 +121,9 @@ func TestReserve(t *testing.T) {
 	s := New()
 	st := s.Stream("c")
 	s.Reserve(100, 200)
-	prev := s.Add(st, 1, "op")
+	prev := s.Add(st, 1, ClassOther)
 	for i := 0; i < 99; i++ {
-		prev = s.Add(st, 1, "op", prev)
+		prev = s.Add(st, 1, ClassOther, prev)
 	}
 	tl, err := s.Run()
 	if err != nil {
@@ -145,10 +145,10 @@ func TestReserve(t *testing.T) {
 func TestArenaDepsIsolation(t *testing.T) {
 	s := New()
 	st := s.Stream("c")
-	a := s.Add(st, 1, "a")
-	b := s.Add(st, 1, "b", a)
-	c := s.Add(st, 1, "c", a) // lives right after b's deps in the arena
-	d := s.Add(st, 1, "d", a)
+	a := s.Add(st, 1, ClassOther)
+	b := s.Add(st, 1, ClassOther, a)
+	c := s.Add(st, 1, ClassOther, a) // lives right after b's deps in the arena
+	d := s.Add(st, 1, ClassOther, a)
 	s.AddDep(b, a) // append to b's full-capacity slice: must reallocate
 	if got := s.tasks[c].Deps; len(got) != 1 || got[0] != a {
 		t.Fatalf("task c's deps clobbered: %v", got)

@@ -159,6 +159,7 @@ func SimulateOpts(c hw.Cluster, m model.Transformer, p core.Plan, opt Options) (
 	b := builder{c: c, m: m, p: p, par: par, sched: sched, reference: opt.ReferenceDES}
 	tl, err := b.run()
 	if err != nil {
+		b.release()
 		return Result{}, err
 	}
 
@@ -192,14 +193,15 @@ func SimulateOpts(c hw.Cluster, m model.Transformer, p core.Plan, opt Options) (
 	}
 	if b.ppStream == nil {
 		// Transfers rode the compute streams; account them by class.
-		res.PPCommTime = tl.ClassTime(-1, "send")
+		res.PPCommTime = tl.ClassTime(-1, des.ClassSend)
 	}
 	if b.dpStream == nil {
-		res.DPCommTime = tl.ClassTime(-1, "reduce") + tl.ClassTime(-1, "restore")
+		res.DPCommTime = tl.ClassTime(-1, des.ClassReduce) + tl.ClassTime(-1, des.ClassRestore)
 	}
 	if opt.CaptureTimeline {
 		res.Timeline = tl
 	}
+	b.release()
 	return res, nil
 }
 
@@ -213,6 +215,7 @@ type builder struct {
 	reference bool
 
 	sim           *des.Sim
+	scratch       *buildScratch
 	computeStream []des.StreamID
 	ppStream      []des.StreamID // nil when PP transfers ride the compute stream
 	dpStream      []des.StreamID // nil when DP ops ride the compute stream
@@ -235,6 +238,74 @@ const noTask = des.TaskID(-1)
 // at a time; the returned Timeline shares nothing with the pooled Sim.
 var simPool = sync.Pool{New: func() any { return des.New() }}
 
+// buildScratch holds the builder's per-simulation tracking slices (stream
+// ids, per-(stage, micro) task and transfer trackers, restore/reduce
+// bookkeeping). Pooling it — analogous to the des.Sim pool — takes the
+// steady-state Simulate build path to near-zero allocations.
+type buildScratch struct {
+	compute, pp, dp []des.StreamID
+	fwdTask         []des.TaskID
+	bwdTask         []des.TaskID
+	fwdSend         []des.TaskID
+	bwdSend         []des.TaskID
+	restoreIdx      []int
+	restores        []des.TaskID
+	restoreConsumer []des.TaskID
+	reduces         []des.TaskID
+	deps            []des.TaskID
+}
+
+var scratchPool = sync.Pool{New: func() any { return &buildScratch{} }}
+
+// release returns the builder's pooled resources; the builder must not be
+// used afterwards. The returned Timeline shares nothing with the scratch.
+func (b *builder) release() {
+	if b.scratch == nil {
+		return
+	}
+	scratchPool.Put(b.scratch)
+	b.scratch = nil
+	b.computeStream, b.ppStream, b.dpStream = nil, nil, nil
+}
+
+// grow resizes a reusable buffer to length n, reallocating only when the
+// retained capacity is too small. Contents are unspecified; callers clear
+// what they need.
+func grow[T any](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// maxCachedDev bounds the precomputed stream-name table; device indexes
+// beyond it (wider than any paper configuration) fall back to Sprintf.
+const maxCachedDev = 128
+
+// streamNames interns the per-device stream names so the per-simulation
+// fmt.Sprintf calls the profiler flagged (ROADMAP alloc hot spot) vanish
+// from the steady state.
+var streamNames = func() (t [3][maxCachedDev]string) {
+	for d := 0; d < maxCachedDev; d++ {
+		t[0][d] = fmt.Sprintf("gpu%d/compute", d)
+		t[1][d] = fmt.Sprintf("gpu%d/pp", d)
+		t[2][d] = fmt.Sprintf("gpu%d/dp", d)
+	}
+	return
+}()
+
+var streamKinds = [3]string{"compute", "pp", "dp"}
+
+// streamName returns the interned device stream name for kind (0 compute,
+// 1 pp, 2 dp).
+func streamName(kind, dev int) string {
+	if dev < maxCachedDev {
+		return streamNames[kind][dev]
+	}
+	return fmt.Sprintf("gpu%d/%s", dev, streamKinds[kind])
+}
+
 func (b *builder) run() (*des.Timeline, error) {
 	p := b.p
 	b.deriveCosts()
@@ -246,21 +317,23 @@ func (b *builder) run() (*des.Timeline, error) {
 	}()
 
 	nDev := len(b.sched.Devices)
-	b.computeStream = make([]des.StreamID, nDev)
+	sc := scratchPool.Get().(*buildScratch)
+	b.scratch = sc
+	b.computeStream = grow(&sc.compute, nDev)
 	for d := 0; d < nDev; d++ {
-		b.computeStream[d] = b.sim.Stream(fmt.Sprintf("gpu%d/compute", d))
+		b.computeStream[d] = b.sim.Stream(streamName(0, d))
 	}
 	if p.OverlapPP && p.Method.Pipelined() && p.PP > 1 {
-		b.ppStream = make([]des.StreamID, nDev)
+		b.ppStream = grow(&sc.pp, nDev)
 		for d := 0; d < nDev; d++ {
-			b.ppStream[d] = b.sim.Stream(fmt.Sprintf("gpu%d/pp", d))
+			b.ppStream[d] = b.sim.Stream(streamName(1, d))
 		}
 	}
 	hasDPOps := p.DP > 1 || p.Sharding == core.DPFS
 	if p.OverlapDP && hasDPOps {
-		b.dpStream = make([]des.StreamID, nDev)
+		b.dpStream = grow(&sc.dp, nDev)
 		for d := 0; d < nDev; d++ {
-			b.dpStream[d] = b.sim.Stream(fmt.Sprintf("gpu%d/dp", d))
+			b.dpStream[d] = b.sim.Stream(streamName(2, d))
 		}
 	}
 
@@ -289,14 +362,15 @@ func (b *builder) run() (*des.Timeline, error) {
 	}
 
 	// Compute task and inbound-transfer trackers per (stage, micro),
-	// flattened to slices: the hot path replaces four map lookups per op
-	// with array indexing.
+	// flattened to pooled slices: the hot path replaces four map lookups
+	// per op with array indexing, and the slices hold only integer ids so
+	// their reuse costs no pointer-aware clearing.
 	nm := p.NumMicro
 	nk := b.nStages * nm
-	fwdTask := make([]des.TaskID, nk) // compute task per (stage, micro)
-	bwdTask := make([]des.TaskID, nk)
-	fwdSend := make([]des.TaskID, nk) // transfer feeding Forward(stage, micro)
-	bwdSend := make([]des.TaskID, nk) // transfer feeding Backward(stage, micro)
+	fwdTask := grow(&sc.fwdTask, nk) // compute task per (stage, micro)
+	bwdTask := grow(&sc.bwdTask, nk)
+	fwdSend := grow(&sc.fwdSend, nk) // transfer feeding Forward(stage, micro)
+	bwdSend := grow(&sc.bwdSend, nk) // transfer feeding Backward(stage, micro)
 	for i := 0; i < nk; i++ {
 		fwdTask[i], bwdTask[i], fwdSend[i], bwdSend[i] = noTask, noTask, noTask, noTask
 	}
@@ -305,11 +379,11 @@ func (b *builder) run() (*des.Timeline, error) {
 	// Per-device restore bookkeeping, reused across devices. restoreIdx is
 	// keyed by (stage, micro) with micro in [-1, NumMicro): index
 	// stage*(nm+1) + micro + 1.
-	restoreIdx := make([]int, b.nStages*(nm+1))
-	var restores []des.TaskID        // device restores in order (double buffering)
-	var restoreConsumer []des.TaskID // per restore: last consumer
-	var reduces []des.TaskID
-	deps := make([]des.TaskID, 0, 2)
+	restoreIdx := grow(&sc.restoreIdx, b.nStages*(nm+1))
+	restores := sc.restores[:0]               // device restores in order (double buffering)
+	restoreConsumer := sc.restoreConsumer[:0] // per restore: last consumer
+	reduces := sc.reduces[:0]
+	deps := sc.deps[:0]
 
 	// Pass 1: create tasks in program order; wire same-device dependencies
 	// immediately, recording cross-device endpoints for pass 2.
@@ -343,10 +417,10 @@ func (b *builder) run() (*des.Timeline, error) {
 		for _, op := range prog {
 			switch op.Kind {
 			case schedule.Forward, schedule.Backward:
-				class := "fwd"
+				class := des.ClassFwd
 				dur := b.tFwd
 				if op.Kind == schedule.Backward {
-					class, dur = "bwd", b.tBwd
+					class, dur = des.ClassBwd, b.tBwd
 				}
 				deps = deps[:0]
 				rt, ri, hasRestore := lastRestoreFor(op.Stage, op.Micro)
@@ -368,7 +442,7 @@ func (b *builder) run() (*des.Timeline, error) {
 					if b.ppStream == nil {
 						dur += b.tPPStall
 					}
-					st := b.sim.AddTagged(sendStream, dur, "send", op.Stage, op.Micro, t)
+					st := b.sim.AddTagged(sendStream, dur, des.ClassSend, op.Stage, op.Micro, t)
 					if op.Kind == schedule.Forward {
 						fwdSend[next] = st
 					} else {
@@ -384,7 +458,7 @@ func (b *builder) run() (*des.Timeline, error) {
 						deps = append(deps, c)
 					}
 				}
-				t := b.sim.AddTagged(dpStream, b.tRestore, "restore", op.Stage, op.Micro, deps...)
+				t := b.sim.AddTagged(dpStream, b.tRestore, des.ClassRestore, op.Stage, op.Micro, deps...)
 				restoreIdx[op.Stage*(nm+1)+op.Micro+1] = len(restores)
 				restores = append(restores, t)
 				restoreConsumer = append(restoreConsumer, noTask)
@@ -398,13 +472,17 @@ func (b *builder) run() (*des.Timeline, error) {
 					// Per-batch reduce waits for the stage's last backward.
 					deps = append(deps, bt)
 				}
-				t := b.sim.AddTagged(dpStream, b.tReduce, "reduce", op.Stage, op.Micro, deps...)
+				t := b.sim.AddTagged(dpStream, b.tReduce, des.ClassReduce, op.Stage, op.Micro, deps...)
 				reduces = append(reduces, t)
 			case schedule.Optimize:
-				b.sim.AddTagged(comp, b.tOpt, "opt", -1, -1, reduces...)
+				b.sim.AddTagged(comp, b.tOpt, des.ClassOpt, -1, -1, reduces...)
 			}
 		}
 	}
+
+	// Hand the (possibly re-grown) append-mode buffers back to the pooled
+	// scratch for the next simulation.
+	sc.restores, sc.restoreConsumer, sc.reduces, sc.deps = restores, restoreConsumer, reduces, deps
 
 	// Pass 2: wire cross-device transfer dependencies. The consuming op
 	// waits on the transfer directly; an in-order compute stream therefore
@@ -453,10 +531,7 @@ func (b *builder) transferOutOf(op schedule.Op) (int, bool) {
 // deriveCosts computes the per-op durations from the hardware and model.
 func (b *builder) deriveCosts() {
 	p, m, c, par := b.p, b.m, b.c, b.par
-	b.nStages = p.Stages()
-	if !p.Method.Pipelined() {
-		b.nStages = p.Loops
-	}
+	b.nStages = p.NumStages()
 	layersPerStage := m.Layers / b.nStages
 	tokens := p.MicroBatch * m.SeqLen
 	rows := float64(tokens)

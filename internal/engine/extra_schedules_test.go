@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"testing"
+
+	"bfpp/internal/core"
+	"bfpp/internal/hw"
+	"bfpp/internal/model"
+)
+
+// The two extension schedules must simulate through the engine end to end
+// (registry acceptance criterion), with sane results.
+
+func TestWeightStash1F1BSimulates(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model6p6B()
+	ws := core.Plan{Method: core.WeightStash1F1B, DP: 2, PP: 4, TP: 2,
+		MicroBatch: 1, NumMicro: 8, Loops: 1, OverlapDP: true, OverlapPP: true}
+	rw, err := Simulate(c, m, ws)
+	if err != nil {
+		t.Fatalf("WS-1F1B: %v", err)
+	}
+	if rw.Utilization <= 0 || rw.Utilization > 1 {
+		t.Fatalf("WS-1F1B utilization = %v", rw.Utilization)
+	}
+	// Same grid with Megatron-LM's non-overlapped 1F1B: the overlapped
+	// PipeDream implementation must be at least as fast, but pays for its
+	// stashed weight versions in memory.
+	ob := ws
+	ob.Method = core.OneFOneB
+	ob.OverlapDP, ob.OverlapPP = false, false
+	ro, err := Simulate(c, m, ob)
+	if err != nil {
+		t.Fatalf("1F1B: %v", err)
+	}
+	if rw.BatchTime > ro.BatchTime {
+		t.Errorf("WS-1F1B batch %.4fs slower than blocking 1F1B %.4fs", rw.BatchTime, ro.BatchTime)
+	}
+	if rw.Memory.StateMin <= ro.Memory.StateMin {
+		t.Errorf("WS-1F1B min state %.2f GiB should exceed 1F1B's %.2f GiB (stashes)",
+			rw.Memory.StateMin/(1<<30), ro.Memory.StateMin/(1<<30))
+	}
+}
+
+func TestVScheduleSimulatesAndDials(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model6p6B()
+	base := core.Plan{Method: core.VSchedule, DP: 1, PP: 4, TP: 2,
+		MicroBatch: 4, NumMicro: 16, Loops: 2, OverlapDP: true, OverlapPP: true}
+	run := func(cap int) Result {
+		p := base
+		p.Sequence = cap
+		r, err := Simulate(c, m, p)
+		if err != nil {
+			t.Fatalf("v-schedule cap %d: %v", cap, err)
+		}
+		return r
+	}
+	tight, loose := run(2), run(16)
+	if tight.Utilization <= 0 || loose.Utilization <= 0 {
+		t.Fatal("v-schedule produced zero utilization")
+	}
+	if loose.Utilization <= tight.Utilization {
+		t.Errorf("larger in-flight cap should raise utilization: %.1f%% vs %.1f%%",
+			100*loose.Utilization, 100*tight.Utilization)
+	}
+	if tight.Memory.Checkpoints >= loose.Memory.Checkpoints {
+		t.Errorf("smaller cap should cut checkpoint memory: %.2f vs %.2f GiB",
+			tight.Memory.Checkpoints/(1<<30), loose.Memory.Checkpoints/(1<<30))
+	}
+}

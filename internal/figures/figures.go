@@ -31,6 +31,27 @@ var (
 	paperBatchesEthnet = []int{64, 96, 128, 192, 256, 384, 512}
 )
 
+// sweepFamilies overrides the method families the scenario sweeps cover;
+// nil means search.Families(), the paper's four. The bfpp-figures
+// -families flag sets it (SetSweepFamilies) to regenerate the comparison
+// artifacts over a different family selection, e.g. including the
+// extension schedules.
+var sweepFamilies []search.Family
+
+// SetSweepFamilies selects the families Figure 1/7/8 and the Table E
+// artifacts sweep; nil or empty restores the paper default.
+func SetSweepFamilies(fams []search.Family) {
+	sweepFamilies = append([]search.Family(nil), fams...)
+}
+
+// sweepFams returns the effective family selection.
+func sweepFams() []search.Family {
+	if len(sweepFamilies) > 0 {
+		return sweepFamilies
+	}
+	return search.Families()
+}
+
 // Figure1 produces the predicted training time and memory summary for the
 // 52B model on 4096 V100s (the paper's headline bar chart).
 func Figure1() (string, error) {
@@ -39,16 +60,20 @@ func Figure1() (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 1: 52B model on 4096 V100 GPUs (Bcrit=%.0f)\n", batchsize.PaperBcrit52B)
 	fmt.Fprintf(&b, "%-26s %12s %14s %14s\n", "Method", "time (days)", "cost (GPUd)", "mem min (GiB)")
-	for _, f := range search.Families() {
-		bests, err := search.Sweep(c, m, f, paperBatches52B, search.Options{})
-		if err != nil {
-			return "", fmt.Errorf("figure1: %v: %w", f, err)
+	results, err := search.SweepAll(c, m, sweepFams(), paperBatches52B, search.Options{})
+	if err != nil {
+		return "", fmt.Errorf("figure1: %w", err)
+	}
+	for _, f := range sweepFams() {
+		bests, ok := results[f]
+		if !ok {
+			continue
 		}
-		results := make([]engine.Result, len(bests))
+		rs := make([]engine.Result, len(bests))
 		for i, best := range bests {
-			results[i] = best.Result
+			rs[i] = best.Result
 		}
-		pts, err := tradeoff.Curve(m, results, batchsize.PaperBcrit52B, []int{4096})
+		pts, err := tradeoff.Curve(m, rs, batchsize.PaperBcrit52B, []int{4096})
 		if err != nil {
 			return "", err
 		}
@@ -245,20 +270,15 @@ func scenarios() []scenario {
 	}
 }
 
-// sweepAll runs the grid search for all families of a scenario. Families
-// are iterated sequentially on purpose: each family's Sweep already
-// saturates the worker pool with its flattened batch x plan work list, so
-// fanning out here would only oversubscribe past the -workers bound.
+// sweepAll runs the grid search for all selected families of a scenario
+// over one shared work queue (search.SweepAll): every family's batch x
+// plan candidates feed the same bounded worker pool, so a short family's
+// tail no longer leaves workers idle while the next family enumerates.
+// Families infeasible at every batch are omitted, exactly as the old
+// sequential per-family sweep did.
 func sweepAll(sc scenario) (map[search.Family][]search.Best, error) {
-	out := map[search.Family][]search.Best{}
-	for _, f := range search.Families() {
-		bests, err := search.Sweep(sc.cluster, sc.model, f, sc.batches, search.Options{})
-		if err != nil {
-			continue // family infeasible at every batch on this scenario
-		}
-		out[f] = bests
-	}
-	if len(out) == 0 {
+	out, err := search.SweepAll(sc.cluster, sc.model, sweepFams(), sc.batches, search.Options{})
+	if err != nil {
 		return nil, fmt.Errorf("figures: no feasible family for %s", sc.name)
 	}
 	return out, nil
@@ -279,13 +299,13 @@ func Figure7(idx int) (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 7 (%s): best GPU utilization (%%) per batch size\n", sc.name)
 	fmt.Fprintf(&b, "%8s", "batch")
-	for _, f := range search.Families() {
+	for _, f := range sweepFams() {
 		fmt.Fprintf(&b, " %26s", f)
 	}
 	b.WriteString("\n")
 	for _, batch := range sc.batches {
 		fmt.Fprintf(&b, "%8d", batch)
-		for _, f := range search.Families() {
+		for _, f := range sweepFams() {
 			val := "-"
 			for _, best := range results[f] {
 				if best.Plan.BatchSize() == batch {
@@ -312,7 +332,7 @@ func Figure8(idx int) (string, error) {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 8 (%s): projected training cost vs time (Bcrit=%.0f)\n\n", sc.name, sc.bcrit)
-	for _, f := range search.Families() {
+	for _, f := range sweepFams() {
 		bests, ok := results[f]
 		if !ok {
 			continue
@@ -452,6 +472,7 @@ func Generators() []Generator {
 		{"tableE3", func() (string, error) { return TableE(2) }},
 		{"appendixB", AppendixB},
 		{"extension-nextgen", ExtensionNextGen},
+		{"extension-schedules", ExtensionSchedules},
 	}
 }
 

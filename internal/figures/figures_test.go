@@ -77,7 +77,7 @@ func TestGeneratorsComplete(t *testing.T) {
 	want := []string{"figure1", "figure2", "figure3", "figure4", "figure5",
 		"figure6", "figure7a", "figure7b", "figure7c", "figure8a", "figure8b",
 		"figure8c", "figure9", "table4.1", "table5.1", "tableE1", "tableE2",
-		"tableE3", "appendixB", "extension-nextgen"}
+		"tableE3", "appendixB", "extension-nextgen", "extension-schedules"}
 	gens := Generators()
 	if len(gens) != len(want) {
 		t.Fatalf("got %d generators, want %d", len(gens), len(want))

@@ -2,31 +2,50 @@ package memsim
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"bfpp/internal/core"
 	"bfpp/internal/model"
 )
 
-// estimateKey memoizes Estimate per (architecture, plan) pair. Both structs
-// are plain comparable values, so the key is exact: the grid search asks
-// for the same estimate at least twice per candidate (feasibility pruning
-// in Enumerate, then the Result breakdown in the engine).
-type estimateKey struct {
+// The estimate memo is a two-level model -> plan cache: the outer level
+// resolves the (rarely changing) model architecture to its plan cache, and
+// the hot path hashes only the Plan. A lock-free pointer to the last-used
+// model's cache skips even the outer lookup on the common
+// one-model-per-sweep pattern, so the full Transformer struct (which
+// contains a string) is no longer hashed on every lookup. The grid search
+// asks for the same estimate at least twice per candidate (feasibility
+// pruning in Enumerate, then the Result breakdown in the engine).
+
+// planCache memoizes Estimate for one model architecture.
+type planCache struct {
 	model model.Transformer
-	plan  core.Plan
+	plans sync.Map // core.Plan -> Breakdown
 }
 
-var estimateCache sync.Map // estimateKey -> Breakdown
+var (
+	modelCaches sync.Map // model.Transformer -> *planCache
+	lastCache   atomic.Pointer[planCache]
+)
 
 // CachedEstimate is Estimate memoized per (model, plan). The plan space a
 // search enumerates is small (hundreds of configurations per model), so the
 // cache is unbounded by design.
 func CachedEstimate(m model.Transformer, p core.Plan) Breakdown {
-	k := estimateKey{m, p}
-	if v, ok := estimateCache.Load(k); ok {
+	c := lastCache.Load()
+	if c == nil || c.model != m {
+		if v, ok := modelCaches.Load(m); ok {
+			c = v.(*planCache)
+		} else {
+			v, _ := modelCaches.LoadOrStore(m, &planCache{model: m})
+			c = v.(*planCache)
+		}
+		lastCache.Store(c)
+	}
+	if v, ok := c.plans.Load(p); ok {
 		return v.(Breakdown)
 	}
 	b := Estimate(m, p)
-	estimateCache.Store(k, b)
+	c.plans.Store(p, b)
 	return b
 }

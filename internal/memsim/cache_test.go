@@ -30,6 +30,34 @@ func TestCachedEstimateMatchesEstimate(t *testing.T) {
 	}
 }
 
+// TestCachedEstimateModelSwitching exercises the two-level model -> plan
+// cache (and its last-model fast-path pointer) across interleaved models
+// from concurrent goroutines.
+func TestCachedEstimateModelSwitching(t *testing.T) {
+	models := []model.Transformer{model.Model52B(), model.Model6p6B(), model.GPT3()}
+	p := core.Plan{Method: core.BreadthFirst, DP: 8, PP: 4, TP: 2, MicroBatch: 1,
+		NumMicro: 16, Loops: 4, Sharding: core.DPFS, OverlapDP: true, OverlapPP: true}
+	want := make([]Breakdown, len(models))
+	for i, m := range models {
+		want[i] = Estimate(m, p)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				mi := (i + w) % len(models)
+				if got := CachedEstimate(models[mi], p); got != want[mi] {
+					t.Errorf("%s: cached estimate differs after model switch", models[mi].Name)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 func TestCachedEstimateConcurrent(t *testing.T) {
 	m := model.Model6p6B()
 	p := core.Plan{Method: core.BreadthFirst, DP: 8, PP: 4, TP: 2, MicroBatch: 1,

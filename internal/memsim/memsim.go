@@ -14,6 +14,7 @@ import (
 
 	"bfpp/internal/core"
 	"bfpp/internal/model"
+	"bfpp/internal/schedule"
 )
 
 // Bytes-per-parameter constants for mixed-precision Adam (Appendix A.2.1).
@@ -69,29 +70,25 @@ func (b Breakdown) String() string {
 		b.PPBuffers/gib, b.TotalMin()/gib)
 }
 
-// megatronImpl reports whether the method is evaluated with the Megatron-LM
-// implementation in the paper (Section 5: 1F1B and depth-first).
-func megatronImpl(m core.Method) bool {
-	return m == core.OneFOneB || m == core.DepthFirst
-}
-
 // Estimate computes the memory breakdown. The plan must be valid for the
-// model.
+// model. The per-method behavior — the in-flight activation count of
+// Table 4.1, per-stage gradient aggregation, the Megatron-LM fp32-grads
+// accounting and PipeDream weight stashes — comes from the method's
+// registered schedule traits (schedule.TraitsOf) rather than a hard-coded
+// method list, so registered extension schedules are estimated correctly.
 func Estimate(m model.Transformer, p core.Plan) Breakdown {
 	var b Breakdown
+	traits := schedule.TraitsOf(p.Method)
 	stackParams := float64(m.Layers) * float64(m.LayerParams())
 	pDev := stackParams / float64(p.PP*p.TP) // parameters hosted per device
-	nStages := p.Stages()
-	if !p.Method.Pipelined() {
-		nStages = p.Loops
-	}
+	nStages := p.NumStages()
 	pStage := stackParams / float64(nStages) / float64(p.TP)
 
 	// Training state (Eqs. 13-15).
 	switch p.Sharding {
 	case core.DP0:
 		perParam := bytesState + bytesHalfBuffers + bytesFP32Grads
-		if megatronImpl(p.Method) {
+		if traits.GradsOutsidePeak {
 			perParam = bytesState + bytesHalfBuffers // fp32 grads outside peak
 		}
 		b.State = perParam * pDev
@@ -100,7 +97,7 @@ func Estimate(m model.Transformer, p core.Plan) Breakdown {
 		b.StateMin = bytesHalfBuffers * pDev
 	case core.DPPS:
 		buffers := bytesHalfBuffers
-		if p.Method == core.BreadthFirst || p.Method == core.NoPipelineBF || p.NumMicro == 1 {
+		if traits.PerStageAggregation || p.NumMicro == 1 {
 			// Per-stage aggregation reduces gradients immediately,
 			// halving the buffer requirement (Appendix A.2.1).
 			buffers = bytesHalfWeights
@@ -113,6 +110,13 @@ func Estimate(m model.Transformer, p core.Plan) Breakdown {
 		b.State = (bytesState+bytesFP32Grads)/float64(p.DP)*pDev + buffers
 		b.StateMin = buffers
 	}
+	if traits.StashedWeights != nil {
+		// PipeDream-style weight stashing pins extra half-precision weight
+		// versions per stage; they do not shard away on a larger cluster.
+		stash := bytesHalfWeights * float64(traits.StashedWeights(p)) * pStage
+		b.State += stash
+		b.StateMin += stash
+	}
 
 	// Live activations (Eq. 16), for the micro-batch currently in the
 	// layer being processed.
@@ -123,8 +127,9 @@ func Estimate(m model.Transformer, p core.Plan) Breakdown {
 	b.Activations = seq * smb * hid * (10 + 24/tp + 5*seq*float64(m.Heads)/(hid*tp))
 
 	// Activation checkpoints (Eq. 17): one checkpoint (the layer input,
-	// 2 bytes/element) per in-flight layer and micro-batch.
-	ckptPairs := inFlightPairs(p)
+	// 2 bytes/element) per in-flight layer and micro-batch, with the
+	// per-schedule caps of Table 4.1 declared by the generator traits.
+	ckptPairs := traits.InFlight(p)
 	layersPerStage := m.Layers / nStages
 	b.Checkpoints = float64(ckptPairs*layersPerStage) * 2 * seq * smb * hid / tp
 
@@ -137,39 +142,11 @@ func Estimate(m model.Transformer, p core.Plan) Breakdown {
 }
 
 // inFlightPairs returns the worst-device number of (stage, micro-batch)
-// activations held simultaneously, matching Table 4.1:
-//
-//   - GPipe / breadth-first hold every micro-batch of every local stage;
-//   - 1F1B caps at PP in-flight micro-batches (warmup depth);
-//   - depth-first caps at its warmup depth 2(PP-1) + (Loops-1)*PP + 1;
-//   - no-pipeline depth-first holds one micro-batch across all stages;
-//   - no-pipeline breadth-first holds all micro-batches (Appendix C cost).
+// activations held simultaneously (Table 4.1), as declared by the
+// method's registered schedule generator (unregistered methods
+// conservatively hold everything).
 func inFlightPairs(p core.Plan) int {
-	switch p.Method {
-	case core.GPipe, core.BreadthFirst:
-		return p.NumMicro * p.Loops
-	case core.OneFOneB:
-		if p.NumMicro < p.PP {
-			return p.NumMicro
-		}
-		return p.PP
-	case core.DepthFirst, core.Hybrid:
-		q := p.PP
-		if p.Method == core.Hybrid {
-			q = p.SequenceLen()
-		}
-		w := 2*(p.PP-1) + (p.Loops-1)*q + 1
-		if t := p.NumMicro * p.Loops; w > t {
-			w = t
-		}
-		return w
-	case core.NoPipelineDF:
-		return p.Loops // one micro-batch resident in each stage's worth of checkpoints
-	case core.NoPipelineBF:
-		return p.NumMicro * p.Loops
-	default:
-		return p.NumMicro * p.Loops
-	}
+	return schedule.TraitsOf(p.Method).InFlight(p)
 }
 
 // Feasible reports whether the estimated peak fits in the given GPU memory,

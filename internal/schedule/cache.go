@@ -11,12 +11,15 @@ import (
 // Plans that differ only in TP, MicroBatch or the data-parallel group size
 // (beyond DP > 1, which decides whether reductions are emitted) share one
 // program set — in an Appendix E enumeration most candidates hit the cache.
+// The key identifies the generator (via Method) plus the generator's own
+// extra parameter (Traits.KeyExtra: the hybrid sequence length, the
+// V-schedule in-flight cap).
 type Key struct {
 	Method   core.Method
 	PP       int
 	NumMicro int
 	Loops    int
-	Sequence int // effective hybrid sequence length; 0 for other methods
+	Extra    int // generator-declared extra parameter; 0 when none
 	Sharding core.Sharding
 	Reduce   bool // DP > 1, i.e. whether Reduce ops are emitted
 }
@@ -31,8 +34,8 @@ func KeyOf(p core.Plan) Key {
 		Sharding: p.Sharding,
 		Reduce:   needReduce(p),
 	}
-	if p.Method == core.Hybrid {
-		k.Sequence = p.SequenceLen()
+	if extra := TraitsOf(p.Method).KeyExtra; extra != nil {
+		k.Extra = extra(p)
 	}
 	return k
 }

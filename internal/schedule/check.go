@@ -29,10 +29,7 @@ func Check(s *Schedule) error {
 	fwdSeen := map[key]int{}
 	bwdSeen := map[key]int{}
 
-	nStages := p.Stages()
-	if !p.Method.Pipelined() {
-		nStages = p.Loops
-	}
+	nStages := p.NumStages()
 
 	for r, prog := range s.Devices {
 		fwdPos := map[key]int{}

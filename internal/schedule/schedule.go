@@ -1,5 +1,33 @@
-// Package schedule generates the per-device operation programs for the
-// pipeline schedules compared in the paper (Section 4.1, Figures 4 and 9):
+// Package schedule generates the per-device operation programs of the
+// pipeline schedules compared in the paper (Section 4.1, Figures 4 and 9)
+// and of the reproduction's extension schedules.
+//
+// # Architecture
+//
+// Schedule generation is organized as a registry of pluggable generators:
+//
+//   - core.RegisterMethod publishes a method's static metadata (name,
+//     looped/pipelined/forward-first traits, stage placement, plan
+//     constraints) to internal/core, where Plan.Validate and the stage
+//     placement helpers consume it.
+//   - Register publishes a Generator — the object that builds the device
+//     programs — together with its Traits: search-family membership,
+//     implementation overlap, the sharding modes to enumerate, and the
+//     memory-model hooks memsim consumes (in-flight activation pairs,
+//     per-stage aggregation, weight stashing).
+//   - Generate dispatches a plan to its registered generator; Cached
+//     memoizes generation and invariant checking per program-determining
+//     key (including each generator's KeyExtra parameter).
+//   - The search layer (internal/search) derives its Figure 7 method
+//     families from the registry instead of a hard-coded list, so a new
+//     schedule becomes searchable by registering it here.
+//
+// All generators are written on top of the shared program builder
+// (progBuilder), which owns the op encoding and the recurring
+// data-parallel patterns. See ROADMAP.md ("Adding a new schedule") for
+// the end-to-end recipe.
+//
+// # Registered schedules
 //
 //   - GPipe: non-looped, forward-first (Huang et al., 2018)
 //   - 1F1B: non-looped, backward-priority (Harlap et al., 2018)
@@ -12,6 +40,10 @@
 //   - Hybrid: the depth/breadth hybrid conjectured in Section 4.2, with a
 //     configurable micro-batch sequence length (an extension of this
 //     reproduction)
+//   - WS-1F1B: 1F1B with PipeDream-style weight stashing (Harlap et al.,
+//     2018) — overlapped communication, stashed weight versions (extension)
+//   - V-schedule: the controllable-memory V-schedule (Qi et al., 2024) —
+//     zigzag stage placement with a tunable in-flight cap (extension)
 //
 // A program is a flat list of operations in issue order. Compute operations
 // (Forward, Backward) run on the device's compute stream; data-parallel
@@ -101,9 +133,9 @@ type Schedule struct {
 	Devices []Program
 }
 
-// Generate builds the schedule for the plan's method. The plan must already
-// be valid for the target model; Generate only checks structural fields it
-// depends on.
+// Generate builds the schedule for the plan's method by dispatching to the
+// registered generator. The plan must already be valid for the target
+// model; Generate only checks structural fields it depends on.
 func Generate(p core.Plan) (*Schedule, error) {
 	if p.PP <= 0 || p.NumMicro <= 0 || p.Loops <= 0 {
 		return nil, fmt.Errorf("schedule: invalid plan %v", p)
@@ -111,258 +143,12 @@ func Generate(p core.Plan) (*Schedule, error) {
 	if p.Method.Pipelined() && p.NumMicro < p.PP {
 		return nil, fmt.Errorf("schedule: pipeline needs NumMicro >= PP (%d < %d)", p.NumMicro, p.PP)
 	}
-	var s *Schedule
-	switch p.Method {
-	case core.GPipe:
-		s = genGPipe(p)
-	case core.OneFOneB:
-		s = genOneFOneB(p)
-	case core.DepthFirst:
-		if p.NumMicro%p.PP != 0 {
-			return nil, fmt.Errorf("schedule: depth-first needs NumMicro %% PP == 0")
-		}
-		s = genDepthFirst(p)
-	case core.BreadthFirst:
-		s = genBreadthFirst(p)
-	case core.Hybrid:
-		q := p.SequenceLen()
-		if q%p.PP != 0 || p.NumMicro%q != 0 {
-			return nil, fmt.Errorf("schedule: hybrid needs Sequence %% PP == 0 and NumMicro %% Sequence == 0")
-		}
-		s = genSequenced(p, q)
-	case core.NoPipelineDF:
-		s = genNoPipelineDF(p)
-	case core.NoPipelineBF:
-		s = genNoPipelineBF(p)
-	default:
-		return nil, fmt.Errorf("schedule: unknown method %v", p.Method)
+	g, ok := Lookup(p.Method)
+	if !ok {
+		return nil, fmt.Errorf("schedule: no generator registered for method %v (register one with schedule.Register)", p.Method)
 	}
-	return s, nil
+	return g.Generate(p)
 }
 
 // needReduce reports whether the plan requires gradient reductions.
 func needReduce(p core.Plan) bool { return p.DP > 1 }
-
-// appendReduces appends per-stage reductions for the device's stages. With
-// a non-overlapping implementation (Megatron-LM) the reductions are bunched
-// after the compute program, which is also where this helper is invoked.
-func appendReduces(prog Program, p core.Plan, rank int) Program {
-	if !needReduce(p) {
-		return prog
-	}
-	stages := p.DeviceStages(rank)
-	for i := len(stages) - 1; i >= 0; i-- {
-		prog = append(prog, Op{Kind: Reduce, Stage: stages[i], Micro: -1})
-	}
-	return prog
-}
-
-// genGPipe: forward pass for all micro-batches, then backward pass
-// (Figure 4a). One stage per device.
-func genGPipe(p core.Plan) *Schedule {
-	devs := make([]Program, p.PP)
-	for r := 0; r < p.PP; r++ {
-		var prog Program
-		for mb := 0; mb < p.NumMicro; mb++ {
-			prog = append(prog, Op{Forward, r, mb})
-		}
-		for mb := 0; mb < p.NumMicro; mb++ {
-			prog = append(prog, Op{Backward, r, mb})
-		}
-		prog = appendReduces(prog, p, r)
-		prog = append(prog, Op{Optimize, -1, -1})
-		devs[r] = prog
-	}
-	return &Schedule{Plan: p, Devices: devs}
-}
-
-// genOneFOneB: warmup of PP-rank-1 forwards, then strict one-forward /
-// one-backward alternation, then a backward drain (Figure 4b).
-func genOneFOneB(p core.Plan) *Schedule {
-	devs := make([]Program, p.PP)
-	for r := 0; r < p.PP; r++ {
-		warmup := p.PP - r - 1
-		if warmup > p.NumMicro {
-			warmup = p.NumMicro
-		}
-		var prog Program
-		for mb := 0; mb < warmup; mb++ {
-			prog = append(prog, Op{Forward, r, mb})
-		}
-		for i := 0; i < p.NumMicro-warmup; i++ {
-			prog = append(prog, Op{Forward, r, warmup + i})
-			prog = append(prog, Op{Backward, r, i})
-		}
-		for mb := p.NumMicro - warmup; mb < p.NumMicro; mb++ {
-			prog = append(prog, Op{Backward, r, mb})
-		}
-		prog = appendReduces(prog, p, r)
-		prog = append(prog, Op{Optimize, -1, -1})
-		devs[r] = prog
-	}
-	return &Schedule{Plan: p, Devices: devs}
-}
-
-// Sequenced unit-step helpers, shared by the depth-first schedule (the
-// Megatron-LM interleaved schedule, sequence length q = PP) and the hybrid
-// schedule of Section 4.2 (q > PP). Micro-batches are processed in groups
-// of q; within a group the device runs its first local stage for all q
-// micro-batches, then its second, and so on, prioritizing backward work
-// once warmed up.
-func seqStep(p core.Plan, q, k int, backward bool) (chunk, micro int) {
-	group := k / (q * p.Loops)
-	within := k % (q * p.Loops)
-	chunk = within / q
-	if backward {
-		chunk = p.Loops - 1 - chunk
-	}
-	micro = group*q + within%q
-	return chunk, micro
-}
-
-// genDepthFirst follows the Megatron-LM interleaved 1F1B structure:
-// warmup = 2*(PP-rank-1) + (Loops-1)*PP unit forward steps, then
-// alternating forward/backward unit steps, then a backward drain.
-func genDepthFirst(p core.Plan) *Schedule {
-	return genSequenced(p, p.PP)
-}
-
-// genSequenced generates the depth-first family with micro-batch sequences
-// of length q; q = PP is plain depth-first, larger q is the hybrid, whose
-// extra in-flight micro-batches absorb transfer delays (Section 4.2).
-func genSequenced(p core.Plan, q int) *Schedule {
-	devs := make([]Program, p.PP)
-	total := p.NumMicro * p.Loops
-	for r := 0; r < p.PP; r++ {
-		warmup := 2*(p.PP-r-1) + (p.Loops-1)*q
-		if warmup > total {
-			warmup = total
-		}
-		var prog Program
-		emitF := func(k int) {
-			c, mb := seqStep(p, q, k, false)
-			prog = append(prog, Op{Forward, c*p.PP + r, mb})
-		}
-		emitB := func(k int) {
-			c, mb := seqStep(p, q, k, true)
-			prog = append(prog, Op{Backward, c*p.PP + r, mb})
-		}
-		for k := 0; k < warmup; k++ {
-			emitF(k)
-		}
-		for i := 0; i < total-warmup; i++ {
-			emitF(warmup + i)
-			emitB(i)
-		}
-		for k := total - warmup; k < total; k++ {
-			emitB(k)
-		}
-		prog = appendReduces(prog, p, r)
-		prog = append(prog, Op{Optimize, -1, -1})
-		devs[r] = prog
-	}
-	return &Schedule{Plan: p, Devices: devs}
-}
-
-// genBreadthFirst is the paper's schedule (Figure 4d): forward-first, each
-// local stage processes the entire batch before the next stage starts, and
-// the backward pass mirrors it in reverse. Data-parallel operations
-// aggregate per stage: one restore before each pass's first use of a stage
-// and one reduction after the stage's last backward, which is what makes
-// the schedule compatible with DP-FS (Section 4.2).
-func genBreadthFirst(p core.Plan) *Schedule {
-	devs := make([]Program, p.PP)
-	for r := 0; r < p.PP; r++ {
-		var prog Program
-		for l := 0; l < p.Loops; l++ {
-			s := l*p.PP + r
-			if p.Sharding == core.DPFS {
-				prog = append(prog, Op{Restore, s, -1})
-			}
-			for mb := 0; mb < p.NumMicro; mb++ {
-				prog = append(prog, Op{Forward, s, mb})
-			}
-		}
-		for l := p.Loops - 1; l >= 0; l-- {
-			s := l*p.PP + r
-			if p.Sharding == core.DPFS {
-				prog = append(prog, Op{Restore, s, -1})
-			}
-			for mb := 0; mb < p.NumMicro; mb++ {
-				prog = append(prog, Op{Backward, s, mb})
-			}
-			if needReduce(p) {
-				prog = append(prog, Op{Reduce, s, -1})
-			}
-		}
-		prog = append(prog, Op{Optimize, -1, -1})
-		devs[r] = prog
-	}
-	return &Schedule{Plan: p, Devices: devs}
-}
-
-// genNoPipelineDF is conventional gradient accumulation (Figure 9a/9b):
-// each micro-batch runs its full forward and backward before the next one.
-// Under DP-FS every stage must be restored in both passes and reduced in
-// the backward pass for every micro-batch — the repetition the paper's
-// Eq. (24) penalizes.
-func genNoPipelineDF(p core.Plan) *Schedule {
-	stages := p.Loops // stage granularity on the single device
-	var prog Program
-	fs := p.Sharding == core.DPFS
-	for mb := 0; mb < p.NumMicro; mb++ {
-		for s := 0; s < stages; s++ {
-			if fs {
-				prog = append(prog, Op{Restore, s, mb})
-			}
-			prog = append(prog, Op{Forward, s, mb})
-		}
-		for s := stages - 1; s >= 0; s-- {
-			if fs {
-				prog = append(prog, Op{Restore, s, mb})
-			}
-			prog = append(prog, Op{Backward, s, mb})
-			if fs && needReduce(p) {
-				prog = append(prog, Op{Reduce, s, mb})
-			}
-		}
-	}
-	if !fs && needReduce(p) {
-		for s := stages - 1; s >= 0; s-- {
-			prog = append(prog, Op{Reduce, s, -1})
-		}
-	}
-	prog = append(prog, Op{Optimize, -1, -1})
-	return &Schedule{Plan: p, Devices: []Program{prog}}
-}
-
-// genNoPipelineBF is the breadth-first gradient accumulation of Appendix C
-// (Figure 9c/9d): stages are processed breadth-first across micro-batches,
-// so each stage is restored once per pass and reduced once per batch, and
-// the reduction overlaps the remaining backward work.
-func genNoPipelineBF(p core.Plan) *Schedule {
-	stages := p.Loops
-	var prog Program
-	fs := p.Sharding == core.DPFS
-	for s := 0; s < stages; s++ {
-		if fs {
-			prog = append(prog, Op{Restore, s, -1})
-		}
-		for mb := 0; mb < p.NumMicro; mb++ {
-			prog = append(prog, Op{Forward, s, mb})
-		}
-	}
-	for s := stages - 1; s >= 0; s-- {
-		if fs {
-			prog = append(prog, Op{Restore, s, -1})
-		}
-		for mb := 0; mb < p.NumMicro; mb++ {
-			prog = append(prog, Op{Backward, s, mb})
-		}
-		if needReduce(p) {
-			prog = append(prog, Op{Reduce, s, -1})
-		}
-	}
-	prog = append(prog, Op{Optimize, -1, -1})
-	return &Schedule{Plan: p, Devices: []Program{prog}}
-}

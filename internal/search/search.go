@@ -23,6 +23,7 @@ package search
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"bfpp/internal/core"
 	"bfpp/internal/engine"
@@ -30,9 +31,11 @@ import (
 	"bfpp/internal/memsim"
 	"bfpp/internal/model"
 	"bfpp/internal/parallel"
+	"bfpp/internal/schedule"
 )
 
-// Family is a method family as compared in Figure 7. A family may span
+// Family is a method family as compared in Figure 7, an index into the
+// descriptor table built from the schedule registry. A family may span
 // several concrete schedules/implementations (the "non-looped" family
 // covers both our GPipe and Megatron-LM's 1F1B, as in the paper).
 type Family int
@@ -51,26 +54,134 @@ const (
 	FamilyNoPipeline
 )
 
-// Families returns all families in display order.
+// Variant is one concrete (method, overlap, sharding) combination within a
+// family, derived from the method's registered schedule traits.
+type Variant struct {
+	// Method is the schedule method.
+	Method core.Method
+	// Overlap reports whether the implementation overlaps DP/PP
+	// communication; it becomes Plan.OverlapDP/OverlapPP.
+	Overlap bool
+	// Shardings lists the sharding modes to enumerate.
+	Shardings []core.Sharding
+}
+
+// FamilyInfo is one row of the family descriptor table: a display name,
+// a short selection key and the member variants in enumeration order.
+type FamilyInfo struct {
+	// Key is the short selection key ("bf", "nl", ...) used by the
+	// -families command flags.
+	Key string
+	// Name is the display name (the Figure 7 legend).
+	Name string
+	// Paper marks the families of the paper's Figure 7 comparison.
+	Paper bool
+	// Variants are the member methods with their traits.
+	Variants []Variant
+}
+
+// familyCache memoizes the descriptor table built from the schedule
+// registry, keyed on the generator count so a generator registered after
+// the first lookup (e.g. from a test's init) still appears instead of
+// being frozen out by a one-shot snapshot. Families only ever grow, and
+// existing indexes are stable because the build order is registration
+// order.
+var familyCache struct {
+	sync.Mutex
+	nGens int
+	table []FamilyInfo
+}
+
+// familyTable builds (or rebuilds) the descriptor table: generators
+// sharing a family key become variants of one family, in registration
+// order (which fixes the Family index values — the paper's four families
+// register first, matching the constants above).
+func familyTable() []FamilyInfo {
+	gens := schedule.Generators()
+	familyCache.Lock()
+	defer familyCache.Unlock()
+	if familyCache.table != nil && familyCache.nGens == len(gens) {
+		return familyCache.table
+	}
+	var table []FamilyInfo
+	index := map[string]int{}
+	for _, g := range gens {
+		tr := g.Traits()
+		if tr.Family == "" {
+			continue
+		}
+		i, ok := index[tr.Family]
+		if !ok {
+			i = len(table)
+			index[tr.Family] = i
+			table = append(table, FamilyInfo{Key: tr.Family, Name: tr.FamilyName, Paper: tr.Paper})
+		}
+		table[i].Variants = append(table[i].Variants, Variant{
+			Method:    g.Method(),
+			Overlap:   tr.Overlap,
+			Shardings: tr.Shardings,
+		})
+	}
+	familyCache.nGens = len(gens)
+	familyCache.table = table
+	return table
+}
+
+// Families returns the paper's Figure 7 families in display order (the
+// default search scope, preserving the pre-registry behavior).
 func Families() []Family {
-	return []Family{FamilyBreadthFirst, FamilyDepthFirst, FamilyNonLooped, FamilyNoPipeline}
+	var out []Family
+	for i, fi := range familyTable() {
+		if fi.Paper {
+			out = append(out, Family(i))
+		}
+	}
+	return out
+}
+
+// AllFamilies returns every registered family — the paper's four plus the
+// extension schedules — in registration order.
+func AllFamilies() []Family {
+	out := make([]Family, len(familyTable()))
+	for i := range out {
+		out[i] = Family(i)
+	}
+	return out
+}
+
+// FamilyByKey resolves a family from its short selection key.
+func FamilyByKey(key string) (Family, bool) {
+	for i, fi := range familyTable() {
+		if fi.Key == key {
+			return Family(i), true
+		}
+	}
+	return 0, false
+}
+
+// FamilyOf returns the family containing the given method.
+func FamilyOf(m core.Method) (Family, bool) {
+	for i, fi := range familyTable() {
+		for _, v := range fi.Variants {
+			if v.Method == m {
+				return Family(i), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Info returns the family's descriptor.
+func (f Family) Info() FamilyInfo {
+	table := familyTable()
+	if int(f) < 0 || int(f) >= len(table) {
+		return FamilyInfo{Name: fmt.Sprintf("Family(%d)", int(f))}
+	}
+	return table[f]
 }
 
 // String names the family as in Figure 7's legend.
-func (f Family) String() string {
-	switch f {
-	case FamilyBreadthFirst:
-		return "Breadth-first (ours)"
-	case FamilyDepthFirst:
-		return "Depth-first (Megatron-LM)"
-	case FamilyNonLooped:
-		return "Non-looped (GPipe/1F1B)"
-	case FamilyNoPipeline:
-		return "No pipeline (Sharded)"
-	default:
-		return fmt.Sprintf("Family(%d)", int(f))
-	}
-}
+func (f Family) String() string { return f.Info().Name }
 
 // Best is the winning configuration of one (family, batch) search.
 type Best struct {
@@ -155,31 +266,17 @@ func pickBest(results []engine.Result) Best {
 	return best
 }
 
-// Sweep runs the family's search across batch sizes, skipping batches with
-// no feasible configuration, and returns the Figure 7 series in batch
-// order. All batches' candidate plans are flattened into one work list
-// evaluated by a single worker pool, so Options.Workers is a true bound on
-// concurrent simulations (no nested fan-out) and no barrier separates
-// batches. Results are identical to calling Optimize per batch.
-func Sweep(c hw.Cluster, m model.Transformer, f Family, batches []int, opt Options) ([]Best, error) {
-	if opt.MaxMicroBatch <= 0 {
-		opt.MaxMicroBatch = 16
-	}
-	var jobs []core.Plan
-	counts := make([]int, len(batches)) // candidate plans per batch
-	for bi, b := range batches {
-		plans := Enumerate(c, m, f, b, opt)
-		counts[bi] = len(plans)
-		jobs = append(jobs, plans...)
-	}
-	type outcome struct {
-		res engine.Result
-		err error
-	}
+// outcome carries one simulated plan through the shared sweep work list.
+// Per-plan errors skip their batch (as in Optimize) rather than aborting
+// the sweep, so they ride in the outcome and the Map error is always nil.
+type outcome struct {
+	res engine.Result
+	err error
+}
+
+// runJobs simulates the flattened candidate list on one worker pool.
+func runJobs(c hw.Cluster, m model.Transformer, jobs []core.Plan, opt Options) []outcome {
 	eopt := opt.engineOptions()
-	// Per-plan errors skip their batch (as in Optimize) rather than
-	// aborting the sweep, so they ride in the outcome and the Map error is
-	// always nil.
 	results, _ := parallel.Map(opt.workers(), jobs, func(_ int, p core.Plan) (outcome, error) {
 		r, err := engine.SimulateOpts(c, m, p, eopt)
 		if err != nil {
@@ -187,11 +284,18 @@ func Sweep(c hw.Cluster, m model.Transformer, f Family, batches []int, opt Optio
 		}
 		return outcome{res: r}, nil
 	})
+	return results
+}
+
+// reduceBatches folds one family's contiguous slice of outcomes (counts[i]
+// results per batch, in enumeration order) into per-batch winners,
+// skipping infeasible or failed batches exactly like Optimize would.
+func reduceBatches(results []outcome, counts []int) []Best {
 	var out []Best
 	lo := 0
-	for bi := range batches {
-		group := results[lo : lo+counts[bi]]
-		lo += counts[bi]
+	for _, n := range counts {
+		group := results[lo : lo+n]
+		lo += n
 		if len(group) == 0 {
 			continue // no feasible configuration at this batch
 		}
@@ -209,42 +313,80 @@ func Sweep(c hw.Cluster, m model.Transformer, f Family, batches []int, opt Optio
 		}
 		out = append(out, pickBest(batchResults))
 	}
+	return out
+}
+
+// Sweep runs the family's search across batch sizes, skipping batches with
+// no feasible configuration, and returns the Figure 7 series in batch
+// order. All batches' candidate plans are flattened into one work list
+// evaluated by a single worker pool, so Options.Workers is a true bound on
+// concurrent simulations (no nested fan-out) and no barrier separates
+// batches. Results are identical to calling Optimize per batch.
+func Sweep(c hw.Cluster, m model.Transformer, f Family, batches []int, opt Options) ([]Best, error) {
+	if opt.MaxMicroBatch <= 0 {
+		opt.MaxMicroBatch = 16
+	}
+	var jobs []core.Plan
+	counts := make([]int, len(batches)) // candidate plans per batch
+	for bi, b := range batches {
+		plans := Enumerate(c, m, f, b, opt)
+		counts[bi] = len(plans)
+		jobs = append(jobs, plans...)
+	}
+	out := reduceBatches(runJobs(c, m, jobs, opt), counts)
 	if len(out) == 0 {
 		return nil, fmt.Errorf("search: no feasible configuration for %v at any batch", f)
 	}
 	return out, nil
 }
 
-// variant is one concrete (method, overlap, sharding) combination within a
-// family.
-type variant struct {
-	method    core.Method
-	overlap   bool
-	shardings []core.Sharding
-}
-
-func variants(f Family) []variant {
-	switch f {
-	case FamilyBreadthFirst:
-		return []variant{{core.BreadthFirst, true, []core.Sharding{core.DP0, core.DPFS}}}
-	case FamilyDepthFirst:
-		return []variant{{core.DepthFirst, false, []core.Sharding{core.DP0}}}
-	case FamilyNonLooped:
-		return []variant{
-			{core.GPipe, true, []core.Sharding{core.DP0, core.DPPS}},
-			{core.OneFOneB, false, []core.Sharding{core.DP0}},
-		}
-	case FamilyNoPipeline:
-		return []variant{{core.NoPipelineBF, true, []core.Sharding{core.DP0, core.DPFS}}}
-	default:
-		return nil
+// SweepAll runs the sweeps of several families over one shared work list:
+// every family's candidates at every batch size are flattened into a
+// single bounded worker pool, so a family with few candidates no longer
+// leaves workers idle while another family's long tail drains (the
+// per-family pools used to run back to back). Results are identical to
+// calling Sweep per family; families with no feasible configuration at
+// any batch are omitted from the map, and an error is returned only when
+// that leaves the map empty.
+func SweepAll(c hw.Cluster, m model.Transformer, fams []Family, batches []int, opt Options) (map[Family][]Best, error) {
+	if opt.MaxMicroBatch <= 0 {
+		opt.MaxMicroBatch = 16
 	}
+	var jobs []core.Plan
+	counts := make([][]int, len(fams)) // candidate plans per (family, batch)
+	for fi, f := range fams {
+		counts[fi] = make([]int, len(batches))
+		for bi, b := range batches {
+			plans := Enumerate(c, m, f, b, opt)
+			counts[fi][bi] = len(plans)
+			jobs = append(jobs, plans...)
+		}
+	}
+	results := runJobs(c, m, jobs, opt)
+	out := map[Family][]Best{}
+	lo := 0
+	for fi, f := range fams {
+		n := 0
+		for _, c := range counts[fi] {
+			n += c
+		}
+		bests := reduceBatches(results[lo:lo+n], counts[fi])
+		lo += n
+		if len(bests) > 0 {
+			out[f] = bests
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("search: no feasible configuration for any family at any batch")
+	}
+	return out, nil
 }
 
 // Enumerate lists the feasible plans of a family at a global batch size.
 // The pruning mirrors Appendix E: divisibility of the device grid and the
-// batch, the depth-first N_mb constraint, stage divisibility, memory
-// feasibility, and exclusion of obviously inferior combinations (DP-FS with
+// batch, stage divisibility, memory feasibility, and the per-method
+// constraints and exclusions that Plan.Validate enforces through the
+// method registry (e.g. the depth-first N_mb constraint, DP-FS with
 // depth-first-style gradient accumulation).
 func Enumerate(c hw.Cluster, m model.Transformer, f Family, batch int, opt Options) []core.Plan {
 	if opt.MaxMicroBatch <= 0 {
@@ -256,14 +398,14 @@ func Enumerate(c hw.Cluster, m model.Transformer, f Family, batch int, opt Optio
 	}
 	nGPU := c.NumGPUs()
 	var plans []core.Plan
-	for _, v := range variants(f) {
+	for _, v := range f.Info().Variants {
 		for tp := 1; tp <= c.GPUsPerNode; tp *= 2 {
 			maxPP := 1
-			if v.method.Pipelined() {
+			if v.Method.Pipelined() {
 				maxPP = m.Layers
 			}
 			for pp := 1; pp <= maxPP && pp*tp <= nGPU; pp *= 2 {
-				if v.method.Pipelined() && pp == 1 {
+				if v.Method.Pipelined() && pp == 1 {
 					continue // a 1-deep pipeline is the no-pipeline case
 				}
 				if nGPU%(pp*tp) != 0 {
@@ -278,21 +420,18 @@ func Enumerate(c hw.Cluster, m model.Transformer, f Family, batch int, opt Optio
 					if nmb < 1 {
 						continue
 					}
-					if v.method.Pipelined() && nmb < pp {
+					if v.Method.Pipelined() && nmb < pp {
 						continue
 					}
-					if v.method == core.DepthFirst && nmb%pp != 0 {
-						continue
-					}
-					for _, loops := range loopOptions(m, v.method, pp) {
-						for _, sh := range v.shardings {
+					for _, loops := range loopOptions(m, v.Method, pp) {
+						for _, sh := range v.Shardings {
 							if sh != core.DP0 && dp == 1 {
 								continue
 							}
 							p := core.Plan{
-								Method: v.method, DP: dp, PP: pp, TP: tp,
+								Method: v.Method, DP: dp, PP: pp, TP: tp,
 								MicroBatch: smb, NumMicro: nmb, Loops: loops,
-								Sharding: sh, OverlapDP: v.overlap, OverlapPP: v.overlap,
+								Sharding: sh, OverlapDP: v.Overlap, OverlapPP: v.Overlap,
 							}
 							if p.Validate(m) != nil {
 								continue
@@ -310,16 +449,17 @@ func Enumerate(c hw.Cluster, m model.Transformer, f Family, batch int, opt Optio
 	return plans
 }
 
-// loopOptions returns the N_loop values to try: 1 for non-looped methods,
-// the powers of two dividing the stage budget for looped ones, and the
-// per-layer stage granularity for the no-pipeline schedules (whose "loops"
-// only set the data-parallel aggregation granularity).
+// loopOptions returns the N_loop values to try, derived from the method's
+// registered traits: 1 for the non-looped pipeline methods, the powers of
+// two dividing the stage budget for looped ones, and the per-layer stage
+// granularity for the no-pipeline schedules (whose "loops" only set the
+// data-parallel aggregation granularity).
 func loopOptions(m model.Transformer, method core.Method, pp int) []int {
 	switch {
-	case method == core.GPipe || method == core.OneFOneB:
-		return []int{1}
 	case !method.Pipelined():
 		return []int{m.Layers}
+	case !method.Looped():
+		return []int{1}
 	default:
 		var out []int
 		for l := 1; pp*l <= m.Layers; l *= 2 {
@@ -332,11 +472,13 @@ func loopOptions(m model.Transformer, method core.Method, pp int) []int {
 }
 
 // Table formats a set of sweep results as a Table E.1-style listing.
+// Families appear in registry display order; families absent from the
+// results map are skipped.
 func Table(title string, results map[Family][]Best) string {
 	out := fmt.Sprintf("%s\n%-26s %6s %4s %4s %4s %5s %6s %8s %10s %8s %8s %8s\n",
 		title, "Method", "Batch", "PP", "TP", "Smb", "Nmb", "Nloop", "Sharded",
 		"Tflop/s", "Mem GiB", "Min GiB", "Configs")
-	for _, f := range Families() {
+	for _, f := range AllFamilies() {
 		bests, ok := results[f]
 		if !ok {
 			continue

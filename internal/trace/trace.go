@@ -17,19 +17,19 @@ import (
 )
 
 // fillChar maps a span class to its Gantt fill character.
-func fillChar(class string) byte {
+func fillChar(class des.Class) byte {
 	switch class {
-	case "fwd":
+	case des.ClassFwd:
 		return 'f'
-	case "bwd":
+	case des.ClassBwd:
 		return 'b'
-	case "reduce":
+	case des.ClassReduce:
 		return 'G'
-	case "restore":
+	case des.ClassRestore:
 		return 'W'
-	case "send":
+	case des.ClassSend:
 		return '>'
-	case "opt":
+	case des.ClassOpt:
 		return 'S'
 	default:
 		return '#'
@@ -79,7 +79,7 @@ func Gantt(tl *des.Timeline, width int) string {
 			for i := lo; i < hi; i++ {
 				row[i] = c
 			}
-			if sp.Micro >= 0 && (sp.Class == "fwd" || sp.Class == "bwd") {
+			if sp.Micro >= 0 && (sp.Class == des.ClassFwd || sp.Class == des.ClassBwd) {
 				row[lo] = byte('0' + sp.Micro%10)
 			}
 		}
@@ -141,14 +141,14 @@ type chromeFile struct {
 func ChromeTrace(tl *des.Timeline) ([]byte, error) {
 	f := chromeFile{Metadata: map[string]string{"generator": "bfpp"}}
 	for _, sp := range tl.Spans {
-		name := sp.Class
+		name := sp.Class.String()
 		if sp.Micro >= 0 {
-			name = fmt.Sprintf("%s s%d m%d", sp.Class, sp.Stage, sp.Micro)
+			name = fmt.Sprintf("%v s%d m%d", sp.Class, sp.Stage, sp.Micro)
 		} else if sp.Stage >= 0 {
-			name = fmt.Sprintf("%s s%d", sp.Class, sp.Stage)
+			name = fmt.Sprintf("%v s%d", sp.Class, sp.Stage)
 		}
 		ev := chromeEvent{
-			Name: name, Ph: "X", Cat: sp.Class,
+			Name: name, Ph: "X", Cat: sp.Class.String(),
 			Ts: sp.Start * 1e6, Dur: sp.Dur() * 1e6,
 			Pid: 0, Tid: int(sp.Stream),
 		}
