@@ -70,6 +70,11 @@ func BenchmarkTableE2(b *testing.B)   { benchArtifact(b, "tableE2") }
 func BenchmarkTableE3(b *testing.B)   { benchArtifact(b, "tableE3") }
 func BenchmarkAppendixB(b *testing.B) { benchArtifact(b, "appendixB") }
 
+// BenchmarkAppendixELarge regenerates the extended Appendix E grid (GPT-3
+// and 1T on LargeClusters, all families, V-caps and hybrid sequence
+// lengths) — tractable because of the branch-and-bound pruning.
+func BenchmarkAppendixELarge(b *testing.B) { benchArtifact(b, "appendixE-large") }
+
 // BenchmarkExtensionNextGen regenerates the A100/H100 what-if from the
 // paper's conclusion.
 func BenchmarkExtensionNextGen(b *testing.B) { benchArtifact(b, "extension-nextgen") }
@@ -183,13 +188,14 @@ func BenchmarkSearchOptimizeBaseline(b *testing.B) {
 }
 
 // BenchmarkSearchOptimizeSerial is the optimized path pinned to 1 worker
-// (caches and DES fast path on): it isolates the single-core wins.
+// (caches, DES fast path and branch-and-bound on): it isolates the
+// single-core wins.
 func BenchmarkSearchOptimizeSerial(b *testing.B) {
 	benchOptimize(b, search.Options{Workers: 1})
 }
 
 // BenchmarkSearchOptimizeParallel is the default configuration: GOMAXPROCS
-// workers plus caches and the DES fast path.
+// workers plus caches, the DES fast path and the branch-and-bound.
 func BenchmarkSearchOptimizeParallel(b *testing.B) {
 	benchOptimize(b, search.Options{})
 }
@@ -218,9 +224,24 @@ func BenchmarkSweepFigure7Baseline(b *testing.B) {
 }
 
 // BenchmarkSweepFigure7Parallel measures the same sweep on the worker pool
-// with caches and the DES fast path (the speedup numerator).
+// with caches and the DES fast path but the branch-and-bound disabled:
+// every candidate is simulated, which is the denominator of the pruning
+// speedup.
 func BenchmarkSweepFigure7Parallel(b *testing.B) {
-	benchSweep(b, search.Options{})
+	benchSweep(b, search.Options{NoPrune: true})
+}
+
+// BenchmarkSweepFigure7Pruned is the default evaluator: worker pool,
+// caches, DES fast path, and the analytic branch-and-bound (cheapest-bound
+// ordering, incumbent skipping, dominance pre-pass). Results are
+// byte-identical to the unpruned sweep; the prune% metric reports the
+// fraction of candidates that never reached the simulator.
+func BenchmarkSweepFigure7Pruned(b *testing.B) {
+	stats := &search.Stats{}
+	benchSweep(b, search.Options{Stats: stats})
+	if stats.Enumerated.Load() > 0 {
+		b.ReportMetric(100*stats.PruneRate(), "prune%")
+	}
 }
 
 // benchDESSim builds a breadth-first-shaped synthetic task graph: nDev

@@ -20,6 +20,9 @@ fi
 echo "== go test"
 go test ./...
 
+echo "== benchmarks smoke (benchtime=1x, so they cannot rot)"
+go test -run '^$' -bench . -benchtime=1x . > /dev/null
+
 if [ "${SKIP_RACE:-0}" != "1" ]; then
 	echo "== go test -race (concurrent search paths)"
 	go test -race -count=1 \

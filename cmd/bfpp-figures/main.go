@@ -7,7 +7,10 @@
 //	bfpp-figures -only figure6 -stdout     # one artifact, printed
 //
 // Artifact names: figure1..figure9 (7a-7c, 8a-8c), table4.1, table5.1,
-// tableE1..tableE3, appendixB.
+// tableE1..tableE3, appendixB, appendixE-large (the extended Appendix E
+// grid: GPT-3 and 1T on V100 LargeClusters with per-grid-point V-schedule
+// caps and hybrid sequence lengths, plus branch-and-bound pruning
+// statistics), extension-nextgen and extension-schedules.
 package main
 
 import (

@@ -8,12 +8,19 @@
 // extension schedules), and -methods selects the families containing the
 // named schedules.
 //
+// The search runs branch-and-bound by default: candidates are priced with
+// the analytic step-time lower bound and simulated only when they can
+// still beat the incumbent (results are byte-identical either way;
+// -noprune simulates everything). Pruning statistics go to stderr.
+//
 // Examples:
 //
 //	bfpp-search -model 52B -batches 8,16,32,64,128,256,512      # Table E.1
 //	bfpp-search -model 6.6B -cluster ethernet -batches 64,128   # Table E.3
 //	bfpp-search -model 6.6B -families every -batches 64         # + extensions
 //	bfpp-search -model 6.6B -methods ws-1f1b,v-schedule -batches 64
+//	bfpp-search -model gpt3 -cluster 512 -families every -batches 64,128
+//	bfpp-search -model 1T -cluster 2048 -batches 256,512        # Appendix E large
 package main
 
 import (
@@ -34,6 +41,7 @@ func main() {
 		methodNames = flag.String("methods", "", "comma-separated schedule names; selects the families containing them (overrides -families)")
 		batchesStr  = flag.String("batches", "8,16,32,64,128,256,512", "comma-separated global batch sizes")
 		workers     = flag.Int("workers", 0, "search worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		noPrune     = flag.Bool("noprune", false, "disable the analytic branch-and-bound (simulate every candidate)")
 	)
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
@@ -55,8 +63,11 @@ func main() {
 	}
 
 	// One shared work queue across all selected families: a short family's
-	// tail no longer idles the pool while the next family enumerates.
-	results, err := search.SweepAll(c, m, families, batches, search.Options{})
+	// tail no longer idles the pool while the next family enumerates, and
+	// the branch-and-bound incumbents stay per (family, batch).
+	stats := &search.Stats{}
+	results, err := search.SweepAll(c, m, families, batches,
+		search.Options{NoPrune: *noPrune, Stats: stats})
 	if err != nil {
 		results = map[search.Family][]search.Best{}
 	}
@@ -67,6 +78,7 @@ func main() {
 	}
 	title := fmt.Sprintf("Optimal configurations: %s on %s (%d GPUs)", m.Name, c.Name, c.NumGPUs())
 	fmt.Print(search.Table(title, results))
+	fmt.Fprintf(os.Stderr, "bfpp-search: pruning: %v\n", stats)
 }
 
 func fatalIf(err error) {

@@ -1,0 +1,179 @@
+package analytic
+
+// Branch-and-bound support for the Appendix E grid search (BaPipe-style:
+// prune the configuration space with analytic performance models before
+// simulating). LowerBound prices a plan from its core.Plan fields and the
+// generator's registered schedule traits alone — no program construction,
+// no discrete-event simulation: a placement-generic floor (per-device
+// compute, pipeline warm-up, single-micro-batch latency, exposed
+// communication for non-overlapped implementations) maximized with the
+// generator's own Traits.StepLB hook, which for the non-overlapped
+// breadth-first/depth-first family replays the schedule recurrence exactly
+// (bit-identical to the DES makespan). internal/search uses the bound to
+// order candidates cheapest-first and to skip simulations that provably
+// cannot beat the incumbent.
+
+import (
+	"bfpp/internal/core"
+	"bfpp/internal/engine"
+	"bfpp/internal/hw"
+	"bfpp/internal/memsim"
+	"bfpp/internal/model"
+	"bfpp/internal/schedule"
+)
+
+// LowerBound returns an admissible lower bound on the simulated batch time
+// of (c, m, p) under the engine calibration par (nil means
+// engine.Defaults()), and whether the bound is exact — equal, bit for bit,
+// to engine.SimulateOpts' BatchTime, which holds for the non-overlapped
+// breadth-first and depth-first style schedules whose generators replay
+// their programs analytically. The plan must be valid for the model.
+func LowerBound(c hw.Cluster, m model.Transformer, p core.Plan, par *engine.Params) (lb float64, exact bool) {
+	pr := engine.Defaults()
+	if par != nil {
+		pr = *par
+	}
+	costs := engine.DeriveCosts(c, m, p, pr)
+	generic := genericFloor(p, costs)
+	if hook := schedule.TraitsOf(p.Method).StepLB; hook != nil {
+		h, ok := hook(p, costs)
+		if ok {
+			return h, true
+		}
+		if h > generic {
+			return h, false
+		}
+	}
+	return generic, false
+}
+
+// MemoryFloor is the cheap admissible lower bound on the plan's peak
+// memory estimate (memsim.Floor re-exported next to the time bound): it
+// never exceeds memsim.Estimate(m, p).Total(), so a candidate whose floor
+// breaks the budget can be discarded without the full estimate (and, for
+// the V-schedule, without generating device programs).
+func MemoryFloor(m model.Transformer, p core.Plan) float64 {
+	return memsim.Floor(m, p)
+}
+
+// genericFloor is the trait-free admissible lower bound: the maximum of
+//
+//   - the worst device's stream-busy time: its compute operations, plus the
+//     pipeline transfers and data-parallel operations that ride the compute
+//     stream when the implementation does not overlap them, plus the
+//     optimizer step (and the exposed tail reduction when reductions
+//     overlap: the optimizer still waits for the one issued after the last
+//     backward);
+//   - the pipeline warm-up floor: no operation of the most-downstream
+//     device can start before one micro-batch has traversed every earlier
+//     stage, after which the device still executes its whole program;
+//   - the single-micro-batch latency: one micro-batch's full forward and
+//     backward chain through every stage and cross-device boundary.
+//
+// All terms are evaluated with plain arithmetic and then shaved by
+// schedule.BoundSlack (see schedule.StepCosts' replay for the
+// chained-addition rounding argument), so the result never exceeds the
+// simulated time.
+func genericFloor(p core.Plan, c schedule.StepCosts) float64 {
+	nm := p.NumMicro
+	hosted := p.Loops // stages per device, pipelined or not
+	compute := float64(nm*hosted) * (c.Fwd + c.Bwd)
+	pip := p.Method.Pipelined() && p.PP > 1
+	x := c.Transfer
+	if !p.OverlapPP {
+		x += c.PPStall
+	}
+	hasDP := p.DP > 1 || p.Sharding == core.DPFS
+	dpInline := !p.OverlapDP && hasDP
+
+	// Per-device floor of the data-parallel work on the compute stream:
+	// every generator issues at least one reduction per hosted stage when
+	// DP > 1, and at least one restore per hosted stage under DP-FS.
+	var dpBusy float64
+	if dpInline {
+		if p.DP > 1 {
+			dpBusy += float64(hosted) * c.Reduce
+		}
+		if p.Sharding == core.DPFS {
+			dpBusy += float64(hosted) * c.Restore
+		}
+	}
+	var tail float64
+	if !dpInline && p.DP > 1 {
+		tail = c.Reduce // exposed: the optimizer waits for the last reduce
+	}
+
+	ops := 4*nm*hosted + 4*p.PP + 16
+	best := compute + dpBusy + tail + c.Opt
+
+	if pip {
+		nStages := p.Stages()
+		owner := make([]int, nStages)
+		for s := range owner {
+			owner[s] = p.StageDevice(s)
+		}
+		// Worst-device busy including the transfers parked on its compute
+		// stream (non-overlapped implementations only).
+		if !p.OverlapPP {
+			sends := make([]int, p.PP)
+			for s := 0; s < nStages; s++ {
+				if s+1 < nStages && owner[s+1] != owner[s] {
+					sends[owner[s]] += nm // forward transfers out of stage s
+				}
+				if s > 0 && owner[s-1] != owner[s] {
+					sends[owner[s]] += nm // backward transfers out of stage s
+				}
+			}
+			worst := 0
+			for _, n := range sends {
+				if n > worst {
+					worst = n
+				}
+			}
+			// No exposed-reduction tail here: an overlapped reduction can
+			// run concurrently with the trailing transfers, so only the
+			// stream-busy ops and the optimizer may be summed.
+			if v := compute + float64(worst)*x + dpBusy + c.Opt; v > best {
+				best = v
+			}
+		}
+		// Warm-up floor: the device whose earliest stage is deepest cannot
+		// start before the chain reaching it, and still runs its full
+		// compute afterwards.
+		minStage := make([]int, p.PP)
+		for d := range minStage {
+			minStage[d] = nStages
+		}
+		for s := nStages - 1; s >= 0; s-- {
+			minStage[owner[s]] = s
+		}
+		deepest := 0
+		for _, s := range minStage {
+			if s > deepest {
+				deepest = s
+			}
+		}
+		crossings := 0
+		for s := 1; s <= deepest; s++ {
+			if owner[s] != owner[s-1] {
+				crossings++
+			}
+		}
+		ramp := float64(deepest)*c.Fwd + float64(crossings)*x
+		if v := ramp + compute + tail + c.Opt; v > best {
+			best = v
+		}
+		// Single-micro-batch latency.
+		total := 0
+		for s := 1; s < nStages; s++ {
+			if owner[s] != owner[s-1] {
+				total++
+			}
+		}
+		chain := float64(nStages)*(c.Fwd+c.Bwd) + float64(2*total)*x + tail + c.Opt
+		if chain > best {
+			best = chain
+		}
+	}
+	return schedule.BoundSlack(best, ops)
+}

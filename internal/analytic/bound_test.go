@@ -1,0 +1,185 @@
+package analytic
+
+import (
+	"math/rand"
+	"testing"
+
+	"bfpp/internal/core"
+	"bfpp/internal/engine"
+	"bfpp/internal/hw"
+	"bfpp/internal/memsim"
+	"bfpp/internal/model"
+	"bfpp/internal/schedule"
+)
+
+// boundModel is the 16-layer test model: small enough that randomized
+// stage counts divide it, large enough that every cost term is non-zero.
+func boundModel() model.Transformer { return model.Tiny() }
+
+// randomBoundPlan draws a structurally valid plan for the method on the
+// 64-GPU paper cluster and the 16-layer model, spanning overlap flags,
+// shardings, tensor/data parallelism and the per-method Sequence dial.
+// ok is false when the draw cannot be repaired.
+func randomBoundPlan(rng *rand.Rand, m core.Method, traits schedule.Traits) (core.Plan, bool) {
+	p := core.Plan{
+		Method:     m,
+		TP:         1 << rng.Intn(2),
+		MicroBatch: 1 + rng.Intn(3),
+		Sharding:   core.DP0,
+	}
+	if len(traits.Shardings) > 0 {
+		p.Sharding = traits.Shardings[rng.Intn(len(traits.Shardings))]
+	}
+	if rng.Intn(2) == 0 {
+		p.OverlapDP, p.OverlapPP = true, true
+	}
+	info, ok := m.Info()
+	if !ok {
+		return p, false
+	}
+	layers := boundModel().Layers
+	if !info.Pipelined {
+		p.PP = 1
+		p.Loops = []int{1, 2, 4, 8, 16}[rng.Intn(5)]
+		p.NumMicro = 1 + rng.Intn(6)
+	} else {
+		p.PP = 2 << rng.Intn(3) // 2..8
+		p.Loops = 1
+		if info.Looped {
+			for p.Loops = 1 << rng.Intn(3); p.PP*p.Loops > layers; {
+				p.Loops /= 2
+			}
+		}
+		p.NumMicro = p.PP * (1 + rng.Intn(4))
+	}
+	p.DP = 1 << rng.Intn(3)
+	if p.GPUs() > hw.PaperCluster().NumGPUs() {
+		return p, false
+	}
+	switch m {
+	case core.Hybrid:
+		p.Sequence = p.PP
+		if p.NumMicro%(2*p.PP) == 0 && rng.Intn(2) == 0 {
+			p.Sequence = 2 * p.PP
+		}
+	case core.VSchedule:
+		p.Sequence = rng.Intn(2*p.PP + 1) // 0 = default cap
+	}
+	if p.Sharding == core.DPFS && p.DP == 1 {
+		p.Sharding = core.DP0
+	}
+	return p, p.Validate(boundModel()) == nil
+}
+
+// TestLowerBoundNeverExceedsSimulation is the admissibility property of
+// the branch-and-bound evaluator: for randomized plans of every registered
+// generator, the analytic lower bound never exceeds the DES-simulated
+// batch time, and a bound reported exact matches it bit for bit.
+func TestLowerBoundNeverExceedsSimulation(t *testing.T) {
+	c := hw.PaperCluster()
+	m := boundModel()
+	rng := rand.New(rand.NewSource(42))
+	for _, g := range schedule.Generators() {
+		method := g.Method()
+		traits := g.Traits()
+		checked, exactSeen := 0, 0
+		for trial := 0; trial < 500 && checked < 60; trial++ {
+			p, ok := randomBoundPlan(rng, method, traits)
+			if !ok {
+				continue
+			}
+			lb, exact := LowerBound(c, m, p, nil)
+			res, err := engine.Simulate(c, m, p)
+			if err != nil {
+				t.Fatalf("%v: simulate %v: %v", method, p, err)
+			}
+			checked++
+			if lb <= 0 {
+				t.Errorf("%v: non-positive bound %v for %v", method, lb, p)
+			}
+			if lb > res.BatchTime {
+				t.Errorf("%v: bound %v exceeds simulated %v (by %v) for %v",
+					method, lb, res.BatchTime, lb-res.BatchTime, p)
+			}
+			if exact {
+				exactSeen++
+				if lb != res.BatchTime {
+					t.Errorf("%v: exact bound %v != simulated %v (diff %v) for %v",
+						method, lb, res.BatchTime, lb-res.BatchTime, p)
+				}
+			}
+		}
+		if checked < 20 {
+			t.Errorf("%v: only %d randomized plans checked", method, checked)
+		}
+		t.Logf("%v: %d plans checked, %d exact", method, checked, exactSeen)
+	}
+}
+
+// TestExactBoundForNonOverlapped pins the exactness guarantee the search's
+// dominance pruning relies on: for non-overlapped breadth-first and
+// depth-first plans the bound must be reported exact and equal the DES
+// makespan exactly (not merely below it).
+func TestExactBoundForNonOverlapped(t *testing.T) {
+	c := hw.PaperCluster()
+	m := boundModel()
+	cases := []core.Plan{
+		{Method: core.BreadthFirst, DP: 1, PP: 4, TP: 1, MicroBatch: 2, NumMicro: 8, Loops: 4},
+		{Method: core.BreadthFirst, DP: 4, PP: 2, TP: 2, MicroBatch: 1, NumMicro: 6, Loops: 8},
+		{Method: core.BreadthFirst, DP: 2, PP: 8, TP: 1, MicroBatch: 2, NumMicro: 16, Loops: 2, Sharding: core.DPFS},
+		{Method: core.BreadthFirst, DP: 4, PP: 4, TP: 1, MicroBatch: 1, NumMicro: 8, Loops: 2, Sharding: core.DPPS},
+		{Method: core.DepthFirst, DP: 1, PP: 4, TP: 1, MicroBatch: 2, NumMicro: 8, Loops: 4},
+		{Method: core.DepthFirst, DP: 4, PP: 2, TP: 2, MicroBatch: 1, NumMicro: 6, Loops: 8},
+		{Method: core.DepthFirst, DP: 2, PP: 8, TP: 1, MicroBatch: 4, NumMicro: 8, Loops: 1},
+		{Method: core.OneFOneB, DP: 2, PP: 8, TP: 2, MicroBatch: 2, NumMicro: 12, Loops: 1},
+		{Method: core.GPipe, DP: 4, PP: 4, TP: 1, MicroBatch: 1, NumMicro: 8, Loops: 1, Sharding: core.DPPS},
+		{Method: core.NoPipelineBF, DP: 4, PP: 1, TP: 2, MicroBatch: 2, NumMicro: 4, Loops: 16, Sharding: core.DPFS},
+		{Method: core.NoPipelineDF, DP: 2, PP: 1, TP: 1, MicroBatch: 1, NumMicro: 4, Loops: 8, Sharding: core.DPFS},
+	}
+	for _, p := range cases {
+		if err := p.Validate(m); err != nil {
+			t.Fatalf("case %v invalid: %v", p, err)
+		}
+		lb, exact := LowerBound(c, m, p, nil)
+		if !exact {
+			t.Errorf("%v: bound not reported exact", p)
+			continue
+		}
+		res, err := engine.Simulate(c, m, p)
+		if err != nil {
+			t.Fatalf("simulate %v: %v", p, err)
+		}
+		if lb != res.BatchTime {
+			t.Errorf("%v: exact bound %v != simulated %v (diff %v)", p, lb, res.BatchTime, lb-res.BatchTime)
+		}
+	}
+}
+
+// TestMemoryFloorNeverExceedsEstimate is the memory-side admissibility
+// property: the cheap floor the enumeration pre-filter uses never exceeds
+// the full memsim estimate, so floor-filtered candidate sets are identical
+// to unfiltered ones.
+func TestMemoryFloorNeverExceedsEstimate(t *testing.T) {
+	m := boundModel()
+	rng := rand.New(rand.NewSource(7))
+	for _, g := range schedule.Generators() {
+		method := g.Method()
+		traits := g.Traits()
+		checked := 0
+		for trial := 0; trial < 400 && checked < 50; trial++ {
+			p, ok := randomBoundPlan(rng, method, traits)
+			if !ok {
+				continue
+			}
+			checked++
+			floor := MemoryFloor(m, p)
+			total := memsim.Estimate(m, p).Total()
+			if floor > total {
+				t.Errorf("%v: memory floor %v exceeds estimate %v for %v", method, floor, total, p)
+			}
+		}
+		if checked < 20 {
+			t.Errorf("%v: only %d randomized plans checked", method, checked)
+		}
+	}
+}

@@ -1,10 +1,11 @@
-package engine
+package engine_test
 
 import (
 	"testing"
 
 	"bfpp/internal/analytic"
 	"bfpp/internal/core"
+	"bfpp/internal/engine"
 	"bfpp/internal/hw"
 	"bfpp/internal/model"
 )
@@ -30,7 +31,7 @@ func TestSimulatorMatchesAnalyticModel(t *testing.T) {
 		p := core.Plan{Method: method, DP: 1, PP: cfg.pp, TP: 1,
 			MicroBatch: 4, NumMicro: cfg.nmb, Loops: cfg.loops,
 			OverlapDP: true, OverlapPP: true}
-		r, err := Simulate(c, m, p)
+		r, err := engine.Simulate(c, m, p)
 		if err != nil {
 			t.Fatalf("%v: %v", p, err)
 		}

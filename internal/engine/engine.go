@@ -530,9 +530,22 @@ func (b *builder) transferOutOf(op schedule.Op) (int, bool) {
 
 // deriveCosts computes the per-op durations from the hardware and model.
 func (b *builder) deriveCosts() {
-	p, m, c, par := b.p, b.m, b.c, b.par
-	b.nStages = p.NumStages()
-	layersPerStage := m.Layers / b.nStages
+	b.nStages = b.p.NumStages()
+	costs := DeriveCosts(b.c, b.m, b.p, b.par)
+	b.tFwd, b.tBwd = costs.Fwd, costs.Bwd
+	b.tTransfer, b.tPPStall = costs.Transfer, costs.PPStall
+	b.tReduce, b.tRestore, b.tOpt = costs.Reduce, costs.Restore, costs.Opt
+}
+
+// DeriveCosts computes the per-operation durations the simulator charges a
+// (cluster, model, plan) configuration. It is exported as the single cost
+// model shared with the analytic lower-bound evaluator (internal/analytic
+// and the generators' Traits.StepLB hooks), which must price plans with
+// exactly the simulator's constants to stay admissible.
+func DeriveCosts(c hw.Cluster, m model.Transformer, p core.Plan, par Params) schedule.StepCosts {
+	var costs schedule.StepCosts
+	nStages := p.NumStages()
+	layersPerStage := m.Layers / nStages
 	tokens := p.MicroBatch * m.SeqLen
 	rows := float64(tokens)
 	width := float64(m.Hidden) / float64(p.TP)
@@ -551,8 +564,8 @@ func (b *builder) deriveCosts() {
 		tpBwd = 2*perAR + 2*c.IntraNode.Latency
 	}
 
-	b.tFwd = float64(layersPerStage)*(m.LayerForwardFlop(tokens)/float64(p.TP)/flops+tpFwd) + par.KernelLaunch
-	b.tBwd = float64(layersPerStage)*(m.LayerBackwardFlop(tokens)/float64(p.TP)/flops+tpBwd) + par.KernelLaunch
+	costs.Fwd = float64(layersPerStage)*(m.LayerForwardFlop(tokens)/float64(p.TP)/flops+tpFwd) + par.KernelLaunch
+	costs.Bwd = float64(layersPerStage)*(m.LayerBackwardFlop(tokens)/float64(p.TP)/flops+tpBwd) + par.KernelLaunch
 
 	// Pipeline transfer: fp16 activations at the stage boundary. When the
 	// boundary crosses nodes the transfer counts against both the sender's
@@ -561,12 +574,12 @@ func (b *builder) deriveCosts() {
 	ppBytes := 2 * rows * float64(m.Hidden) / float64(p.TP)
 	if p.TP*p.DP >= c.GPUsPerNode {
 		l := c.InterNode
-		b.tTransfer = l.Latency + 2*ppBytes/l.Bandwidth
+		costs.Transfer = l.Latency + 2*ppBytes/l.Bandwidth
 	} else {
 		l := c.IntraNode
-		b.tTransfer = l.Latency + ppBytes/l.Bandwidth
+		costs.Transfer = l.Latency + ppBytes/l.Bandwidth
 	}
-	b.tPPStall = par.BlockingPPBase + par.BlockingPPPerRank*float64(p.PP)
+	costs.PPStall = par.BlockingPPBase + par.BlockingPPPerRank*float64(p.PP)
 
 	// Data-parallel collectives (Appendix A.3.1): 8 bytes/param for the
 	// all-reduce (reduce-scatter + all-gather), 4 bytes/param per
@@ -575,7 +588,7 @@ func (b *builder) deriveCosts() {
 	// NIC only once per g members, multiplying the effective per-GPU
 	// bandwidth by g.
 	stackParams := float64(m.Layers) * float64(m.LayerParams())
-	stageParams := stackParams / float64(b.nStages) / float64(p.TP)
+	stageParams := stackParams / float64(nStages) / float64(p.TP)
 	if p.DP > 1 {
 		ring := float64(p.DP-1) / float64(p.DP)
 		var lat, bw float64
@@ -598,12 +611,12 @@ func (b *builder) deriveCosts() {
 		if p.Sharding != core.DP0 {
 			perParam = 4.0
 		}
-		b.tReduce = lat + perParam*stageParams*ring/bw
+		costs.Reduce = lat + perParam*stageParams*ring/bw
 		if !p.OverlapDP {
-			b.tReduce += c.InterNode.SyncCost
+			costs.Reduce += c.InterNode.SyncCost
 		}
 		if p.Sharding == core.DPFS {
-			b.tRestore = lat + 4*stageParams*ring/bw
+			costs.Restore = lat + 4*stageParams*ring/bw
 		}
 	}
 
@@ -612,5 +625,6 @@ func (b *builder) deriveCosts() {
 	if p.Sharding != core.DP0 {
 		devParams /= float64(p.DP)
 	}
-	b.tOpt = par.OptimizerBytesPerParam * devParams / c.GPU.MemBandwidth
+	costs.Opt = par.OptimizerBytesPerParam * devParams / c.GPU.MemBandwidth
+	return costs
 }

@@ -471,6 +471,7 @@ func Generators() []Generator {
 		{"tableE2", func() (string, error) { return TableE(1) }},
 		{"tableE3", func() (string, error) { return TableE(2) }},
 		{"appendixB", AppendixB},
+		{"appendixE-large", AppendixELarge},
 		{"extension-nextgen", ExtensionNextGen},
 		{"extension-schedules", ExtensionSchedules},
 	}

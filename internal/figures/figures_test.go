@@ -29,6 +29,8 @@ func TestCheapArtifacts(t *testing.T) {
 		{"table5.1", func() (string, error) { return Table51(), nil },
 			[]string{"52B", "6.6B", "8192"}},
 		{"appendixB", AppendixB, []string{"fit:", "McCandlish"}},
+		{"appendixE-large", AppendixELarge,
+			[]string{"GPT-3", "1T", "pruning:", "Breadth-first", "V-schedule"}},
 		{"extension-nextgen", ExtensionNextGen, []string{"A100", "H100", "GPT-3"}},
 	}
 	for _, c := range cases {
@@ -77,7 +79,8 @@ func TestGeneratorsComplete(t *testing.T) {
 	want := []string{"figure1", "figure2", "figure3", "figure4", "figure5",
 		"figure6", "figure7a", "figure7b", "figure7c", "figure8a", "figure8b",
 		"figure8c", "figure9", "table4.1", "table5.1", "tableE1", "tableE2",
-		"tableE3", "appendixB", "extension-nextgen", "extension-schedules"}
+		"tableE3", "appendixB", "appendixE-large", "extension-nextgen",
+		"extension-schedules"}
 	gens := Generators()
 	if len(gens) != len(want) {
 		t.Fatalf("got %d generators, want %d", len(gens), len(want))

@@ -1,0 +1,67 @@
+package memsim
+
+import (
+	"bfpp/internal/core"
+	"bfpp/internal/model"
+	"bfpp/internal/schedule"
+)
+
+// Floor returns a cheap admissible lower bound on Estimate(m, p).Total():
+// the minimum training-state bytes any trait combination can report for
+// the plan's sharding mode, the exact live-activation and pipeline-buffer
+// terms, and the checkpoint term evaluated at the generator's declared
+// in-flight floor (Traits.InFlightFloor) instead of the exact hook — which
+// for the V-schedule avoids generating device programs. The grid search
+// uses it to discard hopeless candidates before paying the full estimate;
+// because Floor never exceeds Estimate, the surviving candidate set is
+// identical to the unfiltered one.
+func Floor(m model.Transformer, p core.Plan) float64 {
+	traits := schedule.TraitsOf(p.Method)
+	stackParams := float64(m.Layers) * float64(m.LayerParams())
+	pDev := stackParams / float64(p.PP*p.TP)
+	nStages := p.NumStages()
+	pStage := stackParams / float64(nStages) / float64(p.TP)
+
+	// Training-state floor: the smallest value Estimate can produce for
+	// the sharding mode (fp32 gradients may sit outside the peak under
+	// DP0, the DP-PS buffers may halve, weight stashes only add).
+	var state float64
+	switch p.Sharding {
+	case core.DP0:
+		state = (bytesState + bytesHalfBuffers) * pDev
+	case core.DPPS:
+		state = (bytesState+bytesFP32Grads)/float64(p.DP)*pDev + bytesHalfWeights*pDev
+	case core.DPFS:
+		state = (bytesState+bytesFP32Grads)/float64(p.DP)*pDev +
+			2*(bytesHalfWeights+bytesHalfWeights)*pStage
+	}
+
+	// Live activations (Eq. 16) and pipeline buffers: exact and cheap,
+	// identical to Estimate.
+	seq := float64(m.SeqLen)
+	smb := float64(p.MicroBatch)
+	hid := float64(m.Hidden)
+	tp := float64(p.TP)
+	act := seq * smb * hid * (10 + 24/tp + 5*seq*float64(m.Heads)/(hid*tp))
+
+	pairs := traits.InFlight
+	if traits.InFlightFloor != nil {
+		pairs = traits.InFlightFloor
+	}
+	layersPerStage := m.Layers / nStages
+	ckpt := float64(pairs(p)*layersPerStage) * 2 * seq * smb * hid / tp
+
+	var ppBuf float64
+	if p.Method.Pipelined() && p.PP > 1 {
+		ppBuf = 4 * 2 * seq * smb * hid / tp
+	}
+	return state + act + ckpt + ppBuf
+}
+
+// FeasibleBytes is Feasible for a bare byte total, sharing the same
+// fragmentation reserve so a Floor-based pre-filter and the full
+// Breakdown-based check agree at the boundary.
+func FeasibleBytes(total float64, memBytes int64) bool {
+	const fragmentationReserve = 0.90
+	return total <= float64(memBytes)*fragmentationReserve
+}

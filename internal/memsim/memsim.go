@@ -154,6 +154,5 @@ func inFlightPairs(p core.Plan) int {
 // fragmentation effects; configurations near the limit were excluded from
 // the paper's grid search).
 func Feasible(b Breakdown, memBytes int64) bool {
-	const fragmentationReserve = 0.90
-	return b.Total() <= float64(memBytes)*fragmentationReserve
+	return FeasibleBytes(b.Total(), memBytes)
 }

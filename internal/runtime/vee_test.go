@@ -1,0 +1,82 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+
+	"bfpp/internal/core"
+	"bfpp/internal/tensor"
+)
+
+// The zigzag "V" placement must compute the same optimization steps as the
+// wrap placement (ROADMAP open item): the V-schedule runs end-to-end
+// through the goroutine runtime — device 0 hosting both the first and the
+// last stage, the apex staying on-device — and its losses and post-Adam
+// weights match a wrap-placed looping schedule bit-for-bit-tolerance-wise.
+func TestVeePlacementEquivalent(t *testing.T) {
+	wrap := planFor(core.BreadthFirst, 2, 2, 4, 2, core.DP0)
+	cases := []core.Plan{
+		planFor(core.VSchedule, 2, 2, 4, 2, core.DP0),
+		// Explicit in-flight cap at the deadlock floor: the capped program
+		// is a different op order but the same optimization step.
+		{Method: core.VSchedule, DP: 2, PP: 2, TP: 1, MicroBatch: 2,
+			NumMicro: 4, Loops: 2, Sequence: 2, OverlapDP: true, OverlapPP: true},
+		// Single-replica vee with a deeper looping.
+		{Method: core.VSchedule, DP: 1, PP: 2, TP: 1, MicroBatch: 2,
+			NumMicro: 4, Loops: 2, OverlapDP: true, OverlapPP: true},
+	}
+	refLoss, refW := stepOnce(t, wrap, 13)
+	for _, p := range cases {
+		if p.DP == 1 {
+			// A different DP width: compare against the matching wrap plan.
+			refLoss, refW = stepOnce(t, planFor(core.BreadthFirst, 1, 2, 4, 2, core.DP0), 13)
+		}
+		loss, w := stepOnce(t, p, 13)
+		if math.Abs(loss-refLoss)/refLoss > 1e-12 {
+			t.Errorf("%v: loss %v != wrap reference %v", p, loss, refLoss)
+		}
+		if d := tensor.MaxAbsDiffSlice(w, refW); d > 1e-12 {
+			t.Errorf("%v: weights differ from wrap placement by %v", p, d)
+		}
+	}
+}
+
+// Loss-step equivalence over a multi-step trajectory: vee and wrap
+// placements track each other step for step, not just on the first batch.
+func TestVeePlacementLossTrajectory(t *testing.T) {
+	mk := func(m core.Method) *Trainer {
+		p := planFor(m, 2, 2, 4, 2, core.DP0)
+		tr, err := NewTrainer(cfg4(), p, DefaultAdam())
+		if err != nil {
+			t.Fatalf("NewTrainer(%v): %v", p, err)
+		}
+		return tr
+	}
+	vee := mk(core.VSchedule)
+	wrap := mk(core.BreadthFirst)
+	in, tgt := batchFor(vee.Plan(), cfg4().Dim, 17)
+	var first, last float64
+	for step := 0; step < 4; step++ {
+		lv, err := vee.Step(in, tgt)
+		if err != nil {
+			t.Fatalf("vee step %d: %v", step, err)
+		}
+		lw, err := wrap.Step(in, tgt)
+		if err != nil {
+			t.Fatalf("wrap step %d: %v", step, err)
+		}
+		if math.Abs(lv-lw)/lw > 1e-12 {
+			t.Errorf("step %d: vee loss %v != wrap loss %v", step, lv, lw)
+		}
+		if step == 0 {
+			first = lv
+		}
+		last = lv
+	}
+	if last >= first {
+		t.Errorf("vee training loss did not decrease: %v -> %v", first, last)
+	}
+	if d := tensor.MaxAbsDiffSlice(vee.Weights(), wrap.Weights()); d > 1e-12 {
+		t.Errorf("after 4 steps vee weights differ from wrap by %v", d)
+	}
+}

@@ -105,7 +105,37 @@ func (vScheduleGen) Traits() Traits {
 			}
 			return worst
 		},
-		KeyExtra: vCap,
+		// The exact in-flight hook above generates programs; the floor is
+		// the cheap admissible bound the search's memory pre-filter uses:
+		// just before the first backward of the last stage, its device has
+		// forwarded micro-batch 0 through all of its local stages and
+		// retired nothing, so the worst device holds at least Loops pairs
+		// whatever the cap.
+		InFlightFloor: func(p core.Plan) int { return p.Loops },
+		KeyExtra:      vCap,
+		// The controllable-memory dial (ROADMAP open item): enumerate a
+		// small set of in-flight caps per grid point — the default (N_PP),
+		// the deadlock floor (Loops, minimum activation memory), a midpoint
+		// and a deeper 2*N_PP cap — deduplicated by effective cap so the
+		// candidate list stays tight.
+		SequenceOptions: func(p core.Plan) []int {
+			base := p
+			seen := map[int]bool{}
+			var opts []int
+			for _, s := range []int{0, p.Loops, (p.Loops + p.PP) / 2, 2 * p.PP} {
+				if s > 0 && s < p.Loops {
+					continue // rejected by the method's CheckPlan
+				}
+				base.Sequence = s
+				eff := vCap(base)
+				if seen[eff] {
+					continue
+				}
+				seen[eff] = true
+				opts = append(opts, s)
+			}
+			return opts
+		},
 	}
 }
 

@@ -46,6 +46,9 @@ func (gpipeGen) Traits() Traits {
 		Overlap:   true,
 		Shardings: []core.Sharding{core.DP0, core.DPPS},
 		InFlight:  allPairs,
+		StepLB: func(p core.Plan, c StepCosts) (float64, bool) {
+			return exactOrFloor(p, c, gpipeOps, forwardFirstFloor)
+		},
 	}
 }
 
@@ -73,6 +76,9 @@ func (oneFOneBGen) Traits() Traits {
 		Shardings:        []core.Sharding{core.DP0},
 		InFlight:         oneFOneBPairs,
 		GradsOutsidePeak: true,
+		StepLB: func(p core.Plan, c StepCosts) (float64, bool) {
+			return exactOrFloor(p, c, oneFOneBOps, nil)
+		},
 	}
 }
 
@@ -167,6 +173,11 @@ func (depthFirstGen) Traits() Traits {
 		Shardings:        []core.Sharding{core.DP0},
 		InFlight:         func(p core.Plan) int { return sequencedPairs(p, p.PP) },
 		GradsOutsidePeak: true,
+		StepLB: func(p core.Plan, c StepCosts) (float64, bool) {
+			return exactOrFloor(p, c, func(p core.Plan) (func(int) int, func(int, int) Op) {
+				return sequencedOps(p, p.PP)
+			}, nil)
+		},
 	}
 }
 
@@ -190,6 +201,22 @@ func (hybridGen) Traits() Traits {
 		Shardings: []core.Sharding{core.DP0},
 		InFlight:  func(p core.Plan) int { return sequencedPairs(p, p.SequenceLen()) },
 		KeyExtra:  core.Plan.SequenceLen,
+		StepLB: func(p core.Plan, c StepCosts) (float64, bool) {
+			return exactOrFloor(p, c, func(p core.Plan) (func(int) int, func(int, int) Op) {
+				return sequencedOps(p, p.SequenceLen())
+			}, nil)
+		},
+		// Section 4.2: micro-batch sequence lengths between N_PP (plain
+		// depth-first ordering, Sequence zero) and N_mb (breadth-first-like).
+		SequenceOptions: func(p core.Plan) []int {
+			opts := []int{0}
+			for q := 2 * p.PP; q <= p.NumMicro; q *= 2 {
+				if p.NumMicro%q == 0 {
+					opts = append(opts, q)
+				}
+			}
+			return opts
+		},
 	}
 }
 
@@ -218,6 +245,9 @@ func (breadthFirstGen) Traits() Traits {
 		Shardings:           []core.Sharding{core.DP0, core.DPFS},
 		InFlight:            allPairs,
 		PerStageAggregation: true,
+		StepLB: func(p core.Plan, c StepCosts) (float64, bool) {
+			return exactOrFloor(p, c, bfOps, forwardFirstFloor)
+		},
 	}
 }
 
@@ -263,6 +293,9 @@ func (noPipelineDFGen) Traits() Traits {
 		Shardings: []core.Sharding{core.DP0, core.DPFS},
 		// One micro-batch resident in each stage's worth of checkpoints.
 		InFlight: func(p core.Plan) int { return p.Loops },
+		StepLB: func(p core.Plan, c StepCosts) (float64, bool) {
+			return exactOrFloor(p, c, noPipelineDFOps, nil)
+		},
 	}
 }
 
@@ -310,6 +343,9 @@ func (noPipelineBFGen) Traits() Traits {
 		Shardings:           []core.Sharding{core.DP0, core.DPFS},
 		InFlight:            allPairs,
 		PerStageAggregation: true,
+		StepLB: func(p core.Plan, c StepCosts) (float64, bool) {
+			return exactOrFloor(p, c, noPipelineBFOps, nil)
+		},
 	}
 }
 

@@ -53,6 +53,25 @@ type Traits struct {
 	// on (the hybrid sequence length, the V-schedule in-flight cap); nil
 	// means none. It feeds the schedule memo-cache key.
 	KeyExtra func(core.Plan) int
+
+	// StepLB returns an admissible lower bound on the simulated batch time
+	// of the plan under the given per-operation costs, and whether the
+	// bound is exact (bit-identical to the DES makespan, which lets the
+	// search skip the simulation entirely). The generic placement-level
+	// floor of internal/analytic applies on top, so nil is always safe;
+	// a hook only tightens pruning.
+	StepLB func(p core.Plan, c StepCosts) (lb float64, exact bool)
+	// InFlightFloor is a cheap admissible lower bound on InFlight, for
+	// generators whose exact hook is expensive (the V-schedule's InFlight
+	// generates programs); nil means InFlight itself is cheap and exact.
+	// memsim.Floor consumes it.
+	InFlightFloor func(core.Plan) int
+	// SequenceOptions lists the Plan.Sequence values the search enumerates
+	// per grid point (the hybrid sequence lengths of Section 4.2, the
+	// V-schedule in-flight caps), given the candidate plan with Sequence
+	// zero. nil means the method ignores Sequence and only zero is
+	// enumerated.
+	SequenceOptions func(core.Plan) []int
 }
 
 // Generator builds the device programs of one schedule method. Generate

@@ -1,0 +1,447 @@
+package schedule
+
+import "bfpp/internal/core"
+
+// This file implements the schedule-side half of the analytic step-time
+// bounds (BaPipe-style search pruning, see internal/analytic): a
+// closed-form replay that prices a plan's device programs without
+// constructing them and without running the discrete-event simulator.
+//
+// The replay mirrors the engine's execution model exactly. When a plan is
+// non-overlapped, every operation — compute, pipeline transfers, reductions,
+// restores, the optimizer step — rides the per-device compute stream in
+// program order, so each operation's end time follows the same recurrence
+// the DES evaluates: start = max(stream frontier, inbound-transfer finish),
+// end = start + duration. Replaying that recurrence over the generator's
+// implicit op sequence (a closure mapping (rank, k) to the k-th program op,
+// never a materialized Program) reproduces the DES makespan bit for bit,
+// which is what lets the search treat the bound as the exact simulated
+// time and skip the simulation entirely.
+
+// StepCosts holds the engine's derived per-operation durations for one
+// (cluster, model, plan) configuration, in seconds. engine.DeriveCosts is
+// the single producer, so analytic bounds price plans with exactly the
+// constants the simulator charges.
+type StepCosts struct {
+	// Fwd and Bwd are the per-stage per-micro-batch compute durations
+	// (kernel launch included).
+	Fwd, Bwd float64
+	// Transfer is the pipeline-parallel transfer wire time.
+	Transfer float64
+	// PPStall is the extra per-message blocking stall paid when transfers
+	// ride the compute stream (non-overlapped implementations).
+	PPStall float64
+	// Reduce is the per-stage gradient reduction time (zero when DP == 1).
+	Reduce float64
+	// Restore is the per-stage DP-FS weight reconstruction time.
+	Restore float64
+	// Opt is the optimizer step time.
+	Opt float64
+}
+
+// NonOverlapped reports whether every operation of the plan rides the
+// per-device compute streams: the engine creates a separate pipeline
+// stream only for overlapped pipelined plans with PP > 1, and a separate
+// data-parallel stream only for overlapped plans with data-parallel work.
+func NonOverlapped(p core.Plan) bool {
+	pp := p.OverlapPP && p.Method.Pipelined() && p.PP > 1
+	dp := p.OverlapDP && (p.DP > 1 || p.Sharding == core.DPFS)
+	return !pp && !dp
+}
+
+// replayNonOverlapped evaluates the exact DES makespan of a non-overlapped
+// plan whose per-rank compute programs are given implicitly: nOps(r) is
+// rank r's op count and opAt(r, k) its k-th op (Forward, Backward, Restore
+// or Reduce; the trailing Optimize is implicit). It returns (0, false)
+// if the sequences deadlock (a malformed closure), never allocating a
+// Program and never touching the simulator.
+func replayNonOverlapped(p core.Plan, c StepCosts, nOps func(rank int) int, opAt func(rank, k int) Op) (float64, bool) {
+	nStages := p.NumStages()
+	nm := p.NumMicro
+	nDev := 1
+	if p.Method.Pipelined() {
+		nDev = p.PP
+	}
+	send := p.Method.Pipelined() && p.PP > 1
+	x := c.Transfer + c.PPStall // transfers ride the compute stream
+
+	var owner []int
+	if send {
+		owner = make([]int, nStages)
+		for s := range owner {
+			owner[s] = p.StageDevice(s)
+		}
+	}
+	cross := func(a, b int) bool { return send && owner[a] != owner[b] }
+
+	// Inbound-transfer finish times per (stage, micro); negative = not yet
+	// produced. sendF feeds Forward(stage, micro), sendB feeds Backward.
+	sendF := make([]float64, nStages*nm)
+	sendB := make([]float64, nStages*nm)
+	for i := range sendF {
+		sendF[i], sendB[i] = -1, -1
+	}
+	idx := func(stage, micro int) int { return stage*nm + micro }
+
+	t := make([]float64, nDev) // per-device stream frontier
+	cur := make([]int, nDev)   // per-device program cursor
+	total := make([]int, nDev) // per-device op count
+	remaining := 0
+	for r := 0; r < nDev; r++ {
+		total[r] = nOps(r)
+		remaining += total[r]
+	}
+
+	for remaining > 0 {
+		progressed := false
+		for r := 0; r < nDev; r++ {
+			// Drain this device as far as inbound transfers allow, exactly
+			// like the DES drains an in-order stream.
+		drain:
+			for cur[r] < total[r] {
+				op := opAt(r, cur[r])
+				switch op.Kind {
+				case Forward:
+					start := t[r]
+					if op.Stage > 0 && cross(op.Stage-1, op.Stage) {
+						in := sendF[idx(op.Stage, op.Micro)]
+						if in < 0 {
+							break drain
+						}
+						if in > start {
+							start = in
+						}
+					}
+					end := start + c.Fwd
+					t[r] = end
+					if op.Stage < nStages-1 && cross(op.Stage, op.Stage+1) {
+						t[r] = end + x
+						sendF[idx(op.Stage+1, op.Micro)] = t[r]
+					}
+				case Backward:
+					start := t[r]
+					if op.Stage < nStages-1 && cross(op.Stage, op.Stage+1) {
+						in := sendB[idx(op.Stage, op.Micro)]
+						if in < 0 {
+							break drain
+						}
+						if in > start {
+							start = in
+						}
+					}
+					end := start + c.Bwd
+					t[r] = end
+					if op.Stage > 0 && cross(op.Stage-1, op.Stage) {
+						t[r] = end + x
+						sendB[idx(op.Stage-1, op.Micro)] = t[r]
+					}
+				case Restore:
+					// Same-stream double-buffering dependencies resolve
+					// before the stream frontier, so a restore just occupies
+					// the stream.
+					t[r] += c.Restore
+				case Reduce:
+					// Depends on an earlier same-stream backward only.
+					t[r] += c.Reduce
+				}
+				cur[r]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			return 0, false
+		}
+	}
+
+	var makespan float64
+	for r := 0; r < nDev; r++ {
+		t[r] += c.Opt // trailing optimizer step, after the device's reduces
+		if t[r] > makespan {
+			makespan = t[r]
+		}
+	}
+	return makespan, true
+}
+
+// --- Implicit program sequences, mirroring the generators op for op. ---
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// bfOps is the breadth-first program of rank r: per forward loop an
+// optional DP-FS restore then all micro-batches, then the backward loops in
+// reverse, each with an optional restore, the micro-batches and the
+// per-stage reduction.
+func bfOps(p core.Plan) (func(int) int, func(int, int) Op) {
+	nm, loops := p.NumMicro, p.Loops
+	fs := p.Sharding == core.DPFS
+	red := p.DP > 1
+	fwdBlock := nm + btoi(fs)
+	bwdBlock := nm + btoi(fs) + btoi(red)
+	n := func(int) int { return loops * (fwdBlock + bwdBlock) }
+	at := func(r, k int) Op {
+		if k < loops*fwdBlock {
+			l, w := k/fwdBlock, k%fwdBlock
+			s := l*p.PP + r
+			if fs {
+				if w == 0 {
+					return Op{Restore, s, -1}
+				}
+				w--
+			}
+			return Op{Forward, s, w}
+		}
+		k -= loops * fwdBlock
+		l, w := loops-1-k/bwdBlock, k%bwdBlock
+		s := l*p.PP + r
+		if fs {
+			if w == 0 {
+				return Op{Restore, s, -1}
+			}
+			w--
+		}
+		if w < nm {
+			return Op{Backward, s, w}
+		}
+		return Op{Reduce, s, -1}
+	}
+	return n, at
+}
+
+// sequencedOps is the genSequenced program (depth-first for q = PP, hybrid
+// otherwise) of rank r: warmup forward unit steps, forward/backward
+// alternation, backward drain, then the bunched per-stage reductions in
+// reverse stage order.
+func sequencedOps(p core.Plan, q int) (func(int) int, func(int, int) Op) {
+	total := p.NumMicro * p.Loops
+	red := btoi(p.DP > 1) * p.Loops
+	warmupOf := func(r int) int {
+		w := 2*(p.PP-r-1) + (p.Loops-1)*q
+		if w > total {
+			w = total
+		}
+		return w
+	}
+	n := func(int) int { return 2*total + red }
+	at := func(r, k int) Op {
+		if k >= 2*total { // bunched reduces, reverse stage order
+			j := k - 2*total
+			l := p.Loops - 1 - j
+			return Op{Reduce, l*p.PP + r, -1}
+		}
+		w := warmupOf(r)
+		var backward bool
+		var step int
+		switch {
+		case k < w:
+			step = k
+		case k < w+2*(total-w):
+			i := k - w
+			if i%2 == 0 {
+				step = w + i/2
+			} else {
+				backward, step = true, i/2
+			}
+		default:
+			backward, step = true, k-total
+		}
+		c, mb := seqStep(p, q, step, backward)
+		if backward {
+			return Op{Backward, c*p.PP + r, mb}
+		}
+		return Op{Forward, c*p.PP + r, mb}
+	}
+	return n, at
+}
+
+// oneFOneBOps is the non-looped 1F1B program of rank r (emitOneFOneB
+// followed by the single bunched reduction).
+func oneFOneBOps(p core.Plan) (func(int) int, func(int, int) Op) {
+	nm := p.NumMicro
+	red := btoi(p.DP > 1)
+	n := func(int) int { return 2*nm + red }
+	at := func(r, k int) Op {
+		if k >= 2*nm {
+			return Op{Reduce, r, -1}
+		}
+		w := p.PP - r - 1
+		if w > nm {
+			w = nm
+		}
+		switch {
+		case k < w:
+			return Op{Forward, r, k}
+		case k < w+2*(nm-w):
+			i := k - w
+			if i%2 == 0 {
+				return Op{Forward, r, w + i/2}
+			}
+			return Op{Backward, r, i / 2}
+		default:
+			return Op{Backward, r, k - nm}
+		}
+	}
+	return n, at
+}
+
+// gpipeOps is the GPipe program of rank r: all forwards, all backwards,
+// one bunched reduction.
+func gpipeOps(p core.Plan) (func(int) int, func(int, int) Op) {
+	nm := p.NumMicro
+	red := btoi(p.DP > 1)
+	n := func(int) int { return 2*nm + red }
+	at := func(r, k int) Op {
+		switch {
+		case k < nm:
+			return Op{Forward, r, k}
+		case k < 2*nm:
+			return Op{Backward, r, k - nm}
+		default:
+			return Op{Reduce, r, -1}
+		}
+	}
+	return n, at
+}
+
+// noPipelineBFOps is the Appendix C breadth-first accumulation on the
+// single device: per stage an optional restore then all micro-batches
+// forward; the reverse for the backward pass with per-stage reductions.
+func noPipelineBFOps(p core.Plan) (func(int) int, func(int, int) Op) {
+	nm, stages := p.NumMicro, p.Loops
+	fs := p.Sharding == core.DPFS
+	red := p.DP > 1
+	fwdBlock := nm + btoi(fs)
+	bwdBlock := nm + btoi(fs) + btoi(red)
+	n := func(int) int { return stages * (fwdBlock + bwdBlock) }
+	at := func(_, k int) Op {
+		if k < stages*fwdBlock {
+			s, w := k/fwdBlock, k%fwdBlock
+			if fs {
+				if w == 0 {
+					return Op{Restore, s, -1}
+				}
+				w--
+			}
+			return Op{Forward, s, w}
+		}
+		k -= stages * fwdBlock
+		s, w := stages-1-k/bwdBlock, k%bwdBlock
+		if fs {
+			if w == 0 {
+				return Op{Restore, s, -1}
+			}
+			w--
+		}
+		if w < nm {
+			return Op{Backward, s, w}
+		}
+		return Op{Reduce, s, -1}
+	}
+	return n, at
+}
+
+// noPipelineDFOps is conventional gradient accumulation on the single
+// device: each micro-batch runs its full forward and backward (with
+// per-micro-batch restores and reductions under DP-FS), then the bunched
+// per-stage reductions when not fully sharded.
+func noPipelineDFOps(p core.Plan) (func(int) int, func(int, int) Op) {
+	nm, stages := p.NumMicro, p.Loops
+	fs := p.Sharding == core.DPFS
+	red := p.DP > 1
+	fwdBlock := 1 + btoi(fs)                   // per stage per micro
+	bwdBlock := 1 + btoi(fs) + btoi(fs && red) // per stage per micro
+	perMicro := stages * (fwdBlock + bwdBlock)
+	tail := 0
+	if !fs && red {
+		tail = stages
+	}
+	n := func(int) int { return nm*perMicro + tail }
+	at := func(_, k int) Op {
+		if k >= nm*perMicro { // trailing bunched reduces, reverse order
+			return Op{Reduce, stages - 1 - (k - nm*perMicro), -1}
+		}
+		mb, w := k/perMicro, k%perMicro
+		if w < stages*fwdBlock {
+			s, i := w/fwdBlock, w%fwdBlock
+			if fs && i == 0 {
+				return Op{Restore, s, mb}
+			}
+			return Op{Forward, s, mb}
+		}
+		w -= stages * fwdBlock
+		s, i := stages-1-w/bwdBlock, w%bwdBlock
+		if fs {
+			switch i {
+			case 0:
+				return Op{Restore, s, mb}
+			case 1:
+				return Op{Backward, s, mb}
+			default:
+				return Op{Reduce, s, mb}
+			}
+		}
+		return Op{Backward, s, mb}
+	}
+	return n, at
+}
+
+// --- StepLB hooks. ---
+
+// forwardFirstFloor is the admissible lower bound of the overlapped
+// forward-first wrap schedules (breadth-first, GPipe): the warm-up chain to
+// the last device, that device's full compute (its program runs every
+// forward before any backward), the backward drain chain back to device 0,
+// the exposed tail reduction and the optimizer step. Plain arithmetic can
+// round above the simulator's chained additions by a few ulps, so callers
+// shave the result with BoundSlack.
+func forwardFirstFloor(p core.Plan, c StepCosts) float64 {
+	nm, loops := float64(p.NumMicro), float64(p.Loops)
+	compute := nm * loops * (c.Fwd + c.Bwd)
+	var ramp, drain float64
+	if p.PP > 1 {
+		x := c.Transfer
+		if !p.OverlapPP {
+			x += c.PPStall
+		}
+		hops := float64(p.PP - 1)
+		ramp = hops * (c.Fwd + x)
+		drain = hops * (c.Bwd + x)
+	}
+	tail := c.Opt
+	if p.DP > 1 {
+		tail += c.Reduce
+	}
+	return BoundSlack(ramp+compute+drain+tail, p.NumMicro*p.Loops*2+2*p.PP)
+}
+
+// BoundSlack shaves a bound computed with plain (non-chained) float
+// arithmetic by a relative margin covering the worst-case rounding
+// difference against the simulator's n sequential additions, keeping the
+// bound strictly admissible without measurably loosening it. It is shared
+// with the generic floor in internal/analytic — the margin is
+// load-bearing for admissibility, so there is exactly one copy.
+func BoundSlack(v float64, n int) float64 {
+	return v * (1 - float64(n+16)*1e-15)
+}
+
+// exactOrFloor wraps an implicit program in the shared StepLB shape: the
+// exact replay for non-overlapped plans, a fallback floor otherwise.
+func exactOrFloor(p core.Plan, c StepCosts,
+	seq func(core.Plan) (func(int) int, func(int, int) Op),
+	floor func(core.Plan, StepCosts) float64) (float64, bool) {
+	if NonOverlapped(p) {
+		n, at := seq(p)
+		if v, ok := replayNonOverlapped(p, c, n, at); ok {
+			return v, true
+		}
+	}
+	if floor != nil {
+		return floor(p, c), false
+	}
+	return 0, false
+}

@@ -1,30 +1,51 @@
 // Package search implements the configuration grid search of Appendix E:
 // for each method family and global batch size it enumerates the
-// distributed configurations (N_PP, N_TP, S_mb, N_mb, N_loop, sharding),
-// prunes infeasible and obviously inferior ones, simulates the rest and
-// returns the most efficient — reproducing Figure 7 and Tables E.1-E.3.
+// distributed configurations (N_PP, N_TP, S_mb, N_mb, N_loop, sharding,
+// and the per-method Sequence dial — hybrid sequence lengths, V-schedule
+// in-flight caps), prunes infeasible and provably inferior ones, simulates
+// the rest and returns the most efficient — reproducing Figure 7 and
+// Tables E.1-E.3.
 //
-// # Concurrency
+// # Concurrency and pruning
 //
 // Optimize fans the enumerated plans out across a bounded worker pool
-// (internal/parallel); Sweep flattens all batches' candidates into one
-// work list over the same pool, so Options.Workers is a true bound on
-// concurrent simulations (0 means parallel.DefaultWorkers(), i.e.
-// GOMAXPROCS or the commands' -workers override, and 1 forces the serial
-// path). Winner selection is deterministic and tie-stable — the
-// lowest-indexed plan in enumeration order wins among equal throughputs —
-// so the parallel search returns byte-identical results (including Table
-// output) to the serial one. Options.Baseline additionally bypasses the
-// schedule/memory memo caches and the DES fast path, reproducing the seed
-// evaluator for equivalence tests and as the perf-harness speedup
-// denominator.
+// (internal/parallel); Sweep and SweepAll flatten all batches' (and
+// families') candidates into one work list over the same pool, so
+// Options.Workers is a true bound on concurrent simulations (0 means
+// parallel.DefaultWorkers(), 1 forces the serial path).
+//
+// By default the search runs branch-and-bound (BaPipe-style): every
+// candidate is priced by the closed-form analytic lower bound
+// (analytic.LowerBound — per-device compute, pipeline warm-up, exposed
+// communication; exact for the non-overlapped breadth-/depth-first style
+// schedules), jobs are ordered cheapest-bound-first so the incumbent
+// tightens early, a per-(family, batch) incumbent shared across the
+// worker pool skips candidates whose throughput upper bound cannot beat
+// it, and a deterministic dominance pre-pass removes candidates that an
+// exactly-priced sibling already beats before any simulation runs.
+//
+// Pruning never changes results: a candidate is skipped only when the
+// admissible bound proves it cannot be the winner under the same strict
+// ">" / lowest-index tie rule the serial loop applies, so the winner —
+// and the formatted Table output, including the Configs column, which
+// counts enumerated candidates — is byte-identical to the unpruned path
+// at any worker count. (The one caveat: a per-candidate simulation error,
+// which cannot occur for enumerated plans, may be masked when pruning
+// proves the failing candidate irrelevant and never simulates it.)
+// Options.NoPrune disables the bounds (the perf harness' comparison
+// point) and Options.Baseline additionally bypasses the schedule/memory
+// memo caches and the DES fast path, reproducing the seed evaluator for
+// equivalence tests.
 package search
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"bfpp/internal/analytic"
 	"bfpp/internal/core"
 	"bfpp/internal/engine"
 	"bfpp/internal/hw"
@@ -186,9 +207,46 @@ func (f Family) String() string { return f.Info().Name }
 // Best is the winning configuration of one (family, batch) search.
 type Best struct {
 	engine.Result
-	// Configs is the number of candidate configurations simulated,
-	// mirroring the "Configs" column of Tables E.1-E.3.
+	// Configs is the number of candidate configurations considered,
+	// mirroring the "Configs" column of Tables E.1-E.3. Pruned candidates
+	// count: they were enumerated and proven inferior, not skipped.
 	Configs int
+}
+
+// Stats accumulates the branch-and-bound counters of one or more searches.
+// All fields are atomic so one Stats may be shared across concurrent
+// sweeps; Enumerated and Dominated are deterministic, BoundSkipped and
+// Simulated depend on worker timing (their sum with Dominated always
+// equals Enumerated).
+type Stats struct {
+	// Enumerated counts candidate plans entering the work list.
+	Enumerated atomic.Int64
+	// Dominated counts candidates removed by the deterministic dominance
+	// pre-pass (an exactly-priced sibling provably beats them).
+	Dominated atomic.Int64
+	// BoundSkipped counts candidates skipped at execution time because
+	// their analytic throughput upper bound could not beat the incumbent.
+	BoundSkipped atomic.Int64
+	// Simulated counts candidates that reached the discrete-event
+	// simulator.
+	Simulated atomic.Int64
+}
+
+// PruneRate returns the fraction of enumerated candidates that were never
+// simulated.
+func (s *Stats) PruneRate() float64 {
+	e := s.Enumerated.Load()
+	if e == 0 {
+		return 0
+	}
+	return float64(s.Dominated.Load()+s.BoundSkipped.Load()) / float64(e)
+}
+
+// String summarizes the counters.
+func (s *Stats) String() string {
+	return fmt.Sprintf("enumerated %d, dominated %d, bounded out %d, simulated %d (%.1f%% pruned)",
+		s.Enumerated.Load(), s.Dominated.Load(), s.BoundSkipped.Load(),
+		s.Simulated.Load(), 100*s.PruneRate())
 }
 
 // Options tunes the search.
@@ -203,10 +261,20 @@ type Options struct {
 	// the commands), 1 forces the serial path. Any worker count produces
 	// byte-identical results.
 	Workers int
+	// NoPrune disables the analytic branch-and-bound (lower-bound job
+	// ordering, incumbent skipping, dominance pre-pass) and simulates
+	// every candidate, like the pre-bound evaluator. Results are identical
+	// either way; the perf harness uses it as the pruning speedup
+	// denominator.
+	NoPrune bool
+	// Stats, when non-nil, accumulates the pruning counters of this
+	// search.
+	Stats *Stats
 	// Baseline selects the seed-faithful serial evaluator: one plan at a
-	// time, memo caches bypassed, reference DES loop. It exists for the
-	// parallel-vs-serial equivalence tests and as the denominator of the
-	// perf harness (scripts/bench.sh); everyday callers leave it false.
+	// time, no pruning, memo caches bypassed, reference DES loop. It
+	// exists for the parallel-vs-serial equivalence tests and as the
+	// denominator of the perf harness (scripts/bench.sh); everyday
+	// callers leave it false.
 	Baseline bool
 }
 
@@ -223,6 +291,9 @@ func (o Options) workers() int {
 	return parallel.Resolve(o.Workers)
 }
 
+// prune reports whether the branch-and-bound path is active.
+func (o Options) prune() bool { return !o.Baseline && !o.NoPrune }
+
 // Optimize searches one family at one global batch size and returns the
 // most efficient feasible configuration. Candidate plans are simulated
 // concurrently on Options.Workers goroutines; the winner is the
@@ -236,20 +307,11 @@ func Optimize(c hw.Cluster, m model.Transformer, f Family, batch int, opt Option
 	if len(plans) == 0 {
 		return Best{}, fmt.Errorf("search: no feasible configuration for %v at batch %d", f, batch)
 	}
-	eopt := opt.engineOptions()
-	results, err := parallel.Map(opt.workers(), plans, func(_ int, p core.Plan) (engine.Result, error) {
-		r, err := engine.SimulateOpts(c, m, p, eopt)
-		if err != nil {
-			// Enumeration bugs should surface loudly; feasibility issues
-			// are filtered beforehand.
-			return engine.Result{}, fmt.Errorf("search: %v: %w", p, err)
-		}
-		return r, nil
-	})
-	if err != nil {
-		return Best{}, err
+	bests, errs := evalGroups(c, m, [][]core.Plan{plans}, opt)
+	if errs[0] != nil {
+		return Best{}, errs[0]
 	}
-	return pickBest(results), nil
+	return *bests[0], nil
 }
 
 // pickBest selects the winner deterministically: the first result (in
@@ -266,54 +328,198 @@ func pickBest(results []engine.Result) Best {
 	return best
 }
 
-// outcome carries one simulated plan through the shared sweep work list.
-// Per-plan errors skip their batch (as in Optimize) rather than aborting
-// the sweep, so they ride in the outcome and the Map error is always nil.
-type outcome struct {
+// job carries one candidate plan through the shared work list.
+type job struct {
+	plan  core.Plan
+	group int     // index into the (family, batch) group list
+	idx   int     // enumeration index within the group (the tie order)
+	ub    float64 // analytic throughput upper bound (FlopPerGPU / lower bound)
+	exact bool    // the bound equals the simulated time bit for bit
+	prune bool    // removed by the deterministic dominance pre-pass
+}
+
+// incumbent is the shared best-simulated-so-far record of one group. Its
+// rule mirrors pickBest: a candidate is covered (provably not the winner)
+// when its throughput upper bound is strictly below the incumbent, or ties
+// it while the incumbent has the lower enumeration index. The minimal-index
+// maximal-throughput candidate is never covered, so the reduced winner is
+// identical to the unpruned one.
+type incumbent struct {
+	mu  sync.Mutex
+	ok  bool
+	tp  float64
+	idx int
+}
+
+func (inc *incumbent) covers(ub float64, idx int) bool {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return inc.ok && (ub < inc.tp || (ub == inc.tp && inc.idx < idx))
+}
+
+func (inc *incumbent) update(tp float64, idx int) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	if !inc.ok || tp > inc.tp || (tp == inc.tp && idx < inc.idx) {
+		inc.ok, inc.tp, inc.idx = true, tp, idx
+	}
+}
+
+// simOut is one slot of the shared result table.
+type simOut struct {
 	res engine.Result
+	ran bool
 	err error
 }
 
-// runJobs simulates the flattened candidate list on one worker pool.
-func runJobs(c hw.Cluster, m model.Transformer, jobs []core.Plan, opt Options) []outcome {
-	eopt := opt.engineOptions()
-	results, _ := parallel.Map(opt.workers(), jobs, func(_ int, p core.Plan) (outcome, error) {
-		r, err := engine.SimulateOpts(c, m, p, eopt)
-		if err != nil {
-			return outcome{err: fmt.Errorf("search: %v: %w", p, err)}, nil
+// evalGroups evaluates the candidate groups (one per (family, batch)) over
+// one shared worker pool and reduces each to its winner. It returns one
+// Best per group (nil when the group is empty or a simulation failed) and
+// the lowest-indexed per-group error. With pruning active, candidates are
+// priced by the analytic lower bound, ordered cheapest-bound-first,
+// dominance-filtered, and skipped against the group incumbent; the winner
+// is provably the one the unpruned path reports.
+func evalGroups(c hw.Cluster, m model.Transformer, groups [][]core.Plan, opt Options) ([]*Best, []error) {
+	var jobs []job
+	bounds := make([]int, 0, len(groups)+1) // group boundaries in jobs
+	bounds = append(bounds, 0)
+	for gi, g := range groups {
+		for i, p := range g {
+			jobs = append(jobs, job{plan: p, group: gi, idx: i})
 		}
-		return outcome{res: r}, nil
-	})
-	return results
-}
+		bounds = append(bounds, len(jobs))
+	}
+	if opt.Stats != nil {
+		opt.Stats.Enumerated.Add(int64(len(jobs)))
+	}
 
-// reduceBatches folds one family's contiguous slice of outcomes (counts[i]
-// results per batch, in enumeration order) into per-batch winners,
-// skipping infeasible or failed batches exactly like Optimize would.
-func reduceBatches(results []outcome, counts []int) []Best {
-	var out []Best
-	lo := 0
-	for _, n := range counts {
-		group := results[lo : lo+n]
-		lo += n
-		if len(group) == 0 {
-			continue // no feasible configuration at this batch
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	prune := opt.prune()
+	lbs := make([]float64, len(jobs))
+	if prune && len(jobs) > 0 {
+		par := engine.Defaults()
+		if opt.Params != nil {
+			par = *opt.Params
 		}
-		batchResults := make([]engine.Result, 0, len(group))
-		failed := false
-		for _, o := range group {
-			if o.err != nil {
-				failed = true // skip the batch, matching Optimize's error
+		// Price every candidate on the same worker pool the simulations
+		// use (each bound is independent, so the pass is deterministic);
+		// the exact replays are O(ops) and would otherwise serialize in
+		// front of the pool.
+		parallel.Map(opt.workers(), jobs, func(i int, _ job) (struct{}, error) {
+			j := &jobs[i]
+			lb, exact := analytic.LowerBound(c, m, j.plan, &par)
+			flop := m.BatchFlopPerGPU(j.plan.MicroBatch, j.plan.NumMicro, j.plan.PP, j.plan.TP)
+			j.exact = exact
+			lbs[i] = lb
+			if lb > 0 {
+				j.ub = flop / lb
+			} else {
+				j.ub = math.Inf(1)
+			}
+			return struct{}{}, nil
+		})
+		markDominated(jobs, bounds, opt.Stats)
+		// Cheapest (fastest-looking) bound first, stable on the flat
+		// enumeration order: the likely winners simulate early and the
+		// incumbent tightens before the long tail is reached.
+		sort.SliceStable(order, func(a, b int) bool { return lbs[order[a]] < lbs[order[b]] })
+	}
+
+	eopt := opt.engineOptions()
+	incs := make([]incumbent, len(groups))
+	outs := make([]simOut, len(jobs))
+	parallel.Map(opt.workers(), order, func(_ int, ji int) (struct{}, error) {
+		j := &jobs[ji]
+		if j.prune {
+			return struct{}{}, nil
+		}
+		if prune && incs[j.group].covers(j.ub, j.idx) {
+			if opt.Stats != nil {
+				opt.Stats.BoundSkipped.Add(1)
+			}
+			return struct{}{}, nil
+		}
+		r, err := engine.SimulateOpts(c, m, j.plan, eopt)
+		if opt.Stats != nil {
+			opt.Stats.Simulated.Add(1) // reached the simulator, error or not
+		}
+		if err != nil {
+			// Enumeration bugs should surface loudly; feasibility issues
+			// are filtered beforehand. (Such an error can only be masked
+			// when pruning proves the failing candidate irrelevant — it is
+			// then never simulated at all.)
+			outs[ji].err = fmt.Errorf("search: %v: %w", j.plan, err)
+			return struct{}{}, nil
+		}
+		outs[ji] = simOut{res: r, ran: true}
+		if prune {
+			incs[j.group].update(r.Throughput, j.idx)
+		}
+		return struct{}{}, nil
+	})
+
+	bests := make([]*Best, len(groups))
+	errs := make([]error, len(groups))
+	var ran []engine.Result
+	for gi := range groups {
+		seg := outs[bounds[gi]:bounds[gi+1]]
+		ran = ran[:0] // simulated results in enumeration order
+		for i := range seg {
+			if seg[i].err != nil {
+				errs[gi] = seg[i].err
+				ran = ran[:0]
 				break
 			}
-			batchResults = append(batchResults, o.res)
+			if seg[i].ran {
+				ran = append(ran, seg[i].res)
+			}
 		}
-		if failed {
+		if len(ran) > 0 {
+			// Skipped candidates provably cannot win, so pickBest over the
+			// simulated subset applies the exact serial selection rule.
+			b := pickBest(ran)
+			b.Configs = len(seg)
+			bests[gi] = &b
+		}
+	}
+	return bests, errs
+}
+
+// markDominated removes, within each group, candidates an exactly-priced
+// sibling provably beats: the best exact candidate's throughput is known
+// without simulation (its bound is the simulated time bit for bit), so any
+// candidate whose upper bound falls below it — or ties it from a higher
+// enumeration index — can never win under the pickBest rule. The pass is
+// deterministic: it depends only on the enumeration and the bounds.
+func markDominated(jobs []job, bounds []int, stats *Stats) {
+	for gi := 0; gi+1 < len(bounds); gi++ {
+		seg := jobs[bounds[gi]:bounds[gi+1]]
+		bestTp, bestIdx, found := 0.0, 0, false
+		for i := range seg {
+			j := &seg[i]
+			if !j.exact {
+				continue
+			}
+			if !found || j.ub > bestTp || (j.ub == bestTp && j.idx < bestIdx) {
+				bestTp, bestIdx, found = j.ub, j.idx, true
+			}
+		}
+		if !found {
 			continue
 		}
-		out = append(out, pickBest(batchResults))
+		for i := range seg {
+			j := &seg[i]
+			if j.ub < bestTp || (j.ub == bestTp && bestIdx < j.idx) {
+				j.prune = true
+				if stats != nil {
+					stats.Dominated.Add(1)
+				}
+			}
+		}
 	}
-	return out
 }
 
 // Sweep runs the family's search across batch sizes, skipping batches with
@@ -326,14 +532,17 @@ func Sweep(c hw.Cluster, m model.Transformer, f Family, batches []int, opt Optio
 	if opt.MaxMicroBatch <= 0 {
 		opt.MaxMicroBatch = 16
 	}
-	var jobs []core.Plan
-	counts := make([]int, len(batches)) // candidate plans per batch
+	groups := make([][]core.Plan, len(batches))
 	for bi, b := range batches {
-		plans := Enumerate(c, m, f, b, opt)
-		counts[bi] = len(plans)
-		jobs = append(jobs, plans...)
+		groups[bi] = Enumerate(c, m, f, b, opt)
 	}
-	out := reduceBatches(runJobs(c, m, jobs, opt), counts)
+	bests, _ := evalGroups(c, m, groups, opt)
+	var out []Best
+	for _, b := range bests {
+		if b != nil {
+			out = append(out, *b)
+		}
+	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("search: no feasible configuration for %v at any batch", f)
 	}
@@ -343,37 +552,32 @@ func Sweep(c hw.Cluster, m model.Transformer, f Family, batches []int, opt Optio
 // SweepAll runs the sweeps of several families over one shared work list:
 // every family's candidates at every batch size are flattened into a
 // single bounded worker pool, so a family with few candidates no longer
-// leaves workers idle while another family's long tail drains (the
-// per-family pools used to run back to back). Results are identical to
-// calling Sweep per family; families with no feasible configuration at
-// any batch are omitted from the map, and an error is returned only when
-// that leaves the map empty.
+// leaves workers idle while another family's long tail drains, and the
+// branch-and-bound incumbents stay per (family, batch) group. Results are
+// identical to calling Sweep per family; families with no feasible
+// configuration at any batch are omitted from the map, and an error is
+// returned only when that leaves the map empty.
 func SweepAll(c hw.Cluster, m model.Transformer, fams []Family, batches []int, opt Options) (map[Family][]Best, error) {
 	if opt.MaxMicroBatch <= 0 {
 		opt.MaxMicroBatch = 16
 	}
-	var jobs []core.Plan
-	counts := make([][]int, len(fams)) // candidate plans per (family, batch)
-	for fi, f := range fams {
-		counts[fi] = make([]int, len(batches))
-		for bi, b := range batches {
-			plans := Enumerate(c, m, f, b, opt)
-			counts[fi][bi] = len(plans)
-			jobs = append(jobs, plans...)
+	var groups [][]core.Plan
+	for _, f := range fams {
+		for _, b := range batches {
+			groups = append(groups, Enumerate(c, m, f, b, opt))
 		}
 	}
-	results := runJobs(c, m, jobs, opt)
+	bests, _ := evalGroups(c, m, groups, opt)
 	out := map[Family][]Best{}
-	lo := 0
 	for fi, f := range fams {
-		n := 0
-		for _, c := range counts[fi] {
-			n += c
+		var fam []Best
+		for bi := range batches {
+			if b := bests[fi*len(batches)+bi]; b != nil {
+				fam = append(fam, *b)
+			}
 		}
-		bests := reduceBatches(results[lo:lo+n], counts[fi])
-		lo += n
-		if len(bests) > 0 {
-			out[f] = bests
+		if len(fam) > 0 {
+			out[f] = fam
 		}
 	}
 	if len(out) == 0 {
@@ -384,10 +588,12 @@ func SweepAll(c hw.Cluster, m model.Transformer, fams []Family, batches []int, o
 
 // Enumerate lists the feasible plans of a family at a global batch size.
 // The pruning mirrors Appendix E: divisibility of the device grid and the
-// batch, stage divisibility, memory feasibility, and the per-method
-// constraints and exclusions that Plan.Validate enforces through the
-// method registry (e.g. the depth-first N_mb constraint, DP-FS with
-// depth-first-style gradient accumulation).
+// batch, stage divisibility, memory feasibility (a cheap analytic floor
+// first, then the full estimate), and the per-method constraints and
+// exclusions that Plan.Validate enforces through the method registry.
+// Methods that declare SequenceOptions (the hybrid sequence lengths of
+// Section 4.2, the V-schedule in-flight caps) contribute one candidate per
+// option at every grid point.
 func Enumerate(c hw.Cluster, m model.Transformer, f Family, batch int, opt Options) []core.Plan {
 	if opt.MaxMicroBatch <= 0 {
 		opt.MaxMicroBatch = 16
@@ -399,6 +605,7 @@ func Enumerate(c hw.Cluster, m model.Transformer, f Family, batch int, opt Optio
 	nGPU := c.NumGPUs()
 	var plans []core.Plan
 	for _, v := range f.Info().Variants {
+		seqOptions := schedule.TraitsOf(v.Method).SequenceOptions
 		for tp := 1; tp <= c.GPUsPerNode; tp *= 2 {
 			maxPP := 1
 			if v.Method.Pipelined() {
@@ -428,18 +635,36 @@ func Enumerate(c hw.Cluster, m model.Transformer, f Family, batch int, opt Optio
 							if sh != core.DP0 && dp == 1 {
 								continue
 							}
-							p := core.Plan{
+							base := core.Plan{
 								Method: v.Method, DP: dp, PP: pp, TP: tp,
 								MicroBatch: smb, NumMicro: nmb, Loops: loops,
 								Sharding: sh, OverlapDP: v.Overlap, OverlapPP: v.Overlap,
 							}
-							if p.Validate(m) != nil {
-								continue
+							seqs := []int{0}
+							if seqOptions != nil {
+								seqs = seqOptions(base)
 							}
-							if !memsim.Feasible(estimate(m, p), c.GPU.MemBytes) {
-								continue
+							for _, seq := range seqs {
+								p := base
+								p.Sequence = seq
+								if p.Validate(m) != nil {
+									continue
+								}
+								if !opt.Baseline &&
+									!memsim.FeasibleBytes(analytic.MemoryFloor(m, p), c.GPU.MemBytes) {
+									// The floor never exceeds the estimate,
+									// so this skips only plans the full
+									// check below would reject — without
+									// paying it (for the V-schedule, the
+									// exact in-flight hook generates
+									// programs).
+									continue
+								}
+								if !memsim.Feasible(estimate(m, p), c.GPU.MemBytes) {
+									continue
+								}
+								plans = append(plans, p)
 							}
-							plans = append(plans, p)
 						}
 					}
 				}

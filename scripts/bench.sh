@@ -6,6 +6,10 @@
 #
 #   sweep_figure7   full Figure-7 grid (all families x 52B batches),
 #                   seed-faithful baseline vs worker-pool + caches + fast DES
+#   sweep_pruned    the same grid, unpruned worker pool vs the analytic
+#                   branch-and-bound (cheapest-bound ordering, incumbent
+#                   skipping, dominance pre-pass); prune_rate reports the
+#                   fraction of candidates never simulated
 #   optimize        one (family, batch) search, baseline vs optimized
 #   parallel_scaling optimized serial (1 worker) vs GOMAXPROCS workers
 #   des_run         DES inner loop, reference rescanning vs indexed fast path
@@ -20,7 +24,7 @@ TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' \
-	-bench 'BenchmarkSearchOptimize(Baseline|Serial|Parallel)$|BenchmarkSweepFigure7(Baseline|Parallel)$|BenchmarkDESRun(Fast|Reference)$|BenchmarkSimulateBatch(Baseline)?$' \
+	-bench 'BenchmarkSearchOptimize(Baseline|Serial|Parallel)$|BenchmarkSweepFigure7(Baseline|Parallel|Pruned)$|BenchmarkDESRun(Fast|Reference)$|BenchmarkSimulateBatch(Baseline)?$' \
 	-benchmem -benchtime="$BENCHTIME" . | tee "$TMP"
 
 GOMAXPROCS_N=$(go run ./scripts/gomaxprocs 2>/dev/null || nproc 2>/dev/null || echo 1)
@@ -34,6 +38,7 @@ awk -v out="$OUT" -v maxprocs="$GOMAXPROCS_N" -v date="$(date -u +%Y-%m-%dT%H:%M
 	for (i = 4; i <= NF; i++) {
 		if ($(i+1) == "B/op") bytes[name] = $i
 		if ($(i+1) == "allocs/op") allocs[name] = $i
+		if ($(i+1) == "prune%") prune[name] = $i
 	}
 	order[n++] = name
 }
@@ -52,11 +57,13 @@ END {
 	printf "  },\n" > out
 	printf "  \"speedups\": {\n" > out
 	printf "    \"sweep_figure7\": %.2f,\n", ns["SweepFigure7Baseline"] / ns["SweepFigure7Parallel"] > out
+	printf "    \"sweep_pruned\": %.2f,\n", ns["SweepFigure7Parallel"] / ns["SweepFigure7Pruned"] > out
 	printf "    \"optimize\": %.2f,\n", ns["SearchOptimizeBaseline"] / ns["SearchOptimizeParallel"] > out
 	printf "    \"parallel_scaling\": %.2f,\n", ns["SearchOptimizeSerial"] / ns["SearchOptimizeParallel"] > out
 	printf "    \"des_run\": %.2f,\n", ns["DESRunReference"] / ns["DESRunFast"] > out
 	printf "    \"simulate_batch\": %.2f\n", ns["SimulateBatchBaseline"] / ns["SimulateBatch"] > out
 	printf "  },\n" > out
+	printf "  \"prune_rate\": %.3f,\n", prune["SweepFigure7Pruned"] / 100 > out
 	printf "  \"allocs_reduction\": {\n" > out
 	printf "    \"simulate_batch\": \"%s -> %s allocs/op\",\n", allocs["SimulateBatchBaseline"], allocs["SimulateBatch"] > out
 	printf "    \"optimize\": \"%s -> %s allocs/op\"\n", allocs["SearchOptimizeBaseline"], allocs["SearchOptimizeParallel"] > out
