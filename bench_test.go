@@ -241,6 +241,11 @@ func BenchmarkSweepFigure7Pruned(b *testing.B) {
 	benchSweep(b, search.Options{Stats: stats})
 	if stats.Enumerated.Load() > 0 {
 		b.ReportMetric(100*stats.PruneRate(), "prune%")
+		// Per-family prune rates (BENCH_search.json's prune_rate_by_family):
+		// how far each family's registered bound carries the pruning.
+		for _, key := range stats.FamilyKeys() {
+			b.ReportMetric(100*stats.Family(key).PruneRate(), "prune_"+key+"%")
+		}
 	}
 }
 

@@ -24,12 +24,13 @@ echo "== benchmarks smoke (benchtime=1x, so they cannot rot)"
 go test -run '^$' -bench . -benchtime=1x . > /dev/null
 
 if [ "${SKIP_RACE:-0}" != "1" ]; then
-	echo "== go test -race (concurrent search paths)"
+	echo "== go test -race (concurrent search paths + bound properties + runtime reuse)"
 	go test -race -count=1 \
-		-run 'Parallel|Cache|Concurrent|Sweep|FastPath|RunMatches|Curve|CheapArtifacts' \
+		-run 'Parallel|Cache|Concurrent|Sweep|FastPath|RunMatches|Curve|CheapArtifacts|LowerBound|ExactBound|Lattice|PrunedErrors|PerFamily' \
 		./internal/parallel ./internal/search ./internal/schedule \
 		./internal/memsim ./internal/des ./internal/engine \
-		./internal/figures ./internal/tradeoff
+		./internal/figures ./internal/tradeoff \
+		./internal/analytic ./internal/runtime
 fi
 
 echo "== ci OK"

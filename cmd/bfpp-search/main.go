@@ -79,6 +79,9 @@ func main() {
 	title := fmt.Sprintf("Optimal configurations: %s on %s (%d GPUs)", m.Name, c.Name, c.NumGPUs())
 	fmt.Print(search.Table(title, results))
 	fmt.Fprintf(os.Stderr, "bfpp-search: pruning: %v\n", stats)
+	for _, key := range stats.FamilyKeys() {
+		fmt.Fprintf(os.Stderr, "bfpp-search: pruning[%s]: %v\n", key, stats.Family(key))
+	}
 }
 
 func fatalIf(err error) {

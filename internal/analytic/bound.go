@@ -4,14 +4,17 @@ package analytic
 // prune the configuration space with analytic performance models before
 // simulating). LowerBound prices a plan from its core.Plan fields and the
 // generator's registered schedule traits alone — no program construction,
-// no discrete-event simulation: a placement-generic floor (per-device
-// compute, pipeline warm-up, single-micro-batch latency, exposed
-// communication for non-overlapped implementations) maximized with the
-// generator's own Traits.StepLB hook, which for the non-overlapped
-// breadth-first/depth-first family replays the schedule recurrence exactly
-// (bit-identical to the DES makespan). internal/search uses the bound to
-// order candidates cheapest-first and to skip simulations that provably
-// cannot beat the incumbent.
+// no discrete-event simulation: the generator's Traits.StepLB hook, which
+// for every generator with an implicit op sequence replays the schedule
+// recurrence on the engine's per-device compute/pp/dp stream model exactly
+// (bit-identical to the DES makespan, overlapped implementations
+// included); generators without a replayable sequence (the list-scheduled
+// V-schedule) fall back to the maximum of their own floor and a
+// placement-generic floor (per-device compute, pipeline warm-up,
+// single-micro-batch latency, exposed communication for non-overlapped
+// implementations). internal/search uses the bound to order candidates
+// cheapest-first and to skip simulations that provably cannot beat the
+// incumbent.
 
 import (
 	"bfpp/internal/core"
@@ -25,26 +28,30 @@ import (
 // LowerBound returns an admissible lower bound on the simulated batch time
 // of (c, m, p) under the engine calibration par (nil means
 // engine.Defaults()), and whether the bound is exact — equal, bit for bit,
-// to engine.SimulateOpts' BatchTime, which holds for the non-overlapped
-// breadth-first and depth-first style schedules whose generators replay
-// their programs analytically. The plan must be valid for the model.
+// to engine.SimulateOpts' BatchTime, which holds for every schedule whose
+// generator replays its implicit program on the engine's multi-stream
+// model (all the paper methods plus WS-1F1B, overlapped or not; only the
+// list-scheduled V-schedule reports a floor). The plan must be valid for
+// the model.
 func LowerBound(c hw.Cluster, m model.Transformer, p core.Plan, par *engine.Params) (lb float64, exact bool) {
 	pr := engine.Defaults()
 	if par != nil {
 		pr = *par
 	}
 	costs := engine.DeriveCosts(c, m, p, pr)
-	generic := genericFloor(p, costs)
 	if hook := schedule.TraitsOf(p.Method).StepLB; hook != nil {
 		h, ok := hook(p, costs)
 		if ok {
+			// The replay IS the simulated time; the generic floor cannot
+			// improve on it and is not computed at all.
 			return h, true
 		}
-		if h > generic {
-			return h, false
+		if generic := genericFloor(p, costs); generic > h {
+			return generic, false
 		}
+		return h, false
 	}
-	return generic, false
+	return genericFloor(p, costs), false
 }
 
 // MemoryFloor is the cheap admissible lower bound on the plan's peak

@@ -74,7 +74,10 @@ func randomBoundPlan(rng *rand.Rand, m core.Method, traits schedule.Traits) (cor
 // TestLowerBoundNeverExceedsSimulation is the admissibility property of
 // the branch-and-bound evaluator: for randomized plans of every registered
 // generator, the analytic lower bound never exceeds the DES-simulated
-// batch time, and a bound reported exact matches it bit for bit.
+// batch time, and a bound reported exact matches it bit for bit. Since the
+// multi-stream replay, exactness is required of every generator with an
+// implicit op sequence — that is, everything except the list-scheduled
+// V-schedule — overlapped implementations and vee placements included.
 func TestLowerBoundNeverExceedsSimulation(t *testing.T) {
 	c := hw.PaperCluster()
 	m := boundModel()
@@ -107,6 +110,8 @@ func TestLowerBoundNeverExceedsSimulation(t *testing.T) {
 					t.Errorf("%v: exact bound %v != simulated %v (diff %v) for %v",
 						method, lb, res.BatchTime, lb-res.BatchTime, p)
 				}
+			} else if method != core.VSchedule {
+				t.Errorf("%v: bound not exact for %v (the multi-stream replay must cover it)", method, p)
 			}
 		}
 		if checked < 20 {
@@ -151,6 +156,96 @@ func TestExactBoundForNonOverlapped(t *testing.T) {
 		}
 		if lb != res.BatchTime {
 			t.Errorf("%v: exact bound %v != simulated %v (diff %v)", p, lb, res.BatchTime, lb-res.BatchTime)
+		}
+	}
+}
+
+// TestExactBoundForOverlapped pins the multi-stream replay's headline
+// claim: for overlapped implementations — the paper's own overlapped
+// breadth-first runtime, WS-1F1B, and the other implicit-sequence
+// generators with separate pp/dp streams — the bound is reported exact and
+// equals the DES makespan bit for bit, so the search can dominance-prune
+// these families without simulating.
+func TestExactBoundForOverlapped(t *testing.T) {
+	c := hw.PaperCluster()
+	m := boundModel()
+	ov := func(p core.Plan) core.Plan {
+		p.OverlapDP, p.OverlapPP = true, true
+		return p
+	}
+	cases := []core.Plan{
+		// The paper's overlapped breadth-first implementation, DP0 and DP-FS.
+		ov(core.Plan{Method: core.BreadthFirst, DP: 1, PP: 4, TP: 1, MicroBatch: 2, NumMicro: 8, Loops: 4}),
+		ov(core.Plan{Method: core.BreadthFirst, DP: 4, PP: 2, TP: 2, MicroBatch: 1, NumMicro: 6, Loops: 8}),
+		ov(core.Plan{Method: core.BreadthFirst, DP: 2, PP: 8, TP: 1, MicroBatch: 2, NumMicro: 16, Loops: 2, Sharding: core.DPFS}),
+		ov(core.Plan{Method: core.BreadthFirst, DP: 4, PP: 4, TP: 1, MicroBatch: 1, NumMicro: 8, Loops: 2, Sharding: core.DPPS}),
+		// WS-1F1B: 1F1B program, overlapped communication.
+		ov(core.Plan{Method: core.WeightStash1F1B, DP: 2, PP: 8, TP: 2, MicroBatch: 2, NumMicro: 12, Loops: 1}),
+		ov(core.Plan{Method: core.WeightStash1F1B, DP: 1, PP: 4, TP: 1, MicroBatch: 1, NumMicro: 4, Loops: 1}),
+		// The rest of the implicit-sequence generators, overlapped.
+		ov(core.Plan{Method: core.GPipe, DP: 4, PP: 4, TP: 1, MicroBatch: 1, NumMicro: 8, Loops: 1, Sharding: core.DPPS}),
+		ov(core.Plan{Method: core.OneFOneB, DP: 2, PP: 8, TP: 2, MicroBatch: 2, NumMicro: 12, Loops: 1}),
+		ov(core.Plan{Method: core.DepthFirst, DP: 4, PP: 2, TP: 2, MicroBatch: 1, NumMicro: 6, Loops: 8}),
+		ov(core.Plan{Method: core.Hybrid, DP: 1, PP: 2, TP: 2, MicroBatch: 2, NumMicro: 8, Loops: 2, Sequence: 4}),
+		ov(core.Plan{Method: core.NoPipelineBF, DP: 4, PP: 1, TP: 2, MicroBatch: 2, NumMicro: 4, Loops: 16, Sharding: core.DPFS}),
+		ov(core.Plan{Method: core.NoPipelineDF, DP: 2, PP: 1, TP: 1, MicroBatch: 1, NumMicro: 4, Loops: 8, Sharding: core.DPFS}),
+	}
+	for _, p := range cases {
+		if err := p.Validate(m); err != nil {
+			t.Fatalf("case %v invalid: %v", p, err)
+		}
+		if schedule.NonOverlapped(p) {
+			t.Fatalf("case %v is not an overlapped implementation", p)
+		}
+		lb, exact := LowerBound(c, m, p, nil)
+		if !exact {
+			t.Errorf("%v: overlapped bound not reported exact", p)
+			continue
+		}
+		res, err := engine.Simulate(c, m, p)
+		if err != nil {
+			t.Fatalf("simulate %v: %v", p, err)
+		}
+		if lb != res.BatchTime {
+			t.Errorf("%v: exact bound %v != simulated %v (diff %v)", p, lb, res.BatchTime, lb-res.BatchTime)
+		}
+	}
+}
+
+// TestVScheduleFloorAdmissible sweeps the V-schedule's in-flight caps on
+// vee placements: the list-schedule-aware warmup/drain floor must stay
+// admissible at every cap (smaller caps only delay operations, so the
+// placement-derived chains keep holding) while never claiming exactness.
+func TestVScheduleFloorAdmissible(t *testing.T) {
+	c := hw.PaperCluster()
+	m := boundModel()
+	for _, pp := range []int{2, 4, 8} {
+		for _, loops := range []int{1, 2} {
+			if pp*loops > m.Layers {
+				continue
+			}
+			for _, seq := range []int{0, loops, pp, 2 * pp} {
+				if seq > 0 && seq < loops {
+					continue
+				}
+				p := core.Plan{Method: core.VSchedule, DP: 2, PP: pp, TP: 1,
+					MicroBatch: 1, NumMicro: 2 * pp, Loops: loops, Sequence: seq,
+					OverlapDP: true, OverlapPP: true}
+				if err := p.Validate(m); err != nil {
+					t.Fatalf("case %v invalid: %v", p, err)
+				}
+				lb, exact := LowerBound(c, m, p, nil)
+				if exact {
+					t.Errorf("%v: list-scheduled V-schedule must not claim exactness", p)
+				}
+				res, err := engine.Simulate(c, m, p)
+				if err != nil {
+					t.Fatalf("simulate %v: %v", p, err)
+				}
+				if lb <= 0 || lb > res.BatchTime {
+					t.Errorf("%v: floor %v outside (0, %v]", p, lb, res.BatchTime)
+				}
+			}
 		}
 	}
 }

@@ -123,33 +123,54 @@ func Simulate(c hw.Cluster, m model.Transformer, p core.Plan) (Result, error) {
 	return SimulateOpts(c, m, p, Options{})
 }
 
-// SimulateOpts runs one batch of the configuration and returns the result.
-func SimulateOpts(c hw.Cluster, m model.Transformer, p core.Plan, opt Options) (Result, error) {
+// prepare runs every validation that precedes the discrete-event
+// simulation — cluster and plan validity, the GPU budget, schedule
+// generation and invariant checking — and returns the checked schedule.
+// It is the single producer of SimulateOpts' pre-simulation errors, so
+// Precheck reports exactly what a simulation would.
+func prepare(c hw.Cluster, m model.Transformer, p core.Plan, opt Options) (*schedule.Schedule, error) {
 	if err := c.Validate(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	if err := p.Validate(m); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	if p.GPUs() > c.NumGPUs() {
-		return Result{}, fmt.Errorf("engine: plan needs %d GPUs, cluster has %d", p.GPUs(), c.NumGPUs())
+		return nil, fmt.Errorf("engine: plan needs %d GPUs, cluster has %d", p.GPUs(), c.NumGPUs())
 	}
-	var sched *schedule.Schedule
 	if opt.DisableCache {
-		var err error
-		sched, err = schedule.Generate(p)
+		sched, err := schedule.Generate(p)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		if err := schedule.Check(sched); err != nil {
-			return Result{}, fmt.Errorf("engine: generated schedule invalid: %w", err)
+			return nil, fmt.Errorf("engine: generated schedule invalid: %w", err)
 		}
-	} else {
-		var err error
-		sched, err = schedule.Cached(p)
-		if err != nil {
-			return Result{}, fmt.Errorf("engine: %w", err)
-		}
+		return sched, nil
+	}
+	sched, err := schedule.Cached(p)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	return sched, nil
+}
+
+// Precheck returns the error SimulateOpts would return before reaching the
+// simulator — nil when the configuration simulates cleanly (a registered
+// generator's checked schedule cannot deadlock the DES). The grid search
+// uses it to surface per-candidate errors deterministically even for
+// candidates the branch-and-bound never simulates; schedule generation is
+// memoized, so a subsequent simulation pays nothing extra.
+func Precheck(c hw.Cluster, m model.Transformer, p core.Plan, opt Options) error {
+	_, err := prepare(c, m, p, opt)
+	return err
+}
+
+// SimulateOpts runs one batch of the configuration and returns the result.
+func SimulateOpts(c hw.Cluster, m model.Transformer, p core.Plan, opt Options) (Result, error) {
+	sched, err := prepare(c, m, p, opt)
+	if err != nil {
+		return Result{}, err
 	}
 	par := Defaults()
 	if opt.Params != nil {

@@ -42,12 +42,18 @@ func AppendixELarge() (string, error) {
 		}
 		b.WriteString(search.Table(fmt.Sprintf("Optimal configurations: %s (%d GPUs)",
 			sc.name, sc.cluster.NumGPUs()), results))
-		fmt.Fprintf(&b, "pruning: %v\n\n", stats)
+		fmt.Fprintf(&b, "pruning: %v\n", stats)
+		for _, key := range stats.FamilyKeys() {
+			fmt.Fprintf(&b, "pruning[%s]: %v\n", key, stats.Family(key))
+		}
+		b.WriteString("\n")
 	}
 	b.WriteString("branch-and-bound: candidates are priced by the analytic step-time lower\n")
-	b.WriteString("bound (exact for non-overlapped breadth/depth-first schedules) and only\n")
-	b.WriteString("simulated when the bound can still beat the incumbent; winners are\n")
-	b.WriteString("byte-identical to the exhaustive search.\n")
+	b.WriteString("bound (the multi-stream schedule replay, exact for every generator with\n")
+	b.WriteString("an implicit op sequence — overlapped or not; a vee warmup/drain floor\n")
+	b.WriteString("for the list-scheduled V-schedule) and only simulated when the bound can\n")
+	b.WriteString("still beat the incumbent; winners are byte-identical to the exhaustive\n")
+	b.WriteString("search.\n")
 	return b.String(), nil
 }
 

@@ -78,6 +78,15 @@ type Trainer struct {
 	dpGroups []*collective.Group // one communicator per pipeline rank
 	step     int
 
+	// Transfer channel lattice, built once and reused across steps:
+	// fwd[dp][stage][micro] carries the output of stage-1 into stage;
+	// bwd[dp][stage][micro] carries the loss gradient w.r.t. the output of
+	// stage. Every send is matched by a receive within the same step (the
+	// schedule invariant Check enforces: each (stage, micro) pair runs
+	// exactly one Forward and one Backward), so the buffered channels are
+	// empty again when Step returns and the lattice is safe to reuse.
+	fwd, bwd [][][]chan tensor.Matrix
+
 	// CaptureGrads, when set before a Step, makes the devices keep a copy
 	// of the reduced gradients for inspection via Gradients().
 	CaptureGrads bool
@@ -99,16 +108,19 @@ func NewTrainer(cfg NetConfig, plan core.Plan, adam AdamConfig) (*Trainer, error
 	if cfg.Layers%nStages != 0 {
 		return nil, fmt.Errorf("runtime: %d layers not divisible into %d stages", cfg.Layers, nStages)
 	}
+	if plan.DP == 1 && plan.Sharding == core.DPPS {
+		// Partial sharding over a single replica is replication. Normalize
+		// before generating the schedule so the executed program, the memo
+		// cache key and the devices all see the same plan (generating first
+		// would hand the devices a program built for the un-normalized one).
+		plan.Sharding = core.DP0
+	}
 	sched, err := schedule.Generate(plan)
 	if err != nil {
 		return nil, err
 	}
 	if err := schedule.Check(sched); err != nil {
 		return nil, err
-	}
-	if plan.DP == 1 && plan.Sharding == core.DPPS {
-		// Partial sharding over a single replica is replication.
-		plan.Sharding = core.DP0
 	}
 	tr := &Trainer{
 		cfg: cfg, plan: plan, adam: adam, sched: sched,
@@ -124,7 +136,28 @@ func NewTrainer(cfg NetConfig, plan core.Plan, adam AdamConfig) (*Trainer, error
 			tr.devices[pp][dp] = newDevice(tr, pp, dp)
 		}
 	}
+	tr.buildChannels()
 	return tr, nil
+}
+
+// buildChannels (re)creates the transfer channel lattice. Called once at
+// construction, and again only if a step fails with channels possibly left
+// non-empty (a recovered device panic).
+func (tr *Trainer) buildChannels() {
+	mkCh := func() [][][]chan tensor.Matrix {
+		out := make([][][]chan tensor.Matrix, tr.plan.DP)
+		for dp := range out {
+			out[dp] = make([][]chan tensor.Matrix, tr.nStages)
+			for s := range out[dp] {
+				out[dp][s] = make([]chan tensor.Matrix, tr.plan.NumMicro)
+				for mb := range out[dp][s] {
+					out[dp][s][mb] = make(chan tensor.Matrix, 1)
+				}
+			}
+		}
+		return out
+	}
+	tr.fwd, tr.bwd = mkCh(), mkCh()
 }
 
 // Plan returns the trainer's parallelism plan.
@@ -164,32 +197,13 @@ func (tr *Trainer) Step(inputs, targets tensor.Matrix) (float64, error) {
 	}
 	tr.step++
 
-	// Fresh transfer channels per step: fwd[dp][stage][micro] carries the
-	// output of stage-1 into stage; bwd[dp][stage][micro] carries the loss
-	// gradient w.r.t. the output of stage.
-	nmb := tr.plan.NumMicro
-	mkCh := func() [][][]chan tensor.Matrix {
-		out := make([][][]chan tensor.Matrix, tr.plan.DP)
-		for dp := range out {
-			out[dp] = make([][]chan tensor.Matrix, tr.nStages)
-			for s := range out[dp] {
-				out[dp][s] = make([]chan tensor.Matrix, nmb)
-				for mb := range out[dp][s] {
-					out[dp][s][mb] = make(chan tensor.Matrix, 1)
-				}
-			}
-		}
-		return out
-	}
-	fwd, bwd := mkCh(), mkCh()
-
 	var wg sync.WaitGroup
 	for pp := range tr.devices {
 		for dp := 0; dp < tr.plan.DP; dp++ {
 			wg.Add(1)
 			go func(d *device) {
 				defer wg.Done()
-				d.runProgram(inputs, targets, fwd, bwd)
+				d.runProgram(inputs, targets, tr.fwd, tr.bwd)
 			}(tr.devices[pp][dp])
 		}
 	}
@@ -200,6 +214,10 @@ func (tr *Trainer) Step(inputs, targets tensor.Matrix) (float64, error) {
 		for dp := 0; dp < tr.plan.DP; dp++ {
 			d := tr.devices[pp][dp]
 			if d.err != nil {
+				// A recovered device panic may strand buffered activations;
+				// rebuild the lattice so a caller that retries anyway does
+				// not consume a stale tensor.
+				tr.buildChannels()
 				return 0, d.err
 			}
 			loss += d.loss

@@ -3,6 +3,7 @@ package runtime
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"bfpp/internal/core"
@@ -254,5 +255,83 @@ func TestCapturedGradientsAcrossSharding(t *testing.T) {
 	gfs := grads(core.DPFS)
 	if d := tensor.MaxAbsDiffSlice(g0, gfs); d > 1e-12 {
 		t.Errorf("DP0 vs DP-FS gradients differ by %v", d)
+	}
+}
+
+// The DP=1 + DP-PS -> DP0 normalization must happen before schedule
+// generation: the executed program, the trainer's plan and the devices all
+// see the normalized plan, so a DP=1/DP-PS trainer is indistinguishable
+// from the DP0 one (regression for the generate-then-normalize ordering).
+func TestShardingNormalizedBeforeGeneration(t *testing.T) {
+	ps := planFor(core.BreadthFirst, 1, 2, 4, 2, core.DPPS)
+	d0 := planFor(core.BreadthFirst, 1, 2, 4, 2, core.DP0)
+	trPS, err := NewTrainer(cfg4(), ps, DefaultAdam())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trD0, err := NewTrainer(cfg4(), d0, DefaultAdam())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := trPS.Plan().Sharding; got != core.DP0 {
+		t.Errorf("DP=1/DP-PS plan not normalized: sharding %v", got)
+	}
+	if !reflect.DeepEqual(trPS.sched.Devices, trD0.sched.Devices) {
+		t.Errorf("DP=1/DP-PS program differs from the DP0 one:\n%v\nvs\n%v",
+			trPS.sched.Devices, trD0.sched.Devices)
+	}
+	if got, want := trPS.sched.Plan, trD0.sched.Plan; got != want {
+		t.Errorf("schedule generated from un-normalized plan: %v vs %v", got, want)
+	}
+	in, tgt := batchFor(d0, cfg4().Dim, 17)
+	lossPS, err := trPS.Step(in, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossD0, err := trD0.Step(in, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossPS != lossD0 {
+		t.Errorf("DP=1/DP-PS loss %v != DP0 loss %v", lossPS, lossD0)
+	}
+	if d := tensor.MaxAbsDiffSlice(trPS.Weights(), trD0.Weights()); d != 0 {
+		t.Errorf("DP=1/DP-PS weights differ from DP0 by %v", d)
+	}
+}
+
+// TestChannelLatticeReuse pins the reusable transfer lattice: the trainer
+// builds its fwd/bwd channels once, every step drains them completely
+// (each send matched by a receive within the step), and repeated steps on
+// the same lattice stay correct — including under the race detector, which
+// exercises the cross-step reuse of the same channel values by fresh
+// device goroutines.
+func TestChannelLatticeReuse(t *testing.T) {
+	p := planFor(core.BreadthFirst, 2, 2, 4, 2, core.DPFS)
+	tr, err := NewTrainer(cfg4(), p, DefaultAdam())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd0, bwd0 := tr.fwd, tr.bwd
+	for step := 0; step < 4; step++ {
+		in, tgt := batchFor(p, cfg4().Dim, int64(40+step))
+		if _, err := tr.Step(in, tgt); err != nil {
+			t.Fatal(err)
+		}
+		if &tr.fwd[0][0][0] != &fwd0[0][0][0] || &tr.bwd[0][0][0] != &bwd0[0][0][0] {
+			t.Fatal("channel lattice was rebuilt on a successful step")
+		}
+		for _, lat := range [][][][]chan tensor.Matrix{tr.fwd, tr.bwd} {
+			for dp := range lat {
+				for s := range lat[dp] {
+					for mb, ch := range lat[dp][s] {
+						if n := len(ch); n != 0 {
+							t.Fatalf("step %d: channel [dp %d][stage %d][micro %d] not drained (%d buffered)",
+								step, dp, s, mb, n)
+						}
+					}
+				}
+			}
+		}
 	}
 }

@@ -2,12 +2,32 @@ package schedule
 
 import (
 	"fmt"
+	"sync"
 
 	"bfpp/internal/core"
 )
 
-// key identifies one (stage, micro-batch) pair.
+// key identifies one (stage, micro-batch) pair (retained for error text).
 type key struct{ stage, micro int }
+
+// String renders a pair as the map-keyed Check used to.
+func (k key) String() string { return fmt.Sprintf("{%d %d}", k.stage, k.micro) }
+
+// checkScratch pools Check's per-(stage, micro) position tables. Check
+// runs once per distinct schedule memo key, and since the search's
+// branch-and-bound prechecks every enumerated candidate the flat tables
+// (replacing the original per-device maps) keep it off the sweep's
+// critical path.
+type checkScratch struct {
+	fwdSeen, bwdSeen       []uint8
+	fwdPos, bwdPos         []int32
+	lastBwd                []int32
+	restoreMinB            []int32 // earliest per-batch restore per stage
+	restoreMinM            []int32 // earliest per-micro restore per (stage, micro)
+	reduceStage, reducePos []int32
+}
+
+var checkScratchPool = sync.Pool{New: func() any { return &checkScratch{} }}
 
 // Check verifies the structural invariants every valid schedule must
 // satisfy and returns the first violation. It is used by the test suite
@@ -26,17 +46,35 @@ type key struct{ stage, micro int }
 //     every Reduce.
 func Check(s *Schedule) error {
 	p := s.Plan
-	fwdSeen := map[key]int{}
-	bwdSeen := map[key]int{}
-
 	nStages := p.NumStages()
+	nm := p.NumMicro
+	nk := nStages * nm
+	idx := func(stage, micro int) int { return stage*nm + micro }
+
+	sc := checkScratchPool.Get().(*checkScratch)
+	defer checkScratchPool.Put(sc)
+	fwdSeen := growScratch(&sc.fwdSeen, nk)
+	bwdSeen := growScratch(&sc.bwdSeen, nk)
+	for i := 0; i < nk; i++ {
+		fwdSeen[i], bwdSeen[i] = 0, 0
+	}
+	fwdPos := growScratch(&sc.fwdPos, nk)
+	bwdPos := growScratch(&sc.bwdPos, nk)
+	lastBwd := growScratch(&sc.lastBwd, nStages)
+	restoreMinB := growScratch(&sc.restoreMinB, nStages)
+	restoreMinM := growScratch(&sc.restoreMinM, nk)
 
 	for r, prog := range s.Devices {
-		fwdPos := map[key]int{}
-		bwdPos := map[key]int{}
-		lastBwd := map[int]int{} // stage -> last backward position
-		restorePos := map[key][]int{}
-		reducePos := map[key][]int{}
+		// Reset the per-device tables (stages belong to one device, but a
+		// malformed schedule may place ops anywhere, so clear them all).
+		for i := 0; i < nk; i++ {
+			fwdPos[i], bwdPos[i], restoreMinM[i] = -1, -1, -1
+		}
+		for i := 0; i < nStages; i++ {
+			lastBwd[i], restoreMinB[i] = -1, -1
+		}
+		reduceStage := sc.reduceStage[:0]
+		reducePos := sc.reducePos[:0]
 		optPos := -1
 		for i, op := range prog {
 			switch op.Kind {
@@ -44,27 +82,55 @@ func Check(s *Schedule) error {
 				if op.Stage < 0 || op.Stage >= nStages {
 					return fmt.Errorf("device %d op %d: stage %d out of range", r, i, op.Stage)
 				}
-				if op.Micro < 0 || op.Micro >= p.NumMicro {
+				if op.Micro < 0 || op.Micro >= nm {
 					return fmt.Errorf("device %d op %d: micro %d out of range", r, i, op.Micro)
 				}
 				owner := p.StageDevice(op.Stage)
 				if owner != r {
 					return fmt.Errorf("device %d op %v: stage owned by device %d", r, op, owner)
 				}
-				k := key{op.Stage, op.Micro}
+				k := idx(op.Stage, op.Micro)
 				if op.Kind == Forward {
-					fwdSeen[k]++
-					fwdPos[k] = i
+					if fwdSeen[k] < 2 {
+						fwdSeen[k]++ // saturate: != 1 is all completeness needs
+					}
+					fwdPos[k] = int32(i)
 				} else {
-					bwdSeen[k]++
-					bwdPos[k] = i
-					lastBwd[op.Stage] = i
+					if bwdSeen[k] < 2 {
+						bwdSeen[k]++
+					}
+					bwdPos[k] = int32(i)
+					lastBwd[op.Stage] = int32(i)
 				}
 			case Restore:
-				restorePos[key{op.Stage, op.Micro}] = append(restorePos[key{op.Stage, op.Micro}], i)
+				if op.Stage >= 0 && op.Stage < nStages {
+					if op.Micro == -1 {
+						// Only the exact per-batch marker satisfies the
+						// restore-before-use checks below; other negative
+						// micros are junk keys the map-based Check also
+						// never matched against a compute op.
+						if restoreMinB[op.Stage] < 0 {
+							restoreMinB[op.Stage] = int32(i)
+						}
+					} else if op.Micro >= 0 && op.Micro < nm {
+						if k := idx(op.Stage, op.Micro); restoreMinM[k] < 0 {
+							restoreMinM[k] = int32(i)
+						}
+					}
+				}
 			case Reduce:
-				k := key{op.Stage, op.Micro}
-				reducePos[k] = append(reducePos[k], i)
+				// Out-of-range reduce targets have no backward to validate
+				// against (the map-keyed original silently tolerated them);
+				// everything else is checked against bwdPos/lastBwd below,
+				// with per-micro reduces encoded as nStages + pair index.
+				if op.Stage >= 0 && op.Stage < nStages && op.Micro < nm {
+					enc := int32(op.Stage)
+					if op.Micro >= 0 {
+						enc = int32(idx(op.Stage, op.Micro) + nStages)
+					}
+					reduceStage = append(reduceStage, enc)
+					reducePos = append(reducePos, int32(i))
+				}
 			case Optimize:
 				if optPos >= 0 {
 					return fmt.Errorf("device %d: multiple Optimize ops", r)
@@ -74,27 +140,24 @@ func Check(s *Schedule) error {
 				return fmt.Errorf("device %d op %d: unknown kind %v", r, i, op.Kind)
 			}
 		}
+		sc.reduceStage, sc.reducePos = reduceStage, reducePos
 
 		// Causality within the device.
-		for k, fp := range fwdPos {
-			bp, ok := bwdPos[k]
-			if ok && bp < fp {
-				return fmt.Errorf("device %d: backward %v before forward", r, k)
+		for k := 0; k < nk; k++ {
+			fp, bp := fwdPos[k], bwdPos[k]
+			if fp >= 0 && bp >= 0 && bp < fp {
+				return fmt.Errorf("device %d: backward %v before forward", r, key{k / nm, k % nm})
 			}
 		}
 		stages := p.DeviceStages(r)
-		for mb := 0; mb < p.NumMicro; mb++ {
+		for mb := 0; mb < nm; mb++ {
 			for i := 1; i < len(stages); i++ {
-				lo, hi := key{stages[i-1], mb}, key{stages[i], mb}
-				if fp, ok := fwdPos[hi]; ok {
-					if fp2, ok2 := fwdPos[lo]; ok2 && fp < fp2 {
-						return fmt.Errorf("device %d: forward %v before %v", r, hi, lo)
-					}
+				lo, hi := idx(stages[i-1], mb), idx(stages[i], mb)
+				if fp, fp2 := fwdPos[hi], fwdPos[lo]; fp >= 0 && fp2 >= 0 && fp < fp2 {
+					return fmt.Errorf("device %d: forward %v before %v", r, key{stages[i], mb}, key{stages[i-1], mb})
 				}
-				if bp, ok := bwdPos[lo]; ok {
-					if bp2, ok2 := bwdPos[hi]; ok2 && bp < bp2 {
-						return fmt.Errorf("device %d: backward %v before %v", r, lo, hi)
-					}
+				if bp, bp2 := bwdPos[lo], bwdPos[hi]; bp >= 0 && bp2 >= 0 && bp < bp2 {
+					return fmt.Errorf("device %d: backward %v before %v", r, key{stages[i-1], mb}, key{stages[i], mb})
 				}
 			}
 		}
@@ -102,16 +165,18 @@ func Check(s *Schedule) error {
 		// A per-batch reduce (micro == -1) must follow the stage's last
 		// backward; a per-micro-batch reduce must follow that micro-batch's
 		// backward of the stage.
-		for k, positions := range reducePos {
-			for _, pos := range positions {
-				if k.micro < 0 {
-					if lb, ok := lastBwd[k.stage]; ok && pos < lb {
-						return fmt.Errorf("device %d: reduce of stage %d at %d before last backward at %d",
-							r, k.stage, pos, lb)
-					}
-				} else if bp, ok := bwdPos[k]; ok && pos < bp {
+		for ri, enc := range reduceStage {
+			pos := reducePos[ri]
+			if int(enc) < nStages {
+				if lb := lastBwd[enc]; lb >= 0 && pos < lb {
+					return fmt.Errorf("device %d: reduce of stage %d at %d before last backward at %d",
+						r, enc, pos, lb)
+				}
+			} else {
+				k := int(enc) - nStages
+				if bp := bwdPos[k]; bp >= 0 && pos < bp {
 					return fmt.Errorf("device %d: reduce %v at %d before its backward at %d",
-						r, k, pos, bp)
+						r, key{k / nm, k % nm}, pos, bp)
 				}
 			}
 		}
@@ -120,14 +185,21 @@ func Check(s *Schedule) error {
 		// restore of its stage (per-batch, or matching its micro-batch)
 		// earlier in the program when DP-FS is on.
 		if p.Sharding == core.DPFS {
-			for k, fp := range fwdPos {
-				if !hasRestoreBefore(restorePos, k, fp) {
-					return fmt.Errorf("device %d: forward %v without preceding restore", r, k)
+			hasRestoreBefore := func(k int, pos int32) bool {
+				if m := restoreMinB[k/nm]; m >= 0 && m < pos {
+					return true
 				}
+				if m := restoreMinM[k]; m >= 0 && m < pos {
+					return true
+				}
+				return false
 			}
-			for k, bp := range bwdPos {
-				if !hasRestoreBefore(restorePos, k, bp) {
-					return fmt.Errorf("device %d: backward %v without preceding restore", r, k)
+			for k := 0; k < nk; k++ {
+				if fp := fwdPos[k]; fp >= 0 && !hasRestoreBefore(k, fp) {
+					return fmt.Errorf("device %d: forward %v without preceding restore", r, key{k / nm, k % nm})
+				}
+				if bp := bwdPos[k]; bp >= 0 && !hasRestoreBefore(k, bp) {
+					return fmt.Errorf("device %d: backward %v without preceding restore", r, key{k / nm, k % nm})
 				}
 			}
 		}
@@ -138,10 +210,11 @@ func Check(s *Schedule) error {
 		}
 	}
 
-	// Completeness across devices.
+	// Completeness across devices. fwdSeen/bwdSeen accumulate across the
+	// device loop exactly like the original cross-device maps.
 	for st := 0; st < nStages; st++ {
-		for mb := 0; mb < p.NumMicro; mb++ {
-			k := key{st, mb}
+		for mb := 0; mb < nm; mb++ {
+			k := idx(st, mb)
 			if fwdSeen[k] != 1 {
 				return fmt.Errorf("stage %d micro %d: %d forwards, want 1", st, mb, fwdSeen[k])
 			}
@@ -151,22 +224,6 @@ func Check(s *Schedule) error {
 		}
 	}
 	return nil
-}
-
-// hasRestoreBefore reports whether some restore of the stage (per-batch or
-// matching micro-batch) appears before position pos.
-func hasRestoreBefore(restores map[key][]int, k key, pos int) bool {
-	for _, p := range restores[key{k.stage, -1}] {
-		if p < pos {
-			return true
-		}
-	}
-	for _, p := range restores[k] {
-		if p < pos {
-			return true
-		}
-	}
-	return false
 }
 
 // MaxInFlight returns, for one device, the maximum number of micro-batch

@@ -36,6 +36,11 @@ func (weightStashGen) Traits() Traits {
 		// One stashed copy per in-flight micro-batch beyond the current
 		// weights.
 		StashedWeights: func(p core.Plan) int { return oneFOneBPairs(p) - 1 },
+		// The compute program is 1F1B's, so the multi-stream replay prices
+		// it exactly — overlapped communication included.
+		StepLB: func(p core.Plan, c StepCosts) (float64, bool) {
+			return exactOrFloor(p, c, oneFOneBOps, nil)
+		},
 	}
 }
 
@@ -113,6 +118,12 @@ func (vScheduleGen) Traits() Traits {
 		// whatever the cap.
 		InFlightFloor: func(p core.Plan) int { return p.Loops },
 		KeyExtra:      vCap,
+		// The greedy list-scheduled programs have no implicit op sequence
+		// to replay; the vee-placement warmup/drain floor is the admissible
+		// bound (internal/analytic maximizes it with the generic floor).
+		StepLB: func(p core.Plan, c StepCosts) (float64, bool) {
+			return vScheduleFloor(p, c), false
+		},
 		// The controllable-memory dial (ROADMAP open item): enumerate a
 		// small set of in-flight caps per grid point — the default (N_PP),
 		// the deadlock floor (Loops, minimum activation memory), a midpoint

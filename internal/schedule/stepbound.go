@@ -1,20 +1,28 @@
 package schedule
 
-import "bfpp/internal/core"
+import (
+	"sync"
+
+	"bfpp/internal/core"
+)
 
 // This file implements the schedule-side half of the analytic step-time
 // bounds (BaPipe-style search pruning, see internal/analytic): a
 // closed-form replay that prices a plan's device programs without
 // constructing them and without running the discrete-event simulator.
 //
-// The replay mirrors the engine's execution model exactly. When a plan is
-// non-overlapped, every operation — compute, pipeline transfers, reductions,
-// restores, the optimizer step — rides the per-device compute stream in
-// program order, so each operation's end time follows the same recurrence
-// the DES evaluates: start = max(stream frontier, inbound-transfer finish),
-// end = start + duration. Replaying that recurrence over the generator's
-// implicit op sequence (a closure mapping (rank, k) to the k-th program op,
-// never a materialized Program) reproduces the DES makespan bit for bit,
+// The replay mirrors the engine's execution model exactly. The engine maps
+// every operation onto per-device in-order streams: compute operations
+// always ride the device's compute stream; pipeline transfers ride a
+// separate per-device pp stream when the implementation overlaps them
+// (inline on the compute stream otherwise, paying the blocking stall); and
+// data-parallel restores/reductions ride a separate dp stream when
+// overlapped. Every task obeys the same recurrence the DES evaluates:
+// start = max(stream frontier, latest dependency finish), end = start +
+// duration. Replaying that recurrence over the generator's implicit op
+// sequence (a closure mapping (rank, k) to the k-th program op, never a
+// materialized Program) with one cursor per stream reproduces the DES
+// makespan bit for bit — for non-overlapped and overlapped plans alike —
 // which is what lets the search treat the bound as the exact simulated
 // time and skip the simulation entirely.
 
@@ -49,13 +57,55 @@ func NonOverlapped(p core.Plan) bool {
 	return !pp && !dp
 }
 
-// replayNonOverlapped evaluates the exact DES makespan of a non-overlapped
-// plan whose per-rank compute programs are given implicitly: nOps(r) is
-// rank r's op count and opAt(r, k) its k-th op (Forward, Backward, Restore
-// or Reduce; the trailing Optimize is implicit). It returns (0, false)
-// if the sequences deadlock (a malformed closure), never allocating a
-// Program and never touching the simulator.
-func replayNonOverlapped(p core.Plan, c StepCosts, nOps func(rank int) int, opAt func(rank, k int) Op) (float64, bool) {
+// replayScratch pools the replay's working storage — the decoded op
+// sequences, the per-(stage, micro) end-time tables and the per-device
+// cursor state — so pricing a candidate allocates nothing in the steady
+// state. The bound runs once per enumerated candidate on the sweep's hot
+// path (the very spot the PR 3 ROADMAP note predicted), which is why the
+// scratch is pooled like the engine's builder scratch.
+type replayScratch struct {
+	ops   []Op  // decoded per-rank sequences, concatenated
+	opOff []int // rank r's ops are ops[opOff[r]:opOff[r+1]]
+	owner []int
+
+	fwdEnd, bwdEnd, inF, inB []float64
+	tComp, tPP, tDP, maxRed  []float64
+	kComp, kPP, kDP          []int
+	reduceDone, reduceSeen   []int
+	restoreSeenC             []int
+	optDone                  []bool
+	restoreIdxC, restoreIdxD []int
+	bwdSeenD                 []bool
+	restoreEnd               [][]float64
+	consumers                [][]int
+}
+
+var replayScratchPool = sync.Pool{New: func() any { return &replayScratch{} }}
+
+// growScratch resizes a reusable buffer to length n, reallocating only when
+// the retained capacity is too small. Contents are unspecified; callers
+// clear what they need.
+func growScratch[T any](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// replay evaluates the exact DES makespan of a plan whose per-rank compute
+// programs are given implicitly: nOps(r) is rank r's op count and opAt(r, k)
+// its k-th op (Forward, Backward, Restore or Reduce; the trailing Optimize
+// is implicit). It models the engine's three per-device streams — compute,
+// pipeline transfer and data-parallel — with one cursor each over the same
+// op sequence: a cursor executes the ops that ride its stream and keeps
+// static creation-order bookkeeping for the ones that don't, mirroring how
+// the engine's builder fixes dependencies at task-creation time. Each
+// sequence is decoded once into pooled scratch (the cursors then share the
+// decoded ops instead of re-evaluating the closure per stream); no
+// Program, Schedule or simulator state is ever built. It returns
+// (0, false) if the sequences deadlock (a malformed closure).
+func replay(p core.Plan, c StepCosts, nOps func(rank int) int, opAt func(rank, k int) Op) (float64, bool) {
 	nStages := p.NumStages()
 	nm := p.NumMicro
 	nDev := 1
@@ -63,102 +113,357 @@ func replayNonOverlapped(p core.Plan, c StepCosts, nOps func(rank int) int, opAt
 		nDev = p.PP
 	}
 	send := p.Method.Pipelined() && p.PP > 1
-	x := c.Transfer + c.PPStall // transfers ride the compute stream
+	// Stream layout, exactly as the engine's builder decides it.
+	ppStream := p.OverlapPP && send
+	dpStream := p.OverlapDP && (p.DP > 1 || p.Sharding == core.DPFS)
+	x := c.Transfer
+	if !ppStream {
+		x += c.PPStall // transfers ride the compute stream, paying the stall
+	}
+
+	sc := replayScratchPool.Get().(*replayScratch)
+	defer replayScratchPool.Put(sc)
 
 	var owner []int
 	if send {
-		owner = make([]int, nStages)
+		owner = growScratch(&sc.owner, nStages)
 		for s := range owner {
 			owner[s] = p.StageDevice(s)
 		}
 	}
 	cross := func(a, b int) bool { return send && owner[a] != owner[b] }
 
-	// Inbound-transfer finish times per (stage, micro); negative = not yet
-	// produced. sendF feeds Forward(stage, micro), sendB feeds Backward.
-	sendF := make([]float64, nStages*nm)
-	sendB := make([]float64, nStages*nm)
-	for i := range sendF {
-		sendF[i], sendB[i] = -1, -1
-	}
-	idx := func(stage, micro int) int { return stage*nm + micro }
-
-	t := make([]float64, nDev) // per-device stream frontier
-	cur := make([]int, nDev)   // per-device program cursor
-	total := make([]int, nDev) // per-device op count
-	remaining := 0
+	// Decode every rank's implicit sequence once; the three cursors below
+	// index the decoded ops instead of re-evaluating opAt per stream.
+	opOff := growScratch(&sc.opOff, nDev+1)
+	opOff[0] = 0
 	for r := 0; r < nDev; r++ {
-		total[r] = nOps(r)
-		remaining += total[r]
+		opOff[r+1] = opOff[r] + nOps(r)
+	}
+	ops := growScratch(&sc.ops, opOff[nDev])
+	for r := 0; r < nDev; r++ {
+		base := opOff[r]
+		for k := 0; k < opOff[r+1]-base; k++ {
+			ops[base+k] = opAt(r, k)
+		}
 	}
 
-	for remaining > 0 {
-		progressed := false
+	nk := nStages * nm
+	idx := func(stage, micro int) int { return stage*nm + micro }
+	// Compute-op and inbound-transfer finish times per (stage, micro);
+	// negative = not yet produced. inF feeds Forward(stage, micro), inB
+	// feeds Backward.
+	fwdEnd := growScratch(&sc.fwdEnd, nk)
+	bwdEnd := growScratch(&sc.bwdEnd, nk)
+	inF := growScratch(&sc.inF, nk)
+	inB := growScratch(&sc.inB, nk)
+	for i := 0; i < nk; i++ {
+		fwdEnd[i], bwdEnd[i], inF[i], inB[i] = -1, -1, -1, -1
+	}
+
+	tComp := growScratch(&sc.tComp, nDev) // per-device stream frontiers
+	tPP := growScratch(&sc.tPP, nDev)
+	tDP := growScratch(&sc.tDP, nDev)
+	kComp := growScratch(&sc.kComp, nDev) // per-device per-stream cursors
+	kPP := growScratch(&sc.kPP, nDev)
+	kDP := growScratch(&sc.kDP, nDev)
+	optDone := growScratch(&sc.optDone, nDev)
+	maxReduceEnd := growScratch(&sc.maxRed, nDev)
+	reduceDone := growScratch(&sc.reduceDone, nDev) // reduces executed by the dp cursor
+	reduceSeen := growScratch(&sc.reduceSeen, nDev) // reduces passed by the compute cursor
+	for r := 0; r < nDev; r++ {
+		tComp[r], tPP[r], tDP[r], maxReduceEnd[r] = 0, 0, 0, 0
+		kComp[r], kPP[r], kDP[r] = 0, 0, 0
+		reduceDone[r], reduceSeen[r] = 0, 0
+		optDone[r] = false
+	}
+
+	// Restore bookkeeping, needed only when restores ride a separate dp
+	// stream: dependencies are then cross-stream instead of being covered
+	// by the compute frontier. Restores are identified by their per-device
+	// creation index; stages belong to exactly one device, so the
+	// (stage, micro) -> latest-restore tables can be shared across devices.
+	// The compute cursor keeps its own table (a compute op's restore
+	// dependency is fixed by the restores preceding it in program order,
+	// which is what the cursor's scan position models) and the dp cursor
+	// another, because the cursors advance independently.
+	var restoreIdxC, restoreIdxD []int
+	var restoreEnd [][]float64 // per device: restore finish times, creation order
+	var consumers [][]int      // per device restore: packed last consumer, -1 none
+	var restoreSeenC []int     // restores passed by the compute cursor
+	var bwdSeenD []bool        // backwards passed by the dp cursor
+	if dpStream {
+		restoreIdxC = growScratch(&sc.restoreIdxC, nStages*(nm+1))
+		restoreIdxD = growScratch(&sc.restoreIdxD, nStages*(nm+1))
+		for i := range restoreIdxC {
+			restoreIdxC[i], restoreIdxD[i] = -1, -1
+		}
+		restoreEnd = growScratch(&sc.restoreEnd, nDev)
+		consumers = growScratch(&sc.consumers, nDev)
+		restoreSeenC = growScratch(&sc.restoreSeenC, nDev)
+		bwdSeenD = growScratch(&sc.bwdSeenD, nk)
 		for r := 0; r < nDev; r++ {
-			// Drain this device as far as inbound transfers allow, exactly
-			// like the DES drains an in-order stream.
-		drain:
-			for cur[r] < total[r] {
-				op := opAt(r, cur[r])
-				switch op.Kind {
-				case Forward:
-					start := t[r]
+			restoreEnd[r] = restoreEnd[r][:0]
+			consumers[r] = consumers[r][:0]
+			restoreSeenC[r] = 0
+		}
+		for i := range bwdSeenD {
+			bwdSeenD[i] = false
+		}
+	}
+	// lastRestore mirrors the builder's lastRestoreFor: the restore for the
+	// exact (stage, micro) if one exists, else the per-batch restore
+	// (micro -1, stored at slot 0).
+	lastRestore := func(tbl []int, stage, micro int) int {
+		if i := tbl[stage*(nm+1)+micro+1]; i >= 0 {
+			return i
+		}
+		return tbl[stage*(nm+1)]
+	}
+
+	// compDrain advances rank r's compute stream as far as cross-stream
+	// dependencies allow, exactly like the DES drains an in-order stream.
+	compDrain := func(r int) bool {
+		progressed := false
+		base, n := opOff[r], opOff[r+1]-opOff[r]
+		for kComp[r] < n {
+			op := ops[base+kComp[r]]
+			switch op.Kind {
+			case Forward, Backward:
+				start := tComp[r]
+				if dpStream {
+					if ri := lastRestore(restoreIdxC, op.Stage, op.Micro); ri >= 0 {
+						if ri >= len(restoreEnd[r]) {
+							return progressed // restore not yet executed
+						}
+						if e := restoreEnd[r][ri]; e > start {
+							start = e
+						}
+					}
+				}
+				if op.Kind == Forward {
 					if op.Stage > 0 && cross(op.Stage-1, op.Stage) {
-						in := sendF[idx(op.Stage, op.Micro)]
+						in := inF[idx(op.Stage, op.Micro)]
 						if in < 0 {
-							break drain
+							return progressed // inbound transfer pending
 						}
 						if in > start {
 							start = in
 						}
 					}
 					end := start + c.Fwd
-					t[r] = end
-					if op.Stage < nStages-1 && cross(op.Stage, op.Stage+1) {
-						t[r] = end + x
-						sendF[idx(op.Stage+1, op.Micro)] = t[r]
+					tComp[r] = end
+					fwdEnd[idx(op.Stage, op.Micro)] = end
+					if op.Stage < nStages-1 && cross(op.Stage, op.Stage+1) && !ppStream {
+						// Inline send: the transfer occupies the compute
+						// stream right after its producer.
+						tComp[r] = end + x
+						inF[idx(op.Stage+1, op.Micro)] = tComp[r]
 					}
-				case Backward:
-					start := t[r]
+				} else {
 					if op.Stage < nStages-1 && cross(op.Stage, op.Stage+1) {
-						in := sendB[idx(op.Stage, op.Micro)]
+						in := inB[idx(op.Stage, op.Micro)]
 						if in < 0 {
-							break drain
+							return progressed
 						}
 						if in > start {
 							start = in
 						}
 					}
 					end := start + c.Bwd
-					t[r] = end
-					if op.Stage > 0 && cross(op.Stage-1, op.Stage) {
-						t[r] = end + x
-						sendB[idx(op.Stage-1, op.Micro)] = t[r]
+					tComp[r] = end
+					bwdEnd[idx(op.Stage, op.Micro)] = end
+					if op.Stage > 0 && cross(op.Stage-1, op.Stage) && !ppStream {
+						tComp[r] = end + x
+						inB[idx(op.Stage-1, op.Micro)] = tComp[r]
 					}
-				case Restore:
-					// Same-stream double-buffering dependencies resolve
-					// before the stream frontier, so a restore just occupies
-					// the stream.
-					t[r] += c.Restore
-				case Reduce:
-					// Depends on an earlier same-stream backward only.
-					t[r] += c.Reduce
 				}
-				cur[r]++
-				remaining--
+			case Restore:
+				if dpStream {
+					// Creation-order bookkeeping only: later compute ops of
+					// this stage depend on this restore's index.
+					restoreIdxC[op.Stage*(nm+1)+op.Micro+1] = restoreSeenC[r]
+					restoreSeenC[r]++
+				} else {
+					// Rides this stream; same-stream dependencies resolve
+					// before the frontier, so it just occupies the stream.
+					tComp[r] += c.Restore
+				}
+			case Reduce:
+				if dpStream {
+					reduceSeen[r]++
+				} else {
+					tComp[r] += c.Reduce
+				}
+			}
+			kComp[r]++
+			progressed = true
+		}
+		if !optDone[r] {
+			// Trailing optimizer step: depends on every reduction of the
+			// device (all of which precede it in program order).
+			if dpStream && reduceDone[r] < reduceSeen[r] {
+				return progressed
+			}
+			start := tComp[r]
+			if maxReduceEnd[r] > start {
+				start = maxReduceEnd[r]
+			}
+			tComp[r] = start + c.Opt
+			optDone[r] = true
+			progressed = true
+		}
+		return progressed
+	}
+
+	// ppDrain advances rank r's pipeline-transfer stream: one send task per
+	// cross-device boundary crossing, enqueued in program order right after
+	// its producing compute op, depending on it.
+	ppDrain := func(r int) bool {
+		progressed := false
+		base, n := opOff[r], opOff[r+1]-opOff[r]
+		for kPP[r] < n {
+			op := ops[base+kPP[r]]
+			if op.Kind == Forward && op.Stage < nStages-1 && cross(op.Stage, op.Stage+1) {
+				e := fwdEnd[idx(op.Stage, op.Micro)]
+				if e < 0 {
+					return progressed // producer not yet executed
+				}
+				start := tPP[r]
+				if e > start {
+					start = e
+				}
+				end := start + x
+				tPP[r] = end
+				inF[idx(op.Stage+1, op.Micro)] = end
+			} else if op.Kind == Backward && op.Stage > 0 && cross(op.Stage-1, op.Stage) {
+				e := bwdEnd[idx(op.Stage, op.Micro)]
+				if e < 0 {
+					return progressed
+				}
+				start := tPP[r]
+				if e > start {
+					start = e
+				}
+				end := start + x
+				tPP[r] = end
+				inB[idx(op.Stage-1, op.Micro)] = end
+			}
+			kPP[r]++
+			progressed = true
+		}
+		return progressed
+	}
+
+	// dpDrain advances rank r's data-parallel stream: restores (depending,
+	// via double buffering, on the last consumer of the buffer two restores
+	// back) and reductions (depending on the backward that produced their
+	// gradients).
+	dpDrain := func(r int) bool {
+		progressed := false
+		base, n := opOff[r], opOff[r+1]-opOff[r]
+		for kDP[r] < n {
+			op := ops[base+kDP[r]]
+			switch op.Kind {
+			case Forward, Backward:
+				// Creation-order bookkeeping: the op consumes the latest
+				// restore of its stage, and backwards feed later reduces.
+				if ri := lastRestore(restoreIdxD, op.Stage, op.Micro); ri >= 0 {
+					consumers[r][ri] = idx(op.Stage, op.Micro)*2 + btoi(op.Kind == Backward)
+				}
+				if op.Kind == Backward {
+					bwdSeenD[idx(op.Stage, op.Micro)] = true
+				}
+			case Restore:
+				i := len(restoreEnd[r])
+				start := tDP[r]
+				if i >= 2 {
+					// Double buffering: this restore may only start once the
+					// buffer two restores back has been consumed.
+					if ref := consumers[r][i-2]; ref >= 0 {
+						e := fwdEnd[ref/2]
+						if ref&1 == 1 {
+							e = bwdEnd[ref/2]
+						}
+						if e < 0 {
+							return progressed // consumer not yet executed
+						}
+						if e > start {
+							start = e
+						}
+					}
+				}
+				end := start + c.Restore
+				tDP[r] = end
+				restoreIdxD[op.Stage*(nm+1)+op.Micro+1] = i
+				restoreEnd[r] = append(restoreEnd[r], end)
+				consumers[r] = append(consumers[r], -1)
+			case Reduce:
+				start := tDP[r]
+				mi := op.Micro
+				if mi < 0 {
+					mi = nm - 1 // per-batch reduce waits for the last backward
+				}
+				if bwdSeenD[idx(op.Stage, mi)] {
+					e := bwdEnd[idx(op.Stage, mi)]
+					if e < 0 {
+						return progressed
+					}
+					if e > start {
+						start = e
+					}
+				}
+				end := start + c.Reduce
+				tDP[r] = end
+				if end > maxReduceEnd[r] {
+					maxReduceEnd[r] = end
+				}
+				reduceDone[r]++
+			}
+			kDP[r]++
+			progressed = true
+		}
+		return progressed
+	}
+
+	for {
+		progressed := false
+		done := true
+		for r := 0; r < nDev; r++ {
+			if compDrain(r) {
 				progressed = true
 			}
+			if ppStream && ppDrain(r) {
+				progressed = true
+			}
+			if dpStream && dpDrain(r) {
+				progressed = true
+			}
+			if n := opOff[r+1] - opOff[r]; kComp[r] < n || !optDone[r] ||
+				(ppStream && kPP[r] < n) || (dpStream && kDP[r] < n) {
+				done = false
+			}
+		}
+		if done {
+			break
 		}
 		if !progressed {
 			return 0, false
 		}
 	}
 
+	// The makespan is the latest finish across every stream: a trailing
+	// transfer or restore can outlive the optimizer step.
 	var makespan float64
 	for r := 0; r < nDev; r++ {
-		t[r] += c.Opt // trailing optimizer step, after the device's reduces
-		if t[r] > makespan {
-			makespan = t[r]
+		if tComp[r] > makespan {
+			makespan = tComp[r]
+		}
+		if tPP[r] > makespan {
+			makespan = tPP[r]
+		}
+		if tDP[r] > makespan {
+			makespan = tDP[r]
 		}
 	}
 	return makespan, true
@@ -260,7 +565,9 @@ func sequencedOps(p core.Plan, q int) (func(int) int, func(int, int) Op) {
 }
 
 // oneFOneBOps is the non-looped 1F1B program of rank r (emitOneFOneB
-// followed by the single bunched reduction).
+// followed by the single bunched reduction). The weight-stashing WS-1F1B
+// schedule shares it: stashing relaxes weight-version dependencies, not
+// the batch's activation dependencies, so its program is identical.
 func oneFOneBOps(p core.Plan) (func(int) int, func(int, int) Op) {
 	nm := p.NumMicro
 	red := btoi(p.DP > 1)
@@ -398,7 +705,8 @@ func noPipelineDFOps(p core.Plan) (func(int) int, func(int, int) Op) {
 // forward before any backward), the backward drain chain back to device 0,
 // the exposed tail reduction and the optimizer step. Plain arithmetic can
 // round above the simulator's chained additions by a few ulps, so callers
-// shave the result with BoundSlack.
+// shave the result with BoundSlack. Since the multi-stream replay it is a
+// deadlock-only safety net, never the primary bound.
 func forwardFirstFloor(p core.Plan, c StepCosts) float64 {
 	nm, loops := float64(p.NumMicro), float64(p.Loops)
 	compute := nm * loops * (c.Fwd + c.Bwd)
@@ -419,6 +727,52 @@ func forwardFirstFloor(p core.Plan, c StepCosts) float64 {
 	return BoundSlack(ramp+compute+drain+tail, p.NumMicro*p.Loops*2+2*p.PP)
 }
 
+// vScheduleFloor is the list-schedule-aware warmup/drain floor of the
+// vee-placed V-schedule, whose greedy list-scheduled programs have no
+// implicit op sequence to replay. It exploits two structural facts the
+// generic placement floor cannot see: (a) no backward anywhere may start
+// before some micro-batch's complete forward chain has reached the last
+// stage, after which the device hosting that stage — which, in the vee
+// placement, also hosts stage 0 — still executes its entire backward
+// workload; and (b) every stage-0 backward additionally waits for the
+// backward chain down from the last stage, and all N_mb of them serialize
+// on stage 0's device. Both terms are placement-derived dependency chains,
+// valid at any in-flight cap (the cap only delays ops further), and are
+// shaved by BoundSlack like every plain-arithmetic bound.
+func vScheduleFloor(p core.Plan, c StepCosts) float64 {
+	nStages := p.Stages()
+	nm := float64(p.NumMicro)
+	x := c.Transfer
+	if !p.OverlapPP {
+		x += c.PPStall
+	}
+	crossings := 0
+	prev := p.StageDevice(0)
+	for s := 1; s < nStages; s++ {
+		d := p.StageDevice(s)
+		if d != prev {
+			crossings++
+		}
+		prev = d
+	}
+	var tail float64
+	if p.DP > 1 {
+		tail = c.Reduce // exposed: the optimizer waits for the last reduce
+	}
+	// End of F(last stage, m) for any micro-batch m: the full forward chain.
+	ramp := float64(nStages)*c.Fwd + float64(crossings)*x
+	// Warm-up term: the last stage's device still runs all its backwards.
+	t1 := ramp + nm*float64(p.Loops)*c.Bwd + tail + c.Opt
+	// Drain term: the backward chain down to stage 0, then all N_mb
+	// stage-0 backwards on its device.
+	t2 := ramp + float64(nStages-1)*c.Bwd + float64(crossings)*x + nm*c.Bwd + tail + c.Opt
+	best := t1
+	if t2 > best {
+		best = t2
+	}
+	return BoundSlack(best, 2*p.NumMicro*p.Loops+4*nStages+16)
+}
+
 // BoundSlack shaves a bound computed with plain (non-chained) float
 // arithmetic by a relative margin covering the worst-case rounding
 // difference against the simulator's n sequential additions, keeping the
@@ -430,15 +784,15 @@ func BoundSlack(v float64, n int) float64 {
 }
 
 // exactOrFloor wraps an implicit program in the shared StepLB shape: the
-// exact replay for non-overlapped plans, a fallback floor otherwise.
+// exact multi-stream replay (which covers overlapped and non-overlapped
+// implementations alike), with a fallback floor against malformed
+// sequences.
 func exactOrFloor(p core.Plan, c StepCosts,
 	seq func(core.Plan) (func(int) int, func(int, int) Op),
 	floor func(core.Plan, StepCosts) float64) (float64, bool) {
-	if NonOverlapped(p) {
-		n, at := seq(p)
-		if v, ok := replayNonOverlapped(p, c, n, at); ok {
-			return v, true
-		}
+	n, at := seq(p)
+	if v, ok := replay(p, c, n, at); ok {
+		return v, true
 	}
 	if floor != nil {
 		return floor(p, c), false

@@ -3,6 +3,7 @@ package search
 import (
 	"testing"
 
+	"bfpp/internal/core"
 	"bfpp/internal/engine"
 	"bfpp/internal/hw"
 	"bfpp/internal/memsim"
@@ -161,6 +162,89 @@ func TestVScheduleCapChangesWinner(t *testing.T) {
 		dflCk := memsim.Estimate(m, dfl).Checkpoints
 		if lowCk >= dflCk {
 			t.Errorf("low cap checkpoints %.2f GiB should undercut default %.2f GiB", lowCk/(1<<30), dflCk/(1<<30))
+		}
+	}
+}
+
+// TestPrunedErrorsMatchUnpruned pins the error-transparency guarantee that
+// replaced the old package-comment caveat: a candidate whose simulation
+// would error is prechecked before any pruning decision, so it reports the
+// same error even when the branch-and-bound would have bounded it out, and
+// Optimize/Sweep surface the same lowest-index error with and without
+// pruning at any worker count.
+func TestPrunedErrorsMatchUnpruned(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model6p6B()
+	f, ok := FamilyByKey("df")
+	if !ok {
+		t.Fatal("depth-first family not registered")
+	}
+	plans := Enumerate(c, m, f, 64, Options{})
+	if len(plans) < 4 {
+		t.Fatalf("want >= 4 depth-first candidates, got %d", len(plans))
+	}
+	// Two failing candidates at different indexes: NumMicro not divisible
+	// by PP fails depth-first generation inside the engine. The lower index
+	// must win in both paths.
+	bad1, bad2 := plans[1], plans[3]
+	bad1.NumMicro++
+	bad2.NumMicro++
+	group := append([]core.Plan{}, plans...)
+	group[1], group[3] = bad1, bad2
+
+	groups := [][]core.Plan{group}
+	_, refErrs := evalGroups(c, m, groups, []string{"df"}, Options{NoPrune: true, Workers: 1})
+	if refErrs[0] == nil {
+		t.Fatal("injected candidates did not error on the unpruned path")
+	}
+	for _, workers := range []int{1, 4} {
+		_, errs := evalGroups(c, m, groups, []string{"df"}, Options{Workers: workers})
+		if errs[0] == nil {
+			t.Fatalf("workers=%d: pruning masked the candidate error %q", workers, refErrs[0])
+		}
+		if errs[0].Error() != refErrs[0].Error() {
+			t.Errorf("workers=%d: pruned error %q != unpruned %q", workers, errs[0], refErrs[0])
+		}
+	}
+}
+
+// TestPerFamilyStats pins the per-family pruning breakdown: family
+// counters sum to the totals, and the overlapped families — priced exactly
+// by the multi-stream replay — prune a substantial share of their
+// candidates (they used to rely on the loose generic floor alone).
+func TestPerFamilyStats(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model6p6B()
+	stats := &Stats{}
+	if _, err := SweepAll(c, m, AllFamilies(), []int{32, 64, 128}, Options{Stats: stats, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	keys := stats.FamilyKeys()
+	if len(keys) != len(AllFamilies()) {
+		t.Fatalf("per-family stats cover %d families, want %d (%v)", len(keys), len(AllFamilies()), keys)
+	}
+	var enum, dom, skip, sim int64
+	for _, k := range keys {
+		fs := stats.Family(k)
+		enum += fs.Enumerated.Load()
+		dom += fs.Dominated.Load()
+		skip += fs.BoundSkipped.Load()
+		sim += fs.Simulated.Load()
+		if got, want := fs.Dominated.Load()+fs.BoundSkipped.Load()+fs.Simulated.Load(),
+			fs.Enumerated.Load(); got != want {
+			t.Errorf("family %s: counters do not add up: %d vs %d enumerated", k, got, want)
+		}
+		t.Logf("family %s: %v", k, fs)
+	}
+	if enum != stats.Enumerated.Load() || dom != stats.Dominated.Load() ||
+		skip != stats.BoundSkipped.Load() || sim != stats.Simulated.Load() {
+		t.Errorf("family counters do not sum to totals: %d/%d/%d/%d vs %v", enum, dom, skip, sim, &stats.FamilyStats)
+	}
+	// The tentpole's acceptance: the overlapped families are now priced by
+	// the exact replay and must actually prune.
+	for _, k := range []string{"bf", "ws", "hy"} {
+		if fs := stats.Family(k); fs.Enumerated.Load() > 0 && fs.PruneRate() < 0.25 {
+			t.Errorf("overlapped family %s prunes only %.1f%% (%v), want a substantial rate", k, 100*fs.PruneRate(), fs)
 		}
 	}
 }

@@ -16,22 +16,24 @@
 //
 // By default the search runs branch-and-bound (BaPipe-style): every
 // candidate is priced by the closed-form analytic lower bound
-// (analytic.LowerBound — per-device compute, pipeline warm-up, exposed
-// communication; exact for the non-overlapped breadth-/depth-first style
-// schedules), jobs are ordered cheapest-bound-first so the incumbent
-// tightens early, a per-(family, batch) incumbent shared across the
-// worker pool skips candidates whose throughput upper bound cannot beat
-// it, and a deterministic dominance pre-pass removes candidates that an
-// exactly-priced sibling already beats before any simulation runs.
+// (analytic.LowerBound — the multi-stream schedule replay, exact for
+// every generator with an implicit op sequence, overlapped or not; a
+// warmup/drain floor for the list-scheduled V-schedule), jobs are ordered
+// cheapest-bound-first so the incumbent tightens early, a per-(family,
+// batch) incumbent shared across the worker pool skips candidates whose
+// throughput upper bound cannot beat it, and a deterministic dominance
+// pre-pass removes candidates that an exactly-priced sibling already
+// beats before any simulation runs.
 //
 // Pruning never changes results: a candidate is skipped only when the
 // admissible bound proves it cannot be the winner under the same strict
 // ">" / lowest-index tie rule the serial loop applies, so the winner —
 // and the formatted Table output, including the Configs column, which
 // counts enumerated candidates — is byte-identical to the unpruned path
-// at any worker count. (The one caveat: a per-candidate simulation error,
-// which cannot occur for enumerated plans, may be masked when pruning
-// proves the failing candidate irrelevant and never simulates it.)
+// at any worker count. Errors are preserved too: every candidate is
+// prechecked (engine.Precheck, the exact pre-simulation validations)
+// before pruning may skip it, so Optimize and Sweep surface the same
+// lowest-index per-candidate error with and without pruning.
 // Options.NoPrune disables the bounds (the perf harness' comparison
 // point) and Options.Baseline additionally bypasses the schedule/memory
 // memo caches and the DES fast path, reproducing the seed evaluator for
@@ -213,12 +215,12 @@ type Best struct {
 	Configs int
 }
 
-// Stats accumulates the branch-and-bound counters of one or more searches.
-// All fields are atomic so one Stats may be shared across concurrent
-// sweeps; Enumerated and Dominated are deterministic, BoundSkipped and
-// Simulated depend on worker timing (their sum with Dominated always
-// equals Enumerated).
-type Stats struct {
+// FamilyStats accumulates the branch-and-bound counters of one method
+// family. All fields are atomic so one record may be shared across
+// concurrent sweeps; Enumerated and Dominated are deterministic,
+// BoundSkipped and Simulated depend on worker timing (their sum with
+// Dominated always equals Enumerated).
+type FamilyStats struct {
 	// Enumerated counts candidate plans entering the work list.
 	Enumerated atomic.Int64
 	// Dominated counts candidates removed by the deterministic dominance
@@ -228,13 +230,14 @@ type Stats struct {
 	// their analytic throughput upper bound could not beat the incumbent.
 	BoundSkipped atomic.Int64
 	// Simulated counts candidates that reached the discrete-event
-	// simulator.
+	// simulator (including candidates whose precheck reported an error:
+	// the unpruned path would have simulated them).
 	Simulated atomic.Int64
 }
 
 // PruneRate returns the fraction of enumerated candidates that were never
 // simulated.
-func (s *Stats) PruneRate() float64 {
+func (s *FamilyStats) PruneRate() float64 {
 	e := s.Enumerated.Load()
 	if e == 0 {
 		return 0
@@ -243,10 +246,48 @@ func (s *Stats) PruneRate() float64 {
 }
 
 // String summarizes the counters.
-func (s *Stats) String() string {
+func (s *FamilyStats) String() string {
 	return fmt.Sprintf("enumerated %d, dominated %d, bounded out %d, simulated %d (%.1f%% pruned)",
 		s.Enumerated.Load(), s.Dominated.Load(), s.BoundSkipped.Load(),
 		s.Simulated.Load(), 100*s.PruneRate())
+}
+
+// Stats accumulates the branch-and-bound counters of one or more searches:
+// the embedded totals plus a per-family breakdown keyed by the family's
+// short selection key ("bf", "ws", ...), which is how the pruning power of
+// the per-generator bounds is compared across schedule families.
+type Stats struct {
+	FamilyStats
+
+	mu        sync.Mutex
+	perFamily map[string]*FamilyStats
+}
+
+// Family returns the family's counter record, creating it on first use.
+func (s *Stats) Family(key string) *FamilyStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.perFamily == nil {
+		s.perFamily = map[string]*FamilyStats{}
+	}
+	fs, ok := s.perFamily[key]
+	if !ok {
+		fs = &FamilyStats{}
+		s.perFamily[key] = fs
+	}
+	return fs
+}
+
+// FamilyKeys returns the keys of the families counted so far, sorted.
+func (s *Stats) FamilyKeys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.perFamily))
+	for k := range s.perFamily {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Options tunes the search.
@@ -268,7 +309,7 @@ type Options struct {
 	// denominator.
 	NoPrune bool
 	// Stats, when non-nil, accumulates the pruning counters of this
-	// search.
+	// search — totals plus a per-family breakdown (Stats.Family).
 	Stats *Stats
 	// Baseline selects the seed-faithful serial evaluator: one plan at a
 	// time, no pruning, memo caches bypassed, reference DES loop. It
@@ -307,7 +348,7 @@ func Optimize(c hw.Cluster, m model.Transformer, f Family, batch int, opt Option
 	if len(plans) == 0 {
 		return Best{}, fmt.Errorf("search: no feasible configuration for %v at batch %d", f, batch)
 	}
-	bests, errs := evalGroups(c, m, [][]core.Plan{plans}, opt)
+	bests, errs := evalGroups(c, m, [][]core.Plan{plans}, []string{f.Info().Key}, opt)
 	if errs[0] != nil {
 		return Best{}, errs[0]
 	}
@@ -330,12 +371,13 @@ func pickBest(results []engine.Result) Best {
 
 // job carries one candidate plan through the shared work list.
 type job struct {
-	plan  core.Plan
-	group int     // index into the (family, batch) group list
-	idx   int     // enumeration index within the group (the tie order)
-	ub    float64 // analytic throughput upper bound (FlopPerGPU / lower bound)
-	exact bool    // the bound equals the simulated time bit for bit
-	prune bool    // removed by the deterministic dominance pre-pass
+	plan   core.Plan
+	group  int     // index into the (family, batch) group list
+	idx    int     // enumeration index within the group (the tie order)
+	ub     float64 // analytic throughput upper bound (FlopPerGPU / lower bound)
+	exact  bool    // the bound equals the simulated time bit for bit
+	prune  bool    // removed by the deterministic dominance pre-pass
+	failed bool    // precheck reported the error a simulation would
 }
 
 // incumbent is the shared best-simulated-so-far record of one group. Its
@@ -372,14 +414,17 @@ type simOut struct {
 	err error
 }
 
-// evalGroups evaluates the candidate groups (one per (family, batch)) over
-// one shared worker pool and reduces each to its winner. It returns one
-// Best per group (nil when the group is empty or a simulation failed) and
-// the lowest-indexed per-group error. With pruning active, candidates are
-// priced by the analytic lower bound, ordered cheapest-bound-first,
-// dominance-filtered, and skipped against the group incumbent; the winner
-// is provably the one the unpruned path reports.
-func evalGroups(c hw.Cluster, m model.Transformer, groups [][]core.Plan, opt Options) ([]*Best, []error) {
+// evalGroups evaluates the candidate groups (one per (family, batch), with
+// keys carrying each group's family key for the per-family statistics)
+// over one shared worker pool and reduces each to its winner. It returns
+// one Best per group (nil when the group is empty or a simulation failed)
+// and the lowest-indexed per-group error. With pruning active, candidates
+// are prechecked (so a candidate whose simulation would error reports it
+// even when the bounds would have skipped it), priced by the analytic
+// lower bound, ordered cheapest-bound-first, dominance-filtered, and
+// skipped against the group incumbent; the winner — and the lowest-index
+// error — is provably the one the unpruned path reports.
+func evalGroups(c hw.Cluster, m model.Transformer, groups [][]core.Plan, keys []string, opt Options) ([]*Best, []error) {
 	var jobs []job
 	bounds := make([]int, 0, len(groups)+1) // group boundaries in jobs
 	bounds = append(bounds, 0)
@@ -389,8 +434,15 @@ func evalGroups(c hw.Cluster, m model.Transformer, groups [][]core.Plan, opt Opt
 		}
 		bounds = append(bounds, len(jobs))
 	}
+	famStats := make([]*FamilyStats, len(groups))
 	if opt.Stats != nil {
 		opt.Stats.Enumerated.Add(int64(len(jobs)))
+		for gi := range groups {
+			if keys[gi] != "" {
+				famStats[gi] = opt.Stats.Family(keys[gi])
+				famStats[gi].Enumerated.Add(int64(len(groups[gi])))
+			}
+		}
 	}
 
 	order := make([]int, len(jobs))
@@ -398,18 +450,28 @@ func evalGroups(c hw.Cluster, m model.Transformer, groups [][]core.Plan, opt Opt
 		order[i] = i
 	}
 	prune := opt.prune()
+	eopt := opt.engineOptions()
+	outs := make([]simOut, len(jobs))
 	lbs := make([]float64, len(jobs))
 	if prune && len(jobs) > 0 {
 		par := engine.Defaults()
 		if opt.Params != nil {
 			par = *opt.Params
 		}
-		// Price every candidate on the same worker pool the simulations
-		// use (each bound is independent, so the pass is deterministic);
-		// the exact replays are O(ops) and would otherwise serialize in
-		// front of the pool.
+		// Precheck and price every candidate on the same worker pool the
+		// simulations use (each entry is independent, so the pass is
+		// deterministic); the exact replays are O(ops) and would otherwise
+		// serialize in front of the pool. Recording precheck failures here,
+		// before any pruning decision, is what makes the per-candidate
+		// errors independent of pruning: the failing candidate reports even
+		// when the bounds would have skipped its simulation.
 		parallel.Map(opt.workers(), jobs, func(i int, _ job) (struct{}, error) {
 			j := &jobs[i]
+			if err := engine.Precheck(c, m, j.plan, eopt); err != nil {
+				outs[i].err = fmt.Errorf("search: %v: %w", j.plan, err)
+				j.failed = true
+				return struct{}{}, nil
+			}
 			lb, exact := analytic.LowerBound(c, m, j.plan, &par)
 			flop := m.BatchFlopPerGPU(j.plan.MicroBatch, j.plan.NumMicro, j.plan.PP, j.plan.TP)
 			j.exact = exact
@@ -421,36 +483,49 @@ func evalGroups(c hw.Cluster, m model.Transformer, groups [][]core.Plan, opt Opt
 			}
 			return struct{}{}, nil
 		})
-		markDominated(jobs, bounds, opt.Stats)
+		markDominated(jobs, bounds, famStats, opt.Stats)
 		// Cheapest (fastest-looking) bound first, stable on the flat
 		// enumeration order: the likely winners simulate early and the
 		// incumbent tightens before the long tail is reached.
 		sort.SliceStable(order, func(a, b int) bool { return lbs[order[a]] < lbs[order[b]] })
 	}
 
-	eopt := opt.engineOptions()
 	incs := make([]incumbent, len(groups))
-	outs := make([]simOut, len(jobs))
+	countSim := func(j *job) {
+		if opt.Stats != nil {
+			opt.Stats.Simulated.Add(1)
+			if fs := famStats[j.group]; fs != nil {
+				fs.Simulated.Add(1)
+			}
+		}
+	}
 	parallel.Map(opt.workers(), order, func(_ int, ji int) (struct{}, error) {
 		j := &jobs[ji]
+		if j.failed {
+			// The precheck already recorded the exact error the simulation
+			// would produce; count it as simulated, which is what the
+			// unpruned path would have done.
+			countSim(j)
+			return struct{}{}, nil
+		}
 		if j.prune {
 			return struct{}{}, nil
 		}
 		if prune && incs[j.group].covers(j.ub, j.idx) {
 			if opt.Stats != nil {
 				opt.Stats.BoundSkipped.Add(1)
+				if fs := famStats[j.group]; fs != nil {
+					fs.BoundSkipped.Add(1)
+				}
 			}
 			return struct{}{}, nil
 		}
 		r, err := engine.SimulateOpts(c, m, j.plan, eopt)
-		if opt.Stats != nil {
-			opt.Stats.Simulated.Add(1) // reached the simulator, error or not
-		}
+		countSim(j) // reached the simulator, error or not
 		if err != nil {
 			// Enumeration bugs should surface loudly; feasibility issues
-			// are filtered beforehand. (Such an error can only be masked
-			// when pruning proves the failing candidate irrelevant — it is
-			// then never simulated at all.)
+			// are filtered beforehand, and the precheck above already
+			// guarantees pruning cannot mask this error.
 			outs[ji].err = fmt.Errorf("search: %v: %w", j.plan, err)
 			return struct{}{}, nil
 		}
@@ -494,13 +569,15 @@ func evalGroups(c hw.Cluster, m model.Transformer, groups [][]core.Plan, opt Opt
 // candidate whose upper bound falls below it — or ties it from a higher
 // enumeration index — can never win under the pickBest rule. The pass is
 // deterministic: it depends only on the enumeration and the bounds.
-func markDominated(jobs []job, bounds []int, stats *Stats) {
+// Candidates whose precheck failed carry no bound and are left alone on
+// both sides: their error must surface regardless of pruning.
+func markDominated(jobs []job, bounds []int, famStats []*FamilyStats, stats *Stats) {
 	for gi := 0; gi+1 < len(bounds); gi++ {
 		seg := jobs[bounds[gi]:bounds[gi+1]]
 		bestTp, bestIdx, found := 0.0, 0, false
 		for i := range seg {
 			j := &seg[i]
-			if !j.exact {
+			if !j.exact || j.failed {
 				continue
 			}
 			if !found || j.ub > bestTp || (j.ub == bestTp && j.idx < bestIdx) {
@@ -512,10 +589,16 @@ func markDominated(jobs []job, bounds []int, stats *Stats) {
 		}
 		for i := range seg {
 			j := &seg[i]
+			if j.failed {
+				continue
+			}
 			if j.ub < bestTp || (j.ub == bestTp && bestIdx < j.idx) {
 				j.prune = true
 				if stats != nil {
 					stats.Dominated.Add(1)
+					if fs := famStats[gi]; fs != nil {
+						fs.Dominated.Add(1)
+					}
 				}
 			}
 		}
@@ -533,10 +616,12 @@ func Sweep(c hw.Cluster, m model.Transformer, f Family, batches []int, opt Optio
 		opt.MaxMicroBatch = 16
 	}
 	groups := make([][]core.Plan, len(batches))
+	keys := make([]string, len(batches))
 	for bi, b := range batches {
 		groups[bi] = Enumerate(c, m, f, b, opt)
+		keys[bi] = f.Info().Key
 	}
-	bests, _ := evalGroups(c, m, groups, opt)
+	bests, _ := evalGroups(c, m, groups, keys, opt)
 	var out []Best
 	for _, b := range bests {
 		if b != nil {
@@ -562,12 +647,14 @@ func SweepAll(c hw.Cluster, m model.Transformer, fams []Family, batches []int, o
 		opt.MaxMicroBatch = 16
 	}
 	var groups [][]core.Plan
+	var keys []string
 	for _, f := range fams {
 		for _, b := range batches {
 			groups = append(groups, Enumerate(c, m, f, b, opt))
+			keys = append(keys, f.Info().Key)
 		}
 	}
-	bests, _ := evalGroups(c, m, groups, opt)
+	bests, _ := evalGroups(c, m, groups, keys, opt)
 	out := map[Family][]Best{}
 	for fi, f := range fams {
 		var fam []Best

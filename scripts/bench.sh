@@ -9,7 +9,9 @@
 #   sweep_pruned    the same grid, unpruned worker pool vs the analytic
 #                   branch-and-bound (cheapest-bound ordering, incumbent
 #                   skipping, dominance pre-pass); prune_rate reports the
-#                   fraction of candidates never simulated
+#                   fraction of candidates never simulated, and
+#                   prune_rate_by_family breaks it down per method family
+#                   (how far each family's registered bound carries)
 #   optimize        one (family, batch) search, baseline vs optimized
 #   parallel_scaling optimized serial (1 worker) vs GOMAXPROCS workers
 #   des_run         DES inner loop, reference rescanning vs indexed fast path
@@ -39,6 +41,13 @@ awk -v out="$OUT" -v maxprocs="$GOMAXPROCS_N" -v date="$(date -u +%Y-%m-%dT%H:%M
 		if ($(i+1) == "B/op") bytes[name] = $i
 		if ($(i+1) == "allocs/op") allocs[name] = $i
 		if ($(i+1) == "prune%") prune[name] = $i
+		if ($(i+1) ~ /^prune_.+%$/) {
+			fam = $(i+1)
+			sub(/^prune_/, "", fam)
+			sub(/%$/, "", fam)
+			if (!(fam in famprune)) famorder[nf++] = fam
+			famprune[fam] = $i
+		}
 	}
 	order[n++] = name
 }
@@ -64,6 +73,12 @@ END {
 	printf "    \"simulate_batch\": %.2f\n", ns["SimulateBatchBaseline"] / ns["SimulateBatch"] > out
 	printf "  },\n" > out
 	printf "  \"prune_rate\": %.3f,\n", prune["SweepFigure7Pruned"] / 100 > out
+	printf "  \"prune_rate_by_family\": {\n" > out
+	for (i = 0; i < nf; i++) {
+		f = famorder[i]
+		printf "    \"%s\": %.3f%s\n", f, famprune[f] / 100, i < nf-1 ? "," : "" > out
+	}
+	printf "  },\n" > out
 	printf "  \"allocs_reduction\": {\n" > out
 	printf "    \"simulate_batch\": \"%s -> %s allocs/op\",\n", allocs["SimulateBatchBaseline"], allocs["SimulateBatch"] > out
 	printf "    \"optimize\": \"%s -> %s allocs/op\"\n", allocs["SearchOptimizeBaseline"], allocs["SearchOptimizeParallel"] > out
