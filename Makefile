@@ -15,10 +15,10 @@ vet:
 
 race:
 	go test -race -count=1 \
-		-run 'Parallel|Cache|Concurrent|Sweep|FastPath|RunMatches|Curve|CheapArtifacts' \
+		-run 'Parallel|Cache|Concurrent|Sweep|FastPath|RunMatches|Curve|CheapArtifacts|Ctx|Cancel|Progress|HTTP|Search' \
 		./internal/parallel ./internal/search ./internal/schedule \
 		./internal/memsim ./internal/des ./internal/engine \
-		./internal/figures ./internal/tradeoff
+		./internal/figures ./internal/tradeoff ./internal/service
 
 bench:
 	sh scripts/bench.sh

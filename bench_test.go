@@ -13,6 +13,7 @@ package bfpp_test
 // The regenerated artifacts themselves are written by cmd/bfpp-figures.
 
 import (
+	"context"
 	"testing"
 
 	"bfpp"
@@ -27,19 +28,20 @@ import (
 	"bfpp/internal/model"
 	"bfpp/internal/schedule"
 	"bfpp/internal/search"
+	"bfpp/internal/service"
 	"bfpp/internal/tensor"
 )
 
 // benchArtifact runs one figures generator per iteration.
 func benchArtifact(b *testing.B, name string) {
 	b.Helper()
-	for _, g := range figures.Generators() {
+	for _, g := range figures.Generators(figures.Config{}) {
 		if g.Name != name {
 			continue
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := g.Run(); err != nil {
+			if _, err := g.Run(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -157,7 +159,7 @@ func BenchmarkGridSearchOneBatch(b *testing.B) {
 	c := hw.PaperCluster()
 	m := model.Model52B()
 	for i := 0; i < b.N; i++ {
-		if _, err := search.Optimize(c, m, search.FamilyBreadthFirst, 64, search.Options{}); err != nil {
+		if _, err := search.Optimize(context.Background(), c, m, search.FamilyBreadthFirst, 64, search.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -175,7 +177,7 @@ func benchOptimize(b *testing.B, opt search.Options) {
 	m := model.Model52B()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := search.Optimize(c, m, search.FamilyBreadthFirst, 64, opt); err != nil {
+		if _, err := search.Optimize(context.Background(), c, m, search.FamilyBreadthFirst, 64, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -210,7 +212,7 @@ func benchSweep(b *testing.B, opt search.Options) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, f := range search.Families() {
-			if _, err := search.Sweep(c, m, f, batches, opt); err != nil {
+			if _, err := search.Sweep(context.Background(), c, m, f, batches, opt); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -245,6 +247,47 @@ func BenchmarkSweepFigure7Pruned(b *testing.B) {
 		// how far each family's registered bound carries the pruning.
 		for _, key := range stats.FamilyKeys() {
 			b.ReportMetric(100*stats.Family(key).PruneRate(), "prune_"+key+"%")
+		}
+	}
+}
+
+// Service-path benchmarks: the Figure-7 sweep submitted as a
+// SearchRequest, measuring what the request/response layer adds on top of
+// the direct search (canonicalization, job slot, response assembly) and
+// what the result cache saves. scripts/bench.sh turns the pair into
+// BENCH_search.json's service_overhead and service_cache speedups.
+
+// figure7Request is the Figure 7 / Table E.1 grid as a service request.
+func figure7Request() service.SearchRequest {
+	return service.SearchRequest{Model: "52B", Cluster: "paper",
+		Batches: []int{8, 16, 32, 64, 128, 256, 512}}
+}
+
+// BenchmarkServiceSearchCold measures the uncached service path: a fresh
+// Service per iteration, so every request runs the full pruned sweep.
+func BenchmarkServiceSearchCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		svc := service.New(service.Config{})
+		if _, err := svc.Search(context.Background(), figure7Request()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceSearchCached measures a cache hit on the same request.
+func BenchmarkServiceSearchCached(b *testing.B) {
+	svc := service.New(service.Config{})
+	if _, err := svc.Search(context.Background(), figure7Request()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := svc.Search(context.Background(), figure7Request())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.Cached {
+			b.Fatal("expected a cache hit")
 		}
 	}
 }

@@ -21,18 +21,33 @@
 //	internal/runtime   goroutine-based pipeline-parallel training runtime
 //	internal/trace     ASCII Gantt and Chrome trace rendering
 //
-// # Concurrency
+// # Concurrency and cancellation
 //
-// The grid search (Optimize, Sweep) evaluates candidate configurations on
-// a bounded worker pool, defaulting to GOMAXPROCS goroutines;
-// SearchOptions.Workers overrides the width (1 forces the serial path) and
-// the bfpp-search/bfpp-figures/bfpp-tradeoff commands expose it as
-// -workers. Results are deterministic and byte-identical at any worker
-// count: winner selection is tie-stable in enumeration order. Schedule
-// generation and memory estimates are memoized across simulations (plans
-// differing only in TP, micro-batch size or DP width share device
-// programs), and the discrete-event simulator runs an indexed fast path;
-// scripts/bench.sh tracks the resulting speedups in BENCH_search.json.
+// The grid search (Optimize, Sweep, SweepAll) evaluates candidate
+// configurations on a bounded worker pool, defaulting to GOMAXPROCS
+// goroutines; SearchOptions.Workers overrides the width (1 forces the
+// serial path) and the bfpp-search/bfpp-figures/bfpp-tradeoff commands
+// expose it as -workers. Every search entry point is context-first:
+// cancelling the context aborts between candidate simulations, drains the
+// pool promptly and returns ctx.Err(); SearchOptions.Progress streams
+// pruning-counter snapshots while a sweep runs. Results are deterministic
+// and byte-identical at any worker count: winner selection is tie-stable
+// in enumeration order. Schedule generation and memory estimates are
+// memoized across simulations (plans differing only in TP, micro-batch
+// size or DP width share device programs), and the discrete-event
+// simulator runs an indexed fast path; scripts/bench.sh tracks the
+// resulting speedups in BENCH_search.json.
+//
+// # Job service
+//
+// The request/response job API (SearchRequest, SimulateRequest,
+// FigureRequest — re-exported from internal/service) is the canonical way
+// to run jobs: the five CLI commands submit these structs in process and
+// cmd/bfpp-serve exposes them over HTTP with NDJSON progress streaming,
+// request deadlines, per-request worker budgets, a canonicalized search
+// result cache and bounded job concurrency. Models and clusters resolve
+// through open registries (RegisterModel, RegisterCluster), mirroring the
+// schedule registry, so new scenarios need no new endpoints.
 //
 // # Quick start
 //
@@ -56,6 +71,7 @@ import (
 	"bfpp/internal/model"
 	"bfpp/internal/runtime"
 	"bfpp/internal/search"
+	"bfpp/internal/service"
 	"bfpp/internal/tradeoff"
 )
 
@@ -113,6 +129,21 @@ var (
 	H100                 = hw.H100
 )
 
+// Open scenario registries: models and clusters register by name at init
+// time (mirroring the schedule registry), and every surface — the CLI
+// flags, the service requests' "model"/"cluster" fields — resolves them
+// without code changes. LookupModel/LookupCluster resolve a registered
+// name (patterns included: a bare GPU count builds a LargeCluster).
+var (
+	RegisterModel          = model.Register
+	LookupModel            = model.Lookup
+	ModelNames             = model.Names
+	RegisterCluster        = hw.Register
+	RegisterClusterPattern = hw.RegisterPattern
+	LookupCluster          = hw.Lookup
+	ClusterNames           = hw.Names
+)
+
 // Simulate runs one training batch of the configuration on the
 // discrete-event simulator and returns throughput, utilization, memory and
 // overhead breakdowns.
@@ -126,6 +157,9 @@ type (
 	SearchBest = search.Best
 	// SearchOptions tunes the grid search.
 	SearchOptions = search.Options
+	// SearchProgress is a pruning-counter snapshot delivered to
+	// SearchOptions.Progress while a sweep runs.
+	SearchProgress = search.ProgressSnapshot
 )
 
 // Method families compared in Figure 7.
@@ -137,11 +171,42 @@ const (
 )
 
 // Optimize finds the most efficient feasible configuration of a family at
-// a global batch size; Sweep runs it across batch sizes.
+// a global batch size; Sweep runs it across batch sizes and SweepAll
+// flattens several families onto one work queue. All are context-first:
+// pass context.Background() for the uncancellable behavior.
 var (
-	Optimize       = search.Optimize
-	Sweep          = search.Sweep
-	SearchFamilies = search.Families
+	Optimize          = search.Optimize
+	Sweep             = search.Sweep
+	SweepAll          = search.SweepAll
+	SearchFamilies    = search.Families
+	SearchAllFamilies = search.AllFamilies
+)
+
+// Job service: the request/response API shared by the CLIs and
+// cmd/bfpp-serve. NewService builds the job manager (worker budgets,
+// result cache, bounded concurrency); ServiceHandler exposes it over HTTP.
+type (
+	// Service executes bfpp jobs with caching and bounded concurrency.
+	Service = service.Service
+	// ServiceConfig tunes a Service.
+	ServiceConfig = service.Config
+	// SearchRequest describes one grid-search job.
+	SearchRequest = service.SearchRequest
+	// SearchResponse is a grid-search outcome (table + structured winners).
+	SearchResponse = service.SearchResponse
+	// SimulateRequest describes one discrete-event simulation.
+	SimulateRequest = service.SimulateRequest
+	// SimulateResponse is a simulation outcome.
+	SimulateResponse = service.SimulateResponse
+	// FigureRequest asks for paper artifacts by name.
+	FigureRequest = service.FigureRequest
+	// FigureResponse carries the rendered artifacts.
+	FigureResponse = service.FigureResponse
+)
+
+var (
+	NewService     = service.New
+	ServiceHandler = service.Handler
 )
 
 // Trade-off extrapolation (Section 5.4, Figures 1 and 8).

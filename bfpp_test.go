@@ -1,6 +1,7 @@
 package bfpp_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestFacadeSearchAndTradeoff(t *testing.T) {
 	}
 	c := bfpp.PaperCluster()
 	m := bfpp.Model52B()
-	best, err := bfpp.Optimize(c, m, bfpp.FamilyBreadthFirst, 16, bfpp.SearchOptions{})
+	best, err := bfpp.Optimize(context.Background(), c, m, bfpp.FamilyBreadthFirst, 16, bfpp.SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

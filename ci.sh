@@ -1,11 +1,16 @@
 #!/bin/sh
-# ci.sh — build + vet + format check + tests + race pass over the
-# concurrent search paths. Set SKIP_RACE=1 on toolchains without cgo.
+# ci.sh — build + vet + format check + tests (shuffled) + race pass over
+# the concurrent search/service paths + an HTTP smoke test of bfpp-serve.
+# Set SKIP_RACE=1 on toolchains without cgo.
 set -eu
 cd "$(dirname "$0")"
 
+BIN=$(mktemp -d)
+trap 'rm -rf "$BIN"; [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
 echo "== go build"
 go build ./...
+go build -o "$BIN/bfpp-serve" ./cmd/bfpp-serve
 
 echo "== go vet"
 go vet ./...
@@ -17,20 +22,43 @@ if [ -n "$UNFORMATTED" ]; then
 	exit 1
 fi
 
-echo "== go test"
-go test ./...
+echo "== go test (-shuffle=on: no hidden inter-test ordering dependencies)"
+go test -shuffle=on ./...
 
 echo "== benchmarks smoke (benchtime=1x, so they cannot rot)"
 go test -run '^$' -bench . -benchtime=1x . > /dev/null
 
+echo "== HTTP smoke (bfpp-serve on an ephemeral port vs in-process table)"
+"$BIN/bfpp-serve" -addr 127.0.0.1:0 > "$BIN/serve.out" 2>&1 &
+SERVE_PID=$!
+URL=""
+for i in $(seq 1 50); do
+	URL=$(sed -n 's#.*listening on ##p' "$BIN/serve.out")
+	[ -n "$URL" ] && break
+	sleep 0.1
+done
+[ -n "$URL" ] || { echo "bfpp-serve did not come up"; cat "$BIN/serve.out"; exit 1; }
+go run ./scripts/httpsmoke "$URL" \
+	'{"model":"6.6B","cluster":"paper","batches":[32,64]}' > "$BIN/table.http"
+go run ./cmd/bfpp-search -model 6.6B -batches 32,64 2>/dev/null > "$BIN/table.cli"
+if ! cmp -s "$BIN/table.http" "$BIN/table.cli"; then
+	echo "HTTP /v1/search table differs from bfpp-search output:"
+	diff "$BIN/table.http" "$BIN/table.cli" || true
+	exit 1
+fi
+kill "$SERVE_PID" 2>/dev/null && wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+echo "HTTP table byte-identical to the CLI table"
+
 if [ "${SKIP_RACE:-0}" != "1" ]; then
-	echo "== go test -race (concurrent search paths + bound properties + runtime reuse)"
+	echo "== go test -race (concurrent search/service paths + cancellation + bound properties)"
 	go test -race -count=1 \
-		-run 'Parallel|Cache|Concurrent|Sweep|FastPath|RunMatches|Curve|CheapArtifacts|LowerBound|ExactBound|Lattice|PrunedErrors|PerFamily' \
+		-run 'Parallel|Cache|Concurrent|Sweep|FastPath|RunMatches|Curve|CheapArtifacts|LowerBound|ExactBound|Lattice|PrunedErrors|PerFamily|Ctx|Cancel|Progress|HTTP|Search|Registry' \
 		./internal/parallel ./internal/search ./internal/schedule \
 		./internal/memsim ./internal/des ./internal/engine \
 		./internal/figures ./internal/tradeoff \
-		./internal/analytic ./internal/runtime
+		./internal/analytic ./internal/runtime \
+		./internal/service ./internal/model ./internal/hw
 fi
 
 echo "== ci OK"

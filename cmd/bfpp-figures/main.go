@@ -1,5 +1,8 @@
 // Command bfpp-figures regenerates every table and figure of the paper's
-// evaluation into a results directory (and optionally to stdout).
+// evaluation into a results directory (and optionally to stdout). It is a
+// thin client of the job service: each artifact is fetched through the
+// same FigureRequest that cmd/bfpp-serve accepts over POST /v1/figures,
+// and Ctrl-C cancels the current sweep promptly.
 //
 // Usage:
 //
@@ -14,16 +17,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
 
-	"bfpp/internal/cli"
 	"bfpp/internal/figures"
-	"bfpp/internal/parallel"
+	"bfpp/internal/service"
 )
 
 func main() {
@@ -35,66 +39,69 @@ func main() {
 		families = flag.String("families", "", "family selection for the sweep artifacts (figure1/7/8, tableE*): comma-separated keys, \"all\" (paper) or \"every\" (all registered)")
 	)
 	flag.Parse()
-	parallel.SetDefaultWorkers(*workers)
-	if *families != "" {
-		fams, err := cli.ParseFamilies(*families)
-		if err != nil {
-			fatal(err)
-		}
-		figures.SetSweepFamilies(fams)
-	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	gens := figures.Generators()
+	known := map[string]bool{}
+	var available []string
+	for _, g := range figures.Generators(figures.Config{}) {
+		known[g.Name] = true
+		available = append(available, g.Name)
+	}
+	names := available
 	if *only != "" {
-		want := map[string]bool{}
+		names = nil
+		seen := map[string]bool{}
 		for _, n := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(n)] = true
+			if n = strings.TrimSpace(n); n == "" || seen[n] {
+				continue
+			}
+			seen[n] = true
+			names = append(names, n)
 		}
-		var filtered []figures.Generator
-		for _, g := range gens {
-			if want[g.Name] {
-				filtered = append(filtered, g)
-				delete(want, g.Name)
+		// Validate every name before any (possibly minutes-long) sweep
+		// runs, so a typo cannot waste the preceding artifacts' work.
+		for _, n := range names {
+			if !known[n] {
+				fatal(fmt.Errorf("unknown artifact %q (available: %s)", n, strings.Join(available, ", ")))
 			}
 		}
-		if len(want) > 0 {
-			var names []string
-			for _, g := range gens {
-				names = append(names, g.Name)
-			}
-			fmt.Fprintf(os.Stderr, "bfpp-figures: unknown artifacts %v (available: %s)\n",
-				keys(want), strings.Join(names, ", "))
-			os.Exit(1)
-		}
-		gens = filtered
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
-	for _, g := range gens {
-		start := time.Now()
-		s, err := g.Run()
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", g.Name, err))
+	svc := service.New(service.Config{MaxJobs: 1})
+	var famList []string
+	if *families != "" {
+		for _, f := range strings.Split(*families, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				famList = append(famList, f)
+			}
 		}
-		path := filepath.Join(*out, g.Name+".txt")
-		if err := os.WriteFile(path, []byte(s), 0o644); err != nil {
+	}
+	// One request per artifact keeps the per-artifact timing output and
+	// writes results incrementally, like the pre-service command.
+	for _, name := range names {
+		start := time.Now()
+		resp, err := svc.Figures(ctx, service.FigureRequest{
+			Names:    []string{name},
+			Families: famList,
+			Workers:  *workers,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		a := resp.Artifacts[0]
+		path := filepath.Join(*out, a.Name+".txt")
+		if err := os.WriteFile(path, []byte(a.Text), 0o644); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %-28s (%5.1fs)\n", path, time.Since(start).Seconds())
 		if *stdout {
-			fmt.Println(s)
+			fmt.Println(a.Text)
 		}
 	}
-}
-
-func keys(m map[string]bool) []string {
-	var out []string
-	for k := range m {
-		out = append(out, k)
-	}
-	return out
 }
 
 func fatal(err error) {

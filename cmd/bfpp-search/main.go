@@ -3,10 +3,17 @@
 // configurations, simulates them and prints the winners in the format of
 // Tables E.1-E.3 (which also yields the Figure 7 curves).
 //
+// The command is a thin client of the job service (internal/service): it
+// submits the same SearchRequest that cmd/bfpp-serve accepts over
+// POST /v1/search, so a CLI invocation and a server request provably run
+// identical jobs and print byte-identical tables. Ctrl-C cancels the
+// search promptly (workers drain between candidate simulations).
+//
 // Families come from the schedule registry: -families selects by key
 // ("all" = the paper's four, "every" = all registered, including the
 // extension schedules), and -methods selects the families containing the
-// named schedules.
+// named schedules. Models and clusters resolve through the open
+// registries (model.Register, hw.Register).
 //
 // The search runs branch-and-bound by default: candidates are priced with
 // the analytic step-time lower bound and simulated only when they can
@@ -24,19 +31,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 
 	"bfpp/internal/cli"
-	"bfpp/internal/parallel"
-	"bfpp/internal/search"
+	"bfpp/internal/service"
 )
 
 func main() {
 	var (
-		modelName   = flag.String("model", "52B", "model: 52B, 6.6B, gpt3, 1T")
-		clusterName = flag.String("cluster", "paper", "cluster: paper, ethernet, or a GPU count")
+		modelName   = flag.String("model", "52B", "model: any registered name (52B, 6.6B, gpt3, 1T, tiny)")
+		clusterName = flag.String("cluster", "paper", "cluster: any registered name (paper, ethernet, or a GPU count)")
 		familyNames = flag.String("families", "all", "comma-separated family keys (bf, df, nl, np, ws, v, ...), \"all\" (paper) or \"every\" (all registered)")
 		methodNames = flag.String("methods", "", "comma-separated schedule names; selects the families containing them (overrides -families)")
 		batchesStr  = flag.String("batches", "8,16,32,64,128,256,512", "comma-separated global batch sizes")
@@ -44,44 +53,55 @@ func main() {
 		noPrune     = flag.Bool("noprune", false, "disable the analytic branch-and-bound (simulate every candidate)")
 	)
 	flag.Parse()
-	parallel.SetDefaultWorkers(*workers)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	m, err := cli.ParseModel(*modelName)
-	fatalIf(err)
-	c, err := cli.ParseCluster(*clusterName)
-	fatalIf(err)
 	batches, err := cli.ParseInts(*batchesStr)
 	fatalIf(err)
-
-	families, err := cli.ParseFamilies(*familyNames)
+	req := service.SearchRequest{
+		Model:    *modelName,
+		Cluster:  *clusterName,
+		Families: splitList(*familyNames),
+		Methods:  splitList(*methodNames),
+		Batches:  batches,
+		NoPrune:  *noPrune,
+		Workers:  *workers,
+	}
+	resp, err := service.New(service.Config{MaxJobs: 1}).Search(ctx, req)
 	fatalIf(err)
-	if *methodNames != "" {
-		methods, err := cli.ParseMethods(*methodNames)
-		fatalIf(err)
-		families, err = cli.FamiliesForMethods(methods)
-		fatalIf(err)
-	}
 
-	// One shared work queue across all selected families: a short family's
-	// tail no longer idles the pool while the next family enumerates, and
-	// the branch-and-bound incumbents stay per (family, batch).
-	stats := &search.Stats{}
-	results, err := search.SweepAll(c, m, families, batches,
-		search.Options{NoPrune: *noPrune, Stats: stats})
-	if err != nil {
-		results = map[search.Family][]search.Best{}
-	}
-	for _, f := range families {
-		if _, ok := results[f]; !ok {
-			fmt.Fprintf(os.Stderr, "bfpp-search: %v: no feasible configuration at any batch (skipping)\n", f)
+	for _, fr := range resp.Families {
+		if len(fr.Bests) == 0 {
+			fmt.Fprintf(os.Stderr, "bfpp-search: %v: no feasible configuration at any batch (skipping)\n", fr.Name)
 		}
 	}
-	title := fmt.Sprintf("Optimal configurations: %s on %s (%d GPUs)", m.Name, c.Name, c.NumGPUs())
-	fmt.Print(search.Table(title, results))
-	fmt.Fprintf(os.Stderr, "bfpp-search: pruning: %v\n", stats)
-	for _, key := range stats.FamilyKeys() {
-		fmt.Fprintf(os.Stderr, "bfpp-search: pruning[%s]: %v\n", key, stats.Family(key))
+	fmt.Print(resp.Table)
+	st := resp.Stats
+	fmt.Fprintf(os.Stderr, "bfpp-search: pruning: enumerated %d, dominated %d, bounded out %d, simulated %d (%.1f%% pruned)\n",
+		st.Enumerated, st.Dominated, st.BoundedOut, st.Simulated, 100*pruneRate(st.Enumerated, st.Dominated+st.BoundedOut))
+	for _, fp := range st.Families {
+		fmt.Fprintf(os.Stderr, "bfpp-search: pruning[%s]: enumerated %d, dominated %d, bounded out %d, simulated %d (%.1f%% pruned)\n",
+			fp.Key, fp.Enumerated, fp.Dominated, fp.BoundedOut, fp.Simulated,
+			100*pruneRate(fp.Enumerated, fp.Dominated+fp.BoundedOut))
 	}
+}
+
+// splitList turns a comma-separated flag into the request's list form.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func pruneRate(enumerated, pruned int64) float64 {
+	if enumerated == 0 {
+		return 0
+	}
+	return float64(pruned) / float64(enumerated)
 }
 
 func fatalIf(err error) {

@@ -1,0 +1,91 @@
+// Command bfpp-serve exposes the bfpp job service over HTTP: the Appendix
+// E grid search, single-plan simulation and figure regeneration, with the
+// same request structs the command-line tools submit in process — so a
+// curl request and a bfpp-search invocation provably run identical jobs
+// and print byte-identical tables.
+//
+// Endpoints:
+//
+//	POST /v1/search    {"model":"6.6B","cluster":"paper","batches":[32,64]}
+//	POST /v1/simulate  {"model":"52B","cluster":"paper","plan":{...}}
+//	POST /v1/figures   {"names":["figure4"]}
+//	GET  /healthz
+//
+// /v1/search?stream=1 streams NDJSON progress lines while the sweep runs,
+// then the final result. Request deadlines ("timeout_ms", or -timeout)
+// map onto the job's context; identical search requests are served from
+// the result cache. Models and clusters resolve through the open
+// registries, so a registry-added scenario is immediately servable
+// without new endpoints.
+//
+// Example:
+//
+//	bfpp-serve -addr localhost:8080 &
+//	curl -s -X POST localhost:8080/v1/search \
+//	    -d '{"model":"6.6B","cluster":"paper","batches":[32,64,96]}' |
+//	  python3 -c 'import json,sys; print(json.load(sys.stdin)["table"])'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bfpp/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "localhost:8080", "listen address (use :0 for an ephemeral port)")
+		jobs       = flag.Int("jobs", 0, "max concurrently executing jobs (0 = 4); further requests queue")
+		maxWorkers = flag.Int("max-workers", 0, "per-request worker budget clamp (0 = GOMAXPROCS)")
+		cacheSize  = flag.Int("cache", 0, "search result cache entries (0 = 64, negative disables)")
+		timeout    = flag.Duration("timeout", 0, "default per-request deadline (0 = none)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		MaxJobs:              *jobs,
+		MaxWorkersPerRequest: *maxWorkers,
+		CacheEntries:         *cacheSize,
+		DefaultTimeout:       *timeout,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfpp-serve:", err)
+		os.Exit(1)
+	}
+	// The resolved address line is load-bearing: with -addr :0 it is how
+	// scripts (ci.sh's smoke test) learn the ephemeral port.
+	fmt.Printf("bfpp-serve: listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: service.Handler(svc)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "bfpp-serve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop accepting, let in-flight requests finish
+	// within the drain budget, then force-close.
+	fmt.Println("bfpp-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "bfpp-serve: drain:", err)
+		srv.Close()
+		os.Exit(1)
+	}
+}

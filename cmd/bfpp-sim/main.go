@@ -1,7 +1,9 @@
 // Command bfpp-sim simulates one training batch of a distributed
 // configuration and reports throughput, utilization, memory usage and
 // overhead breakdowns. It can also render the execution timeline as an
-// ASCII Gantt chart or export a Chrome trace.
+// ASCII Gantt chart or export a Chrome trace. It is a thin client of the
+// job service: the same SimulateRequest drives cmd/bfpp-serve's
+// POST /v1/simulate.
 //
 // Example (the paper's headline configuration, Table E.1 row "Breadth-first
 // B=9"):
@@ -10,20 +12,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"bfpp/internal/cli"
 	"bfpp/internal/core"
-	"bfpp/internal/engine"
+	"bfpp/internal/service"
 	"bfpp/internal/trace"
 )
 
 func main() {
 	var (
-		modelName   = flag.String("model", "52B", "model: 52B, 6.6B, gpt3, 1T, tiny")
-		clusterName = flag.String("cluster", "paper", "cluster: paper, ethernet, or a GPU count")
+		modelName   = flag.String("model", "52B", "model: any registered name (52B, 6.6B, gpt3, 1T, tiny)")
+		clusterName = flag.String("cluster", "paper", "cluster: any registered name (paper, ethernet, or a GPU count)")
 		methodName  = flag.String("method", "breadth-first", "schedule: any registered method (gpipe, 1f1b, depth-first, breadth-first, nopipeline-bf, nopipeline-df, hybrid, ws-1f1b, v-schedule)")
 		dp          = flag.Int("dp", 1, "data-parallel size")
 		pp          = flag.Int("pp", 8, "pipeline-parallel size")
@@ -39,11 +43,8 @@ func main() {
 		configPath  = flag.String("config", "", "load the plan from a JSON file instead of flags")
 	)
 	flag.Parse()
-
-	m, err := cli.ParseModel(*modelName)
-	fatalIf(err)
-	c, err := cli.ParseCluster(*clusterName)
-	fatalIf(err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var plan core.Plan
 	if *configPath != "" {
@@ -66,9 +67,20 @@ func main() {
 		}
 	}
 
-	res, err := engine.SimulateOpts(c, m, plan, engine.Options{CaptureTimeline: *gantt || *chromeOut != ""})
+	svc := service.New(service.Config{MaxJobs: 1})
+	resp, err := svc.Simulate(ctx, service.SimulateRequest{
+		Model:           *modelName,
+		Cluster:         *clusterName,
+		Plan:            plan,
+		CaptureTimeline: *gantt || *chromeOut != "",
+	})
 	fatalIf(err)
+	res := resp.Result
 
+	m, err := cli.ParseModel(*modelName)
+	fatalIf(err)
+	c, err := cli.ParseCluster(*clusterName)
+	fatalIf(err)
 	fmt.Printf("model:      %v\n", m)
 	fmt.Printf("cluster:    %s (%d GPUs)\n", c.Name, c.NumGPUs())
 	fmt.Printf("plan:       %v\n", plan)

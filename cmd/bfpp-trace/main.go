@@ -1,6 +1,9 @@
 // Command bfpp-trace renders the paper's schedule diagrams: the layer
 // placements of Figure 3, the pipeline-schedule Gantt charts of Figure 4,
 // and the gradient-accumulation schedules of Figure 9, all as ASCII.
+// The simulated timelines come from the job service's SimulateRequest
+// (Diagram selects the times-to-scale parameter preset), the same request
+// cmd/bfpp-serve accepts over POST /v1/simulate.
 //
 // Usage:
 //
@@ -10,27 +13,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"bfpp/internal/core"
 	"bfpp/internal/engine"
-	"bfpp/internal/hw"
 	"bfpp/internal/model"
+	"bfpp/internal/service"
 	"bfpp/internal/trace"
 )
-
-// diagramParams zeroes the fixed overheads so the tiny demo model's
-// timelines are drawn "times to scale" like the paper's Figures 4 and 9
-// (which omit pipeline-parallel communication).
-func diagramParams() *engine.Params {
-	par := engine.Defaults()
-	par.KernelLaunch = 0
-	par.BlockingPPBase = 0
-	par.BlockingPPPerRank = 0
-	return &par
-}
 
 func main() {
 	var (
@@ -38,18 +32,37 @@ func main() {
 		width  = flag.Int("width", 120, "gantt width in characters")
 	)
 	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	switch *figure {
 	case 3:
 		figure3()
 	case 4:
-		figure4(*width)
+		figure4(ctx, *width)
 	case 9:
-		figure9(*width)
+		figure9(ctx, *width)
 	default:
 		fmt.Fprintf(os.Stderr, "bfpp-trace: unknown figure %d (3, 4, 9)\n", *figure)
 		os.Exit(1)
 	}
+}
+
+// svc is the in-process job service all diagram simulations share.
+var svc = service.New(service.Config{MaxJobs: 1})
+
+// diagramSim simulates one diagram plan on the tiny model through the
+// service, with the times-to-scale parameter preset and the timeline
+// captured.
+func diagramSim(ctx context.Context, plan core.Plan) (engine.Result, error) {
+	resp, err := svc.Simulate(ctx, service.SimulateRequest{
+		Model:           "tiny",
+		Cluster:         "paper",
+		Plan:            plan,
+		CaptureTimeline: true,
+		Diagram:         true,
+	})
+	return resp.Result, err
 }
 
 // figure3 prints the standard and looping placements of a 16-layer model
@@ -67,7 +80,7 @@ func figure3() {
 
 // figure4 renders the four pipeline schedules for the 16-layer model with
 // 8 micro-batches on 4 devices, times to scale.
-func figure4(width int) {
+func figure4(ctx context.Context, width int) {
 	fmt.Println("Figure 4: pipeline schedules, 16 layers, 4 devices, 8 micro-batches")
 	fmt.Println()
 	cases := []struct {
@@ -84,8 +97,7 @@ func figure4(width int) {
 			MicroBatch: 4, NumMicro: 8, Loops: 4, OverlapDP: true, OverlapPP: true}},
 	}
 	for _, cse := range cases {
-		res, err := engine.SimulateOpts(hw.PaperCluster(), model.Tiny(), cse.plan,
-			engine.Options{CaptureTimeline: true, Params: diagramParams()})
+		res, err := diagramSim(ctx, cse.plan)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bfpp-trace:", err)
 			os.Exit(1)
@@ -99,7 +111,7 @@ func figure4(width int) {
 
 // figure9 renders the gradient-accumulation schedules (no pipeline): DP0
 // and DP-FS with depth-first and breadth-first ordering.
-func figure9(width int) {
+func figure9(ctx context.Context, width int) {
 	fmt.Println("Figure 9: gradient accumulation, 4 stages, 4 micro-batches, DP=4")
 	fmt.Println()
 	cases := []struct {
@@ -116,8 +128,7 @@ func figure9(width int) {
 			MicroBatch: 4, NumMicro: 4, Loops: 4, Sharding: core.DPFS, OverlapDP: true}},
 	}
 	for _, cse := range cases {
-		res, err := engine.SimulateOpts(hw.PaperCluster(), model.Tiny(), cse.plan,
-			engine.Options{CaptureTimeline: true, Params: diagramParams()})
+		res, err := diagramSim(ctx, cse.plan)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bfpp-trace:", err)
 			os.Exit(1)

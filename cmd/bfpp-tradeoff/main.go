@@ -4,18 +4,23 @@
 // of cluster sizes with the batch-size overhead law (Eq. 7), and prints the
 // cost-versus-time curves of Figure 8 plus the Figure 1 summary at 4096
 // GPUs.
+//
+// The sweep runs through the job service as one SearchRequest per family
+// (the same struct cmd/bfpp-serve accepts), then the extrapolation
+// projects the structured winners locally; Ctrl-C cancels promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"bfpp/internal/batchsize"
 	"bfpp/internal/cli"
 	"bfpp/internal/engine"
-	"bfpp/internal/parallel"
-	"bfpp/internal/search"
+	"bfpp/internal/service"
 	"bfpp/internal/tradeoff"
 )
 
@@ -29,7 +34,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "search worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
-	parallel.SetDefaultWorkers(*workers)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	m, err := cli.ParseModel(*modelName)
 	fatalIf(err)
@@ -47,25 +53,33 @@ func main() {
 	fmt.Printf("%s on %s, Bcrit = %.0f sequences, base length %.0f critical batches\n\n",
 		m.Name, c.Name, bcrit, batchsize.PaperBaseBatches)
 
+	svc := service.New(service.Config{MaxJobs: 1})
+	resp, err := svc.Search(ctx, service.SearchRequest{
+		Model:   *modelName,
+		Cluster: *clusterName,
+		Batches: batches,
+		Workers: *workers,
+	})
+	fatalIf(err)
+
 	type familyCurve struct {
-		family search.Family
+		name   string
 		points []tradeoff.Point
 	}
 	var curves []familyCurve
-	for _, f := range search.Families() {
-		bests, err := search.Sweep(c, m, f, batches, search.Options{})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bfpp-tradeoff: %v: %v (skipping)\n", f, err)
+	for _, fr := range resp.Families {
+		if len(fr.Bests) == 0 {
+			fmt.Fprintf(os.Stderr, "bfpp-tradeoff: %v: no feasible configuration (skipping)\n", fr.Name)
 			continue
 		}
-		results := make([]engine.Result, len(bests))
-		for i, b := range bests {
+		results := make([]engine.Result, len(fr.Bests))
+		for i, b := range fr.Bests {
 			results[i] = b.Result
 		}
-		pts, err := tradeoff.Curve(m, results, bcrit, gpus)
+		pts, err := tradeoff.Curve(ctx, m, results, bcrit, gpus, *workers)
 		fatalIf(err)
-		curves = append(curves, familyCurve{f, pts})
-		fmt.Print(tradeoff.Format(f.String(), pts))
+		curves = append(curves, familyCurve{fr.Name, pts})
+		fmt.Print(tradeoff.Format(fr.Name, pts))
 		fmt.Println()
 	}
 
@@ -76,7 +90,7 @@ func main() {
 			for _, p := range fc.points {
 				if p.GPUs == *figure1At {
 					fmt.Printf("%-26s %12.2f %14.0f %12.2f\n",
-						fc.family, p.TimeDays, p.CostGPUDays, p.MemoryMinGiB)
+						fc.name, p.TimeDays, p.CostGPUDays, p.MemoryMinGiB)
 				}
 			}
 		}

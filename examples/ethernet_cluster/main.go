@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,7 +52,7 @@ func main() {
 	// Optimized comparison at a moderate batch (Figure 7c scenario).
 	fmt.Println("\noptimized configurations at B=128 on Ethernet:")
 	for _, f := range bfpp.SearchFamilies() {
-		best, err := bfpp.Optimize(eth, m, f, 128, bfpp.SearchOptions{})
+		best, err := bfpp.Optimize(context.Background(), eth, m, f, 128, bfpp.SearchOptions{})
 		if err != nil {
 			fmt.Printf("%-26s infeasible (%v)\n", f, err)
 			continue

@@ -14,37 +14,26 @@ import (
 	"bfpp/internal/search"
 )
 
-// ParseModel resolves a model name.
+// ParseModel resolves a model name through the model registry, so models
+// published with model.Register parse without touching this package; the
+// error lists the registered names.
 func ParseModel(name string) (model.Transformer, error) {
-	switch strings.ToLower(name) {
-	case "52b":
-		return model.Model52B(), nil
-	case "6.6b", "6p6b":
-		return model.Model6p6B(), nil
-	case "gpt3", "gpt-3":
-		return model.GPT3(), nil
-	case "1t":
-		return model.Model1T(), nil
-	case "tiny":
-		return model.Tiny(), nil
-	default:
-		return model.Transformer{}, fmt.Errorf("unknown model %q (52B, 6.6B, gpt3, 1T, tiny)", name)
+	if m, ok := model.Lookup(name); ok {
+		return m, nil
 	}
+	return model.Transformer{}, fmt.Errorf("unknown model %q (registered: %s)",
+		name, strings.Join(model.Names(), ", "))
 }
 
-// ParseCluster resolves a cluster name.
+// ParseCluster resolves a cluster name through the cluster registry —
+// fixed names first, then the registered patterns (a bare GPU count
+// resolves to LargeCluster); the error lists the registered spellings.
 func ParseCluster(name string) (hw.Cluster, error) {
-	switch strings.ToLower(name) {
-	case "paper", "infiniband", "ib":
-		return hw.PaperCluster(), nil
-	case "ethernet", "eth":
-		return hw.PaperClusterEthernet(), nil
-	default:
-		if n, err := strconv.Atoi(name); err == nil && n > 0 {
-			return hw.LargeCluster(n), nil
-		}
-		return hw.Cluster{}, fmt.Errorf("unknown cluster %q (paper, ethernet, or a GPU count)", name)
+	if c, ok := hw.Lookup(name); ok {
+		return c, nil
 	}
+	return hw.Cluster{}, fmt.Errorf("unknown cluster %q (registered: %s)",
+		name, strings.Join(hw.Names(), ", "))
 }
 
 // ParseMethod resolves a schedule name through the method registry, so

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,8 +17,8 @@ import (
 // sequence lengths are enumerated too — with the branch-and-bound pruning
 // statistics (candidates enumerated / dominated / bounded out / simulated)
 // that make these sweeps tractable reported per scenario.
-func AppendixELarge() (string, error) {
-	fams := sweepAllFams()
+func AppendixELarge(ctx context.Context, cfg Config) (string, error) {
+	fams := cfg.allFams()
 	var b strings.Builder
 	b.WriteString("Appendix E (extended): GPT-3 and 1T on V100 LargeClusters,\n")
 	b.WriteString("all registered families, V-caps and hybrid sequence lengths enumerated\n\n")
@@ -35,7 +36,7 @@ func AppendixELarge() (string, error) {
 		// worker timing, and a persisted artifact must be byte-reproducible
 		// run over run. The sweep is small (a few hundred candidates after
 		// pruning), so the serial pool costs little.
-		results, err := search.SweepAll(sc.cluster, sc.model, fams, sc.batches,
+		results, err := search.SweepAll(ctx, sc.cluster, sc.model, fams, sc.batches,
 			search.Options{Stats: stats, Workers: 1})
 		if err != nil {
 			return "", fmt.Errorf("appendixE-large: %s: %w", sc.name, err)
@@ -55,14 +56,4 @@ func AppendixELarge() (string, error) {
 	b.WriteString("still beat the incumbent; winners are byte-identical to the exhaustive\n")
 	b.WriteString("search.\n")
 	return b.String(), nil
-}
-
-// sweepAllFams returns the family scope of the extended Appendix E grid:
-// the -families override when set, every registered family otherwise (the
-// point of the artifact is to include the extension schedules).
-func sweepAllFams() []search.Family {
-	if len(sweepFamilies) > 0 {
-		return sweepFamilies
-	}
-	return search.AllFamilies()
 }

@@ -1,12 +1,17 @@
 // Package figures regenerates every table and figure of the paper's
 // evaluation from the simulator, the analytic model, the grid search and
-// the SGD noise-scale simulator. Each generator returns the rendered text;
-// WriteAll saves them under a directory. The benchmark harness
-// (bench_test.go) and the bfpp-figures command both drive these functions,
+// the SGD noise-scale simulator. Each generator takes a context (the
+// sweep-backed ones observe cancellation between candidate simulations)
+// and returns the rendered text; WriteAll saves them under a directory.
+// A Config carries the per-call scenario knobs — family selection and the
+// worker budget — so concurrent callers (e.g. server requests) never share
+// process-global state. The benchmark harness (bench_test.go), the
+// bfpp-figures command and the service layer all drive these functions,
 // and EXPERIMENTS.md records the paper-vs-measured comparison.
 package figures
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -27,44 +32,60 @@ import (
 // Figure 7 (sized so every method family has feasible configurations).
 var (
 	paperBatches52B    = []int{8, 16, 32, 64, 128, 256, 512}
-	paperBatches6p6B   = []int{32, 64, 96, 128, 192, 256, 384, 512}
 	paperBatchesEthnet = []int{64, 96, 128, 192, 256, 384, 512}
+	paperBatches6p6B   = []int{32, 64, 96, 128, 192, 256, 384, 512}
 )
 
-// sweepFamilies overrides the method families the scenario sweeps cover;
-// nil means search.Families(), the paper's four. The bfpp-figures
-// -families flag sets it (SetSweepFamilies) to regenerate the comparison
-// artifacts over a different family selection, e.g. including the
-// extension schedules.
-var sweepFamilies []search.Family
-
-// SetSweepFamilies selects the families Figure 1/7/8 and the Table E
-// artifacts sweep; nil or empty restores the paper default.
-func SetSweepFamilies(fams []search.Family) {
-	sweepFamilies = append([]search.Family(nil), fams...)
+// Config carries the per-call knobs of the sweep-backed artifacts. The
+// zero value reproduces the paper defaults. It replaces the former
+// package-global family selection, so concurrent callers with different
+// selections cannot race.
+type Config struct {
+	// Families selects the method families Figure 1/7/8 and the Table E
+	// artifacts sweep; nil means search.Families(), the paper's four
+	// (AppendixELarge and ExtensionSchedules default to every registered
+	// family instead — the point of those artifacts).
+	Families []search.Family
+	// Workers bounds the sweeps' worker pools; 0 resolves to
+	// parallel.DefaultWorkers(). Results are identical at any width.
+	Workers int
 }
 
-// sweepFams returns the effective family selection.
-func sweepFams() []search.Family {
-	if len(sweepFamilies) > 0 {
-		return sweepFamilies
+// fams returns the effective family selection of the paper artifacts.
+func (cfg Config) fams() []search.Family {
+	if len(cfg.Families) > 0 {
+		return cfg.Families
 	}
 	return search.Families()
 }
 
+// allFams returns the effective selection of the extension artifacts,
+// which default to every registered family.
+func (cfg Config) allFams() []search.Family {
+	if len(cfg.Families) > 0 {
+		return cfg.Families
+	}
+	return search.AllFamilies()
+}
+
+// searchOptions maps the config onto sweep options.
+func (cfg Config) searchOptions() search.Options {
+	return search.Options{Workers: cfg.Workers}
+}
+
 // Figure1 produces the predicted training time and memory summary for the
 // 52B model on 4096 V100s (the paper's headline bar chart).
-func Figure1() (string, error) {
+func Figure1(ctx context.Context, cfg Config) (string, error) {
 	c := hw.PaperCluster()
 	m := model.Model52B()
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 1: 52B model on 4096 V100 GPUs (Bcrit=%.0f)\n", batchsize.PaperBcrit52B)
 	fmt.Fprintf(&b, "%-26s %12s %14s %14s\n", "Method", "time (days)", "cost (GPUd)", "mem min (GiB)")
-	results, err := search.SweepAll(c, m, sweepFams(), paperBatches52B, search.Options{})
+	results, err := search.SweepAll(ctx, c, m, cfg.fams(), paperBatches52B, cfg.searchOptions())
 	if err != nil {
 		return "", fmt.Errorf("figure1: %w", err)
 	}
-	for _, f := range sweepFams() {
+	for _, f := range cfg.fams() {
 		bests, ok := results[f]
 		if !ok {
 			continue
@@ -73,7 +94,7 @@ func Figure1() (string, error) {
 		for i, best := range bests {
 			rs[i] = best.Result
 		}
-		pts, err := tradeoff.Curve(m, rs, batchsize.PaperBcrit52B, []int{4096})
+		pts, err := tradeoff.Curve(ctx, m, rs, batchsize.PaperBcrit52B, []int{4096}, cfg.Workers)
 		if err != nil {
 			return "", err
 		}
@@ -121,12 +142,13 @@ func Figure3() string {
 		trace.Placement(m, std) + "\n" + trace.Placement(m, looped)
 }
 
-// diagramParams idealizes the engine constants for schedule diagrams: the
+// DiagramParams idealizes the engine constants for schedule diagrams: the
 // paper's Figures 4 and 9 are drawn "times to scale" with the
 // pipeline-parallel communication omitted, so the fixed per-op and
 // per-message overheads (which dwarf the tiny demo model's compute) are
-// zeroed.
-func diagramParams() engine.Params {
+// zeroed. bfpp-trace and the service's Diagram simulations use the same
+// preset.
+func DiagramParams() engine.Params {
 	par := engine.Defaults()
 	par.KernelLaunch = 0
 	par.BlockingPPBase = 0
@@ -136,7 +158,7 @@ func diagramParams() engine.Params {
 
 // ganttCase simulates a plan on the tiny model and renders its Gantt.
 func ganttCase(name string, p core.Plan, width int) (string, error) {
-	par := diagramParams()
+	par := DiagramParams()
 	res, err := engine.SimulateOpts(hw.PaperCluster(), model.Tiny(), p,
 		engine.Options{CaptureTimeline: true, Params: &par})
 	if err != nil {
@@ -147,7 +169,10 @@ func ganttCase(name string, p core.Plan, width int) (string, error) {
 }
 
 // Figure4 renders the four pipeline schedules, times to scale.
-func Figure4() (string, error) {
+func Figure4(ctx context.Context) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	b.WriteString("Figure 4: pipeline schedules, 16 layers, 4 devices, 8 micro-batches\n\n")
 	cases := []struct {
@@ -176,7 +201,7 @@ func Figure4() (string, error) {
 
 // Figure5 sweeps the fixed configurations: GPU utilization versus batch
 // size per GPU for both models with all four schedules.
-func Figure5() (string, error) {
+func Figure5(ctx context.Context) (string, error) {
 	var b strings.Builder
 	type cfg struct {
 		name       string
@@ -192,6 +217,9 @@ func Figure5() (string, error) {
 	}
 	c := hw.PaperCluster()
 	for _, cse := range cases {
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
 		fmt.Fprintf(&b, "Figure 5%s: GPU utilization (%%)\n", cse.name)
 		fmt.Fprintf(&b, "%8s %14s %12s %8s %8s\n", "beta", "breadth-first", "depth-first", "gpipe", "1f1b")
 		for _, nmb := range cse.nmbs {
@@ -222,11 +250,14 @@ func Figure5() (string, error) {
 }
 
 // Figure6 sweeps N_loop for the 52B model at B=16 and B=64.
-func Figure6() (string, error) {
+func Figure6(ctx context.Context) (string, error) {
 	var b strings.Builder
 	c := hw.PaperCluster()
 	m := model.Model52B()
 	for _, nmb := range []int{16, 64} {
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
 		fmt.Fprintf(&b, "Figure 6 (B=%d): GPU utilization (%%) vs stages per device\n", nmb)
 		fmt.Fprintf(&b, "%8s %14s %12s\n", "Nloop", "breadth-first", "depth-first")
 		for _, loops := range []int{1, 2, 4, 8} {
@@ -276,9 +307,12 @@ func scenarios() []scenario {
 // tail no longer leaves workers idle while the next family enumerates.
 // Families infeasible at every batch are omitted, exactly as the old
 // sequential per-family sweep did.
-func sweepAll(sc scenario) (map[search.Family][]search.Best, error) {
-	out, err := search.SweepAll(sc.cluster, sc.model, sweepFams(), sc.batches, search.Options{})
+func sweepAll(ctx context.Context, sc scenario, cfg Config) (map[search.Family][]search.Best, error) {
+	out, err := search.SweepAll(ctx, sc.cluster, sc.model, cfg.fams(), sc.batches, cfg.searchOptions())
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("figures: no feasible family for %s", sc.name)
 	}
 	return out, nil
@@ -286,26 +320,26 @@ func sweepAll(sc scenario) (map[search.Family][]search.Best, error) {
 
 // Figure7 produces the best-utilization-vs-batch curves for one scenario
 // index (0: 52B, 1: 6.6B, 2: 6.6B Ethernet).
-func Figure7(idx int) (string, error) {
+func Figure7(ctx context.Context, idx int, cfg Config) (string, error) {
 	scs := scenarios()
 	if idx < 0 || idx >= len(scs) {
 		return "", fmt.Errorf("figures: scenario %d out of range", idx)
 	}
 	sc := scs[idx]
-	results, err := sweepAll(sc)
+	results, err := sweepAll(ctx, sc, cfg)
 	if err != nil {
 		return "", err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 7 (%s): best GPU utilization (%%) per batch size\n", sc.name)
 	fmt.Fprintf(&b, "%8s", "batch")
-	for _, f := range sweepFams() {
+	for _, f := range cfg.fams() {
 		fmt.Fprintf(&b, " %26s", f)
 	}
 	b.WriteString("\n")
 	for _, batch := range sc.batches {
 		fmt.Fprintf(&b, "%8d", batch)
-		for _, f := range sweepFams() {
+		for _, f := range cfg.fams() {
 			val := "-"
 			for _, best := range results[f] {
 				if best.Plan.BatchSize() == batch {
@@ -320,19 +354,19 @@ func Figure7(idx int) (string, error) {
 }
 
 // Figure8 produces the cost/time trade-off curves for one scenario index.
-func Figure8(idx int) (string, error) {
+func Figure8(ctx context.Context, idx int, cfg Config) (string, error) {
 	scs := scenarios()
 	if idx < 0 || idx >= len(scs) {
 		return "", fmt.Errorf("figures: scenario %d out of range", idx)
 	}
 	sc := scs[idx]
-	results, err := sweepAll(sc)
+	results, err := sweepAll(ctx, sc, cfg)
 	if err != nil {
 		return "", err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 8 (%s): projected training cost vs time (Bcrit=%.0f)\n\n", sc.name, sc.bcrit)
-	for _, f := range sweepFams() {
+	for _, f := range cfg.fams() {
 		bests, ok := results[f]
 		if !ok {
 			continue
@@ -341,7 +375,7 @@ func Figure8(idx int) (string, error) {
 		for i, best := range bests {
 			rs[i] = best.Result
 		}
-		pts, err := tradeoff.Curve(sc.model, rs, sc.bcrit, tradeoff.PaperClusterSizes())
+		pts, err := tradeoff.Curve(ctx, sc.model, rs, sc.bcrit, tradeoff.PaperClusterSizes(), cfg.Workers)
 		if err != nil {
 			return "", err
 		}
@@ -352,7 +386,10 @@ func Figure8(idx int) (string, error) {
 }
 
 // Figure9 renders the gradient-accumulation schedules.
-func Figure9() (string, error) {
+func Figure9(ctx context.Context) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	b.WriteString("Figure 9: gradient accumulation, 4 stages, 4 micro-batches, DP=4\n\n")
 	cases := []struct {
@@ -401,13 +438,13 @@ func Table51() string {
 
 // TableE produces the optimal-configuration table for one scenario index
 // (0: Table E.1, 1: Table E.2, 2: Table E.3).
-func TableE(idx int) (string, error) {
+func TableE(ctx context.Context, idx int, cfg Config) (string, error) {
 	scs := scenarios()
 	if idx < 0 || idx >= len(scs) {
 		return "", fmt.Errorf("figures: scenario %d out of range", idx)
 	}
 	sc := scs[idx]
-	results, err := sweepAll(sc)
+	results, err := sweepAll(ctx, sc, cfg)
 	if err != nil {
 		return "", err
 	}
@@ -417,7 +454,10 @@ func TableE(idx int) (string, error) {
 // AppendixB runs the SGD noise-scale experiment: the steps-to-target curve
 // across batch sizes, the fitted critical batch size and the
 // gradient-statistics estimate.
-func AppendixB() (string, error) {
+func AppendixB(ctx context.Context) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	sim := batchsize.SGDSim{Dim: 64, Sigma: 6, Seed: 7}
 	batches := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 	curve := sim.StepsCurve(batches, 1.0, 0.05, 1_000_000)
@@ -440,50 +480,66 @@ func AppendixB() (string, error) {
 	return b.String(), nil
 }
 
-// Generator names one regenerable artifact.
+// Generator names one regenerable artifact. Run observes ctx: the
+// sweep-backed artifacts abort between candidate simulations, the cheap
+// ones between cases.
 type Generator struct {
 	Name string
-	Run  func() (string, error)
+	Run  func(ctx context.Context) (string, error)
 }
 
-// Generators lists every artifact in paper order.
-func Generators() []Generator {
-	wrap := func(f func() string) func() (string, error) {
-		return func() (string, error) { return f(), nil }
+// Generators lists every artifact in paper order, with the sweep-backed
+// ones bound to the given config (family selection, worker budget).
+func Generators(cfg Config) []Generator {
+	wrap := func(f func() string) func(context.Context) (string, error) {
+		return func(ctx context.Context) (string, error) {
+			if err := ctx.Err(); err != nil {
+				return "", err
+			}
+			return f(), nil
+		}
+	}
+	sweep := func(f func(context.Context, Config) (string, error)) func(context.Context) (string, error) {
+		return func(ctx context.Context) (string, error) { return f(ctx, cfg) }
+	}
+	indexed := func(f func(context.Context, int, Config) (string, error), idx int) func(context.Context) (string, error) {
+		return func(ctx context.Context) (string, error) { return f(ctx, idx, cfg) }
 	}
 	return []Generator{
-		{"figure1", Figure1},
+		{"figure1", sweep(Figure1)},
 		{"figure2", wrap(Figure2)},
 		{"figure3", wrap(Figure3)},
 		{"figure4", Figure4},
 		{"figure5", Figure5},
 		{"figure6", Figure6},
-		{"figure7a", func() (string, error) { return Figure7(0) }},
-		{"figure7b", func() (string, error) { return Figure7(1) }},
-		{"figure7c", func() (string, error) { return Figure7(2) }},
-		{"figure8a", func() (string, error) { return Figure8(0) }},
-		{"figure8b", func() (string, error) { return Figure8(1) }},
-		{"figure8c", func() (string, error) { return Figure8(2) }},
+		{"figure7a", indexed(Figure7, 0)},
+		{"figure7b", indexed(Figure7, 1)},
+		{"figure7c", indexed(Figure7, 2)},
+		{"figure8a", indexed(Figure8, 0)},
+		{"figure8b", indexed(Figure8, 1)},
+		{"figure8c", indexed(Figure8, 2)},
 		{"figure9", Figure9},
 		{"table4.1", wrap(Table41)},
 		{"table5.1", wrap(Table51)},
-		{"tableE1", func() (string, error) { return TableE(0) }},
-		{"tableE2", func() (string, error) { return TableE(1) }},
-		{"tableE3", func() (string, error) { return TableE(2) }},
+		{"tableE1", indexed(TableE, 0)},
+		{"tableE2", indexed(TableE, 1)},
+		{"tableE3", indexed(TableE, 2)},
 		{"appendixB", AppendixB},
-		{"appendixE-large", AppendixELarge},
+		{"appendixE-large", sweep(AppendixELarge)},
 		{"extension-nextgen", ExtensionNextGen},
-		{"extension-schedules", ExtensionSchedules},
+		{"extension-schedules", sweep(ExtensionSchedules)},
 	}
 }
 
-// WriteAll regenerates every artifact into dir (one .txt per artifact).
-func WriteAll(dir string) error {
+// WriteAll regenerates every artifact into dir (one .txt per artifact),
+// stopping at the first failure — including ctx cancellation, which aborts
+// mid-sweep without writing the interrupted artifact.
+func WriteAll(ctx context.Context, dir string, cfg Config) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	for _, g := range Generators() {
-		s, err := g.Run()
+	for _, g := range Generators(cfg) {
+		s, err := g.Run(ctx)
 		if err != nil {
 			return fmt.Errorf("figures: %s: %w", g.Name, err)
 		}

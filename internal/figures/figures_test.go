@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -20,18 +21,18 @@ func TestCheapArtifacts(t *testing.T) {
 			[]string{"looped 8x", "data-parallel", "without overlap"}},
 		{"figure3", func() (string, error) { return Figure3(), nil },
 			[]string{"GPU 0 | 0 4 8 12", "GPU 0 | 0 1 2 3"}},
-		{"figure4", Figure4, []string{"GPipe", "Breadth-first", "bubble"}},
-		{"figure5", Figure5, []string{"52B", "6.6B", "breadth-first"}},
-		{"figure6", Figure6, []string{"B=16", "B=64", "Nloop"}},
-		{"figure9", Figure9, []string{"DP-FS", "Breadth-first"}},
+		{"figure4", func() (string, error) { return Figure4(context.Background()) }, []string{"GPipe", "Breadth-first", "bubble"}},
+		{"figure5", func() (string, error) { return Figure5(context.Background()) }, []string{"52B", "6.6B", "breadth-first"}},
+		{"figure6", func() (string, error) { return Figure6(context.Background()) }, []string{"B=16", "B=64", "Nloop"}},
+		{"figure9", func() (string, error) { return Figure9(context.Background()) }, []string{"DP-FS", "Breadth-first"}},
 		{"table4.1", func() (string, error) { return Table41(), nil },
 			[]string{"Chimera", "Breadth-first (DP-FS)"}},
 		{"table5.1", func() (string, error) { return Table51(), nil },
 			[]string{"52B", "6.6B", "8192"}},
-		{"appendixB", AppendixB, []string{"fit:", "McCandlish"}},
-		{"appendixE-large", AppendixELarge,
+		{"appendixB", func() (string, error) { return AppendixB(context.Background()) }, []string{"fit:", "McCandlish"}},
+		{"appendixE-large", func() (string, error) { return AppendixELarge(context.Background(), Config{}) },
 			[]string{"GPT-3", "1T", "pruning:", "Breadth-first", "V-schedule"}},
-		{"extension-nextgen", ExtensionNextGen, []string{"A100", "H100", "GPT-3"}},
+		{"extension-nextgen", func() (string, error) { return ExtensionNextGen(context.Background()) }, []string{"A100", "H100", "GPT-3"}},
 	}
 	for _, c := range cases {
 		s, err := c.run()
@@ -50,7 +51,7 @@ func TestCheapArtifacts(t *testing.T) {
 // Figure 5's numbers must carry the paper's central ordering: breadth-first
 // ahead of depth-first on every row.
 func TestFigure5Ordering(t *testing.T) {
-	s, err := Figure5()
+	s, err := Figure5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestGeneratorsComplete(t *testing.T) {
 		"figure8c", "figure9", "table4.1", "table5.1", "tableE1", "tableE2",
 		"tableE3", "appendixB", "appendixE-large", "extension-nextgen",
 		"extension-schedules"}
-	gens := Generators()
+	gens := Generators(Config{})
 	if len(gens) != len(want) {
 		t.Fatalf("got %d generators, want %d", len(gens), len(want))
 	}
@@ -96,13 +97,13 @@ func TestGeneratorsComplete(t *testing.T) {
 }
 
 func TestScenarioIndexErrors(t *testing.T) {
-	if _, err := Figure7(9); err == nil {
+	if _, err := Figure7(context.Background(), 9, Config{}); err == nil {
 		t.Error("out-of-range scenario should fail")
 	}
-	if _, err := Figure8(-1); err == nil {
+	if _, err := Figure8(context.Background(), -1, Config{}); err == nil {
 		t.Error("negative scenario should fail")
 	}
-	if _, err := TableE(3); err == nil {
+	if _, err := TableE(context.Background(), 3, Config{}); err == nil {
 		t.Error("out-of-range table should fail")
 	}
 }
@@ -116,10 +117,10 @@ func TestWriteAllSmoke(t *testing.T) {
 	}
 	dir := t.TempDir()
 	// Run only the cheap subset through the same file-writing path.
-	for _, g := range Generators() {
+	for _, g := range Generators(Config{}) {
 		switch g.Name {
 		case "figure2", "figure3", "table4.1", "table5.1":
-			s, err := g.Run()
+			s, err := g.Run(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -17,7 +18,10 @@ import (
 // as NVIDIA A100 or the upcoming H100"): the breadth-first schedule on the
 // 52B model and GPT-3 across V100, A100 and H100 clusters of 64 GPUs, at a
 // fixed batch size per GPU.
-func ExtensionNextGen() (string, error) {
+func ExtensionNextGen(ctx context.Context) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	b.WriteString("Extension: breadth-first on next-generation hardware (conclusion's future work)\n")
 	fmt.Fprintf(&b, "%-8s %-10s %10s %10s %10s %14s\n",

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -20,7 +21,7 @@ import (
 // 6.6B model, and sweeps the V-schedule's in-flight cap to show the
 // memory/bubble dial. New schedules registered through
 // schedule.Register appear here without touching this file.
-func ExtensionSchedules() (string, error) {
+func ExtensionSchedules(ctx context.Context, cfg Config) (string, error) {
 	var b strings.Builder
 	b.WriteString("Extension: registry-driven schedule comparison\n\n")
 
@@ -56,7 +57,7 @@ func ExtensionSchedules() (string, error) {
 	c := hw.PaperCluster()
 	m := model.Model6p6B()
 	batches := []int{32, 64, 128}
-	results, err := search.SweepAll(c, m, search.AllFamilies(), batches, search.Options{})
+	results, err := search.SweepAll(ctx, c, m, search.AllFamilies(), batches, cfg.searchOptions())
 	if err != nil {
 		return "", fmt.Errorf("extension-schedules: %w", err)
 	}

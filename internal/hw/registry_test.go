@@ -1,0 +1,117 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryCoversAllClusters asserts the built-in testbeds and the
+// LargeCluster pattern are reachable through the registry and build the
+// same clusters as the constructors.
+func TestRegistryCoversAllClusters(t *testing.T) {
+	cases := map[string]Cluster{
+		"paper":    PaperCluster(),
+		"ethernet": PaperClusterEthernet(),
+		"512":      LargeCluster(512),
+	}
+	for name, want := range cases {
+		got, ok := Lookup(name)
+		if !ok {
+			t.Errorf("%q is not registered", name)
+			continue
+		}
+		if got != want {
+			t.Errorf("%q: registry builds %+v, constructor builds %+v", name, got, want)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("%q: registered cluster invalid: %v", name, err)
+		}
+	}
+	names := Names()
+	for _, want := range []string{"paper", "ethernet", "<gpu-count>"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Names() = %v is missing %q", names, want)
+		}
+	}
+}
+
+// TestClusterAliasRoundTrip asserts aliases and case variants resolve to
+// the same cluster as the canonical name.
+func TestClusterAliasRoundTrip(t *testing.T) {
+	cases := map[string]string{
+		"infiniband": "paper", "ib": "paper", "PAPER": "paper",
+		"eth": "ethernet", "Ethernet": "ethernet",
+	}
+	for alias, canonical := range cases {
+		got, ok := Lookup(alias)
+		if !ok {
+			t.Errorf("alias %q did not resolve", alias)
+			continue
+		}
+		want, _ := Lookup(canonical)
+		if got != want {
+			t.Errorf("alias %q built %q, canonical %q built %q", alias, got.Name, canonical, want.Name)
+		}
+	}
+}
+
+// TestPatternLookup pins the pattern behavior: positive GPU counts parse,
+// junk does not, and fixed names win over patterns.
+func TestPatternLookup(t *testing.T) {
+	c, ok := Lookup("4096")
+	if !ok || c.NumGPUs() != 4096 {
+		t.Errorf("4096: %v, %d GPUs", ok, c.NumGPUs())
+	}
+	for _, bad := range []string{"", "0", "-8", "12x", "cloud", "99999999999999999999"} {
+		if _, ok := Lookup(bad); ok {
+			t.Errorf("%q should not resolve", bad)
+		}
+	}
+}
+
+// TestDuplicateClusterRegisterPanics asserts colliding registrations fail
+// loudly for both fixed names and patterns.
+func TestDuplicateClusterRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r == nil {
+				t.Errorf("%s: expected panic", name)
+			} else if !strings.Contains(strings.ToLower(r.(string)), "regist") {
+				t.Errorf("%s: unexpected panic message %v", name, r)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate name", func() { Register("paper", PaperCluster) })
+	mustPanic("duplicate via alias", func() { Register("ib", PaperCluster) })
+	mustPanic("duplicate pattern", func() {
+		RegisterPattern("<gpu-count>", func(string) (Cluster, bool) { return Cluster{}, false })
+	})
+	mustPanic("empty name", func() { Register("", PaperCluster) })
+	mustPanic("nil constructor", func() { Register("fresh-cluster", nil) })
+	mustPanic("nil parser", func() { RegisterPattern("<fresh>", nil) })
+}
+
+// TestRegisterClusterExtension registers a throwaway cluster and asserts
+// it resolves — the extension recipe in README.md.
+func TestRegisterClusterExtension(t *testing.T) {
+	if _, ok := Lookup("test-a100"); !ok { // idempotent under -count>1
+		Register("test-a100", func() Cluster {
+			c := PaperCluster()
+			c.Name = "test-a100"
+			c.GPU = A100()
+			return c
+		})
+	}
+	c, ok := Lookup("TEST-A100")
+	if !ok || c.GPU.Name != A100().Name {
+		t.Fatalf("extension lookup: %v, %+v", ok, c.GPU)
+	}
+}

@@ -1,0 +1,110 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryCoversAllModels asserts every built-in constructor is
+// reachable through the registry and that the registered entries build
+// valid, correctly-named models.
+func TestRegistryCoversAllModels(t *testing.T) {
+	builtins := map[string]func() Transformer{
+		"52B": Model52B, "6.6B": Model6p6B, "GPT-3": GPT3, "1T": Model1T, "tiny": Tiny,
+	}
+	names := Names()
+	if len(names) < len(builtins) {
+		t.Fatalf("registry lists %d models, want >= %d (%v)", len(names), len(builtins), names)
+	}
+	for name, build := range builtins {
+		got, ok := Lookup(name)
+		if !ok {
+			t.Errorf("built-in model %q is not registered", name)
+			continue
+		}
+		if want := build(); got != want {
+			t.Errorf("%q: registry builds %v, constructor builds %v", name, got, want)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("%q: registered model invalid: %v", name, err)
+		}
+		found := false
+		for _, n := range names {
+			if n == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Names() = %v is missing %q", names, name)
+		}
+	}
+}
+
+// TestLookupAliasRoundTrip asserts aliases and case variants resolve to
+// the same model as the canonical name.
+func TestLookupAliasRoundTrip(t *testing.T) {
+	cases := map[string]string{
+		"6p6b": "6.6B", "6.6b": "6.6B", "gpt3": "GPT-3", "gpt-3": "GPT-3",
+		"52b": "52B", "1t": "1T", "TINY": "tiny",
+	}
+	for alias, canonical := range cases {
+		got, ok := Lookup(alias)
+		if !ok {
+			t.Errorf("alias %q did not resolve", alias)
+			continue
+		}
+		want, ok := Lookup(canonical)
+		if !ok {
+			t.Fatalf("canonical %q did not resolve", canonical)
+		}
+		if got != want {
+			t.Errorf("alias %q built %v, canonical %q built %v", alias, got, canonical, want)
+		}
+	}
+	if _, ok := Lookup("banana"); ok {
+		t.Error("unregistered name resolved")
+	}
+}
+
+// TestDuplicateRegisterPanics asserts a colliding registration fails
+// loudly — on the canonical name and on an alias alike.
+func TestDuplicateRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r == nil {
+				t.Errorf("%s: expected panic", name)
+			} else if !strings.Contains(strings.ToLower(r.(string)), "regist") {
+				t.Errorf("%s: unexpected panic message %v", name, r)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate name", func() { Register("52B", Tiny) })
+	mustPanic("duplicate via case", func() { Register("52b", Tiny) })
+	mustPanic("duplicate alias", func() { Register("fresh-model-x", Tiny, "6p6b") })
+	mustPanic("empty name", func() { Register("", Tiny) })
+	mustPanic("nil constructor", func() { Register("fresh-model-y", nil) })
+}
+
+// TestRegisterExtension registers a throwaway model and asserts it
+// resolves by name and alias and appears in Names() — the extension
+// recipe in README.md.
+func TestRegisterExtension(t *testing.T) {
+	build := func() Transformer {
+		m := Tiny()
+		m.Name = "test-ext"
+		return m
+	}
+	if _, ok := Lookup("test-ext"); !ok { // idempotent under -count>1
+		Register("test-ext", build, "text")
+	}
+	got, ok := Lookup("TEXT")
+	if !ok || got.Name != "test-ext" {
+		t.Fatalf("extension alias lookup: %v, %v", got, ok)
+	}
+	names := Names()
+	if names[len(names)-1] != "test-ext" {
+		t.Errorf("Names() tail = %q, want the freshly registered model", names[len(names)-1])
+	}
+}

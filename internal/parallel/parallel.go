@@ -8,11 +8,27 @@
 // hit first. Callers therefore produce byte-identical output whether they
 // run with 1 worker or many.
 //
-// The default worker count is runtime.GOMAXPROCS(0); SetDefaultWorkers
-// overrides it process-wide (the commands expose it as -workers).
+// The context-aware variants (MapCtx, ForEachCtx) additionally observe
+// cancellation: workers check the context between items, so an in-flight
+// item finishes but no new item starts once the context is done, the pool
+// drains promptly and the call returns ctx.Err(). Cancellation takes
+// precedence over item errors (which are timing-dependent once the pool
+// stops draining the work list); on the uncancelled path the lowest-index
+// rule applies unchanged, so results remain deterministic.
+//
+// # Worker counts
+//
+// Callers pass an explicit worker count; 0 resolves to
+// runtime.GOMAXPROCS(0). The process-wide SetDefaultWorkers override is
+// deprecated: it is a compatibility shim for single-job command-line use
+// only, and concurrent callers (e.g. several server requests) would race
+// on it, each clobbering the others' budgets. New code should thread an
+// explicit worker count through its options (search.Options.Workers, the
+// service request Workers field) instead.
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -33,6 +49,14 @@ func DefaultWorkers() int {
 
 // SetDefaultWorkers overrides the process-wide default worker count.
 // n <= 0 restores the GOMAXPROCS default.
+//
+// Deprecated: this is a process-global and therefore a hazard for any
+// program running more than one job at a time — concurrent requests would
+// race on the single override, silently steering each other's pools. It
+// remains only as a compatibility shim for the single-job CLI flags;
+// plumb an explicit Workers value through the call path instead
+// (search.Options.Workers, figures.Config.Workers, tradeoff.Curve's
+// workers argument, the service requests' Workers field).
 func SetDefaultWorkers(n int) {
 	if n < 0 {
 		n = 0
@@ -57,9 +81,18 @@ func Resolve(n int) int {
 // the one attached to the lowest index, so error reporting is independent
 // of goroutine scheduling.
 func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	return MapCtx(context.Background(), workers, items, fn)
+}
+
+// MapCtx is Map under a context: workers observe ctx between items (an
+// in-flight fn call completes; no new item starts once ctx is done), the
+// pool drains promptly, and the call reports ctx.Err(). Cancellation takes
+// precedence over item errors; without cancellation the result and the
+// lowest-index error rule are exactly Map's.
+func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
 	n := len(items)
 	if n == 0 {
-		return nil, nil
+		return nil, ctx.Err()
 	}
 	workers = Resolve(workers)
 	if workers > n {
@@ -68,9 +101,13 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 	out := make([]R, n)
 	if workers <= 1 {
 		// Same contract as the concurrent path: every item is evaluated
-		// and the lowest-indexed error wins.
+		// and the lowest-indexed error wins, unless the context cancels
+		// the loop first.
 		var firstErr error
 		for i, item := range items {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			r, err := fn(i, item)
 			if err != nil {
 				if firstErr == nil {
@@ -80,12 +117,16 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 			}
 			out[i] = r
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if firstErr != nil {
 			return nil, firstErr
 		}
 		return out, nil
 	}
 	errs := make([]error, n)
+	done := ctx.Done()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -93,6 +134,11 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -107,6 +153,9 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -117,7 +166,12 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 
 // ForEach is Map for side-effecting functions with no result value.
 func ForEach[T any](workers int, items []T, fn func(i int, item T) error) error {
-	_, err := Map(workers, items, func(i int, item T) (struct{}, error) {
+	return ForEachCtx(context.Background(), workers, items, fn)
+}
+
+// ForEachCtx is MapCtx for side-effecting functions with no result value.
+func ForEachCtx[T any](ctx context.Context, workers int, items []T, fn func(i int, item T) error) error {
+	_, err := MapCtx(ctx, workers, items, func(i int, item T) (struct{}, error) {
 		return struct{}{}, fn(i, item)
 	})
 	return err

@@ -1,0 +1,140 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bfpp/internal/hw"
+	"bfpp/internal/model"
+)
+
+// TestSweepAllCancelMidFlight cancels a sweep from inside its own progress
+// callback and asserts it returns context.Canceled within a bounded
+// wall-clock time and leaks no pool goroutines.
+func TestSweepAllCancelMidFlight(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model6p6B()
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	opt := Options{
+		Workers: 4,
+		NoPrune: true, // maximize remaining work so cancellation really cuts it short
+		Progress: func(ProgressSnapshot) {
+			if calls.Add(1) == 3 {
+				cancel()
+			}
+		},
+	}
+	start := time.Now()
+	_, err := SweepAll(ctx, c, m, AllFamilies(), []int{32, 64, 96, 128, 192, 256}, opt)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// "Promptly": an in-flight simulation is a few ms; the full unpruned
+	// sweep is tens of seconds. Ten seconds of slack keeps slow CI green
+	// while still distinguishing "drained" from "ran to completion".
+	if elapsed > 10*time.Second {
+		t.Errorf("cancelled sweep took %v, want prompt return", elapsed)
+	}
+	for attempt := 0; runtime.NumGoroutine() > before; attempt++ {
+		if attempt > 100 {
+			t.Fatalf("pool goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestOptimizeCancelledBeforeStart asserts an already-cancelled context
+// fails fast with ctx.Err() — not with a misleading "no feasible
+// configuration" from the truncated enumeration.
+func TestOptimizeCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Optimize(ctx, hw.PaperCluster(), model.Model6p6B(), FamilyBreadthFirst, 64, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := Sweep(ctx, hw.PaperCluster(), model.Model6p6B(), FamilyBreadthFirst, []int{64}, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sweep err = %v, want context.Canceled", err)
+	}
+	if _, err := SweepAll(ctx, hw.PaperCluster(), model.Model6p6B(), Families(), []int{64}, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SweepAll err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCompletedBeforeCancelUnaffected pins that cancelling after the
+// search returned changes nothing: the result equals the background-ctx
+// run bit for bit.
+func TestCompletedBeforeCancelUnaffected(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model6p6B()
+	want, err := Optimize(context.Background(), c, m, FamilyBreadthFirst, 64, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got, err := Optimize(ctx, c, m, FamilyBreadthFirst, 64, Options{Workers: 4})
+	cancel() // after completion: must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result != want.Result || got.Configs != want.Configs {
+		t.Errorf("post-completion cancel changed the result: %+v != %+v", got, want)
+	}
+}
+
+// TestProgressSnapshots asserts the Progress callback fires, is monotone
+// in resolved candidates and ends exactly at the final Stats totals.
+func TestProgressSnapshots(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model6p6B()
+	stats := &Stats{}
+	var last atomic.Int64
+	var calls atomic.Int64
+	_, err := SweepAll(context.Background(), c, m, Families(), []int{32, 64}, Options{
+		Workers: 4,
+		Stats:   stats,
+		Progress: func(p ProgressSnapshot) {
+			calls.Add(1)
+			done := p.Done()
+			if prev := last.Load(); done < prev {
+				t.Errorf("progress went backwards: %d -> %d", prev, done)
+			}
+			last.Store(done)
+			if p.Done() > p.Enumerated {
+				t.Errorf("done %d exceeds enumerated %d", p.Done(), p.Enumerated)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("progress callback never fired")
+	}
+	if got, want := last.Load(), stats.Snapshot().Done(); got != want {
+		t.Errorf("final progress %d != stats done %d", got, want)
+	}
+}
+
+// TestProgressWithoutStats pins that Progress works with Options.Stats
+// nil (a private counter set is allocated).
+func TestProgressWithoutStats(t *testing.T) {
+	var calls atomic.Int64
+	_, err := Optimize(context.Background(), hw.PaperCluster(), model.Model6p6B(),
+		FamilyNoPipeline, 64, Options{Progress: func(ProgressSnapshot) { calls.Add(1) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("progress callback never fired without Stats")
+	}
+}

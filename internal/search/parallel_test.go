@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -18,12 +19,12 @@ func TestOptimizeParallelMatchesBaseline(t *testing.T) {
 	c := hw.PaperCluster()
 	m := model.Model6p6B()
 	for _, f := range Families() {
-		want, err := Optimize(c, m, f, 64, Options{Baseline: true})
+		want, err := Optimize(context.Background(), c, m, f, 64, Options{Baseline: true})
 		if err != nil {
 			t.Fatalf("%v baseline: %v", f, err)
 		}
 		for _, workers := range []int{1, 2, 4, 8} {
-			got, err := Optimize(c, m, f, 64, Options{Workers: workers})
+			got, err := Optimize(context.Background(), c, m, f, 64, Options{Workers: workers})
 			if err != nil {
 				t.Fatalf("%v workers=%d: %v", f, workers, err)
 			}
@@ -51,12 +52,12 @@ func TestSweepParallelMatchesBaseline(t *testing.T) {
 	baseline := map[Family][]Best{}
 	parallelRes := map[Family][]Best{}
 	for _, f := range Families() {
-		b, err := Sweep(c, m, f, batches, Options{Baseline: true})
+		b, err := Sweep(context.Background(), c, m, f, batches, Options{Baseline: true})
 		if err != nil {
 			t.Fatalf("%v baseline: %v", f, err)
 		}
 		baseline[f] = b
-		p, err := Sweep(c, m, f, batches, Options{Workers: 4})
+		p, err := Sweep(context.Background(), c, m, f, batches, Options{Workers: 4})
 		if err != nil {
 			t.Fatalf("%v parallel: %v", f, err)
 		}
@@ -95,7 +96,7 @@ func TestPickBestTieStable(t *testing.T) {
 func TestOptimizeConcurrentCallers(t *testing.T) {
 	c := hw.PaperCluster()
 	m := model.Model6p6B()
-	want, err := Optimize(c, m, FamilyBreadthFirst, 64, Options{Baseline: true})
+	want, err := Optimize(context.Background(), c, m, FamilyBreadthFirst, 64, Options{Baseline: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestOptimizeConcurrentCallers(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			got, err := Optimize(c, m, FamilyBreadthFirst, 64, Options{Workers: 2})
+			got, err := Optimize(context.Background(), c, m, FamilyBreadthFirst, 64, Options{Workers: 2})
 			if err != nil {
 				errs[i] = err
 				return

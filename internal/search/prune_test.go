@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"testing"
 
 	"bfpp/internal/core"
@@ -21,7 +22,7 @@ func TestPrunedSweepMatchesUnpruned(t *testing.T) {
 	batches := []int{1, 32, 64, 128} // batch 1 is infeasible and must be skipped
 	fams := AllFamilies()
 
-	ref, err := SweepAll(c, m, fams, batches, Options{NoPrune: true, Workers: 1})
+	ref, err := SweepAll(context.Background(), c, m, fams, batches, Options{NoPrune: true, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestPrunedSweepMatchesUnpruned(t *testing.T) {
 
 	for _, workers := range []int{1, 2, 4, 8} {
 		stats := &Stats{}
-		got, err := SweepAll(c, m, fams, batches, Options{Workers: workers, Stats: stats})
+		got, err := SweepAll(context.Background(), c, m, fams, batches, Options{Workers: workers, Stats: stats})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -61,11 +62,11 @@ func TestPrunedMatchesUnprunedLargeCluster(t *testing.T) {
 	m := model.GPT3()
 	batches := []int{64, 128}
 	fams := AllFamilies()
-	ref, err := SweepAll(c, m, fams, batches, Options{NoPrune: true})
+	ref, err := SweepAll(context.Background(), c, m, fams, batches, Options{NoPrune: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := SweepAll(c, m, fams, batches, Options{Workers: 4})
+	got, err := SweepAll(context.Background(), c, m, fams, batches, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +82,11 @@ func TestPrunedOptimizeMatchesUnpruned(t *testing.T) {
 	c := hw.PaperCluster()
 	m := model.Model6p6B()
 	for _, f := range AllFamilies() {
-		want, err := Optimize(c, m, f, 64, Options{NoPrune: true})
+		want, err := Optimize(context.Background(), c, m, f, 64, Options{NoPrune: true})
 		if err != nil {
 			t.Fatalf("%v unpruned: %v", f, err)
 		}
-		got, err := Optimize(c, m, f, 64, Options{Workers: 4})
+		got, err := Optimize(context.Background(), c, m, f, 64, Options{Workers: 4})
 		if err != nil {
 			t.Fatalf("%v pruned: %v", f, err)
 		}
@@ -110,7 +111,7 @@ func TestVScheduleCapChangesWinner(t *testing.T) {
 	m := model.Model6p6B()
 	const batch = 32
 
-	plans := Enumerate(c, m, vfam, batch, Options{})
+	plans := Enumerate(context.Background(), c, m, vfam, batch, Options{})
 	capped, dflt := 0, 0
 	for _, p := range plans {
 		if p.Sequence != 0 {
@@ -123,7 +124,7 @@ func TestVScheduleCapChangesWinner(t *testing.T) {
 		t.Fatalf("expected both capped and default candidates, got %d capped / %d default", capped, dflt)
 	}
 
-	best, err := Optimize(c, m, vfam, batch, Options{})
+	best, err := Optimize(context.Background(), c, m, vfam, batch, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestPrunedErrorsMatchUnpruned(t *testing.T) {
 	if !ok {
 		t.Fatal("depth-first family not registered")
 	}
-	plans := Enumerate(c, m, f, 64, Options{})
+	plans := Enumerate(context.Background(), c, m, f, 64, Options{})
 	if len(plans) < 4 {
 		t.Fatalf("want >= 4 depth-first candidates, got %d", len(plans))
 	}
@@ -193,12 +194,12 @@ func TestPrunedErrorsMatchUnpruned(t *testing.T) {
 	group[1], group[3] = bad1, bad2
 
 	groups := [][]core.Plan{group}
-	_, refErrs := evalGroups(c, m, groups, []string{"df"}, Options{NoPrune: true, Workers: 1})
+	_, refErrs, _ := evalGroups(context.Background(), c, m, groups, []string{"df"}, Options{NoPrune: true, Workers: 1})
 	if refErrs[0] == nil {
 		t.Fatal("injected candidates did not error on the unpruned path")
 	}
 	for _, workers := range []int{1, 4} {
-		_, errs := evalGroups(c, m, groups, []string{"df"}, Options{Workers: workers})
+		_, errs, _ := evalGroups(context.Background(), c, m, groups, []string{"df"}, Options{Workers: workers})
 		if errs[0] == nil {
 			t.Fatalf("workers=%d: pruning masked the candidate error %q", workers, refErrs[0])
 		}
@@ -216,7 +217,7 @@ func TestPerFamilyStats(t *testing.T) {
 	c := hw.PaperCluster()
 	m := model.Model6p6B()
 	stats := &Stats{}
-	if _, err := SweepAll(c, m, AllFamilies(), []int{32, 64, 128}, Options{Stats: stats, Workers: 4}); err != nil {
+	if _, err := SweepAll(context.Background(), c, m, AllFamilies(), []int{32, 64, 128}, Options{Stats: stats, Workers: 4}); err != nil {
 		t.Fatal(err)
 	}
 	keys := stats.FamilyKeys()

@@ -6,13 +6,22 @@
 // the rest and returns the most efficient — reproducing Figure 7 and
 // Tables E.1-E.3.
 //
-// # Concurrency and pruning
+// # Concurrency, cancellation and pruning
 //
 // Optimize fans the enumerated plans out across a bounded worker pool
 // (internal/parallel); Sweep and SweepAll flatten all batches' (and
 // families') candidates into one work list over the same pool, so
 // Options.Workers is a true bound on concurrent simulations (0 means
 // parallel.DefaultWorkers(), 1 forces the serial path).
+//
+// Every entry point takes a context: workers observe cancellation between
+// candidate simulations (an in-flight simulation completes, no new one
+// starts), the pool drains promptly and the call returns ctx.Err().
+// Passing context.Background() reproduces the uncancellable behavior —
+// and the exact results — of the pre-context API. Options.Progress, when
+// set, receives pruning-counter snapshots while the search runs, so a
+// long sweep is observable (and streamable) without waiting for the
+// final table.
 //
 // By default the search runs branch-and-bound (BaPipe-style): every
 // candidate is priced by the closed-form analytic lower bound
@@ -41,6 +50,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -290,6 +300,58 @@ func (s *Stats) FamilyKeys() []string {
 	return keys
 }
 
+// FamilyProgress is one family's counter snapshot.
+type FamilyProgress struct {
+	// Key is the family's short selection key ("bf", "ws", ...).
+	Key string `json:"key"`
+	// Enumerated, Dominated, BoundedOut and Simulated snapshot the
+	// FamilyStats counters of the same names.
+	Enumerated int64 `json:"enumerated"`
+	Dominated  int64 `json:"dominated"`
+	BoundedOut int64 `json:"bounded_out"`
+	Simulated  int64 `json:"simulated"`
+}
+
+// ProgressSnapshot is a point-in-time view of a search's pruning counters:
+// of Enumerated candidates, Dominated were removed by the dominance
+// pre-pass, BoundedOut were skipped against the incumbent, and Simulated
+// reached the simulator. Done/Enumerated is the search's completion
+// fraction (every candidate ends in exactly one of the three buckets).
+type ProgressSnapshot struct {
+	Enumerated int64 `json:"enumerated"`
+	Dominated  int64 `json:"dominated"`
+	BoundedOut int64 `json:"bounded_out"`
+	Simulated  int64 `json:"simulated"`
+	// Families is the per-family breakdown, sorted by key.
+	Families []FamilyProgress `json:"families,omitempty"`
+}
+
+// Done returns the number of candidates resolved so far.
+func (p ProgressSnapshot) Done() int64 { return p.Dominated + p.BoundedOut + p.Simulated }
+
+// Snapshot captures the counters atomically enough for progress display:
+// each field is an atomic load, so a snapshot taken while workers run is a
+// consistent-per-counter view of a moment in the search.
+func (s *Stats) Snapshot() ProgressSnapshot {
+	snap := ProgressSnapshot{
+		Enumerated: s.Enumerated.Load(),
+		Dominated:  s.Dominated.Load(),
+		BoundedOut: s.BoundSkipped.Load(),
+		Simulated:  s.Simulated.Load(),
+	}
+	for _, key := range s.FamilyKeys() {
+		fs := s.Family(key)
+		snap.Families = append(snap.Families, FamilyProgress{
+			Key:        key,
+			Enumerated: fs.Enumerated.Load(),
+			Dominated:  fs.Dominated.Load(),
+			BoundedOut: fs.BoundSkipped.Load(),
+			Simulated:  fs.Simulated.Load(),
+		})
+	}
+	return snap
+}
+
 // Options tunes the search.
 type Options struct {
 	// Params overrides the engine calibration constants.
@@ -311,6 +373,15 @@ type Options struct {
 	// Stats, when non-nil, accumulates the pruning counters of this
 	// search — totals plus a per-family breakdown (Stats.Family).
 	Stats *Stats
+	// Progress, when non-nil, receives counter snapshots while the search
+	// runs: after enumeration, after the dominance pre-pass, periodically
+	// as candidates resolve (at least every progressStride resolutions)
+	// and once in the terminal state. Invocations are serialized by the
+	// search, so the callback itself needs no locking; it runs on worker
+	// goroutines and must return quickly (throttle expensive sinks on the
+	// caller side). Progress does not require Stats: a private counter set
+	// is used when Stats is nil.
+	Progress func(ProgressSnapshot)
 	// Baseline selects the seed-faithful serial evaluator: one plan at a
 	// time, no pruning, memo caches bypassed, reference DES loop. It
 	// exists for the parallel-vs-serial equivalence tests and as the
@@ -318,6 +389,11 @@ type Options struct {
 	// callers leave it false.
 	Baseline bool
 }
+
+// progressStride is how many candidate resolutions may pass between two
+// Progress snapshots (milestones — enumeration, dominance, the terminal
+// state — always emit).
+const progressStride = 16
 
 // engineOptions maps the search options onto the per-simulation options.
 func (o Options) engineOptions() engine.Options {
@@ -339,16 +415,23 @@ func (o Options) prune() bool { return !o.Baseline && !o.NoPrune }
 // most efficient feasible configuration. Candidate plans are simulated
 // concurrently on Options.Workers goroutines; the winner is the
 // lowest-indexed plan (in Enumerate order) of maximal throughput, matching
-// the serial path tie-for-tie.
-func Optimize(c hw.Cluster, m model.Transformer, f Family, batch int, opt Options) (Best, error) {
+// the serial path tie-for-tie. Cancelling ctx aborts the search between
+// candidate simulations and returns ctx.Err().
+func Optimize(ctx context.Context, c hw.Cluster, m model.Transformer, f Family, batch int, opt Options) (Best, error) {
 	if opt.MaxMicroBatch <= 0 {
 		opt.MaxMicroBatch = 16
 	}
-	plans := Enumerate(c, m, f, batch, opt)
+	plans := Enumerate(ctx, c, m, f, batch, opt)
+	if err := ctx.Err(); err != nil {
+		return Best{}, err
+	}
 	if len(plans) == 0 {
 		return Best{}, fmt.Errorf("search: no feasible configuration for %v at batch %d", f, batch)
 	}
-	bests, errs := evalGroups(c, m, [][]core.Plan{plans}, []string{f.Info().Key}, opt)
+	bests, errs, err := evalGroups(ctx, c, m, [][]core.Plan{plans}, []string{f.Info().Key}, opt)
+	if err != nil {
+		return Best{}, err
+	}
 	if errs[0] != nil {
 		return Best{}, errs[0]
 	}
@@ -418,13 +501,38 @@ type simOut struct {
 // keys carrying each group's family key for the per-family statistics)
 // over one shared worker pool and reduces each to its winner. It returns
 // one Best per group (nil when the group is empty or a simulation failed)
-// and the lowest-indexed per-group error. With pruning active, candidates
+// and the lowest-indexed per-group error; the final error is non-nil only
+// when ctx was cancelled, in which case the per-group results are
+// meaningless and callers must return it. With pruning active, candidates
 // are prechecked (so a candidate whose simulation would error reports it
 // even when the bounds would have skipped it), priced by the analytic
 // lower bound, ordered cheapest-bound-first, dominance-filtered, and
 // skipped against the group incumbent; the winner — and the lowest-index
 // error — is provably the one the unpruned path reports.
-func evalGroups(c hw.Cluster, m model.Transformer, groups [][]core.Plan, keys []string, opt Options) ([]*Best, []error) {
+func evalGroups(ctx context.Context, c hw.Cluster, m model.Transformer, groups [][]core.Plan, keys []string, opt Options) ([]*Best, []error, error) {
+	if opt.Stats == nil && opt.Progress != nil {
+		// Progress is built on the counters; give it a private set when the
+		// caller did not ask to keep them.
+		opt.Stats = &Stats{}
+	}
+	// Progress invocations are serialized so the callback needs no locking
+	// of its own. Snapshots are throttled to one per progressStride
+	// candidate resolutions (the milestone emits force through), keeping
+	// the per-candidate cost on the worker hot path at an atomic add
+	// instead of a mutex'd snapshot build.
+	var progressMu sync.Mutex
+	var progressTick atomic.Int64
+	progress := func(force bool) {
+		if opt.Progress == nil {
+			return
+		}
+		if !force && progressTick.Add(1)%progressStride != 0 {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		opt.Progress(opt.Stats.Snapshot())
+	}
 	var jobs []job
 	bounds := make([]int, 0, len(groups)+1) // group boundaries in jobs
 	bounds = append(bounds, 0)
@@ -444,6 +552,8 @@ func evalGroups(c hw.Cluster, m model.Transformer, groups [][]core.Plan, keys []
 			}
 		}
 	}
+
+	progress(true) // enumeration counted: the 0%-done snapshot
 
 	order := make([]int, len(jobs))
 	for i := range order {
@@ -465,7 +575,7 @@ func evalGroups(c hw.Cluster, m model.Transformer, groups [][]core.Plan, keys []
 		// before any pruning decision, is what makes the per-candidate
 		// errors independent of pruning: the failing candidate reports even
 		// when the bounds would have skipped its simulation.
-		parallel.Map(opt.workers(), jobs, func(i int, _ job) (struct{}, error) {
+		parallel.MapCtx(ctx, opt.workers(), jobs, func(i int, _ job) (struct{}, error) {
 			j := &jobs[i]
 			if err := engine.Precheck(c, m, j.plan, eopt); err != nil {
 				outs[i].err = fmt.Errorf("search: %v: %w", j.plan, err)
@@ -483,7 +593,11 @@ func evalGroups(c hw.Cluster, m model.Transformer, groups [][]core.Plan, keys []
 			}
 			return struct{}{}, nil
 		})
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		markDominated(jobs, bounds, famStats, opt.Stats)
+		progress(true) // dominance pass resolved its share of the candidates
 		// Cheapest (fastest-looking) bound first, stable on the flat
 		// enumeration order: the likely winners simulate early and the
 		// incumbent tightens before the long tail is reached.
@@ -499,13 +613,14 @@ func evalGroups(c hw.Cluster, m model.Transformer, groups [][]core.Plan, keys []
 			}
 		}
 	}
-	parallel.Map(opt.workers(), order, func(_ int, ji int) (struct{}, error) {
+	_, ctxErr := parallel.MapCtx(ctx, opt.workers(), order, func(_ int, ji int) (struct{}, error) {
 		j := &jobs[ji]
 		if j.failed {
 			// The precheck already recorded the exact error the simulation
 			// would produce; count it as simulated, which is what the
 			// unpruned path would have done.
 			countSim(j)
+			progress(false)
 			return struct{}{}, nil
 		}
 		if j.prune {
@@ -518,10 +633,12 @@ func evalGroups(c hw.Cluster, m model.Transformer, groups [][]core.Plan, keys []
 					fs.BoundSkipped.Add(1)
 				}
 			}
+			progress(false)
 			return struct{}{}, nil
 		}
 		r, err := engine.SimulateOpts(c, m, j.plan, eopt)
 		countSim(j) // reached the simulator, error or not
+		progress(false)
 		if err != nil {
 			// Enumeration bugs should surface loudly; feasibility issues
 			// are filtered beforehand, and the precheck above already
@@ -535,6 +652,10 @@ func evalGroups(c hw.Cluster, m model.Transformer, groups [][]core.Plan, keys []
 		}
 		return struct{}{}, nil
 	})
+	if ctxErr != nil {
+		return nil, nil, ctxErr
+	}
+	progress(true) // terminal snapshot: the callback always sees 100%
 
 	bests := make([]*Best, len(groups))
 	errs := make([]error, len(groups))
@@ -560,7 +681,7 @@ func evalGroups(c hw.Cluster, m model.Transformer, groups [][]core.Plan, keys []
 			bests[gi] = &b
 		}
 	}
-	return bests, errs
+	return bests, errs, nil
 }
 
 // markDominated removes, within each group, candidates an exactly-priced
@@ -610,18 +731,22 @@ func markDominated(jobs []job, bounds []int, famStats []*FamilyStats, stats *Sta
 // order. All batches' candidate plans are flattened into one work list
 // evaluated by a single worker pool, so Options.Workers is a true bound on
 // concurrent simulations (no nested fan-out) and no barrier separates
-// batches. Results are identical to calling Optimize per batch.
-func Sweep(c hw.Cluster, m model.Transformer, f Family, batches []int, opt Options) ([]Best, error) {
+// batches. Results are identical to calling Optimize per batch. Cancelling
+// ctx aborts the sweep between candidate simulations and returns ctx.Err().
+func Sweep(ctx context.Context, c hw.Cluster, m model.Transformer, f Family, batches []int, opt Options) ([]Best, error) {
 	if opt.MaxMicroBatch <= 0 {
 		opt.MaxMicroBatch = 16
 	}
 	groups := make([][]core.Plan, len(batches))
 	keys := make([]string, len(batches))
 	for bi, b := range batches {
-		groups[bi] = Enumerate(c, m, f, b, opt)
+		groups[bi] = Enumerate(ctx, c, m, f, b, opt)
 		keys[bi] = f.Info().Key
 	}
-	bests, _ := evalGroups(c, m, groups, keys, opt)
+	bests, _, err := evalGroups(ctx, c, m, groups, keys, opt)
+	if err != nil {
+		return nil, err
+	}
 	var out []Best
 	for _, b := range bests {
 		if b != nil {
@@ -641,8 +766,9 @@ func Sweep(c hw.Cluster, m model.Transformer, f Family, batches []int, opt Optio
 // branch-and-bound incumbents stay per (family, batch) group. Results are
 // identical to calling Sweep per family; families with no feasible
 // configuration at any batch are omitted from the map, and an error is
-// returned only when that leaves the map empty.
-func SweepAll(c hw.Cluster, m model.Transformer, fams []Family, batches []int, opt Options) (map[Family][]Best, error) {
+// returned only when that leaves the map empty. Cancelling ctx aborts the
+// sweep between candidate simulations and returns ctx.Err().
+func SweepAll(ctx context.Context, c hw.Cluster, m model.Transformer, fams []Family, batches []int, opt Options) (map[Family][]Best, error) {
 	if opt.MaxMicroBatch <= 0 {
 		opt.MaxMicroBatch = 16
 	}
@@ -650,11 +776,14 @@ func SweepAll(c hw.Cluster, m model.Transformer, fams []Family, batches []int, o
 	var keys []string
 	for _, f := range fams {
 		for _, b := range batches {
-			groups = append(groups, Enumerate(c, m, f, b, opt))
+			groups = append(groups, Enumerate(ctx, c, m, f, b, opt))
 			keys = append(keys, f.Info().Key)
 		}
 	}
-	bests, _ := evalGroups(c, m, groups, keys, opt)
+	bests, _, err := evalGroups(ctx, c, m, groups, keys, opt)
+	if err != nil {
+		return nil, err
+	}
 	out := map[Family][]Best{}
 	for fi, f := range fams {
 		var fam []Best
@@ -681,7 +810,12 @@ func SweepAll(c hw.Cluster, m model.Transformer, fams []Family, batches []int, o
 // Methods that declare SequenceOptions (the hybrid sequence lengths of
 // Section 4.2, the V-schedule in-flight caps) contribute one candidate per
 // option at every grid point.
-func Enumerate(c hw.Cluster, m model.Transformer, f Family, batch int, opt Options) []core.Plan {
+//
+// Cancelling ctx stops the enumeration between variants and returns the
+// partial list; callers that care (Optimize, Sweep, SweepAll) check
+// ctx.Err() afterwards, so a cancelled search never reports a result
+// derived from a truncated enumeration.
+func Enumerate(ctx context.Context, c hw.Cluster, m model.Transformer, f Family, batch int, opt Options) []core.Plan {
 	if opt.MaxMicroBatch <= 0 {
 		opt.MaxMicroBatch = 16
 	}
@@ -692,6 +826,9 @@ func Enumerate(c hw.Cluster, m model.Transformer, f Family, batch int, opt Optio
 	nGPU := c.NumGPUs()
 	var plans []core.Plan
 	for _, v := range f.Info().Variants {
+		if ctx.Err() != nil {
+			return plans
+		}
 		seqOptions := schedule.TraitsOf(v.Method).SequenceOptions
 		for tp := 1; tp <= c.GPUsPerNode; tp *= 2 {
 			maxPP := 1

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestEnumerateProducesValidPlans(t *testing.T) {
 	c := hw.PaperCluster()
 	m := model.Model52B()
 	for _, f := range Families() {
-		plans := Enumerate(c, m, f, 64, Options{})
+		plans := Enumerate(context.Background(), c, m, f, 64, Options{})
 		if len(plans) == 0 {
 			t.Errorf("%v: no plans at batch 64", f)
 			continue
@@ -35,18 +36,18 @@ func TestEnumerateProducesValidPlans(t *testing.T) {
 func TestEnumerateRespectsFamilies(t *testing.T) {
 	c := hw.PaperCluster()
 	m := model.Model52B()
-	for _, p := range Enumerate(c, m, FamilyDepthFirst, 64, Options{}) {
+	for _, p := range Enumerate(context.Background(), c, m, FamilyDepthFirst, 64, Options{}) {
 		if p.Method != core.DepthFirst || p.OverlapDP || p.Sharding == core.DPFS {
 			t.Errorf("depth-first family produced %v", p)
 		}
 	}
-	for _, p := range Enumerate(c, m, FamilyNoPipeline, 64, Options{}) {
+	for _, p := range Enumerate(context.Background(), c, m, FamilyNoPipeline, 64, Options{}) {
 		if p.PP != 1 {
 			t.Errorf("no-pipeline family produced PP=%d", p.PP)
 		}
 	}
 	sawGPipe, saw1F1B := false, false
-	for _, p := range Enumerate(c, m, FamilyNonLooped, 64, Options{}) {
+	for _, p := range Enumerate(context.Background(), c, m, FamilyNonLooped, 64, Options{}) {
 		if p.Loops != 1 {
 			t.Errorf("non-looped family produced Loops=%d", p.Loops)
 		}
@@ -74,7 +75,7 @@ func TestFigure7Shape52B(t *testing.T) {
 	c := hw.PaperCluster()
 	m := model.Model52B()
 	get := func(f Family, batch int) Best {
-		b, err := Optimize(c, m, f, batch, Options{})
+		b, err := Optimize(context.Background(), c, m, f, batch, Options{})
 		if err != nil {
 			t.Fatalf("%v at %d: %v", f, batch, err)
 		}
@@ -140,7 +141,7 @@ func TestOptimalConfigShape(t *testing.T) {
 	}
 	c := hw.PaperCluster()
 	m := model.Model52B()
-	b, err := Optimize(c, m, FamilyBreadthFirst, 8, Options{})
+	b, err := Optimize(context.Background(), c, m, FamilyBreadthFirst, 8, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestBreadthFirstAdoptsSharding(t *testing.T) {
 	m := model.Model52B()
 	sawFS := false
 	for _, batch := range []int{32, 48, 64} {
-		b, err := Optimize(c, m, FamilyBreadthFirst, batch, Options{})
+		b, err := Optimize(context.Background(), c, m, FamilyBreadthFirst, batch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,14 +185,14 @@ func TestSweepSkipsInfeasible(t *testing.T) {
 	m := model.Model52B()
 	// Batch 1 is below beta_min * NGPU for every grid: infeasible; batch 64
 	// works. Sweep must skip and carry on.
-	bests, err := Sweep(c, m, FamilyBreadthFirst, []int{1, 64}, Options{})
+	bests, err := Sweep(context.Background(), c, m, FamilyBreadthFirst, []int{1, 64}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(bests) != 1 || bests[0].Plan.BatchSize() != 64 {
 		t.Errorf("sweep should keep only batch 64, got %d results", len(bests))
 	}
-	if _, err := Sweep(c, m, FamilyBreadthFirst, []int{1}, Options{}); err == nil {
+	if _, err := Sweep(context.Background(), c, m, FamilyBreadthFirst, []int{1}, Options{}); err == nil {
 		t.Error("all-infeasible sweep should fail")
 	}
 }
@@ -199,7 +200,7 @@ func TestSweepSkipsInfeasible(t *testing.T) {
 func TestOptimizeErrors(t *testing.T) {
 	c := hw.PaperCluster()
 	m := model.Model52B()
-	if _, err := Optimize(c, m, FamilyBreadthFirst, 1, Options{}); err == nil {
+	if _, err := Optimize(context.Background(), c, m, FamilyBreadthFirst, 1, Options{}); err == nil {
 		t.Error("infeasible batch should fail")
 	}
 }
@@ -207,7 +208,7 @@ func TestOptimizeErrors(t *testing.T) {
 func TestTableFormatting(t *testing.T) {
 	c := hw.PaperCluster()
 	m := model.Model6p6B()
-	b, err := Optimize(c, m, FamilyBreadthFirst, 64, Options{})
+	b, err := Optimize(context.Background(), c, m, FamilyBreadthFirst, 64, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"bfpp/internal/search"
+)
+
+// Handler exposes the service over HTTP:
+//
+//	POST /v1/search    SearchRequest  -> SearchResponse
+//	POST /v1/simulate  SimulateRequest -> SimulateResponse
+//	POST /v1/figures   FigureRequest  -> FigureResponse
+//	GET  /healthz      liveness probe
+//
+// Responses are JSON. /v1/search streams NDJSON instead when the request
+// sets ?stream=1 or sends "Accept: application/x-ndjson": progress lines
+// {"progress": <snapshot>} (throttled to one per 100ms, plus the final
+// state) followed by one {"result": <SearchResponse>} or
+// {"error": "..."} line. Request deadlines (TimeoutMS, or the service
+// default) are mapped onto the request context, which is also cancelled
+// when the client disconnects.
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/v1/search", func(w http.ResponseWriter, r *http.Request) {
+		var req SearchRequest
+		if !decodeRequest(w, r, &req) {
+			return
+		}
+		if wantsStream(r) {
+			streamSearch(w, r.Context(), s, req)
+			return
+		}
+		resp, err := s.Search(r.Context(), req)
+		writeResult(w, resp, err)
+	})
+	mux.HandleFunc("/v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		var req SimulateRequest
+		if !decodeRequest(w, r, &req) {
+			return
+		}
+		resp, err := s.Simulate(r.Context(), req)
+		writeResult(w, resp, err)
+	})
+	mux.HandleFunc("/v1/figures", func(w http.ResponseWriter, r *http.Request) {
+		var req FigureRequest
+		if !decodeRequest(w, r, &req) {
+			return
+		}
+		resp, err := s.Figures(r.Context(), req)
+		writeResult(w, resp, err)
+	})
+	return mux
+}
+
+// decodeRequest parses a POST body into req, writing the error response
+// itself when parsing fails.
+func decodeRequest(w http.ResponseWriter, r *http.Request, req any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		writeError(w, badRequestf("decoding request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// status maps an execution error onto an HTTP status.
+func status(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is written into the void.
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status(err))
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeResult(w http.ResponseWriter, resp any, err error) {
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// wantsStream reports whether the search request asked for NDJSON
+// progress streaming.
+func wantsStream(r *http.Request) bool {
+	if r.URL.Query().Get("stream") == "1" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// progressThrottle limits how often progress lines are emitted; the final
+// snapshot always flushes so the client sees the 100% state.
+const progressThrottle = 100 * time.Millisecond
+
+// streamSearch runs the search with live NDJSON progress. Lines are
+// written from the request goroutine only: the search's progress callback
+// (invoked on worker goroutines) parks snapshots behind a mutex and the
+// writer drains the latest one at most every progressThrottle.
+func streamSearch(w http.ResponseWriter, ctx context.Context, s *Service, req SearchRequest) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(line any) {
+		enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	var mu sync.Mutex
+	var latest search.ProgressSnapshot
+	var dirty bool
+	done := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		ticker := time.NewTicker(progressThrottle)
+		defer ticker.Stop()
+		flush := func() {
+			mu.Lock()
+			snap, emitNow := latest, dirty
+			dirty = false
+			mu.Unlock()
+			if emitNow {
+				emit(map[string]search.ProgressSnapshot{"progress": snap})
+			}
+		}
+		for {
+			select {
+			case <-ticker.C:
+				flush()
+			case <-done:
+				flush() // the terminal snapshot, so the client sees 100%
+				return
+			}
+		}
+	}()
+
+	resp, err := s.SearchStream(ctx, req, func(snap search.ProgressSnapshot) {
+		mu.Lock()
+		latest, dirty = snap, true
+		mu.Unlock()
+	})
+	close(done)
+	<-writerDone
+	if err != nil {
+		emit(map[string]string{"error": err.Error()})
+		return
+	}
+	emit(map[string]SearchResponse{"result": resp})
+}

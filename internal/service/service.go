@@ -1,0 +1,309 @@
+// Package service is the job layer behind every bfpp surface: it defines
+// the canonical JSON request/response types (SearchRequest,
+// SimulateRequest, FigureRequest), canonicalizes and caches search
+// results, enforces per-request worker budgets and bounds the number of
+// concurrently executing jobs. The command-line tools submit the same
+// request structs in process that cmd/bfpp-serve accepts over HTTP, so a
+// CLI invocation and a server request provably run identical jobs and
+// produce byte-identical tables.
+//
+// # Cancellation and deadlines
+//
+// Every method takes a context and observes cancellation — including
+// while queued behind the job semaphore. A request's TimeoutMS (or the
+// service's DefaultTimeout) is mapped onto the context as a deadline.
+// Search and Figures abort between candidate simulations (promptly: an
+// in-flight simulation is milliseconds); Simulate runs one indivisible
+// simulation and checks its deadline only before it starts.
+//
+// # Worker budgets
+//
+// The search worker pool width is a per-request value clamped to
+// Config.MaxWorkersPerRequest, threaded explicitly through
+// search.Options.Workers — never through the deprecated process-global
+// parallel.SetDefaultWorkers, which concurrent requests would race on.
+// Worker counts never change results, so they are excluded from the
+// result-cache key.
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"bfpp/internal/engine"
+	"bfpp/internal/figures"
+	"bfpp/internal/parallel"
+	"bfpp/internal/search"
+)
+
+// Config tunes a Service. The zero value is usable: sensible bounds are
+// filled in by New.
+type Config struct {
+	// MaxJobs bounds the number of concurrently executing jobs; further
+	// requests queue (cancellably) until a slot frees. 0 means 4.
+	MaxJobs int
+	// MaxWorkersPerRequest clamps the per-request worker budget. 0 means
+	// no clamp: a request's explicit Workers value is honored as-is (the
+	// CLIs run this way, so -workers can oversubscribe cores exactly like
+	// the pre-service flag did); servers set an explicit bound.
+	MaxWorkersPerRequest int
+	// CacheEntries bounds the search result cache (insertion-order
+	// eviction). 0 means 64; negative disables caching.
+	CacheEntries int
+	// DefaultTimeout applies to requests that do not carry their own
+	// TimeoutMS. 0 means no deadline.
+	DefaultTimeout time.Duration
+}
+
+// Service executes bfpp jobs: grid searches (cached), single simulations
+// and figure regenerations. Methods are safe for concurrent use.
+type Service struct {
+	cfg Config
+	sem chan struct{}
+
+	mu    sync.Mutex
+	cache map[string]SearchResponse
+	order []string // cache keys in insertion order, for eviction
+}
+
+// New returns a Service with the config's zero fields defaulted.
+func New(cfg Config) *Service {
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 4
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 64
+	}
+	return &Service{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxJobs),
+		cache: map[string]SearchResponse{},
+	}
+}
+
+// workers resolves a request's worker budget: the requested count (or the
+// process default when 0), clamped to MaxWorkersPerRequest when one is
+// configured.
+func (s *Service) workers(requested int) int {
+	w := parallel.Resolve(requested)
+	if s.cfg.MaxWorkersPerRequest > 0 && w > s.cfg.MaxWorkersPerRequest {
+		w = s.cfg.MaxWorkersPerRequest
+	}
+	return w
+}
+
+// acquire claims a job slot, waiting cancellably, and returns its release
+// function.
+func (s *Service) acquire(ctx context.Context) (func(), error) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// deadline applies the request's TimeoutMS (or the service default) to the
+// context.
+func (s *Service) deadline(ctx context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// cacheGet returns the cached response for a key.
+func (s *Service) cacheGet(key string) (SearchResponse, bool) {
+	if s.cfg.CacheEntries < 0 {
+		return SearchResponse{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp, ok := s.cache[key]
+	return resp, ok
+}
+
+// cachePut stores a response, evicting the oldest entries beyond the
+// configured bound. Cached responses are treated as immutable.
+func (s *Service) cachePut(key string, resp SearchResponse) {
+	if s.cfg.CacheEntries < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.cache[key]; !ok {
+		s.order = append(s.order, key)
+	}
+	s.cache[key] = resp
+	for len(s.order) > s.cfg.CacheEntries {
+		delete(s.cache, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+// Search runs a grid-search job (or serves it from the result cache).
+// Identical canonicalized requests — whatever their Workers or TimeoutMS —
+// share one cache entry, so a repeated sweep costs a map lookup.
+func (s *Service) Search(ctx context.Context, req SearchRequest) (SearchResponse, error) {
+	return s.searchWith(ctx, req, nil)
+}
+
+// SearchStream is Search with live progress: the callback receives
+// pruning-counter snapshots while the sweep runs (it is invoked serially,
+// from worker goroutines, and must return quickly). A cache hit emits the
+// final snapshot once.
+func (s *Service) SearchStream(ctx context.Context, req SearchRequest, progress func(search.ProgressSnapshot)) (SearchResponse, error) {
+	return s.searchWith(ctx, req, progress)
+}
+
+func (s *Service) searchWith(ctx context.Context, req SearchRequest, progress func(search.ProgressSnapshot)) (SearchResponse, error) {
+	job, key, err := resolveSearch(req)
+	if err != nil {
+		return SearchResponse{}, err
+	}
+	if resp, ok := s.cacheGet(key); ok {
+		resp.Cached = true
+		if progress != nil {
+			progress(resp.Stats)
+		}
+		return resp, nil
+	}
+	// The deadline applies before the queue wait: a request must not park
+	// on the semaphore beyond its own budget.
+	ctx, cancel := s.deadline(ctx, req.TimeoutMS)
+	defer cancel()
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return SearchResponse{}, err
+	}
+	defer release()
+
+	stats := &search.Stats{}
+	opt := search.Options{
+		MaxMicroBatch: job.maxMB,
+		Workers:       s.workers(req.Workers),
+		NoPrune:       job.noPrune,
+		Stats:         stats,
+		Progress:      progress,
+	}
+	results, err := search.SweepAll(ctx, job.cluster, job.model, job.families, job.batches, opt)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return SearchResponse{}, ctxErr
+		}
+		// No family feasible at any batch: an empty table, exactly like
+		// the pre-service CLI (which warned per family and printed the
+		// header-only table).
+		results = map[search.Family][]search.Best{}
+	}
+	resp := SearchResponse{
+		Title: job.title(),
+		Table: search.Table(job.title(), results),
+		Stats: stats.Snapshot(),
+	}
+	for _, f := range job.families {
+		info := f.Info()
+		resp.Families = append(resp.Families, FamilyResult{
+			Key:   info.Key,
+			Name:  info.Name,
+			Bests: results[f],
+		})
+	}
+	s.cachePut(key, resp)
+	return resp, nil
+}
+
+// Simulate runs one discrete-event simulation. The simulation itself is
+// indivisible: the context gates the queue wait and the start (an expired
+// deadline or a gone client never starts the job), but a simulation
+// already running completes — it is a single DES pass, not a sweep.
+func (s *Service) Simulate(ctx context.Context, req SimulateRequest) (SimulateResponse, error) {
+	m, err := cliParseModel(req.Model)
+	if err != nil {
+		return SimulateResponse{}, err
+	}
+	c, err := cliParseCluster(req.Cluster)
+	if err != nil {
+		return SimulateResponse{}, err
+	}
+	ctx, cancel := s.deadline(ctx, req.TimeoutMS)
+	defer cancel()
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return SimulateResponse{}, err
+	}
+	defer release()
+	if err := ctx.Err(); err != nil {
+		return SimulateResponse{}, err
+	}
+	eopt := engine.Options{CaptureTimeline: req.CaptureTimeline}
+	if req.Diagram {
+		par := figures.DiagramParams()
+		eopt.Params = &par
+	}
+	res, err := engine.SimulateOpts(c, m, req.Plan, eopt)
+	if err != nil {
+		// With a resolved model and cluster, a simulation failure means the
+		// request's plan is invalid for the scenario (Plan.Validate, the
+		// GPU-budget checks): the caller's input, not a server fault.
+		return SimulateResponse{}, badRequestf("simulate: %v", err)
+	}
+	return SimulateResponse{Result: res}, nil
+}
+
+// Figures regenerates the requested artifacts in paper order.
+func (s *Service) Figures(ctx context.Context, req FigureRequest) (FigureResponse, error) {
+	fams, err := resolveFamilies(req.Families, nil)
+	if err != nil {
+		return FigureResponse{}, badRequestf("%v", err)
+	}
+	cfg := figures.Config{Workers: s.workers(req.Workers)}
+	if len(req.Families) > 0 {
+		// Only an explicit selection narrows the artifacts: their defaults
+		// differ per artifact (paper families vs every registered family).
+		cfg.Families = fams
+	}
+	gens := figures.Generators(cfg)
+	selected := gens
+	if len(req.Names) > 0 {
+		byName := map[string]figures.Generator{}
+		var available []string
+		for _, g := range gens {
+			byName[g.Name] = g
+			available = append(available, g.Name)
+		}
+		selected = nil
+		for _, name := range req.Names {
+			g, ok := byName[name]
+			if !ok {
+				return FigureResponse{}, badRequestf("unknown artifact %q (available: %v)", name, available)
+			}
+			selected = append(selected, g)
+		}
+	}
+	ctx, cancel := s.deadline(ctx, req.TimeoutMS)
+	defer cancel()
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return FigureResponse{}, err
+	}
+	defer release()
+	var resp FigureResponse
+	for _, g := range selected {
+		text, err := g.Run(ctx)
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return FigureResponse{}, ctxErr
+			}
+			return FigureResponse{}, fmt.Errorf("service: %s: %w", g.Name, err)
+		}
+		resp.Artifacts = append(resp.Artifacts, Artifact{Name: g.Name, Text: text})
+	}
+	return resp, nil
+}

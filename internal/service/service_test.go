@@ -1,0 +1,301 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"bfpp/internal/core"
+	"bfpp/internal/hw"
+	"bfpp/internal/model"
+	"bfpp/internal/search"
+)
+
+// smallReq is a cheap sweep used across the tests.
+func smallReq() SearchRequest {
+	return SearchRequest{Model: "6.6B", Cluster: "paper", Batches: []int{32, 64}}
+}
+
+// TestSearchMatchesInProcess pins the cross-surface equivalence: the
+// service's table is byte-identical to driving the search package
+// directly with the same scenario.
+func TestSearchMatchesInProcess(t *testing.T) {
+	ctx := context.Background()
+	resp, err := New(Config{}).Search(ctx, smallReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := search.SweepAll(ctx, hw.PaperCluster(), model.Model6p6B(),
+		search.Families(), []int{32, 64}, search.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := search.Table("Optimal configurations: 6.6B on 8xDGX-1 (64 GPUs)", results)
+	if resp.Table != want {
+		t.Errorf("service table differs from in-process table:\n--- service ---\n%s--- in-process ---\n%s", resp.Table, want)
+	}
+	if len(resp.Families) != len(search.Families()) {
+		t.Errorf("got %d family results, want %d", len(resp.Families), len(search.Families()))
+	}
+	if resp.Stats.Enumerated == 0 || resp.Stats.Done() != resp.Stats.Enumerated {
+		t.Errorf("stats incomplete: %+v", resp.Stats)
+	}
+}
+
+// TestSearchCacheCanonicalization asserts equivalent requests share one
+// cache entry: reordered and duplicated batches, model/cluster aliases,
+// different worker counts and a methods-based selection of the same
+// families all hit the entry the first request filled.
+func TestSearchCacheCanonicalization(t *testing.T) {
+	s := New(Config{})
+	ctx := context.Background()
+	first, err := s.Search(ctx, smallReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first request reported a cache hit")
+	}
+	equivalents := []SearchRequest{
+		{Model: "6.6B", Cluster: "paper", Batches: []int{64, 32, 64}},
+		{Model: "6p6b", Cluster: "ib", Batches: []int{32, 64}},
+		{Model: "6.6B", Cluster: "paper", Batches: []int{32, 64}, Workers: 2, TimeoutMS: 60000},
+		{Model: "6.6B", Cluster: "paper", Batches: []int{32, 64}, Families: []string{"all"}},
+	}
+	for i, req := range equivalents {
+		resp, err := s.Search(ctx, req)
+		if err != nil {
+			t.Fatalf("equivalent %d: %v", i, err)
+		}
+		if !resp.Cached {
+			t.Errorf("equivalent %d missed the cache", i)
+		}
+		if resp.Table != first.Table {
+			t.Errorf("equivalent %d produced a different table", i)
+		}
+	}
+	// A different scenario must not hit the entry.
+	other, err := s.Search(ctx, SearchRequest{Model: "6.6B", Cluster: "paper", Batches: []int{32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Cached {
+		t.Error("different batch grid reported a cache hit")
+	}
+}
+
+// TestSearchCacheEviction pins the insertion-order bound.
+func TestSearchCacheEviction(t *testing.T) {
+	s := New(Config{CacheEntries: 1})
+	ctx := context.Background()
+	if _, err := s.Search(ctx, smallReq()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Search(ctx, SearchRequest{Model: "6.6B", Cluster: "paper", Batches: []int{32}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Search(ctx, smallReq()) // evicted by the second request
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Error("evicted entry reported a cache hit")
+	}
+	disabled := New(Config{CacheEntries: -1})
+	disabled.Search(ctx, smallReq())
+	if resp, _ := disabled.Search(ctx, smallReq()); resp.Cached {
+		t.Error("disabled cache reported a hit")
+	}
+}
+
+// TestBadRequests asserts resolution failures are marked ErrBadRequest
+// and name the registered alternatives.
+func TestBadRequests(t *testing.T) {
+	s := New(Config{})
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"unknown model", func() error {
+			_, err := s.Search(ctx, SearchRequest{Model: "banana", Cluster: "paper", Batches: []int{32}})
+			return err
+		}},
+		{"unknown cluster", func() error {
+			_, err := s.Search(ctx, SearchRequest{Model: "6.6B", Cluster: "cloud", Batches: []int{32}})
+			return err
+		}},
+		{"unknown family", func() error {
+			_, err := s.Search(ctx, SearchRequest{Model: "6.6B", Cluster: "paper", Families: []string{"zz"}, Batches: []int{32}})
+			return err
+		}},
+		{"unknown method", func() error {
+			_, err := s.Search(ctx, SearchRequest{Model: "6.6B", Cluster: "paper", Methods: []string{"zigzag"}, Batches: []int{32}})
+			return err
+		}},
+		{"no batches", func() error {
+			_, err := s.Search(ctx, SearchRequest{Model: "6.6B", Cluster: "paper"})
+			return err
+		}},
+		{"unknown artifact", func() error {
+			_, err := s.Figures(ctx, FigureRequest{Names: []string{"figure99"}})
+			return err
+		}},
+		{"simulate unknown model", func() error {
+			_, err := s.Simulate(ctx, SimulateRequest{Model: "banana", Cluster: "paper"})
+			return err
+		}},
+		{"simulate malformed plan", func() error {
+			_, err := s.Simulate(ctx, SimulateRequest{Model: "tiny", Cluster: "paper"})
+			return err // the zero plan fails validation: caller input, not a server fault
+		}},
+	}
+	for _, c := range cases {
+		if err := c.run(); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: err = %v, want ErrBadRequest", c.name, err)
+		}
+	}
+	if _, err := s.Search(ctx, SearchRequest{Model: "banana", Cluster: "paper", Batches: []int{1}}); err == nil ||
+		!strings.Contains(err.Error(), "52B") {
+		t.Errorf("unknown-model error should list registered names, got %v", err)
+	}
+}
+
+// TestSearchInfeasibleBatchesIsNotAnError mirrors the CLI behavior: a
+// scenario with no feasible configuration produces an empty table and
+// empty per-family results, not an error.
+func TestSearchInfeasibleBatchesIsNotAnError(t *testing.T) {
+	resp, err := New(Config{}).Search(context.Background(),
+		SearchRequest{Model: "6.6B", Cluster: "paper", Batches: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range resp.Families {
+		if len(fr.Bests) != 0 {
+			t.Errorf("family %s unexpectedly feasible at batch 1", fr.Key)
+		}
+	}
+	if !strings.HasPrefix(resp.Table, resp.Title) {
+		t.Errorf("table should still carry the title header:\n%s", resp.Table)
+	}
+}
+
+// TestSearchCancellation covers the ctx paths: an already-cancelled
+// request, a deadline expiring mid-sweep, and cancellation while queued
+// behind the job semaphore.
+func TestSearchCancellation(t *testing.T) {
+	s := New(Config{MaxJobs: 1})
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Search(cancelled, smallReq()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled err = %v", err)
+	}
+
+	// Deadline mid-sweep: 1ms cannot finish a 52B sweep cold.
+	if _, err := s.Search(context.Background(), SearchRequest{
+		Model: "52B", Cluster: "paper", Batches: []int{8, 16, 32}, NoPrune: true, TimeoutMS: 1,
+	}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline err = %v", err)
+	}
+
+	// Queued cancellation: occupy the single job slot, then cancel a
+	// waiter and assert it unblocks promptly.
+	release, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Search(waiterCtx, smallReq())
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter park on the semaphore
+	cancelWaiter()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued waiter err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued waiter did not unblock on cancellation")
+	}
+
+	// The request deadline bounds the queue wait too: with the slot still
+	// held, a TimeoutMS request must 504 on the semaphore, not park
+	// indefinitely. Covers Search and the indivisible Simulate alike.
+	queued := make(chan error, 2)
+	go func() {
+		req := smallReq()
+		req.TimeoutMS = 50
+		_, err := s.Search(context.Background(), req)
+		queued <- err
+	}()
+	go func() {
+		_, err := s.Simulate(context.Background(), SimulateRequest{
+			Model: "tiny", Cluster: "paper", TimeoutMS: 50,
+			Plan: core.Plan{Method: core.GPipe, DP: 1, PP: 4, TP: 1,
+				MicroBatch: 1, NumMicro: 8, Loops: 1},
+		})
+		queued <- err
+	}()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-queued:
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("queued deadline err = %v, want context.DeadlineExceeded", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("queued request ignored its deadline on the semaphore")
+		}
+	}
+	release()
+}
+
+// TestSimulate covers the simulate endpoint including the diagram preset
+// and timeline capture.
+func TestSimulate(t *testing.T) {
+	s := New(Config{})
+	req := SimulateRequest{
+		Model:   "tiny",
+		Cluster: "paper",
+		Plan: core.Plan{Method: core.GPipe, DP: 1, PP: 4, TP: 1,
+			MicroBatch: 1, NumMicro: 8, Loops: 1},
+	}
+	resp, err := s.Simulate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.BatchTime <= 0 || resp.Result.Timeline != nil {
+		t.Errorf("unexpected result: time %v, timeline %v", resp.Result.BatchTime, resp.Result.Timeline)
+	}
+	req.CaptureTimeline, req.Diagram = true, true
+	withTL, err := s.Simulate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withTL.Result.Timeline == nil {
+		t.Error("CaptureTimeline did not retain the timeline")
+	}
+	if withTL.Result.BatchTime >= resp.Result.BatchTime {
+		t.Errorf("diagram preset (zeroed overheads) should be faster: %v >= %v",
+			withTL.Result.BatchTime, resp.Result.BatchTime)
+	}
+}
+
+// TestFiguresSelection covers artifact selection and family scoping.
+func TestFiguresSelection(t *testing.T) {
+	s := New(Config{})
+	resp, err := s.Figures(context.Background(), FigureRequest{Names: []string{"table5.1", "figure2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Artifacts) != 2 || resp.Artifacts[0].Name != "table5.1" || resp.Artifacts[1].Name != "figure2" {
+		t.Fatalf("unexpected artifacts %+v", resp.Artifacts)
+	}
+	if !strings.Contains(resp.Artifacts[0].Text, "52B") {
+		t.Errorf("table5.1 content missing: %q", resp.Artifacts[0].Text)
+	}
+}

@@ -8,6 +8,7 @@
 package tradeoff
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -62,9 +63,11 @@ func Extrapolate(m model.Transformer, r engine.Result, bcrit float64, nGPUs int)
 // Curve picks, for each cluster size, the measured configuration with the
 // lowest projected training time (equivalently cost, at fixed size) and
 // returns the resulting cost/time curve sorted by cluster size. Cluster
-// sizes are extrapolated concurrently; the per-size selection keeps the
-// serial iteration order, so the curve is deterministic.
-func Curve(m model.Transformer, results []engine.Result, bcrit float64, clusterSizes []int) ([]Point, error) {
+// sizes are extrapolated concurrently on workers goroutines (0 resolves to
+// parallel.DefaultWorkers()); the per-size selection keeps the serial
+// iteration order, so the curve is deterministic at any width. Cancelling
+// ctx aborts the extrapolation between cluster sizes and returns ctx.Err().
+func Curve(ctx context.Context, m model.Transformer, results []engine.Result, bcrit float64, clusterSizes []int, workers int) ([]Point, error) {
 	if len(results) == 0 {
 		return nil, fmt.Errorf("tradeoff: no measured results")
 	}
@@ -76,7 +79,7 @@ func Curve(m model.Transformer, results []engine.Result, bcrit float64, clusterS
 			return nil, fmt.Errorf("tradeoff: cluster size must be positive, got %d", n)
 		}
 	}
-	out, _ := parallel.Map(0, clusterSizes, func(_ int, n int) (Point, error) {
+	out, err := parallel.MapCtx(ctx, workers, clusterSizes, func(_ int, n int) (Point, error) {
 		best := Point{TimeDays: math.Inf(1)}
 		for _, r := range results {
 			p := Extrapolate(m, r, bcrit, n)
@@ -86,6 +89,9 @@ func Curve(m model.Transformer, results []engine.Result, bcrit float64, clusterS
 		}
 		return best, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].GPUs < out[j].GPUs })
 	return out, nil
 }

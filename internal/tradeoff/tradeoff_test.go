@@ -1,6 +1,7 @@
 package tradeoff
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -78,8 +79,8 @@ func TestCurveSelectsByClusterSize(t *testing.T) {
 	largeBeta := measured(t, core.Plan{Method: core.BreadthFirst, DP: 4, PP: 8, TP: 2,
 		MicroBatch: 2, NumMicro: 16, Loops: 8, Sharding: core.DPFS,
 		OverlapDP: true, OverlapPP: true}) // beta = 2
-	pts, err := Curve(m, []engine.Result{smallBeta, largeBeta},
-		batchsize.PaperBcrit52B, []int{256, 65536})
+	pts, err := Curve(context.Background(), m, []engine.Result{smallBeta, largeBeta},
+		batchsize.PaperBcrit52B, []int{256, 65536}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestCurveSelectsByClusterSize(t *testing.T) {
 func TestCurveMonotonicity(t *testing.T) {
 	m := model.Model52B()
 	r := measured(t, bfPlan())
-	pts, err := Curve(m, []engine.Result{r}, batchsize.PaperBcrit52B, PaperClusterSizes())
+	pts, err := Curve(context.Background(), m, []engine.Result{r}, batchsize.PaperBcrit52B, PaperClusterSizes(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,14 +116,14 @@ func TestCurveMonotonicity(t *testing.T) {
 
 func TestCurveErrors(t *testing.T) {
 	m := model.Model52B()
-	if _, err := Curve(m, nil, 100, []int{64}); err == nil {
+	if _, err := Curve(context.Background(), m, nil, 100, []int{64}, 0); err == nil {
 		t.Error("no results should fail")
 	}
 	r := measured(t, bfPlan())
-	if _, err := Curve(m, []engine.Result{r}, 0, []int{64}); err == nil {
+	if _, err := Curve(context.Background(), m, []engine.Result{r}, 0, []int{64}, 0); err == nil {
 		t.Error("zero bcrit should fail")
 	}
-	if _, err := Curve(m, []engine.Result{r}, 100, []int{0}); err == nil {
+	if _, err := Curve(context.Background(), m, []engine.Result{r}, 100, []int{0}, 0); err == nil {
 		t.Error("zero cluster size should fail")
 	}
 }
@@ -130,7 +131,7 @@ func TestCurveErrors(t *testing.T) {
 func TestFormat(t *testing.T) {
 	m := model.Model52B()
 	r := measured(t, bfPlan())
-	pts, err := Curve(m, []engine.Result{r}, batchsize.PaperBcrit52B, []int{256, 1024})
+	pts, err := Curve(context.Background(), m, []engine.Result{r}, batchsize.PaperBcrit52B, []int{256, 1024}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

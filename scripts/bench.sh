@@ -16,6 +16,12 @@
 #   parallel_scaling optimized serial (1 worker) vs GOMAXPROCS workers
 #   des_run         DES inner loop, reference rescanning vs indexed fast path
 #   simulate_batch  one engine simulation, baseline vs optimized
+#   service_overhead what the request/response layer (canonicalization,
+#                   job slot, response assembly) adds on top of the direct
+#                   pruned sweep: ServiceSearchCold / SweepFigure7Pruned,
+#                   so ~1.0 means the service path is effectively free
+#   service_cache   cold /v1/search vs a result-cache hit on the same
+#                   canonicalized request
 #
 # Usage: scripts/bench.sh [output.json]   (env: BENCHTIME=3x)
 set -eu
@@ -26,7 +32,7 @@ TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' \
-	-bench 'BenchmarkSearchOptimize(Baseline|Serial|Parallel)$|BenchmarkSweepFigure7(Baseline|Parallel|Pruned)$|BenchmarkDESRun(Fast|Reference)$|BenchmarkSimulateBatch(Baseline)?$' \
+	-bench 'BenchmarkSearchOptimize(Baseline|Serial|Parallel)$|BenchmarkSweepFigure7(Baseline|Parallel|Pruned)$|BenchmarkDESRun(Fast|Reference)$|BenchmarkSimulateBatch(Baseline)?$|BenchmarkServiceSearch(Cold|Cached)$' \
 	-benchmem -benchtime="$BENCHTIME" . | tee "$TMP"
 
 GOMAXPROCS_N=$(go run ./scripts/gomaxprocs 2>/dev/null || nproc 2>/dev/null || echo 1)
@@ -70,7 +76,9 @@ END {
 	printf "    \"optimize\": %.2f,\n", ns["SearchOptimizeBaseline"] / ns["SearchOptimizeParallel"] > out
 	printf "    \"parallel_scaling\": %.2f,\n", ns["SearchOptimizeSerial"] / ns["SearchOptimizeParallel"] > out
 	printf "    \"des_run\": %.2f,\n", ns["DESRunReference"] / ns["DESRunFast"] > out
-	printf "    \"simulate_batch\": %.2f\n", ns["SimulateBatchBaseline"] / ns["SimulateBatch"] > out
+	printf "    \"simulate_batch\": %.2f,\n", ns["SimulateBatchBaseline"] / ns["SimulateBatch"] > out
+	printf "    \"service_overhead\": %.3f,\n", ns["ServiceSearchCold"] / ns["SweepFigure7Pruned"] > out
+	printf "    \"service_cache\": %.0f\n", ns["ServiceSearchCold"] / ns["ServiceSearchCached"] > out
 	printf "  },\n" > out
 	printf "  \"prune_rate\": %.3f,\n", prune["SweepFigure7Pruned"] / 100 > out
 	printf "  \"prune_rate_by_family\": {\n" > out

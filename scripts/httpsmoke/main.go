@@ -1,0 +1,41 @@
+// Command httpsmoke is ci.sh's HTTP smoke client: it POSTs a
+// SearchRequest to a running bfpp-serve and prints the response's table
+// field verbatim, so the caller can byte-compare it against bfpp-search
+// output without needing curl or a JSON processor.
+//
+// Usage: go run ./scripts/httpsmoke <base-url> <request-json>
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: httpsmoke <base-url> <request-json>")
+		os.Exit(2)
+	}
+	resp, err := http.Post(os.Args[1]+"/v1/search", "application/json", strings.NewReader(os.Args[2]))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "httpsmoke:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Table string `json:"table"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		fmt.Fprintln(os.Stderr, "httpsmoke: decoding response:", err)
+		os.Exit(1)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "httpsmoke: status %d: %s\n", resp.StatusCode, body.Error)
+		os.Exit(1)
+	}
+	fmt.Print(body.Table)
+}
