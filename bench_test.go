@@ -23,6 +23,7 @@ import (
 	"bfpp/internal/core"
 	"bfpp/internal/des"
 	"bfpp/internal/engine"
+	"bfpp/internal/fault"
 	"bfpp/internal/figures"
 	"bfpp/internal/hw"
 	"bfpp/internal/model"
@@ -206,13 +207,20 @@ func BenchmarkSearchOptimizeParallel(b *testing.B) {
 // 52B paper batch size.
 func benchSweep(b *testing.B, opt search.Options) {
 	b.Helper()
+	benchSweepCtx(b, context.Background(), opt)
+}
+
+// benchSweepCtx is benchSweep with a caller-supplied context (the
+// fault-overhead variant arms a chaos injector on it).
+func benchSweepCtx(b *testing.B, ctx context.Context, opt search.Options) {
+	b.Helper()
 	c := hw.PaperCluster()
 	m := model.Model52B()
 	batches := []int{8, 16, 32, 64, 128, 256, 512}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, f := range search.Families() {
-			if _, err := search.Sweep(context.Background(), c, m, f, batches, opt); err != nil {
+			if _, err := search.Sweep(ctx, c, m, f, batches, opt); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -247,6 +255,38 @@ func BenchmarkSweepFigure7Pruned(b *testing.B) {
 		// how far each family's registered bound carries the pruning.
 		for _, key := range stats.FamilyKeys() {
 			b.ReportMetric(100*stats.Family(key).PruneRate(), "prune_"+key+"%")
+		}
+	}
+}
+
+// BenchmarkSweepFigure7PrunedFault is BenchmarkSweepFigure7Pruned with an
+// armed — but ruleless — chaos injector riding the context: every worker-pool
+// item pays the real injector consultation at the PoolItem point, with no
+// fault ever firing. scripts/bench.sh ratios it against the uninstrumented
+// sweep as BENCH_search.json's fault_overhead.sweep_figure7_pruned, pinned
+// at <= 1.02x: arming chaos does not tax the search hot path.
+func BenchmarkSweepFigure7PrunedFault(b *testing.B) {
+	benchSweepCtx(b, fault.With(context.Background(), fault.NewScript()), search.Options{})
+}
+
+// BenchmarkSimulateBatchFault is BenchmarkSimulateBatch plus an armed,
+// ruleless injector consulted once per simulation — the call shape of the
+// service's Job injection point. scripts/bench.sh ratios it against the
+// bare simulation as BENCH_search.json's fault_overhead.simulate_batch.
+func BenchmarkSimulateBatchFault(b *testing.B) {
+	inj := fault.NewScript()
+	c := hw.PaperCluster()
+	m := model.Model52B()
+	p := core.Plan{Method: core.BreadthFirst, DP: 4, PP: 8, TP: 2,
+		MicroBatch: 1, NumMicro: 12, Loops: 8, Sharding: core.DPFS,
+		OverlapDP: true, OverlapPP: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := inj.At(fault.Job, i); ok {
+			b.Fatal("ruleless script fired a fault")
+		}
+		if _, err := engine.Simulate(c, m, p); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,6 +1,8 @@
 #!/bin/sh
 # ci.sh — build + vet + format check + tests (shuffled) + race pass over
-# the concurrent search/service paths + an HTTP smoke test of bfpp-serve.
+# the concurrent search/service and chaos/recovery paths + an HTTP smoke
+# test of bfpp-serve, clean and with a chaos script armed (a retrying
+# client must absorb the injected transient fault and still byte-match).
 # Set SKIP_RACE=1 on toolchains without cgo.
 set -eu
 cd "$(dirname "$0")"
@@ -50,14 +52,35 @@ kill "$SERVE_PID" 2>/dev/null && wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 echo "HTTP table byte-identical to the CLI table"
 
+echo "== HTTP chaos smoke (one injected transient fault; the retrying client must still byte-match)"
+"$BIN/bfpp-serve" -addr 127.0.0.1:0 -chaos job:error:1 > "$BIN/serve-chaos.out" 2>&1 &
+SERVE_PID=$!
+URL=""
+for i in $(seq 1 50); do
+	URL=$(sed -n 's#.*listening on ##p' "$BIN/serve-chaos.out")
+	[ -n "$URL" ] && break
+	sleep 0.1
+done
+[ -n "$URL" ] || { echo "chaos bfpp-serve did not come up"; cat "$BIN/serve-chaos.out"; exit 1; }
+go run ./scripts/httpsmoke "$URL" \
+	'{"model":"6.6B","cluster":"paper","batches":[32,64]}' > "$BIN/table.chaos"
+if ! cmp -s "$BIN/table.chaos" "$BIN/table.cli"; then
+	echo "chaos-survived /v1/search table differs from bfpp-search output:"
+	diff "$BIN/table.chaos" "$BIN/table.cli" || true
+	exit 1
+fi
+kill "$SERVE_PID" 2>/dev/null && wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+echo "chaos table byte-identical to the CLI table (client retried through the fault)"
+
 if [ "${SKIP_RACE:-0}" != "1" ]; then
-	echo "== go test -race (concurrent search/service paths + cancellation + bound properties)"
+	echo "== go test -race (concurrent search/service paths + cancellation + bound properties + chaos/recovery)"
 	go test -race -count=1 \
-		-run 'Parallel|Cache|Concurrent|Sweep|FastPath|RunMatches|Curve|CheapArtifacts|LowerBound|ExactBound|Lattice|PrunedErrors|PerFamily|Ctx|Cancel|Progress|HTTP|Search|Registry' \
+		-run 'Parallel|Cache|Concurrent|Sweep|FastPath|RunMatches|Curve|CheapArtifacts|LowerBound|ExactBound|Lattice|PrunedErrors|PerFamily|Ctx|Cancel|Progress|HTTP|Search|Registry|Chaos|Fault|Supervisor|Recover|Shed|Partial|Retry|Seeded|Script|Sleep' \
 		./internal/parallel ./internal/search ./internal/schedule \
 		./internal/memsim ./internal/des ./internal/engine \
 		./internal/figures ./internal/tradeoff \
-		./internal/analytic ./internal/runtime \
+		./internal/analytic ./internal/runtime ./internal/fault \
 		./internal/service ./internal/model ./internal/hw
 fi
 

@@ -84,10 +84,14 @@ func main() {
 	// writes results incrementally, like the pre-service command.
 	for _, name := range names {
 		start := time.Now()
-		resp, err := svc.Figures(ctx, service.FigureRequest{
-			Names:    []string{name},
-			Families: famList,
-			Workers:  *workers,
+		// Retryable failures back off and retry; artifacts are deterministic,
+		// so retries cannot change the written files.
+		resp, err := service.Do(ctx, service.DefaultRetry(1), func() (service.FigureResponse, error) {
+			return svc.Figures(ctx, service.FigureRequest{
+				Names:    []string{name},
+				Families: famList,
+				Workers:  *workers,
+			})
 		})
 		if err != nil {
 			fatal(err)

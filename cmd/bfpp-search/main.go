@@ -67,7 +67,13 @@ func main() {
 		NoPrune:  *noPrune,
 		Workers:  *workers,
 	}
-	resp, err := service.New(service.Config{MaxJobs: 1}).Search(ctx, req)
+	// Retryable failures (load shedding, transient faults) back off and try
+	// again; results are identical across retries, so the wrapper never
+	// changes output — only availability.
+	svc := service.New(service.Config{MaxJobs: 1})
+	resp, err := service.Do(ctx, service.DefaultRetry(1), func() (service.SearchResponse, error) {
+		return svc.Search(ctx, req)
+	})
 	fatalIf(err)
 
 	for _, fr := range resp.Families {

@@ -18,6 +18,15 @@
 // registries, so a registry-added scenario is immediately servable
 // without new endpoints.
 //
+// The server is hardened for unattended runs: panics are contained to the
+// crashing request, oversize bodies get 413 (-max-body), saturation sheds
+// load with 429 + Retry-After instead of queueing unbounded (-queue), a
+// deadline that expires mid-sweep degrades to the incumbents-so-far table
+// marked "partial": true, and /healthz reports structured load state.
+// -chaos arms a deterministic fault script (internal/fault) for recovery
+// drills: e.g. -chaos job:error:1 makes the first job fail transiently,
+// which a retrying client must absorb.
+//
 // Example:
 //
 //	bfpp-serve -addr localhost:8080 &
@@ -38,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"bfpp/internal/fault"
 	"bfpp/internal/service"
 )
 
@@ -49,14 +59,30 @@ func main() {
 		cacheSize  = flag.Int("cache", 0, "search result cache entries (0 = 64, negative disables)")
 		timeout    = flag.Duration("timeout", 0, "default per-request deadline (0 = none)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		queue      = flag.Int("queue", 0, "max requests queued for a job slot before shedding 429s (0 = 16, negative = unbounded)")
+		maxBody    = flag.Int64("max-body", 0, "request body cap in bytes, 413 beyond (0 = 1 MiB, negative = uncapped)")
+		chaos      = flag.String("chaos", "", "deterministic fault script, e.g. \"job:error:1,pool:delay:3:5\" (point:kind:times[:delay-ms])")
 	)
 	flag.Parse()
 
+	var injector fault.Injector
+	if *chaos != "" {
+		script, err := fault.ParseScript(*chaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfpp-serve:", err)
+			os.Exit(1)
+		}
+		injector = script
+		fmt.Printf("bfpp-serve: chaos script armed: %s\n", *chaos)
+	}
 	svc := service.New(service.Config{
 		MaxJobs:              *jobs,
 		MaxWorkersPerRequest: *maxWorkers,
 		CacheEntries:         *cacheSize,
 		DefaultTimeout:       *timeout,
+		MaxQueued:            *queue,
+		MaxBodyBytes:         *maxBody,
+		Injector:             injector,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

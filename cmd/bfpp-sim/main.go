@@ -68,11 +68,15 @@ func main() {
 	}
 
 	svc := service.New(service.Config{MaxJobs: 1})
-	resp, err := svc.Simulate(ctx, service.SimulateRequest{
-		Model:           *modelName,
-		Cluster:         *clusterName,
-		Plan:            plan,
-		CaptureTimeline: *gantt || *chromeOut != "",
+	// Retryable failures (shed slots, transient faults) back off and retry;
+	// simulation results are deterministic, so retries cannot change output.
+	resp, err := service.Do(ctx, service.DefaultRetry(1), func() (service.SimulateResponse, error) {
+		return svc.Simulate(ctx, service.SimulateRequest{
+			Model:           *modelName,
+			Cluster:         *clusterName,
+			Plan:            plan,
+			CaptureTimeline: *gantt || *chromeOut != "",
+		})
 	})
 	fatalIf(err)
 	res := resp.Result

@@ -53,14 +53,17 @@ var svc = service.New(service.Config{MaxJobs: 1})
 
 // diagramSim simulates one diagram plan on the tiny model through the
 // service, with the times-to-scale parameter preset and the timeline
-// captured.
+// captured. Retryable failures back off and retry; the simulation is
+// deterministic, so retries cannot change the rendered diagram.
 func diagramSim(ctx context.Context, plan core.Plan) (engine.Result, error) {
-	resp, err := svc.Simulate(ctx, service.SimulateRequest{
-		Model:           "tiny",
-		Cluster:         "paper",
-		Plan:            plan,
-		CaptureTimeline: true,
-		Diagram:         true,
+	resp, err := service.Do(ctx, service.DefaultRetry(1), func() (service.SimulateResponse, error) {
+		return svc.Simulate(ctx, service.SimulateRequest{
+			Model:           "tiny",
+			Cluster:         "paper",
+			Plan:            plan,
+			CaptureTimeline: true,
+			Diagram:         true,
+		})
 	})
 	return resp.Result, err
 }

@@ -54,11 +54,15 @@ func main() {
 		m.Name, c.Name, bcrit, batchsize.PaperBaseBatches)
 
 	svc := service.New(service.Config{MaxJobs: 1})
-	resp, err := svc.Search(ctx, service.SearchRequest{
-		Model:   *modelName,
-		Cluster: *clusterName,
-		Batches: batches,
-		Workers: *workers,
+	// Retryable failures back off and retry; the sweep is deterministic, so
+	// retries cannot change the curves.
+	resp, err := service.Do(ctx, service.DefaultRetry(1), func() (service.SearchResponse, error) {
+		return svc.Search(ctx, service.SearchRequest{
+			Model:   *modelName,
+			Cluster: *clusterName,
+			Batches: batches,
+			Workers: *workers,
+		})
 	})
 	fatalIf(err)
 

@@ -12,9 +12,16 @@
 package collective
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
+
+// ErrAborted is the panic value every rank blocked inside a collective
+// receives after Abort poisons the group. Callers running ranks under a
+// recover (the runtime's device goroutines) use it to distinguish "my
+// peer died" from a fault of their own.
+var ErrAborted = errors.New("collective: group aborted")
 
 // Group is a communicator over n ranks. Each rank runs in its own
 // goroutine and calls the collective methods with its rank id.
@@ -23,6 +30,9 @@ type Group struct {
 	right []chan []float64 // right[r]: channel from rank r to rank (r+1)%n
 	bcast []chan []float64 // per-rank broadcast delivery
 	bar   *barrier
+
+	abort     chan struct{}
+	abortOnce sync.Once
 }
 
 // NewGroup creates a communicator for n ranks.
@@ -30,7 +40,7 @@ func NewGroup(n int) *Group {
 	if n <= 0 {
 		panic(fmt.Sprintf("collective: group size %d", n))
 	}
-	g := &Group{n: n, bar: newBarrier(n)}
+	g := &Group{n: n, bar: newBarrier(n), abort: make(chan struct{})}
 	g.right = make([]chan []float64, n)
 	g.bcast = make([]chan []float64, n)
 	for i := range g.right {
@@ -38,6 +48,37 @@ func NewGroup(n int) *Group {
 		g.bcast[i] = make(chan []float64, 1)
 	}
 	return g
+}
+
+// Abort permanently poisons the group: every rank blocked (or about to
+// block) in a collective panics with ErrAborted instead of waiting for a
+// peer that will never arrive. A dead rank's supervisor calls it so the
+// surviving ranks drain deterministically; the group cannot be reused —
+// recovery builds a fresh one.
+func (g *Group) Abort() {
+	g.abortOnce.Do(func() {
+		close(g.abort)
+		g.bar.abortAll()
+	})
+}
+
+// send and recv are the abort-aware channel primitives the ring
+// algorithms are built on.
+func (g *Group) send(ch chan []float64, buf []float64) {
+	select {
+	case ch <- buf:
+	case <-g.abort:
+		panic(ErrAborted)
+	}
+}
+
+func (g *Group) recv(ch chan []float64) []float64 {
+	select {
+	case in := <-ch:
+		return in
+	case <-g.abort:
+		panic(ErrAborted)
+	}
 }
 
 // Size returns the number of ranks.
@@ -80,8 +121,8 @@ func (g *Group) ReduceScatter(rank int, data []float64) []float64 {
 		// in-place accumulation.
 		buf := make([]float64, shi-slo)
 		copy(buf, data[slo:shi])
-		g.right[rank] <- buf
-		in := <-g.right[(rank-1+g.n)%g.n]
+		g.send(g.right[rank], buf)
+		in := g.recv(g.right[(rank-1+g.n)%g.n])
 		rlo, rhi := chunkBounds(l, g.n, recvC)
 		if len(in) != rhi-rlo {
 			panic(fmt.Sprintf("collective: rank %d step %d: chunk size %d != %d",
@@ -109,8 +150,8 @@ func (g *Group) AllGather(rank int, data []float64) {
 		slo, shi := chunkBounds(l, g.n, sendC)
 		buf := make([]float64, shi-slo)
 		copy(buf, data[slo:shi])
-		g.right[rank] <- buf
-		in := <-g.right[(rank-1+g.n)%g.n]
+		g.send(g.right[rank], buf)
+		in := g.recv(g.right[(rank-1+g.n)%g.n])
 		rlo, rhi := chunkBounds(l, g.n, recvC)
 		if len(in) != rhi-rlo {
 			panic(fmt.Sprintf("collective: rank %d step %d: chunk size %d != %d",
@@ -137,11 +178,11 @@ func (g *Group) Broadcast(rank, root int, data []float64) {
 		copy(buf, data)
 		for r := 0; r < g.n; r++ {
 			if r != root {
-				g.bcast[r] <- buf
+				g.send(g.bcast[r], buf)
 			}
 		}
 	} else {
-		in := <-g.bcast[rank]
+		in := g.recv(g.bcast[rank])
 		if len(in) != len(data) {
 			panic(fmt.Sprintf("collective: broadcast length %d != %d", len(in), len(data)))
 		}
@@ -159,11 +200,12 @@ func (g *Group) ShardBounds(l, r int) (lo, hi int) { return chunkBounds(l, g.n, 
 
 // barrier is a reusable n-party barrier.
 type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	phase int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	count   int
+	phase   int
+	aborted bool
 }
 
 func newBarrier(n int) *barrier {
@@ -174,6 +216,10 @@ func newBarrier(n int) *barrier {
 
 func (b *barrier) wait() {
 	b.mu.Lock()
+	if b.aborted {
+		b.mu.Unlock()
+		panic(ErrAborted)
+	}
 	phase := b.phase
 	b.count++
 	if b.count == b.n {
@@ -181,10 +227,22 @@ func (b *barrier) wait() {
 		b.phase++
 		b.cond.Broadcast()
 	} else {
-		for phase == b.phase {
+		for phase == b.phase && !b.aborted {
 			b.cond.Wait()
 		}
 	}
+	aborted := b.aborted
+	b.mu.Unlock()
+	if aborted {
+		panic(ErrAborted)
+	}
+}
+
+// abortAll wakes every waiter; each panics with ErrAborted.
+func (b *barrier) abortAll() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
 	b.mu.Unlock()
 }
 

@@ -32,6 +32,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"bfpp/internal/fault"
 )
 
 // defaultWorkers holds the process-wide override; zero means "use
@@ -99,6 +101,9 @@ func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int
 		workers = n
 	}
 	out := make([]R, n)
+	// The context may carry a fault injector (the chaos layer's PoolItem
+	// point: a straggling worker). The nil check is the only cost when off.
+	inj := fault.From(ctx)
 	if workers <= 1 {
 		// Same contract as the concurrent path: every item is evaluated
 		// and the lowest-indexed error wins, unless the context cancels
@@ -106,6 +111,9 @@ func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int
 		var firstErr error
 		for i, item := range items {
 			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := injectItemStall(ctx, inj, i); err != nil {
 				return nil, err
 			}
 			r, err := fn(i, item)
@@ -143,6 +151,9 @@ func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int
 				if i >= n {
 					return
 				}
+				if injectItemStall(ctx, inj, i) != nil {
+					return // ctx cancelled mid-stall; Wait reports ctx.Err()
+				}
 				r, err := fn(i, items[i])
 				if err != nil {
 					errs[i] = err
@@ -162,6 +173,19 @@ func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int
 		}
 	}
 	return out, nil
+}
+
+// injectItemStall sleeps (cancellably) when the injector delays this item.
+// Stalls never change results — only timing — so the pool's determinism
+// contract survives any fault schedule.
+func injectItemStall(ctx context.Context, inj fault.Injector, i int) error {
+	if inj == nil {
+		return nil
+	}
+	if f, ok := inj.At(fault.PoolItem, i); ok && f.Kind == fault.Delay {
+		return fault.SleepCtx(ctx, f.Sleep)
+	}
+	return nil
 }
 
 // ForEach is Map for side-effecting functions with no result value.

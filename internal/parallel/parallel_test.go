@@ -1,12 +1,64 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"bfpp/internal/fault"
 )
+
+// TestMapCtxFaultStallsPreserveDeterminism: injected PoolItem stalls change
+// timing only — results and error reporting stay byte-identical to the
+// uninjected pool at every worker count.
+func TestMapCtxFaultStallsPreserveDeterminism(t *testing.T) {
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	fn := func(i int, item int) (int, error) { return item * item, nil }
+	want, err := Map(1, items, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		inj := fault.NewSeeded(9).Rate(fault.PoolItem, 0.3, fault.Fault{Kind: fault.Delay, Sleep: 100 * time.Microsecond})
+		ctx := fault.With(context.Background(), inj)
+		got, err := MapCtx(ctx, workers, items, fn)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d item %d: %d != %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMapCtxCancelDuringFaultStall: a cancelled context interrupts an
+// injected stall promptly instead of sleeping it out.
+func TestMapCtxCancelDuringFaultStall(t *testing.T) {
+	inj := fault.NewScript(fault.Rule{
+		Point: fault.PoolItem, Times: 8,
+		Fault: fault.Fault{Kind: fault.Delay, Sleep: time.Hour},
+	})
+	ctx, cancel := context.WithCancel(fault.With(context.Background(), inj))
+	time.AfterFunc(10*time.Millisecond, cancel)
+	items := []int{0, 1, 2, 3}
+	start := time.Now()
+	_, err := MapCtx(ctx, 2, items, func(i int, item int) (int, error) { return item, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; stall was not interruptible", elapsed)
+	}
+}
 
 func TestMapPreservesOrder(t *testing.T) {
 	items := make([]int, 1000)

@@ -1,10 +1,14 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
+	"bfpp/internal/collective"
 	"bfpp/internal/core"
+	"bfpp/internal/fault"
 	"bfpp/internal/schedule"
 	"bfpp/internal/tensor"
 )
@@ -88,26 +92,69 @@ func (tr *Trainer) stagesOf(pp int) []int {
 
 // runProgram executes this device's schedule program for one batch.
 func (d *device) runProgram(inputs, targets tensor.Matrix,
-	fwd, bwd [][][]chan tensor.Matrix) {
+	fwd, bwd [][][]chan tensor.Matrix, st *stepState) {
+	d.err = nil
 	defer func() {
 		if r := recover(); r != nil {
+			if err, ok := r.(error); ok &&
+				(errors.Is(err, errStepAborted) || errors.Is(err, collective.ErrAborted)) {
+				d.err = errStepAborted
+				return
+			}
 			d.err = fmt.Errorf("runtime: device pp=%d dp=%d: %v", d.pp, d.dp, r)
+			// Unblock every peer: lattice waiters via the step's abort
+			// channel, collective waiters by poisoning the groups.
+			st.trip()
+			for _, g := range d.tr.dpGroups {
+				g.Abort()
+			}
 		}
 	}()
 	tr := d.tr
 	prog := tr.sched.Devices[d.pp]
-	for _, op := range prog {
+	for opIdx, op := range prog {
+		if inj := tr.inj; inj != nil {
+			if f, ok := inj.At(fault.DeviceOp, tr.step, d.pp, d.dp, opIdx); ok {
+				switch f.Kind {
+				case fault.Panic:
+					panic(fmt.Sprintf("injected device fault (step %d op %d)", tr.step, opIdx))
+				case fault.Delay:
+					time.Sleep(f.Sleep)
+				}
+			}
+		}
 		switch op.Kind {
 		case schedule.Forward:
-			d.forward(op.Stage, op.Micro, inputs, fwd)
+			d.forward(op.Stage, op.Micro, inputs, fwd, st)
 		case schedule.Backward:
-			d.backward(op.Stage, op.Micro, targets, fwd, bwd)
+			d.backward(op.Stage, op.Micro, targets, fwd, bwd, st)
 		case schedule.Restore:
 			d.restore(op.Stage)
 		case schedule.Reduce:
 			d.reduce(op.Stage, op.Micro)
 		case schedule.Optimize:
 			d.optimize()
+		}
+	}
+}
+
+// resetTransient clears everything a failed step can leave behind on the
+// device: the error, partial loss, checkpointed activations, pipeline
+// outputs, and gradient accumulators. Parameters and optimizer state are
+// deliberately untouched (the Supervisor owns those).
+func (d *device) resetTransient() {
+	d.err = nil
+	d.loss = 0
+	d.saved = make(map[actKey]tensor.Matrix)
+	d.outs = make(map[int]tensor.Matrix)
+	for _, g := range d.grads {
+		for i := range g {
+			g[i] = 0
+		}
+	}
+	for _, g := range d.gradShard {
+		for i := range g {
+			g[i] = 0
 		}
 	}
 }
@@ -154,13 +201,13 @@ func blockForward(x tensor.Matrix, v layerViews) (y, z1, h tensor.Matrix) {
 
 // forward executes Forward(stage, micro): consume the stage input, run the
 // stage's layers, and pass the output on.
-func (d *device) forward(stage, micro int, inputs tensor.Matrix, fwd [][][]chan tensor.Matrix) {
+func (d *device) forward(stage, micro int, inputs tensor.Matrix, fwd [][][]chan tensor.Matrix, st *stepState) {
 	tr := d.tr
 	var x tensor.Matrix
 	if stage == 0 {
 		x = d.microRows(inputs, micro).Clone()
 	} else {
-		x = <-fwd[d.dp][stage][micro]
+		x = st.recv(fwd[d.dp][stage][micro])
 	}
 	d.saved[actKey{stage, micro}] = x.Clone() // activation checkpoint
 	for l := 0; l < tr.perStg; l++ {
@@ -169,7 +216,18 @@ func (d *device) forward(stage, micro int, inputs tensor.Matrix, fwd [][][]chan 
 	if stage == tr.nStages-1 {
 		d.outs[micro] = x
 	} else {
-		fwd[d.dp][stage+1][micro] <- x
+		d.injectSendStall(stage, micro)
+		st.send(fwd[d.dp][stage+1][micro], x)
+	}
+}
+
+// injectSendStall consults the injector at the ChannelSend point (a
+// stalled interconnect) before an activation or gradient transfer.
+func (d *device) injectSendStall(stage, micro int) {
+	if inj := d.tr.inj; inj != nil {
+		if f, ok := inj.At(fault.ChannelSend, d.tr.step, stage, micro, d.dp); ok && f.Kind == fault.Delay {
+			time.Sleep(f.Sleep)
+		}
 	}
 }
 
@@ -177,7 +235,7 @@ func (d *device) forward(stage, micro int, inputs tensor.Matrix, fwd [][][]chan 
 // from the checkpoint, backpropagate, accumulate weight gradients, and
 // pass the input gradient upstream.
 func (d *device) backward(stage, micro int, targets tensor.Matrix,
-	fwd, bwd [][][]chan tensor.Matrix) {
+	fwd, bwd [][][]chan tensor.Matrix, st *stepState) {
 	tr := d.tr
 	x0, ok := d.saved[actKey{stage, micro}]
 	if !ok {
@@ -212,7 +270,7 @@ func (d *device) backward(stage, micro int, targets tensor.Matrix,
 			dy.Data[i] = diff * scale
 		}
 	} else {
-		dy = <-bwd[d.dp][stage][micro]
+		dy = st.recv(bwd[d.dp][stage][micro])
 	}
 
 	// Backpropagate through the stage's layers in reverse.
@@ -231,7 +289,8 @@ func (d *device) backward(stage, micro int, targets tensor.Matrix,
 		dy = dx
 	}
 	if stage > 0 {
-		bwd[d.dp][stage-1][micro] <- dy
+		d.injectSendStall(stage, micro)
+		st.send(bwd[d.dp][stage-1][micro], dy)
 	}
 }
 

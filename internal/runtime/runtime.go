@@ -18,6 +18,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -25,6 +26,7 @@ import (
 
 	"bfpp/internal/collective"
 	"bfpp/internal/core"
+	"bfpp/internal/fault"
 	"bfpp/internal/schedule"
 	"bfpp/internal/tensor"
 )
@@ -90,6 +92,47 @@ type Trainer struct {
 	// CaptureGrads, when set before a Step, makes the devices keep a copy
 	// of the reduced gradients for inspection via Gradients().
 	CaptureGrads bool
+
+	// inj, when non-nil, is consulted at the DeviceOp and ChannelSend
+	// injection points. The nil check is the entire hot-path cost.
+	inj fault.Injector
+}
+
+// SetInjector installs a fault injector on the trainer (nil disables
+// injection). Not safe to call concurrently with Step.
+func (tr *Trainer) SetInjector(inj fault.Injector) { tr.inj = inj }
+
+// errStepAborted is the panic value (and resulting device error) of a
+// device whose step was torn down because a peer faulted. It is never the
+// error Step returns — Step reports the originating fault.
+var errStepAborted = errors.New("runtime: step aborted by peer fault")
+
+// stepState is the per-Step teardown switch. The first device to fault
+// trips it; every peer blocked on a lattice channel or inside a collective
+// then unwinds with errStepAborted instead of deadlocking, so Step always
+// returns and no activation stays stranded in a channel buffer.
+type stepState struct {
+	abort chan struct{}
+	once  sync.Once
+}
+
+func (st *stepState) trip() { st.once.Do(func() { close(st.abort) }) }
+
+func (st *stepState) send(ch chan tensor.Matrix, m tensor.Matrix) {
+	select {
+	case ch <- m:
+	case <-st.abort:
+		panic(errStepAborted)
+	}
+}
+
+func (st *stepState) recv(ch chan tensor.Matrix) tensor.Matrix {
+	select {
+	case m := <-ch:
+		return m
+	case <-st.abort:
+		panic(errStepAborted)
+	}
 }
 
 // NewTrainer validates the configuration, generates the schedule and
@@ -197,34 +240,71 @@ func (tr *Trainer) Step(inputs, targets tensor.Matrix) (float64, error) {
 	}
 	tr.step++
 
+	st := &stepState{abort: make(chan struct{})}
 	var wg sync.WaitGroup
 	for pp := range tr.devices {
 		for dp := 0; dp < tr.plan.DP; dp++ {
 			wg.Add(1)
 			go func(d *device) {
 				defer wg.Done()
-				d.runProgram(inputs, targets, tr.fwd, tr.bwd)
+				d.runProgram(inputs, targets, tr.fwd, tr.bwd, st)
 			}(tr.devices[pp][dp])
 		}
 	}
 	wg.Wait()
 
+	// Report the originating fault, not the peers' teardown errors; scan in
+	// (pp, dp) order so the choice among concurrent faults is deterministic.
+	var cause error
+	failed := false
+	for pp := range tr.devices {
+		for dp := 0; dp < tr.plan.DP; dp++ {
+			if err := tr.devices[pp][dp].err; err != nil {
+				failed = true
+				if cause == nil && !errors.Is(err, errStepAborted) {
+					cause = err
+				}
+			}
+		}
+	}
+	if failed {
+		if cause == nil {
+			cause = errStepAborted
+		}
+		// A failed step leaves buffered activations, partially mutated
+		// gradient accumulators and a poisoned collective group behind.
+		// Rebuild all transient state and roll the step counter back so a
+		// restored-and-replayed retry sees the same Adam bias correction —
+		// the weights and optimizer state themselves are the Supervisor's
+		// responsibility.
+		tr.resetAfterFault()
+		tr.step--
+		return 0, cause
+	}
+
 	var loss float64
 	for pp := range tr.devices {
 		for dp := 0; dp < tr.plan.DP; dp++ {
 			d := tr.devices[pp][dp]
-			if d.err != nil {
-				// A recovered device panic may strand buffered activations;
-				// rebuild the lattice so a caller that retries anyway does
-				// not consume a stale tensor.
-				tr.buildChannels()
-				return 0, d.err
-			}
 			loss += d.loss
 			d.loss = 0
 		}
 	}
 	return loss, nil
+}
+
+// resetAfterFault rebuilds every piece of per-step transient state a
+// failed step can leave dirty: the channel lattice (stranded activations),
+// the collective groups (poisoned by Abort) and the devices' accumulators
+// and checkpoint maps. Parameters and optimizer state are left as-is.
+func (tr *Trainer) resetAfterFault() {
+	tr.buildChannels()
+	for pp := range tr.devices {
+		tr.dpGroups[pp] = collective.NewGroup(tr.plan.DP)
+		for _, d := range tr.devices[pp] {
+			d.resetTransient()
+		}
+	}
 }
 
 // SetWeights overwrites the full parameter vector (stages concatenated in

@@ -1,0 +1,182 @@
+package runtime
+
+import (
+	"fmt"
+
+	"bfpp/internal/tensor"
+)
+
+// SupervisorConfig tunes the recovery layer.
+type SupervisorConfig struct {
+	// CheckpointEvery takes a weight/optimizer checkpoint after every K
+	// successful steps (default 1). Larger K means cheaper steady-state but
+	// more replay work per recovery.
+	CheckpointEvery int
+	// MaxRecoveries bounds the restore-and-retry attempts within one Step
+	// call before the fault is reported to the caller (default 3).
+	MaxRecoveries int
+}
+
+// Supervisor wraps a Trainer with deterministic fault recovery: it
+// checkpoints the full parameter and optimizer state every K steps, records
+// the batches (and their losses) since the checkpoint, and on a device
+// fault restores the checkpoint and replays — verifying each replayed step
+// reproduces its recorded loss bit for bit before retrying the faulted
+// batch. Because the trainer is deterministic, a supervised run's loss
+// trajectory and final weights are identical to the fault-free run for any
+// fault schedule the recovery budget covers.
+//
+// A Supervisor drives its Trainer exclusively: do not interleave direct
+// Trainer.Step calls.
+type Supervisor struct {
+	tr  *Trainer
+	cfg SupervisorConfig
+
+	ckpt   checkpoint
+	replay []replayRec
+
+	recoveries int
+	replayed   int
+}
+
+type replayRec struct {
+	inputs, targets tensor.Matrix
+	loss            float64
+}
+
+type checkpoint struct {
+	step int
+	dev  [][]deviceState // [pp][dp]
+}
+
+// deviceState is the durable slice of a device: parameters (or master
+// shards) and Adam moments. Gradient accumulators and activation
+// checkpoints are per-step transient state and are reset, not restored.
+type deviceState struct {
+	params, shard, adamM, adamV [][]float64
+}
+
+// NewSupervisor wraps tr, taking the initial checkpoint immediately.
+func NewSupervisor(tr *Trainer, cfg SupervisorConfig) *Supervisor {
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1
+	}
+	if cfg.MaxRecoveries <= 0 {
+		cfg.MaxRecoveries = 3
+	}
+	sv := &Supervisor{tr: tr, cfg: cfg}
+	sv.checkpointNow()
+	return sv
+}
+
+// Trainer returns the wrapped trainer (for Weights, CaptureGrads, ...).
+func (sv *Supervisor) Trainer() *Trainer { return sv.tr }
+
+// Recoveries reports how many checkpoint restores have run.
+func (sv *Supervisor) Recoveries() int { return sv.recoveries }
+
+// Replayed reports how many recorded steps have been re-executed during
+// recoveries.
+func (sv *Supervisor) Replayed() int { return sv.replayed }
+
+// Step runs one training batch with recovery: on a device fault it
+// restores the last checkpoint, replays the intervening steps and retries,
+// up to MaxRecoveries times.
+func (sv *Supervisor) Step(inputs, targets tensor.Matrix) (float64, error) {
+	loss, err := sv.tr.Step(inputs, targets)
+	for attempt := 0; err != nil; {
+		attempt++
+		if attempt > sv.cfg.MaxRecoveries {
+			return 0, fmt.Errorf("runtime: recovery budget (%d) exhausted: %w",
+				sv.cfg.MaxRecoveries, err)
+		}
+		sv.recoveries++
+		sv.restore()
+		if err = sv.replayAll(); err != nil {
+			continue // a fault during replay: restore again
+		}
+		loss, err = sv.tr.Step(inputs, targets)
+	}
+	sv.replay = append(sv.replay, replayRec{
+		inputs:  inputs.Clone(),
+		targets: targets.Clone(),
+		loss:    loss,
+	})
+	if len(sv.replay) >= sv.cfg.CheckpointEvery {
+		sv.checkpointNow()
+	}
+	return loss, nil
+}
+
+func (sv *Supervisor) checkpointNow() {
+	tr := sv.tr
+	ck := checkpoint{step: tr.step, dev: make([][]deviceState, len(tr.devices))}
+	for pp := range tr.devices {
+		ck.dev[pp] = make([]deviceState, len(tr.devices[pp]))
+		for dp, d := range tr.devices[pp] {
+			ck.dev[pp][dp] = deviceState{
+				params: copyVecs(d.params),
+				shard:  copyVecs(d.shard),
+				adamM:  copyVecs(d.adamM),
+				adamV:  copyVecs(d.adamV),
+			}
+		}
+	}
+	sv.ckpt = ck
+	sv.replay = sv.replay[:0]
+}
+
+// restore rewinds the trainer to the last checkpoint: durable state from
+// the saved copies, transient state reset, step counter rolled back (the
+// Adam bias correction depends on it, so this is what makes the replay
+// bit-identical).
+func (sv *Supervisor) restore() {
+	tr := sv.tr
+	tr.resetAfterFault()
+	for pp := range tr.devices {
+		for dp, d := range tr.devices[pp] {
+			st := sv.ckpt.dev[pp][dp]
+			restoreVecs(d.params, st.params)
+			restoreVecs(d.shard, st.shard)
+			restoreVecs(d.adamM, st.adamM)
+			restoreVecs(d.adamV, st.adamV)
+		}
+	}
+	tr.step = sv.ckpt.step
+}
+
+// replayAll re-runs the recorded steps since the checkpoint, verifying
+// each reproduces its recorded loss exactly.
+func (sv *Supervisor) replayAll() error {
+	for i := range sv.replay {
+		rec := &sv.replay[i]
+		loss, err := sv.tr.Step(rec.inputs, rec.targets)
+		if err != nil {
+			return err
+		}
+		sv.replayed++
+		if loss != rec.loss {
+			return fmt.Errorf("runtime: replay diverged at step %d: loss %v, recorded %v",
+				sv.tr.step, loss, rec.loss)
+		}
+	}
+	return nil
+}
+
+func copyVecs(src [][]float64) [][]float64 {
+	out := make([][]float64, len(src))
+	for i, v := range src {
+		if v != nil {
+			out[i] = append([]float64(nil), v...)
+		}
+	}
+	return out
+}
+
+func restoreVecs(dst, src [][]float64) {
+	for i := range dst {
+		if dst[i] != nil && src[i] != nil {
+			copy(dst[i], src[i])
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bfpp/internal/core"
+	"bfpp/internal/fault"
+	"bfpp/internal/tensor"
+)
+
+// chaosPlan exercises everything a fault can strand: a pipeline lattice
+// (PP=2, breadth-first loops), a data-parallel group (DP=2) and sharded
+// optimizer state (DP-FS collectives in the critical path).
+func chaosPlan() core.Plan {
+	return planFor(core.BreadthFirst, 2, 2, 4, 2, core.DPFS)
+}
+
+// faultFreeRun records the reference trajectory: per-step losses and final
+// weights of an uninjected trainer.
+func faultFreeRun(t *testing.T, p core.Plan, steps int) ([]float64, []float64) {
+	t.Helper()
+	tr, err := NewTrainer(cfg4(), p, DefaultAdam())
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses := make([]float64, steps)
+	for i := 0; i < steps; i++ {
+		in, tgt := batchFor(p, cfg4().Dim, int64(100+i))
+		if losses[i], err = tr.Step(in, tgt); err != nil {
+			t.Fatalf("fault-free step %d: %v", i, err)
+		}
+	}
+	return losses, tr.Weights()
+}
+
+// TestFaultMidStepAbortsAndDrains is the stranded-activation regression: a
+// device panicking early in its program used to leave peers blocked on
+// lattice channels or inside collectives forever (Step never returned) and
+// buffered activations stranded. Now the step tears down, Step reports the
+// originating fault, and a bare retry of the same batch is bit-identical
+// to the fault-free run.
+func TestFaultMidStepAbortsAndDrains(t *testing.T) {
+	p := chaosPlan()
+	ref, _ := faultFreeRun(t, p, 1)
+
+	tr, err := NewTrainer(cfg4(), p, DefaultAdam())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Panic on device pp=1 before its third op of step 1: stage-0 forwards
+	// are already buffered in the lattice and every peer ends up blocked.
+	script := fault.NewScript(fault.Rule{
+		Point: fault.DeviceOp, Coords: []int{1, 1, 0, 2},
+		Fault: fault.Fault{Kind: fault.Panic},
+	})
+	tr.SetInjector(script)
+
+	in, tgt := batchFor(p, cfg4().Dim, 100)
+	_, err = tr.Step(in, tgt)
+	if err == nil || !strings.Contains(err.Error(), "injected device fault") {
+		t.Fatalf("Step error = %v, want the injected fault", err)
+	}
+	if got := script.Fired(); got != 1 {
+		t.Fatalf("script fired %d times, want 1", got)
+	}
+	if tr.step != 0 {
+		t.Fatalf("step counter = %d after failed step, want 0 (rolled back)", tr.step)
+	}
+	for _, lat := range [][][][]chan tensor.Matrix{tr.fwd, tr.bwd} {
+		for dp := range lat {
+			for s := range lat[dp] {
+				for mb, ch := range lat[dp][s] {
+					if n := len(ch); n != 0 {
+						t.Fatalf("channel [dp %d][stage %d][micro %d] holds %d stranded tensors",
+							dp, s, mb, n)
+					}
+				}
+			}
+		}
+	}
+	// The retry must see no trace of the failed attempt.
+	loss, err := tr.Step(in, tgt)
+	if err != nil {
+		t.Fatalf("retry after fault: %v", err)
+	}
+	if loss != ref[0] {
+		t.Fatalf("retry loss %v != fault-free loss %v", loss, ref[0])
+	}
+}
+
+// TestSupervisorRecoversBitIdentical pins supervised recovery end to end:
+// scripted faults at several steps (one landing after a checkpoint so the
+// replay path runs), plus delay faults to perturb goroutine scheduling,
+// and the loss trajectory and final weights still match the fault-free run
+// exactly.
+func TestSupervisorRecoversBitIdentical(t *testing.T) {
+	const steps = 6
+	p := chaosPlan()
+	wantLoss, wantW := faultFreeRun(t, p, steps)
+
+	tr, err := NewTrainer(cfg4(), p, DefaultAdam())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetInjector(fault.NewScript(
+		fault.Rule{Point: fault.DeviceOp, Coords: []int{2, 0, 0, 1},
+			Fault: fault.Fault{Kind: fault.Panic}},
+		fault.Rule{Point: fault.DeviceOp, Coords: []int{5, 1, 1, 4},
+			Fault: fault.Fault{Kind: fault.Panic}},
+		fault.Rule{Point: fault.ChannelSend, Coords: []int{3},
+			Fault: fault.Fault{Kind: fault.Delay, Sleep: 200 * time.Microsecond}},
+		fault.Rule{Point: fault.DeviceOp, Coords: []int{4},
+			Fault: fault.Fault{Kind: fault.Delay, Sleep: 200 * time.Microsecond}},
+	))
+	sv := NewSupervisor(tr, SupervisorConfig{CheckpointEvery: 2})
+	for i := 0; i < steps; i++ {
+		in, tgt := batchFor(p, cfg4().Dim, int64(100+i))
+		loss, err := sv.Step(in, tgt)
+		if err != nil {
+			t.Fatalf("supervised step %d: %v", i, err)
+		}
+		if loss != wantLoss[i] {
+			t.Fatalf("step %d: supervised loss %v != fault-free %v (recoveries %d)",
+				i, loss, wantLoss[i], sv.Recoveries())
+		}
+	}
+	if sv.Recoveries() < 2 {
+		t.Fatalf("recoveries = %d, want >= 2 (both panics must have fired)", sv.Recoveries())
+	}
+	gotW := sv.Trainer().Weights()
+	for i := range wantW {
+		if gotW[i] != wantW[i] {
+			t.Fatalf("weight %d: supervised %v != fault-free %v", i, gotW[i], wantW[i])
+		}
+	}
+}
+
+// TestChaosSeededTrajectory is the chaos property at the trainer level:
+// under ANY seeded fault schedule (panics and stalls at hash-chosen sites),
+// the supervised loss trajectory and final weights are bit-identical to the
+// fault-free run.
+func TestChaosSeededTrajectory(t *testing.T) {
+	const steps = 5
+	p := chaosPlan()
+	wantLoss, wantW := faultFreeRun(t, p, steps)
+
+	totalRecoveries := 0
+	for seed := int64(1); seed <= 4; seed++ {
+		tr, err := NewTrainer(cfg4(), p, DefaultAdam())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.SetInjector(fault.NewSeeded(seed).
+			Rate(fault.DeviceOp, 0.02, fault.Fault{Kind: fault.Panic}).
+			Rate(fault.ChannelSend, 0.05, fault.Fault{Kind: fault.Delay, Sleep: 100 * time.Microsecond}))
+		sv := NewSupervisor(tr, SupervisorConfig{CheckpointEvery: 3, MaxRecoveries: 16})
+		for i := 0; i < steps; i++ {
+			in, tgt := batchFor(p, cfg4().Dim, int64(100+i))
+			loss, err := sv.Step(in, tgt)
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, i, err)
+			}
+			if loss != wantLoss[i] {
+				t.Fatalf("seed %d step %d: loss %v != fault-free %v", seed, i, loss, wantLoss[i])
+			}
+		}
+		gotW := sv.Trainer().Weights()
+		for i := range wantW {
+			if gotW[i] != wantW[i] {
+				t.Fatalf("seed %d: weight %d diverged", seed, i)
+			}
+		}
+		totalRecoveries += sv.Recoveries()
+	}
+	if totalRecoveries == 0 {
+		t.Fatal("no seed injected any fault; the chaos rates are degenerate")
+	}
+}
+
+// TestSupervisorBudgetExhausted: a persistent fault (arrival budget far
+// beyond the recovery budget) must surface as an error, not an infinite
+// retry loop.
+func TestSupervisorBudgetExhausted(t *testing.T) {
+	p := chaosPlan()
+	tr, err := NewTrainer(cfg4(), p, DefaultAdam())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetInjector(fault.NewScript(fault.Rule{
+		Point: fault.DeviceOp, Coords: []int{1, 0, 0, 0}, Times: 100,
+		Fault: fault.Fault{Kind: fault.Panic},
+	}))
+	sv := NewSupervisor(tr, SupervisorConfig{MaxRecoveries: 2})
+	in, tgt := batchFor(p, cfg4().Dim, 100)
+	_, err = sv.Step(in, tgt)
+	if err == nil || !strings.Contains(err.Error(), "recovery budget") {
+		t.Fatalf("err = %v, want recovery budget exhaustion", err)
+	}
+	if sv.Recoveries() != 2 {
+		t.Fatalf("recoveries = %d, want exactly the budget (2)", sv.Recoveries())
+	}
+}

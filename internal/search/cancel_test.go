@@ -3,6 +3,7 @@ package search
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -50,6 +51,63 @@ func TestSweepAllCancelMidFlight(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+}
+
+// TestSweepAllCancelReturnsIncumbents pins graceful degradation at the
+// search layer: a sweep cancelled mid-flight returns ctx.Err() AND the
+// incumbents-so-far — every entry a fully-simulated, feasible
+// configuration whose throughput cannot exceed the full run's winner.
+func TestSweepAllCancelReturnsIncumbents(t *testing.T) {
+	c := hw.PaperCluster()
+	m := model.Model6p6B()
+	fams := AllFamilies()
+	batches := []int{32, 64, 96, 128}
+
+	full, err := SweepAll(context.Background(), c, m, fams, batches, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullBest := map[string]float64{} // family key + batch -> winning throughput
+	for f, bs := range full {
+		for _, b := range bs {
+			fullBest[fmt.Sprintf("%s@%d", f.Info().Key, b.Plan.BatchSize())] = b.Throughput
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt := Options{
+		Workers: 4,
+		NoPrune: true, // plenty of work left when the cancel lands
+		Progress: func(p ProgressSnapshot) {
+			if p.Simulated >= 8 {
+				cancel()
+			}
+		},
+	}
+	partial, err := SweepAll(ctx, c, m, fams, batches, opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(partial) == 0 {
+		t.Fatal("no incumbents returned despite >= 8 completed simulations")
+	}
+	seen := 0
+	for f, bs := range partial {
+		for _, b := range bs {
+			seen++
+			if b.Throughput <= 0 {
+				t.Errorf("%v: partial incumbent has throughput %v", f, b.Throughput)
+			}
+			// An incumbent is a genuine simulation result, so it can never
+			// beat the exhaustive winner for the same (family, batch).
+			if want, ok := fullBest[fmt.Sprintf("%s@%d", f.Info().Key, b.Plan.BatchSize())]; ok && b.Throughput > want {
+				t.Errorf("%v %v: partial throughput %v exceeds full-run best %v",
+					f, b.Plan, b.Throughput, want)
+			}
+		}
+	}
+	t.Logf("partial table carried %d incumbents across %d families", seen, len(partial))
 }
 
 // TestOptimizeCancelledBeforeStart asserts an already-cancelled context

@@ -502,8 +502,11 @@ type simOut struct {
 // over one shared worker pool and reduces each to its winner. It returns
 // one Best per group (nil when the group is empty or a simulation failed)
 // and the lowest-indexed per-group error; the final error is non-nil only
-// when ctx was cancelled, in which case the per-group results are
-// meaningless and callers must return it. With pruning active, candidates
+// when ctx was cancelled. Even then the per-group results are returned:
+// each reflects only fully-simulated candidates, so a group's Best is its
+// incumbent-so-far — a valid (if possibly non-optimal) configuration that
+// callers surfacing graceful degradation may report alongside the error.
+// With pruning active, candidates
 // are prechecked (so a candidate whose simulation would error reports it
 // even when the bounds would have skipped it), priced by the analytic
 // lower bound, ordered cheapest-bound-first, dominance-filtered, and
@@ -652,10 +655,7 @@ func evalGroups(ctx context.Context, c hw.Cluster, m model.Transformer, groups [
 		}
 		return struct{}{}, nil
 	})
-	if ctxErr != nil {
-		return nil, nil, ctxErr
-	}
-	progress(true) // terminal snapshot: the callback always sees 100%
+	progress(true) // terminal snapshot (100% unless ctx cancelled the run)
 
 	bests := make([]*Best, len(groups))
 	errs := make([]error, len(groups))
@@ -681,7 +681,7 @@ func evalGroups(ctx context.Context, c hw.Cluster, m model.Transformer, groups [
 			bests[gi] = &b
 		}
 	}
-	return bests, errs, nil
+	return bests, errs, ctxErr
 }
 
 // markDominated removes, within each group, candidates an exactly-priced
@@ -732,7 +732,9 @@ func markDominated(jobs []job, bounds []int, famStats []*FamilyStats, stats *Sta
 // evaluated by a single worker pool, so Options.Workers is a true bound on
 // concurrent simulations (no nested fan-out) and no barrier separates
 // batches. Results are identical to calling Optimize per batch. Cancelling
-// ctx aborts the sweep between candidate simulations and returns ctx.Err().
+// ctx aborts the sweep between candidate simulations and returns the
+// incumbents-so-far (each batch's best fully-simulated candidate) alongside
+// ctx.Err(); callers that cannot use a partial table must discard it.
 func Sweep(ctx context.Context, c hw.Cluster, m model.Transformer, f Family, batches []int, opt Options) ([]Best, error) {
 	if opt.MaxMicroBatch <= 0 {
 		opt.MaxMicroBatch = 16
@@ -744,14 +746,14 @@ func Sweep(ctx context.Context, c hw.Cluster, m model.Transformer, f Family, bat
 		keys[bi] = f.Info().Key
 	}
 	bests, _, err := evalGroups(ctx, c, m, groups, keys, opt)
-	if err != nil {
-		return nil, err
-	}
 	var out []Best
 	for _, b := range bests {
 		if b != nil {
 			out = append(out, *b)
 		}
+	}
+	if err != nil {
+		return out, err
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("search: no feasible configuration for %v at any batch", f)
@@ -767,7 +769,11 @@ func Sweep(ctx context.Context, c hw.Cluster, m model.Transformer, f Family, bat
 // identical to calling Sweep per family; families with no feasible
 // configuration at any batch are omitted from the map, and an error is
 // returned only when that leaves the map empty. Cancelling ctx aborts the
-// sweep between candidate simulations and returns ctx.Err().
+// sweep between candidate simulations and returns the incumbents-so-far —
+// each (family, batch) group's best fully-simulated candidate, a valid if
+// possibly non-optimal configuration — alongside ctx.Err(). The service
+// layer turns that partial map into a degraded response on deadline;
+// callers that cannot use a partial table must discard it on error.
 func SweepAll(ctx context.Context, c hw.Cluster, m model.Transformer, fams []Family, batches []int, opt Options) (map[Family][]Best, error) {
 	if opt.MaxMicroBatch <= 0 {
 		opt.MaxMicroBatch = 16
@@ -781,9 +787,6 @@ func SweepAll(ctx context.Context, c hw.Cluster, m model.Transformer, fams []Fam
 		}
 	}
 	bests, _, err := evalGroups(ctx, c, m, groups, keys, opt)
-	if err != nil {
-		return nil, err
-	}
 	out := map[Family][]Best{}
 	for fi, f := range fams {
 		var fam []Best
@@ -795,6 +798,9 @@ func SweepAll(ctx context.Context, c hw.Cluster, m model.Transformer, fams []Fam
 		if len(fam) > 0 {
 			out[f] = fam
 		}
+	}
+	if err != nil {
+		return out, err
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("search: no feasible configuration for any family at any batch")

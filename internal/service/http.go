@@ -6,10 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"bfpp/internal/fault"
 	"bfpp/internal/search"
 )
 
@@ -18,7 +21,7 @@ import (
 //	POST /v1/search    SearchRequest  -> SearchResponse
 //	POST /v1/simulate  SimulateRequest -> SimulateResponse
 //	POST /v1/figures   FigureRequest  -> FigureResponse
-//	GET  /healthz      liveness probe
+//	GET  /healthz      liveness probe (JSON Health, always 200)
 //
 // Responses are JSON. /v1/search streams NDJSON instead when the request
 // sets ?stream=1 or sends "Accept: application/x-ndjson": progress lines
@@ -27,15 +30,22 @@ import (
 // {"error": "..."} line. Request deadlines (TimeoutMS, or the service
 // default) are mapped onto the request context, which is also cancelled
 // when the client disconnects.
+//
+// The handler is hardened for unattended serving: panics are contained to
+// the crashing request (500, server survives, no slot leaks), request
+// bodies are capped at Config.MaxBodyBytes (413 beyond), saturation sheds
+// load with 429 + Retry-After instead of parking requests unbounded, and
+// a deadline that expires mid-sweep degrades to the incumbents-so-far
+// table marked "partial": true rather than a bare 504.
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.Health())
 	})
 	mux.HandleFunc("/v1/search", func(w http.ResponseWriter, r *http.Request) {
 		var req SearchRequest
-		if !decodeRequest(w, r, &req) {
+		if !s.decodeRequest(w, r, &req) {
 			return
 		}
 		if wantsStream(r) {
@@ -47,7 +57,7 @@ func Handler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("/v1/simulate", func(w http.ResponseWriter, r *http.Request) {
 		var req SimulateRequest
-		if !decodeRequest(w, r, &req) {
+		if !s.decodeRequest(w, r, &req) {
 			return
 		}
 		resp, err := s.Simulate(r.Context(), req)
@@ -55,25 +65,117 @@ func Handler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("/v1/figures", func(w http.ResponseWriter, r *http.Request) {
 		var req FigureRequest
-		if !decodeRequest(w, r, &req) {
+		if !s.decodeRequest(w, r, &req) {
 			return
 		}
 		resp, err := s.Figures(r.Context(), req)
 		writeResult(w, resp, err)
 	})
-	return mux
+	return recoverMiddleware(injectHandler(s, mux))
+}
+
+// recoverMiddleware contains handler panics: the crashing request gets a
+// 500 (when its headers are still unsent) and the server — and every other
+// in-flight request — survives. Semaphore slots are released by the
+// panicking goroutine's own defers on the way up, so a crashing job leaks
+// nothing. http.ErrAbortHandler passes through: it is net/http's own
+// abort protocol, not a crash.
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tw := &trackingWriter{ResponseWriter: w}
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				if !tw.wrote {
+					writeError(tw, fmt.Errorf("internal error: %v", rec))
+				}
+			}
+		}()
+		next.ServeHTTP(tw, r)
+	})
+}
+
+// trackingWriter records whether a response has started, so the panic
+// handler knows if a 500 can still be delivered.
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *trackingWriter) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackingWriter) Write(b []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so NDJSON streaming keeps
+// working through the middleware wrap.
+func (t *trackingWriter) Flush() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		t.wrote = true
+		f.Flush()
+	}
+}
+
+// handlerArrivals numbers requests for the Handler injection point.
+var handlerArrivals atomic.Int64
+
+// injectHandler consults the chaos injector at request admission, before
+// the service method runs. An injected Error is a transient 503 with a
+// Retry-After hint (what a retrying client must recover from); Panic
+// exercises recoverMiddleware; Delay stalls admission.
+func injectHandler(s *Service, next http.Handler) http.Handler {
+	if s.cfg.Injector == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := handlerArrivals.Add(1) - 1
+		if f, ok := s.cfg.Injector.At(fault.Handler, int(n)); ok {
+			switch f.Kind {
+			case fault.Panic:
+				panic(fmt.Sprintf("injected handler fault (arrival %d)", n))
+			case fault.Delay:
+				if fault.SleepCtx(r.Context(), f.Sleep) != nil {
+					return
+				}
+			case fault.Error:
+				w.Header().Set("Retry-After", "1")
+				writeStatusError(w, http.StatusServiceUnavailable,
+					fmt.Errorf("%w: %v", ErrTransient, f.Err))
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // decodeRequest parses a POST body into req, writing the error response
-// itself when parsing fails.
-func decodeRequest(w http.ResponseWriter, r *http.Request, req any) bool {
+// itself when parsing fails. The body is capped at Config.MaxBodyBytes;
+// oversize requests get 413.
+func (s *Service) decodeRequest(w http.ResponseWriter, r *http.Request, req any) bool {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return false
 	}
-	dec := json.NewDecoder(r.Body)
+	body := r.Body
+	if s.cfg.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeStatusError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
 		writeError(w, badRequestf("decoding request body: %v", err))
 		return false
 	}
@@ -85,6 +187,10 @@ func status(err error) int {
 	switch {
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrTransient):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -96,8 +202,22 @@ func status(err error) int {
 }
 
 func writeError(w http.ResponseWriter, err error) {
+	code := status(err)
+	if code == http.StatusTooManyRequests {
+		// Load shedding carries the server's backoff hint; clients honor
+		// it over their own exponential schedule.
+		secs := int64(1)
+		if hint := RetryAfterHint(err); hint > 0 {
+			secs = int64((hint + time.Second - 1) / time.Second)
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeStatusError(w, code, err)
+}
+
+func writeStatusError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status(err))
+	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 

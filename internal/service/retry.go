@@ -1,0 +1,138 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"bfpp/internal/fault"
+)
+
+// ErrOverloaded marks a request shed because the job queue was saturated.
+// The HTTP layer maps it to 429 with a Retry-After header; Retryable
+// reports it retryable.
+var ErrOverloaded = errors.New("service: overloaded")
+
+// ErrTransient marks an injected (or otherwise momentary) execution fault
+// that a retry of the identical request is expected to clear. Retryable
+// reports it retryable.
+var ErrTransient = errors.New("service: transient fault")
+
+// OverloadedError carries the shed decision and the server's backoff hint.
+type OverloadedError struct {
+	// RetryAfter is the suggested wait before retrying (the HTTP
+	// Retry-After header, rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("service: overloaded, retry after %v", e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
+// Retryable reports whether a request that failed with err may succeed if
+// simply retried: load shedding and transient (injected) faults qualify;
+// bad requests, deadlines and cancellations do not — retrying cannot
+// change those.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrTransient) {
+		return true
+	}
+	var inj fault.InjectedError
+	return errors.As(err, &inj)
+}
+
+// RetryAfterHint extracts the server's suggested wait from an error chain
+// (an OverloadedError), or zero.
+func RetryAfterHint(err error) time.Duration {
+	var ov *OverloadedError
+	if errors.As(err, &ov) {
+		return ov.RetryAfter
+	}
+	return 0
+}
+
+// RetryPolicy shapes Do's exponential backoff. The zero value is not
+// useful; start from DefaultRetry.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total tries (the first call counts).
+	MaxAttempts int
+	// BaseDelay is the wait after the first failure; each further failure
+	// multiplies it by Multiplier up to MaxDelay.
+	BaseDelay  time.Duration
+	Multiplier float64
+	MaxDelay   time.Duration
+	// Jitter spreads each wait uniformly over [delay*(1-Jitter), delay]:
+	// deterministic (seeded) jitter, so a retrying client is reproducible
+	// while a fleet of clients with distinct seeds still decorrelates.
+	Jitter float64
+	// Seed drives the jitter sequence.
+	Seed int64
+}
+
+// DefaultRetry is the policy the CLI clients use: up to 4 attempts,
+// 100ms base, doubling to at most 2s, 30% jitter.
+func DefaultRetry(seed int64) RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   100 * time.Millisecond,
+		Multiplier:  2,
+		MaxDelay:    2 * time.Second,
+		Jitter:      0.3,
+		Seed:        seed,
+	}
+}
+
+// delay computes the wait before retry number attempt (1-based), honoring
+// a server Retry-After hint as a floor.
+func (p RetryPolicy) delay(attempt int, hint time.Duration) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+	}
+	if max := float64(p.MaxDelay); p.MaxDelay > 0 && d > max {
+		d = max
+	}
+	if p.Jitter > 0 {
+		// splitmix64 over (seed, attempt): deterministic, schedule-free.
+		h := uint64(p.Seed)*0x9e3779b97f4a7c15 + uint64(attempt)
+		h += 0x9e3779b97f4a7c15
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+		u := float64(h>>11) / float64(1<<53) // [0, 1)
+		d *= 1 - p.Jitter*u
+	}
+	out := time.Duration(d)
+	if hint > out {
+		out = hint
+	}
+	return out
+}
+
+// Do runs fn with retries under the policy: retryable failures (load
+// shedding, transient faults) back off exponentially with deterministic
+// jitter — honoring any server Retry-After hint — and try again;
+// everything else returns immediately. The context cancels waits.
+func Do[T any](ctx context.Context, p RetryPolicy, fn func() (T, error)) (T, error) {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 1
+	}
+	var out T
+	var err error
+	for attempt := 1; ; attempt++ {
+		out, err = fn()
+		if err == nil || !Retryable(err) || attempt >= p.MaxAttempts {
+			return out, err
+		}
+		if serr := fault.SleepCtx(ctx, p.delay(attempt, RetryAfterHint(err))); serr != nil {
+			return out, err // the context died mid-backoff; report the last real failure
+		}
+	}
+}

@@ -28,11 +28,14 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bfpp/internal/engine"
+	"bfpp/internal/fault"
 	"bfpp/internal/figures"
 	"bfpp/internal/parallel"
 	"bfpp/internal/search"
@@ -55,6 +58,20 @@ type Config struct {
 	// DefaultTimeout applies to requests that do not carry their own
 	// TimeoutMS. 0 means no deadline.
 	DefaultTimeout time.Duration
+	// MaxQueued bounds how many requests may wait for a job slot at once;
+	// arrivals beyond the bound are shed immediately with ErrOverloaded
+	// (HTTP 429 + Retry-After) instead of parking unbounded. 0 means 16;
+	// negative means unbounded (requests park until their context dies —
+	// the single-job CLI shape).
+	MaxQueued int
+	// MaxBodyBytes caps the HTTP request body the handler will read
+	// (oversize bodies get 413). 0 means 1 MiB; negative means no cap.
+	MaxBodyBytes int64
+	// Injector, when non-nil, is the chaos layer's hook into the job
+	// service: consulted at the Job point (after a slot is acquired) and
+	// threaded down to the search worker pool (PoolItem stalls). The nil
+	// default costs one pointer compare per job.
+	Injector fault.Injector
 }
 
 // Service executes bfpp jobs: grid searches (cached), single simulations
@@ -62,6 +79,11 @@ type Config struct {
 type Service struct {
 	cfg Config
 	sem chan struct{}
+
+	inFlight    atomic.Int64 // jobs holding a slot
+	queued      atomic.Int64 // requests parked on the semaphore
+	shed        atomic.Int64 // requests rejected with ErrOverloaded, total
+	jobArrivals atomic.Int64 // Job injection-point coordinate
 
 	mu    sync.Mutex
 	cache map[string]SearchResponse
@@ -76,11 +98,49 @@ func New(cfg Config) *Service {
 	if cfg.CacheEntries == 0 {
 		cfg.CacheEntries = 64
 	}
+	if cfg.MaxQueued == 0 {
+		cfg.MaxQueued = 16
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
 	return &Service{
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.MaxJobs),
 		cache: map[string]SearchResponse{},
 	}
+}
+
+// Health is the structured /healthz report. The endpoint always answers
+// 200 — "degraded" is a field, not a status code, so saturation does not
+// read as a flapping prober failure.
+type Health struct {
+	// Status is "ok", or "degraded" while every job slot is busy (new
+	// requests queue or are shed).
+	Status string `json:"status"`
+	// InFlight is the number of jobs currently holding a slot, out of
+	// MaxJobs.
+	InFlight int `json:"in_flight"`
+	MaxJobs  int `json:"max_jobs"`
+	// Queued is the number of requests parked waiting for a slot.
+	Queued int `json:"queued"`
+	// ShedTotal counts requests rejected with 429 since startup.
+	ShedTotal int64 `json:"shed_total"`
+}
+
+// Health reports the service's load state.
+func (s *Service) Health() Health {
+	h := Health{
+		Status:    "ok",
+		InFlight:  int(s.inFlight.Load()),
+		MaxJobs:   s.cfg.MaxJobs,
+		Queued:    int(s.queued.Load()),
+		ShedTotal: s.shed.Load(),
+	}
+	if h.InFlight >= h.MaxJobs || h.Queued > 0 {
+		h.Status = "degraded"
+	}
+	return h
 }
 
 // workers resolves a request's worker budget: the requested count (or the
@@ -94,15 +154,62 @@ func (s *Service) workers(requested int) int {
 	return w
 }
 
-// acquire claims a job slot, waiting cancellably, and returns its release
-// function.
+// shedRetryAfter is the backoff hint attached to load-shed rejections.
+const shedRetryAfter = time.Second
+
+// acquire claims a job slot and returns its release function. A free slot
+// is claimed immediately; otherwise the request parks (cancellably) in the
+// bounded queue, and when the queue is full too it is shed with
+// ErrOverloaded — the load-shedding contract: saturation costs the client
+// a fast 429 + Retry-After, never an unbounded wait.
 func (s *Service) acquire(ctx context.Context) (func(), error) {
+	release := func() {
+		s.inFlight.Add(-1)
+		<-s.sem
+	}
 	select {
 	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, nil
+		s.inFlight.Add(1)
+		return release, nil
+	default:
+	}
+	if max := s.cfg.MaxQueued; max > 0 && s.queued.Load() >= int64(max) {
+		s.shed.Add(1)
+		return nil, &OverloadedError{RetryAfter: shedRetryAfter}
+	}
+	s.queued.Add(1)
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		s.inFlight.Add(1)
+		return release, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// injectJob consults the chaos injector at the Job point — inside the job,
+// slot held — so the panic path proves the slot is released and the server
+// survives. Coordinates: job arrival number.
+func (s *Service) injectJob(ctx context.Context) error {
+	inj := s.cfg.Injector
+	if inj == nil {
+		return nil
+	}
+	n := s.jobArrivals.Add(1) - 1
+	f, ok := inj.At(fault.Job, int(n))
+	if !ok {
+		return nil
+	}
+	switch f.Kind {
+	case fault.Panic:
+		panic(fmt.Sprintf("injected job fault (arrival %d)", n))
+	case fault.Delay:
+		return fault.SleepCtx(ctx, f.Sleep)
+	case fault.Error:
+		return fmt.Errorf("%w: %w", ErrTransient, f.Err)
+	}
+	return nil
 }
 
 // deadline applies the request's TimeoutMS (or the service default) to the
@@ -183,6 +290,9 @@ func (s *Service) searchWith(ctx context.Context, req SearchRequest, progress fu
 		return SearchResponse{}, err
 	}
 	defer release()
+	if err := s.injectJob(ctx); err != nil {
+		return SearchResponse{}, err
+	}
 
 	stats := &search.Stats{}
 	opt := search.Options{
@@ -192,20 +302,33 @@ func (s *Service) searchWith(ctx context.Context, req SearchRequest, progress fu
 		Stats:         stats,
 		Progress:      progress,
 	}
-	results, err := search.SweepAll(ctx, job.cluster, job.model, job.families, job.batches, opt)
+	// The injector rides the context into the search worker pool (PoolItem
+	// stalls); fault.With is a no-op when no injector is configured.
+	results, err := search.SweepAll(fault.With(ctx, s.cfg.Injector),
+		job.cluster, job.model, job.families, job.batches, opt)
+	partial := false
 	if err != nil {
-		if ctxErr := ctx.Err(); ctxErr != nil {
+		ctxErr := ctx.Err()
+		switch {
+		case errors.Is(ctxErr, context.DeadlineExceeded) && len(results) > 0:
+			// Graceful degradation: the time budget ran out mid-sweep but
+			// incumbents exist. Serve the incumbent-so-far table marked
+			// partial — and never cache it — instead of a bare 504.
+			partial = true
+		case ctxErr != nil:
 			return SearchResponse{}, ctxErr
+		default:
+			// No family feasible at any batch: an empty table, exactly like
+			// the pre-service CLI (which warned per family and printed the
+			// header-only table).
+			results = map[search.Family][]search.Best{}
 		}
-		// No family feasible at any batch: an empty table, exactly like
-		// the pre-service CLI (which warned per family and printed the
-		// header-only table).
-		results = map[search.Family][]search.Best{}
 	}
 	resp := SearchResponse{
-		Title: job.title(),
-		Table: search.Table(job.title(), results),
-		Stats: stats.Snapshot(),
+		Title:   job.title(),
+		Table:   search.Table(job.title(), results),
+		Stats:   stats.Snapshot(),
+		Partial: partial,
 	}
 	for _, f := range job.families {
 		info := f.Info()
@@ -215,7 +338,9 @@ func (s *Service) searchWith(ctx context.Context, req SearchRequest, progress fu
 			Bests: results[f],
 		})
 	}
-	s.cachePut(key, resp)
+	if !partial {
+		s.cachePut(key, resp)
+	}
 	return resp, nil
 }
 
@@ -239,6 +364,9 @@ func (s *Service) Simulate(ctx context.Context, req SimulateRequest) (SimulateRe
 		return SimulateResponse{}, err
 	}
 	defer release()
+	if err := s.injectJob(ctx); err != nil {
+		return SimulateResponse{}, err
+	}
 	if err := ctx.Err(); err != nil {
 		return SimulateResponse{}, err
 	}
@@ -294,6 +422,9 @@ func (s *Service) Figures(ctx context.Context, req FigureRequest) (FigureRespons
 		return FigureResponse{}, err
 	}
 	defer release()
+	if err := s.injectJob(ctx); err != nil {
+		return FigureResponse{}, err
+	}
 	var resp FigureResponse
 	for _, g := range selected {
 		text, err := g.Run(ctx)

@@ -193,10 +193,23 @@ func TestSearchCancellation(t *testing.T) {
 		t.Fatalf("pre-cancelled err = %v", err)
 	}
 
-	// Deadline mid-sweep: 1ms cannot finish a 52B sweep cold.
-	if _, err := s.Search(context.Background(), SearchRequest{
+	// Deadline mid-sweep: 1ms cannot finish a 52B sweep cold. Depending on
+	// how many simulations squeeze in before the deadline fires, the
+	// service either reports the timeout (nothing to degrade to) or
+	// degrades gracefully into a partial incumbents-so-far response — a
+	// full, non-partial response is the one impossible outcome.
+	resp, err := s.Search(context.Background(), SearchRequest{
 		Model: "52B", Cluster: "paper", Batches: []int{8, 16, 32}, NoPrune: true, TimeoutMS: 1,
-	}); !errors.Is(err, context.DeadlineExceeded) {
+	})
+	switch {
+	case err == nil:
+		if !resp.Partial {
+			t.Fatal("1ms sweep returned a complete response; want partial or DeadlineExceeded")
+		}
+		if resp.Cached {
+			t.Fatal("partial response claims to be cached")
+		}
+	case !errors.Is(err, context.DeadlineExceeded):
 		t.Fatalf("deadline err = %v", err)
 	}
 

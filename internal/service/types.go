@@ -90,6 +90,12 @@ type SearchResponse struct {
 	// Cached reports that the response was served from the result cache
 	// without re-running the search.
 	Cached bool `json:"cached,omitempty"`
+	// Partial reports graceful degradation: the request's deadline expired
+	// mid-sweep and Table/Families hold the incumbents-so-far — every
+	// entry a genuine simulated configuration, but possibly not the
+	// optimum and possibly missing (family, batch) cells. Partial
+	// responses are never cached.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // SimulateRequest asks for one discrete-event simulation of a plan.

@@ -22,18 +22,29 @@
 #                   so ~1.0 means the service path is effectively free
 #   service_cache   cold /v1/search vs a result-cache hit on the same
 #                   canonicalized request
+#   fault_overhead  what arming the chaos injector (ruleless, so no fault
+#                   ever fires) costs the hot paths: FaultArmed / bare for
+#                   the pruned Figure-7 sweep (injector consulted per pool
+#                   item) and the single-batch simulation (consulted per
+#                   job). Target <= 1.02x: chaos off the happy path is free.
 #
-# Usage: scripts/bench.sh [output.json]   (env: BENCHTIME=3x)
+# Usage: scripts/bench.sh [output.json]   (env: BENCHTIME=3x BENCHCOUNT=1)
+#
+# With BENCHCOUNT>1 each benchmark runs that many times and the JSON
+# records the fastest run (min ns/op): overhead ratios like
+# fault_overhead compare numbers within ~2x of scheduler noise on a
+# single-core box, and min-of-N is the stable estimator for those.
 set -eu
 cd "$(dirname "$0")/.."
 OUT=${1:-BENCH_search.json}
 BENCHTIME=${BENCHTIME:-3x}
+BENCHCOUNT=${BENCHCOUNT:-1}
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' \
-	-bench 'BenchmarkSearchOptimize(Baseline|Serial|Parallel)$|BenchmarkSweepFigure7(Baseline|Parallel|Pruned)$|BenchmarkDESRun(Fast|Reference)$|BenchmarkSimulateBatch(Baseline)?$|BenchmarkServiceSearch(Cold|Cached)$' \
-	-benchmem -benchtime="$BENCHTIME" . | tee "$TMP"
+	-bench 'BenchmarkSearchOptimize(Baseline|Serial|Parallel)$|BenchmarkSweepFigure7(Baseline|Parallel|Pruned|PrunedFault)$|BenchmarkDESRun(Fast|Reference)$|BenchmarkSimulateBatch(Baseline|Fault)?$|BenchmarkServiceSearch(Cold|Cached)$' \
+	-benchmem -benchtime="$BENCHTIME" -count="$BENCHCOUNT" . | tee "$TMP"
 
 GOMAXPROCS_N=$(go run ./scripts/gomaxprocs 2>/dev/null || nproc 2>/dev/null || echo 1)
 
@@ -42,26 +53,30 @@ awk -v out="$OUT" -v maxprocs="$GOMAXPROCS_N" -v date="$(date -u +%Y-%m-%dT%H:%M
 	name = $1
 	sub(/-[0-9]+$/, "", name)
 	sub(/^Benchmark/, "", name)
-	ns[name] = $3
-	for (i = 4; i <= NF; i++) {
-		if ($(i+1) == "B/op") bytes[name] = $i
-		if ($(i+1) == "allocs/op") allocs[name] = $i
-		if ($(i+1) == "prune%") prune[name] = $i
-		if ($(i+1) ~ /^prune_.+%$/) {
-			fam = $(i+1)
-			sub(/^prune_/, "", fam)
-			sub(/%$/, "", fam)
-			if (!(fam in famprune)) famorder[nf++] = fam
-			famprune[fam] = $i
+	if (!(name in ns)) order[n++] = name
+	# min-of-N across -count repeats: keep the whole fastest record
+	if (!(name in ns) || $3 + 0 < ns[name] + 0) {
+		ns[name] = $3
+		for (i = 4; i <= NF; i++) {
+			if ($(i+1) == "B/op") bytes[name] = $i
+			if ($(i+1) == "allocs/op") allocs[name] = $i
+			if ($(i+1) == "prune%") prune[name] = $i
+			if ($(i+1) ~ /^prune_.+%$/) {
+				fam = $(i+1)
+				sub(/^prune_/, "", fam)
+				sub(/%$/, "", fam)
+				if (!(fam in famprune)) famorder[nf++] = fam
+				famprune[fam] = $i
+			}
 		}
 	}
-	order[n++] = name
 }
 END {
 	printf "{\n" > out
 	printf "  \"generated\": \"%s\",\n", date > out
 	printf "  \"gomaxprocs\": %d,\n", maxprocs > out
 	printf "  \"benchtime\": \"%s\",\n", "'"$BENCHTIME"'" > out
+	printf "  \"benchcount\": %d,\n", "'"$BENCHCOUNT"'" > out
 	printf "  \"benchmarks\": {\n" > out
 	for (i = 0; i < n; i++) {
 		k = order[i]
@@ -79,6 +94,10 @@ END {
 	printf "    \"simulate_batch\": %.2f,\n", ns["SimulateBatchBaseline"] / ns["SimulateBatch"] > out
 	printf "    \"service_overhead\": %.3f,\n", ns["ServiceSearchCold"] / ns["SweepFigure7Pruned"] > out
 	printf "    \"service_cache\": %.0f\n", ns["ServiceSearchCold"] / ns["ServiceSearchCached"] > out
+	printf "  },\n" > out
+	printf "  \"fault_overhead\": {\n" > out
+	printf "    \"sweep_figure7_pruned\": %.3f,\n", ns["SweepFigure7PrunedFault"] / ns["SweepFigure7Pruned"] > out
+	printf "    \"simulate_batch\": %.3f\n", ns["SimulateBatchFault"] / ns["SimulateBatch"] > out
 	printf "  },\n" > out
 	printf "  \"prune_rate\": %.3f,\n", prune["SweepFigure7Pruned"] / 100 > out
 	printf "  \"prune_rate_by_family\": {\n" > out

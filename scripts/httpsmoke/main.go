@@ -3,15 +3,27 @@
 // field verbatim, so the caller can byte-compare it against bfpp-search
 // output without needing curl or a JSON processor.
 //
+// The client retries like a production caller: connection failures, 429
+// (load shed) and 503 (transient fault) back off exponentially with
+// deterministic jitter — honoring the server's Retry-After header as a
+// floor — and try again. ci.sh's chaos pass leans on this: it arms
+// bfpp-serve with a transient fault script and asserts the retried
+// response still byte-matches bfpp-search.
+//
 // Usage: go run ./scripts/httpsmoke <base-url> <request-json>
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
+	"time"
+
+	"bfpp/internal/service"
 )
 
 func main() {
@@ -19,23 +31,53 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: httpsmoke <base-url> <request-json>")
 		os.Exit(2)
 	}
-	resp, err := http.Post(os.Args[1]+"/v1/search", "application/json", strings.NewReader(os.Args[2]))
+	attempts := 0
+	table, err := service.Do(context.Background(), service.DefaultRetry(1), func() (string, error) {
+		attempts++
+		return post(os.Args[1]+"/v1/search", os.Args[2])
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "httpsmoke:", err)
 		os.Exit(1)
 	}
+	if attempts > 1 {
+		fmt.Fprintf(os.Stderr, "httpsmoke: succeeded after %d attempts\n", attempts)
+	}
+	fmt.Print(table)
+}
+
+// post submits the request once, mapping retryable HTTP outcomes
+// (connection failures, 429 with its Retry-After hint, 503) onto the
+// service retry vocabulary so Do backs off and tries again.
+func post(url, body string) (string, error) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", service.ErrTransient, err)
+	}
 	defer resp.Body.Close()
-	var body struct {
+	var out struct {
 		Table string `json:"table"`
 		Error string `json:"error"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		fmt.Fprintln(os.Stderr, "httpsmoke: decoding response:", err)
-		os.Exit(1)
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", fmt.Errorf("decoding response: %v", err)
 	}
-	if resp.StatusCode != http.StatusOK {
-		fmt.Fprintf(os.Stderr, "httpsmoke: status %d: %s\n", resp.StatusCode, body.Error)
-		os.Exit(1)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return out.Table, nil
+	case http.StatusTooManyRequests:
+		return "", &service.OverloadedError{RetryAfter: retryAfter(resp)}
+	case http.StatusServiceUnavailable:
+		return "", fmt.Errorf("%w: status 503: %s", service.ErrTransient, out.Error)
+	default:
+		return "", fmt.Errorf("status %d: %s", resp.StatusCode, out.Error)
 	}
-	fmt.Print(body.Table)
+}
+
+// retryAfter parses the server's backoff hint (whole seconds).
+func retryAfter(resp *http.Response) time.Duration {
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return time.Second
 }
