@@ -15,6 +15,7 @@ package bfpp_test
 import (
 	"context"
 	"testing"
+	"time"
 
 	"bfpp"
 	"bfpp/internal/alloc"
@@ -249,12 +250,42 @@ func BenchmarkSweepFigure7Parallel(b *testing.B) {
 func BenchmarkSweepFigure7Pruned(b *testing.B) {
 	stats := &search.Stats{}
 	benchSweep(b, search.Options{Stats: stats})
-	if stats.Enumerated.Load() > 0 {
+	if e := stats.Enumerated.Load(); e > 0 {
 		b.ReportMetric(100*stats.PruneRate(), "prune%")
+		// Cascade tier metrics (BENCH_search.json's cascade object): the
+		// fraction of bound-skips the tier-1 floor won without an exact
+		// replay, the fraction of candidates that paid the O(ops) tier-2
+		// price, and the warm-started incumbent count.
+		if s := stats.BoundSkipped.Load(); s > 0 {
+			b.ReportMetric(100*float64(stats.FlooredOut.Load())/float64(s), "floored%")
+		}
+		b.ReportMetric(100*float64(stats.ReplayPriced.Load())/float64(e), "replay%")
+		b.ReportMetric(float64(stats.WarmStartHits.Load())/float64(b.N), "warmstarts")
 		// Per-family prune rates (BENCH_search.json's prune_rate_by_family):
 		// how far each family's registered bound carries the pruning.
 		for _, key := range stats.FamilyKeys() {
 			b.ReportMetric(100*stats.Family(key).PruneRate(), "prune_"+key+"%")
+		}
+	}
+}
+
+// BenchmarkSweepAppendixELarge is the interactive-scale smoke benchmark the
+// cascade targets: the extended Appendix E grid (GPT-3 on the 512-GPU
+// cluster, every registered family including the V-caps and hybrid sequence
+// lengths) submitted through the service with a 30-second default deadline.
+// The assertion is the point: the full-grid sweep must complete — not
+// degrade to a Partial response — inside an interactive budget.
+func BenchmarkSweepAppendixELarge(b *testing.B) {
+	req := service.SearchRequest{Model: "gpt3", Cluster: "512",
+		Families: []string{"every"}, Batches: []int{64, 128, 256}}
+	for i := 0; i < b.N; i++ {
+		svc := service.New(service.Config{DefaultTimeout: 30 * time.Second})
+		resp, err := svc.Search(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Partial {
+			b.Fatal("Appendix E large sweep degraded to a partial response within the interactive deadline")
 		}
 	}
 }

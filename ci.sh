@@ -27,7 +27,8 @@ fi
 echo "== go test (-shuffle=on: no hidden inter-test ordering dependencies)"
 go test -shuffle=on ./...
 
-echo "== benchmarks smoke (benchtime=1x, so they cannot rot)"
+echo "== benchmarks smoke (benchtime=1x, so they cannot rot; includes the"
+echo "   SweepAppendixELarge interactive-deadline assertion)"
 go test -run '^$' -bench . -benchtime=1x . > /dev/null
 
 echo "== HTTP smoke (bfpp-serve on an ephemeral port vs in-process table)"
@@ -76,7 +77,7 @@ echo "chaos table byte-identical to the CLI table (client retried through the fa
 if [ "${SKIP_RACE:-0}" != "1" ]; then
 	echo "== go test -race (concurrent search/service paths + cancellation + bound properties + chaos/recovery)"
 	go test -race -count=1 \
-		-run 'Parallel|Cache|Concurrent|Sweep|FastPath|RunMatches|Curve|CheapArtifacts|LowerBound|ExactBound|Lattice|PrunedErrors|PerFamily|Ctx|Cancel|Progress|HTTP|Search|Registry|Chaos|Fault|Supervisor|Recover|Shed|Partial|Retry|Seeded|Script|Sleep' \
+		-run 'Parallel|Cache|Concurrent|Sweep|FastPath|RunMatches|Curve|CheapArtifacts|LowerBound|ExactBound|Lattice|PrunedErrors|PerFamily|Ctx|Cancel|Progress|HTTP|Search|Registry|Chaos|Fault|Supervisor|Recover|Shed|Partial|Retry|Seeded|Script|Sleep|Cascade|WarmStart' \
 		./internal/parallel ./internal/search ./internal/schedule \
 		./internal/memsim ./internal/des ./internal/engine \
 		./internal/figures ./internal/tradeoff \

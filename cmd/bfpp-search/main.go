@@ -85,9 +85,12 @@ func main() {
 	st := resp.Stats
 	fmt.Fprintf(os.Stderr, "bfpp-search: pruning: enumerated %d, dominated %d, bounded out %d, simulated %d (%.1f%% pruned)\n",
 		st.Enumerated, st.Dominated, st.BoundedOut, st.Simulated, 100*pruneRate(st.Enumerated, st.Dominated+st.BoundedOut))
+	fmt.Fprintf(os.Stderr, "bfpp-search: cascade: floored out %d, replay priced %d, warm starts %d\n",
+		st.FlooredOut, st.ReplayPriced, st.WarmStartHits)
 	for _, fp := range st.Families {
-		fmt.Fprintf(os.Stderr, "bfpp-search: pruning[%s]: enumerated %d, dominated %d, bounded out %d, simulated %d (%.1f%% pruned)\n",
-			fp.Key, fp.Enumerated, fp.Dominated, fp.BoundedOut, fp.Simulated,
+		fmt.Fprintf(os.Stderr, "bfpp-search: pruning[%s]: enumerated %d, dominated %d, bounded out %d (floored %d), simulated %d, replay priced %d, warm starts %d (%.1f%% pruned)\n",
+			fp.Key, fp.Enumerated, fp.Dominated, fp.BoundedOut, fp.FlooredOut,
+			fp.Simulated, fp.ReplayPriced, fp.WarmStartHits,
 			100*pruneRate(fp.Enumerated, fp.Dominated+fp.BoundedOut))
 	}
 }

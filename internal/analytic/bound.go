@@ -2,19 +2,21 @@ package analytic
 
 // Branch-and-bound support for the Appendix E grid search (BaPipe-style:
 // prune the configuration space with analytic performance models before
-// simulating). LowerBound prices a plan from its core.Plan fields and the
-// generator's registered schedule traits alone — no program construction,
-// no discrete-event simulation: the generator's Traits.StepLB hook, which
+// simulating). The package exposes the two tiers of the search's pricing
+// cascade. Floor is tier 1: a cheap O(1)-ish admissible lower bound — the
+// maximum of the placement-generic floor (per-device compute, pipeline
+// warm-up, single-micro-batch latency, exposed communication for
+// non-overlapped implementations) and the generator's Traits.StepFloor
+// hook — priced for every enumerated candidate. LowerBound /
+// LowerBoundCached is tier 2: the generator's Traits.StepLB hook, which
 // for every generator with an implicit op sequence replays the schedule
 // recurrence on the engine's per-device compute/pp/dp stream model exactly
 // (bit-identical to the DES makespan, overlapped implementations
-// included); generators without a replayable sequence (the list-scheduled
-// V-schedule) fall back to the maximum of their own floor and a
-// placement-generic floor (per-device compute, pipeline warm-up,
-// single-micro-batch latency, exposed communication for non-overlapped
-// implementations). internal/search uses the bound to order candidates
-// cheapest-first and to skip simulations that provably cannot beat the
-// incumbent.
+// included), paid only when the floor fails to prune; generators without a
+// replayable sequence (the list-scheduled V-schedule) have no tier 2 and
+// their floor is the final bound. internal/search uses the bounds to order
+// candidates cheapest-first and to skip simulations that provably cannot
+// beat the incumbent.
 
 import (
 	"bfpp/internal/core"
@@ -34,24 +36,68 @@ import (
 // list-scheduled V-schedule reports a floor). The plan must be valid for
 // the model.
 func LowerBound(c hw.Cluster, m model.Transformer, p core.Plan, par *engine.Params) (lb float64, exact bool) {
+	return LowerBoundCached(c, m, p, par, nil)
+}
+
+// LowerBoundCached is LowerBound with a prefix-amortization cache: when the
+// generator registered a StepLBCached hook and rc is non-nil, candidates
+// sharing an op-sequence prefix (the search passes one cache per pricing
+// group) checkpoint and resume the replay instead of re-running it. The
+// returned bound is identical to LowerBound's — the cache is a pure
+// performance channel — and a nil rc degrades to the uncached replay.
+func LowerBoundCached(c hw.Cluster, m model.Transformer, p core.Plan, par *engine.Params, rc *schedule.ReplayCache) (lb float64, exact bool) {
 	pr := engine.Defaults()
 	if par != nil {
 		pr = *par
 	}
 	costs := engine.DeriveCosts(c, m, p, pr)
-	if hook := schedule.TraitsOf(p.Method).StepLB; hook != nil {
-		h, ok := hook(p, costs)
-		if ok {
-			// The replay IS the simulated time; the generic floor cannot
-			// improve on it and is not computed at all.
+	tr := schedule.TraitsOf(p.Method)
+	var h float64
+	switch {
+	case tr.StepLBCached != nil:
+		var ok bool
+		if h, ok = tr.StepLBCached(p, costs, rc); ok {
+			// The replay IS the simulated time; the floors cannot improve
+			// on it and are not computed at all.
 			return h, true
 		}
-		if generic := genericFloor(p, costs); generic > h {
-			return generic, false
+	case tr.StepLB != nil:
+		var ok bool
+		if h, ok = tr.StepLB(p, costs); ok {
+			return h, true
 		}
-		return h, false
 	}
-	return genericFloor(p, costs), false
+	if f := floorOf(p, costs, tr); f > h {
+		return f, false
+	}
+	return h, false
+}
+
+// Floor is the cascade's tier-1 price: the cheap admissible lower bound on
+// the simulated batch time, with no schedule replay — the maximum of the
+// placement-generic floor and the generator's StepFloor hook. It never
+// exceeds LowerBound (both are admissible and LowerBound's replay is the
+// exact time when it applies), so a candidate the floor already prunes
+// needs no tier-2 pricing.
+func Floor(c hw.Cluster, m model.Transformer, p core.Plan, par *engine.Params) float64 {
+	pr := engine.Defaults()
+	if par != nil {
+		pr = *par
+	}
+	costs := engine.DeriveCosts(c, m, p, pr)
+	return floorOf(p, costs, schedule.TraitsOf(p.Method))
+}
+
+// floorOf maximizes the placement-generic floor with the generator's
+// registered cheap floor.
+func floorOf(p core.Plan, costs schedule.StepCosts, tr schedule.Traits) float64 {
+	f := genericFloor(p, costs)
+	if tr.StepFloor != nil {
+		if v := tr.StepFloor(p, costs); v > f {
+			f = v
+		}
+	}
+	return f
 }
 
 // MemoryFloor is the cheap admissible lower bound on the plan's peak
@@ -61,6 +107,14 @@ func LowerBound(c hw.Cluster, m model.Transformer, p core.Plan, par *engine.Para
 // the V-schedule, without generating device programs).
 func MemoryFloor(m model.Transformer, p core.Plan) float64 {
 	return memsim.Floor(m, p)
+}
+
+// MemoryFeasible reports whether the plan's memory floor fits the device
+// budget, evaluating the floor's terms cheapest-first so candidates whose
+// training state alone breaks the budget never pay the in-flight hook
+// (memsim.FeasibleFloor re-exported next to MemoryFloor).
+func MemoryFeasible(m model.Transformer, p core.Plan, memBytes int64) bool {
+	return memsim.FeasibleFloor(m, p, memBytes)
 }
 
 // genericFloor is the trait-free admissible lower bound: the maximum of

@@ -250,6 +250,56 @@ func TestVScheduleFloorAdmissible(t *testing.T) {
 	}
 }
 
+// TestVScheduleCappedFloorAdmissibleRandom stresses the cap-aware term of
+// the V-schedule floor on randomized tightly-capped plans: caps at or near
+// the deadlock floor (Loops) with deep micro-batch counts, where the
+// forced-serialization term dominates the warmup/drain chains. The floor
+// must stay admissible — the greedy generator's serial-head exemption may
+// run a few forwards past the cap, and the bound's capEff margin must
+// absorb exactly that — and must never claim exactness.
+func TestVScheduleCappedFloorAdmissibleRandom(t *testing.T) {
+	c := hw.PaperCluster()
+	m := boundModel()
+	rng := rand.New(rand.NewSource(1123))
+	checked := 0
+	for trial := 0; trial < 600 && checked < 80; trial++ {
+		pp := 2 << rng.Intn(3) // 2..8
+		loops := 1 << rng.Intn(3)
+		for pp*loops > m.Layers {
+			loops /= 2
+		}
+		// Tight caps: the deadlock floor and a couple of pairs above it,
+		// kept below the default N_PP so the cap-aware term can bind.
+		capSeq := loops + rng.Intn(3)
+		p := core.Plan{Method: core.VSchedule,
+			DP: 1 << rng.Intn(2), PP: pp, TP: 1 << rng.Intn(2),
+			MicroBatch: 1 + rng.Intn(2),
+			NumMicro:   pp * (2 + rng.Intn(6)), // deep: many micro-batches per cap slot
+			Loops:      loops, Sequence: capSeq,
+			OverlapDP: true, OverlapPP: true}
+		if p.GPUs() > c.NumGPUs() || p.Validate(m) != nil {
+			continue
+		}
+		checked++
+		lb, exact := LowerBound(c, m, p, nil)
+		if exact {
+			t.Errorf("%v: list-scheduled V-schedule must not claim exactness", p)
+		}
+		res, err := engine.Simulate(c, m, p)
+		if err != nil {
+			t.Fatalf("simulate %v: %v", p, err)
+		}
+		if lb <= 0 || lb > res.BatchTime {
+			t.Errorf("%v: capped floor %v outside (0, %v] (diff %v)",
+				p, lb, res.BatchTime, lb-res.BatchTime)
+		}
+	}
+	if checked < 40 {
+		t.Fatalf("only %d randomized capped plans checked", checked)
+	}
+	t.Logf("%d randomized tightly-capped V-schedule plans checked", checked)
+}
+
 // TestMemoryFloorNeverExceedsEstimate is the memory-side admissibility
 // property: the cheap floor the enumeration pre-filter uses never exceeds
 // the full memsim estimate, so floor-filtered candidate sets are identical

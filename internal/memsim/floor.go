@@ -16,7 +16,16 @@ import (
 // because Floor never exceeds Estimate, the surviving candidate set is
 // identical to the unfiltered one.
 func Floor(m model.Transformer, p core.Plan) float64 {
-	traits := schedule.TraitsOf(p.Method)
+	base, ckpt := floorParts(m, p)
+	return base + ckpt()
+}
+
+// floorParts splits the floor into its trait-free base (training state,
+// live activations, pipeline buffers — plain arithmetic on the plan) and a
+// deferred checkpoint term that consults the generator's in-flight hook,
+// so a feasibility check can reject on the base alone before paying the
+// hook.
+func floorParts(m model.Transformer, p core.Plan) (base float64, ckpt func() float64) {
 	stackParams := float64(m.Layers) * float64(m.LayerParams())
 	pDev := stackParams / float64(p.PP*p.TP)
 	nStages := p.NumStages()
@@ -44,18 +53,35 @@ func Floor(m model.Transformer, p core.Plan) float64 {
 	tp := float64(p.TP)
 	act := seq * smb * hid * (10 + 24/tp + 5*seq*float64(m.Heads)/(hid*tp))
 
-	pairs := traits.InFlight
-	if traits.InFlightFloor != nil {
-		pairs = traits.InFlightFloor
-	}
-	layersPerStage := m.Layers / nStages
-	ckpt := float64(pairs(p)*layersPerStage) * 2 * seq * smb * hid / tp
-
 	var ppBuf float64
 	if p.Method.Pipelined() && p.PP > 1 {
 		ppBuf = 4 * 2 * seq * smb * hid / tp
 	}
-	return state + act + ckpt + ppBuf
+
+	return state + act + ppBuf, func() float64 {
+		traits := schedule.TraitsOf(p.Method)
+		pairs := traits.InFlight
+		if traits.InFlightFloor != nil {
+			pairs = traits.InFlightFloor
+		}
+		layersPerStage := m.Layers / nStages
+		return float64(pairs(p)*layersPerStage) * 2 * seq * smb * hid / tp
+	}
+}
+
+// FeasibleFloor reports whether the plan's memory floor fits the budget,
+// checking the cheap trait-free terms first: a candidate whose training
+// state, activations and pipeline buffers alone break the budget is
+// rejected without consulting the generator's in-flight hook (which for
+// the V-schedule is the difference between arithmetic and generating
+// device programs when the InFlightFloor hook is ever absent). Equivalent
+// to FeasibleBytes(Floor(m, p), memBytes).
+func FeasibleFloor(m model.Transformer, p core.Plan, memBytes int64) bool {
+	base, ckpt := floorParts(m, p)
+	if !FeasibleBytes(base, memBytes) {
+		return false
+	}
+	return FeasibleBytes(base+ckpt(), memBytes)
 }
 
 // FeasibleBytes is Feasible for a bare byte total, sharing the same

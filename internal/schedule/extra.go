@@ -119,11 +119,11 @@ func (vScheduleGen) Traits() Traits {
 		InFlightFloor: func(p core.Plan) int { return p.Loops },
 		KeyExtra:      vCap,
 		// The greedy list-scheduled programs have no implicit op sequence
-		// to replay; the vee-placement warmup/drain floor is the admissible
-		// bound (internal/analytic maximizes it with the generic floor).
-		StepLB: func(p core.Plan, c StepCosts) (float64, bool) {
-			return vScheduleFloor(p, c), false
-		},
+		// to replay, so the method has no exact tier-2 bound; the
+		// vee-placement warmup/drain floor (with its cap-aware term) is the
+		// cheap tier-1 bound internal/analytic maximizes with the generic
+		// floor.
+		StepFloor: vScheduleFloor,
 		// The controllable-memory dial (ROADMAP open item): enumerate a
 		// small set of in-flight caps per grid point — the default (N_PP),
 		// the deadlock floor (Loops, minimum activation memory), a midpoint

@@ -49,6 +49,8 @@ func (gpipeGen) Traits() Traits {
 		StepLB: func(p core.Plan, c StepCosts) (float64, bool) {
 			return exactOrFloor(p, c, gpipeOps, forwardFirstFloor)
 		},
+		StepFloor:    forwardFirstFloor,
+		StepLBCached: gpipeCachedLB,
 	}
 }
 
@@ -202,10 +204,9 @@ func (hybridGen) Traits() Traits {
 		InFlight:  func(p core.Plan) int { return sequencedPairs(p, p.SequenceLen()) },
 		KeyExtra:  core.Plan.SequenceLen,
 		StepLB: func(p core.Plan, c StepCosts) (float64, bool) {
-			return exactOrFloor(p, c, func(p core.Plan) (func(int) int, func(int, int) Op) {
-				return sequencedOps(p, p.SequenceLen())
-			}, nil)
+			return exactOrFloor(p, c, hybridSeq, nil)
 		},
+		StepLBCached: hybridCachedLB,
 		// Section 4.2: micro-batch sequence lengths between N_PP (plain
 		// depth-first ordering, Sequence zero) and N_mb (breadth-first-like).
 		SequenceOptions: func(p core.Plan) []int {
@@ -248,6 +249,7 @@ func (breadthFirstGen) Traits() Traits {
 		StepLB: func(p core.Plan, c StepCosts) (float64, bool) {
 			return exactOrFloor(p, c, bfOps, forwardFirstFloor)
 		},
+		StepFloor: forwardFirstFloor,
 	}
 }
 

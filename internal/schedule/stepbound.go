@@ -93,19 +93,12 @@ func growScratch[T any](buf *[]T, n int) []T {
 	return *buf
 }
 
-// replay evaluates the exact DES makespan of a plan whose per-rank compute
-// programs are given implicitly: nOps(r) is rank r's op count and opAt(r, k)
-// its k-th op (Forward, Backward, Restore or Reduce; the trailing Optimize
-// is implicit). It models the engine's three per-device streams — compute,
-// pipeline transfer and data-parallel — with one cursor each over the same
-// op sequence: a cursor executes the ops that ride its stream and keeps
-// static creation-order bookkeeping for the ones that don't, mirroring how
-// the engine's builder fixes dependencies at task-creation time. Each
-// sequence is decoded once into pooled scratch (the cursors then share the
-// decoded ops instead of re-evaluating the closure per stream); no
-// Program, Schedule or simulator state is ever built. It returns
-// (0, false) if the sequences deadlock (a malformed closure).
-func replay(p core.Plan, c StepCosts, nOps func(rank int) int, opAt func(rank, k int) Op) (float64, bool) {
+// initReplay decodes every rank's implicit sequence into sc and resets the
+// replay's cursor state, leaving sc ready for runReplay. It is split from
+// the execution so a prefix replay can be checkpointed (the decoded ops and
+// cursor state are the complete recurrence state) and resumed per
+// candidate.
+func initReplay(sc *replayScratch, p core.Plan, nOps func(rank int) int, opAt func(rank, k int) Op) {
 	nStages := p.NumStages()
 	nm := p.NumMicro
 	nDev := 1
@@ -113,28 +106,17 @@ func replay(p core.Plan, c StepCosts, nOps func(rank int) int, opAt func(rank, k
 		nDev = p.PP
 	}
 	send := p.Method.Pipelined() && p.PP > 1
-	// Stream layout, exactly as the engine's builder decides it.
-	ppStream := p.OverlapPP && send
 	dpStream := p.OverlapDP && (p.DP > 1 || p.Sharding == core.DPFS)
-	x := c.Transfer
-	if !ppStream {
-		x += c.PPStall // transfers ride the compute stream, paying the stall
-	}
 
-	sc := replayScratchPool.Get().(*replayScratch)
-	defer replayScratchPool.Put(sc)
-
-	var owner []int
 	if send {
-		owner = growScratch(&sc.owner, nStages)
+		owner := growScratch(&sc.owner, nStages)
 		for s := range owner {
 			owner[s] = p.StageDevice(s)
 		}
 	}
-	cross := func(a, b int) bool { return send && owner[a] != owner[b] }
 
-	// Decode every rank's implicit sequence once; the three cursors below
-	// index the decoded ops instead of re-evaluating opAt per stream.
+	// Decode every rank's implicit sequence once; the three cursors
+	// index the decoded ops instead of re-evaluating the closure per stream.
 	opOff := growScratch(&sc.opOff, nDev+1)
 	opOff[0] = 0
 	for r := 0; r < nDev; r++ {
@@ -149,7 +131,6 @@ func replay(p core.Plan, c StepCosts, nOps func(rank int) int, opAt func(rank, k
 	}
 
 	nk := nStages * nm
-	idx := func(stage, micro int) int { return stage*nm + micro }
 	// Compute-op and inbound-transfer finish times per (stage, micro);
 	// negative = not yet produced. inF feeds Forward(stage, micro), inB
 	// feeds Backward.
@@ -187,21 +168,16 @@ func replay(p core.Plan, c StepCosts, nOps func(rank int) int, opAt func(rank, k
 	// dependency is fixed by the restores preceding it in program order,
 	// which is what the cursor's scan position models) and the dp cursor
 	// another, because the cursors advance independently.
-	var restoreIdxC, restoreIdxD []int
-	var restoreEnd [][]float64 // per device: restore finish times, creation order
-	var consumers [][]int      // per device restore: packed last consumer, -1 none
-	var restoreSeenC []int     // restores passed by the compute cursor
-	var bwdSeenD []bool        // backwards passed by the dp cursor
 	if dpStream {
-		restoreIdxC = growScratch(&sc.restoreIdxC, nStages*(nm+1))
-		restoreIdxD = growScratch(&sc.restoreIdxD, nStages*(nm+1))
+		restoreIdxC := growScratch(&sc.restoreIdxC, nStages*(nm+1))
+		restoreIdxD := growScratch(&sc.restoreIdxD, nStages*(nm+1))
 		for i := range restoreIdxC {
 			restoreIdxC[i], restoreIdxD[i] = -1, -1
 		}
-		restoreEnd = growScratch(&sc.restoreEnd, nDev)
-		consumers = growScratch(&sc.consumers, nDev)
-		restoreSeenC = growScratch(&sc.restoreSeenC, nDev)
-		bwdSeenD = growScratch(&sc.bwdSeenD, nk)
+		restoreEnd := growScratch(&sc.restoreEnd, nDev)
+		consumers := growScratch(&sc.consumers, nDev)
+		restoreSeenC := growScratch(&sc.restoreSeenC, nDev)
+		bwdSeenD := growScratch(&sc.bwdSeenD, nk)
 		for r := 0; r < nDev; r++ {
 			restoreEnd[r] = restoreEnd[r][:0]
 			consumers[r] = consumers[r][:0]
@@ -211,6 +187,46 @@ func replay(p core.Plan, c StepCosts, nOps func(rank int) int, opAt func(rank, k
 			bwdSeenD[i] = false
 		}
 	}
+}
+
+// runReplay advances the replay state in sc as far as the dataflow allows:
+// the three per-device stream cursors execute their ops under the same
+// recurrence the DES evaluates (start = max(stream frontier, latest
+// dependency finish)), which is a pure dataflow fixpoint — the final
+// frontiers are independent of drain order, so a run split across a
+// checkpoint is bit-identical to an uninterrupted one. With withOpt false
+// the trailing optimizer step is withheld (prefix runs stop at the decoded
+// ops; the resumed run issues it). It returns false if the sequences
+// deadlock before completing.
+func runReplay(sc *replayScratch, p core.Plan, c StepCosts, withOpt bool) bool {
+	nStages := p.NumStages()
+	nm := p.NumMicro
+	nDev := 1
+	if p.Method.Pipelined() {
+		nDev = p.PP
+	}
+	send := p.Method.Pipelined() && p.PP > 1
+	// Stream layout, exactly as the engine's builder decides it.
+	ppStream := p.OverlapPP && send
+	dpStream := p.OverlapDP && (p.DP > 1 || p.Sharding == core.DPFS)
+	x := c.Transfer
+	if !ppStream {
+		x += c.PPStall // transfers ride the compute stream, paying the stall
+	}
+
+	owner := sc.owner
+	cross := func(a, b int) bool { return send && owner[a] != owner[b] }
+	opOff, ops := sc.opOff, sc.ops
+	idx := func(stage, micro int) int { return stage*nm + micro }
+	fwdEnd, bwdEnd, inF, inB := sc.fwdEnd, sc.bwdEnd, sc.inF, sc.inB
+	tComp, tPP, tDP := sc.tComp, sc.tPP, sc.tDP
+	kComp, kPP, kDP := sc.kComp, sc.kPP, sc.kDP
+	optDone := sc.optDone
+	maxReduceEnd := sc.maxRed
+	reduceDone, reduceSeen := sc.reduceDone, sc.reduceSeen
+	restoreIdxC, restoreIdxD := sc.restoreIdxC, sc.restoreIdxD
+	restoreEnd, consumers := sc.restoreEnd, sc.consumers
+	restoreSeenC, bwdSeenD := sc.restoreSeenC, sc.bwdSeenD
 	// lastRestore mirrors the builder's lastRestoreFor: the restore for the
 	// exact (stage, micro) if one exists, else the per-batch restore
 	// (micro -1, stored at slot 0).
@@ -299,7 +315,7 @@ func replay(p core.Plan, c StepCosts, nOps func(rank int) int, opAt func(rank, k
 			kComp[r]++
 			progressed = true
 		}
-		if !optDone[r] {
+		if withOpt && !optDone[r] {
 			// Trailing optimizer step: depends on every reduction of the
 			// device (all of which precede it in program order).
 			if dpStream && reduceDone[r] < reduceSeen[r] {
@@ -439,34 +455,229 @@ func replay(p core.Plan, c StepCosts, nOps func(rank int) int, opAt func(rank, k
 			if dpStream && dpDrain(r) {
 				progressed = true
 			}
-			if n := opOff[r+1] - opOff[r]; kComp[r] < n || !optDone[r] ||
+			if n := opOff[r+1] - opOff[r]; kComp[r] < n || (withOpt && !optDone[r]) ||
 				(ppStream && kPP[r] < n) || (dpStream && kDP[r] < n) {
 				done = false
 			}
 		}
 		if done {
-			break
+			return true
 		}
 		if !progressed {
-			return 0, false
+			return false
 		}
 	}
+}
 
-	// The makespan is the latest finish across every stream: a trailing
-	// transfer or restore can outlive the optimizer step.
+// replayMakespan reads the completed replay's makespan: the latest finish
+// across every stream — a trailing transfer or restore can outlive the
+// optimizer step.
+func replayMakespan(sc *replayScratch, p core.Plan) float64 {
+	nDev := 1
+	if p.Method.Pipelined() {
+		nDev = p.PP
+	}
 	var makespan float64
 	for r := 0; r < nDev; r++ {
-		if tComp[r] > makespan {
-			makespan = tComp[r]
+		if sc.tComp[r] > makespan {
+			makespan = sc.tComp[r]
 		}
-		if tPP[r] > makespan {
-			makespan = tPP[r]
+		if sc.tPP[r] > makespan {
+			makespan = sc.tPP[r]
 		}
-		if tDP[r] > makespan {
-			makespan = tDP[r]
+		if sc.tDP[r] > makespan {
+			makespan = sc.tDP[r]
 		}
 	}
-	return makespan, true
+	return makespan
+}
+
+// replay evaluates the exact DES makespan of a plan whose per-rank compute
+// programs are given implicitly: nOps(r) is rank r's op count and opAt(r, k)
+// its k-th op (Forward, Backward, Restore or Reduce; the trailing Optimize
+// is implicit). It models the engine's three per-device streams — compute,
+// pipeline transfer and data-parallel — with one cursor each over the same
+// op sequence: a cursor executes the ops that ride its stream and keeps
+// static creation-order bookkeeping for the ones that don't, mirroring how
+// the engine's builder fixes dependencies at task-creation time. Each
+// sequence is decoded once into pooled scratch (the cursors then share the
+// decoded ops instead of re-evaluating the closure per stream); no
+// Program, Schedule or simulator state is ever built. It returns
+// (0, false) if the sequences deadlock (a malformed closure).
+func replay(p core.Plan, c StepCosts, nOps func(rank int) int, opAt func(rank, k int) Op) (float64, bool) {
+	sc := replayScratchPool.Get().(*replayScratch)
+	defer replayScratchPool.Put(sc)
+	initReplay(sc, p, nOps, opAt)
+	if !runReplay(sc, p, c, true) {
+		return 0, false
+	}
+	return replayMakespan(sc, p), true
+}
+
+// --- Prefix-amortized replay: checkpoint, resume and the shared cache. ---
+
+// replayCheckpoint freezes a partially-run replay — the decoded shared
+// prefix plus the cursor/frontier state left by a withOpt=false runReplay —
+// so candidates at one grid point that share the prefix resume from it
+// instead of re-running the whole sequence. The scratch inside is owned by
+// the checkpoint (never pooled) and is immutable after build; resume
+// deep-copies it out into pooled scratch.
+type replayCheckpoint struct {
+	sc replayScratch
+	ok bool
+}
+
+// checkpointReplay prices a shared prefix once: it decodes the implicit
+// sequence into a fresh checkpoint-owned scratch and drains it fully with
+// the trailing optimizer withheld. A deadlocking prefix yields ok=false and
+// callers fall back to the uncached replay.
+func checkpointReplay(p core.Plan, c StepCosts, nOps func(rank int) int, opAt func(rank, k int) Op) *replayCheckpoint {
+	ck := &replayCheckpoint{}
+	initReplay(&ck.sc, p, nOps, opAt)
+	ck.ok = runReplay(&ck.sc, p, c, false)
+	return ck
+}
+
+// copyScratch deep-copies every slice field of src into dst, reusing dst's
+// retained capacity. The inner slices of restoreEnd/consumers are copied
+// element-wise: resumed runs append to them.
+func copyScratch(dst, src *replayScratch) {
+	dst.ops = append(dst.ops[:0], src.ops...)
+	dst.opOff = append(dst.opOff[:0], src.opOff...)
+	dst.owner = append(dst.owner[:0], src.owner...)
+	dst.fwdEnd = append(dst.fwdEnd[:0], src.fwdEnd...)
+	dst.bwdEnd = append(dst.bwdEnd[:0], src.bwdEnd...)
+	dst.inF = append(dst.inF[:0], src.inF...)
+	dst.inB = append(dst.inB[:0], src.inB...)
+	dst.tComp = append(dst.tComp[:0], src.tComp...)
+	dst.tPP = append(dst.tPP[:0], src.tPP...)
+	dst.tDP = append(dst.tDP[:0], src.tDP...)
+	dst.maxRed = append(dst.maxRed[:0], src.maxRed...)
+	dst.kComp = append(dst.kComp[:0], src.kComp...)
+	dst.kPP = append(dst.kPP[:0], src.kPP...)
+	dst.kDP = append(dst.kDP[:0], src.kDP...)
+	dst.reduceDone = append(dst.reduceDone[:0], src.reduceDone...)
+	dst.reduceSeen = append(dst.reduceSeen[:0], src.reduceSeen...)
+	dst.restoreSeenC = append(dst.restoreSeenC[:0], src.restoreSeenC...)
+	dst.optDone = append(dst.optDone[:0], src.optDone...)
+	dst.restoreIdxC = append(dst.restoreIdxC[:0], src.restoreIdxC...)
+	dst.restoreIdxD = append(dst.restoreIdxD[:0], src.restoreIdxD...)
+	dst.bwdSeenD = append(dst.bwdSeenD[:0], src.bwdSeenD...)
+	if cap(dst.restoreEnd) < len(src.restoreEnd) {
+		dst.restoreEnd = make([][]float64, len(src.restoreEnd))
+	}
+	dst.restoreEnd = dst.restoreEnd[:len(src.restoreEnd)]
+	for i := range src.restoreEnd {
+		dst.restoreEnd[i] = append(dst.restoreEnd[i][:0], src.restoreEnd[i]...)
+	}
+	if cap(dst.consumers) < len(src.consumers) {
+		dst.consumers = make([][]int, len(src.consumers))
+	}
+	dst.consumers = dst.consumers[:len(src.consumers)]
+	for i := range src.consumers {
+		dst.consumers[i] = append(dst.consumers[i][:0], src.consumers[i]...)
+	}
+}
+
+// spliceTail appends per-rank tail ops to sc's decoded sequences, rebuilding
+// the concatenated layout. The stream cursors are rank-relative (offsets are
+// re-derived from opOff on every drain), so they stay valid across the
+// splice. growScratch does not preserve contents across a reallocation, so
+// the old layout is snapshotted first; the temporaries are amortized over
+// the whole resumed replay.
+func spliceTail(sc *replayScratch, nDev int, tailFor func(rank int) []Op) {
+	oldOps := append([]Op(nil), sc.ops...)
+	oldOff := append([]int(nil), sc.opOff...)
+	total := len(oldOps)
+	for r := 0; r < nDev; r++ {
+		total += len(tailFor(r))
+	}
+	ops := growScratch(&sc.ops, total)
+	opOff := sc.opOff // same backing: len(oldOff) == nDev+1 already
+	w := 0
+	for r := 0; r < nDev; r++ {
+		opOff[r] = w
+		w += copy(ops[w:], oldOps[oldOff[r]:oldOff[r+1]])
+		w += copy(ops[w:], tailFor(r))
+	}
+	opOff[nDev] = w
+}
+
+// resumeReplay completes a checkpointed prefix for one candidate: it copies
+// the frozen state into pooled scratch, splices the candidate's per-rank
+// tail ops (tailFor may be nil for an empty tail), and drains the remainder
+// with the trailing optimizer. The dataflow recurrence makes the result
+// bit-identical to an uninterrupted replay of prefix+tail.
+func resumeReplay(ck *replayCheckpoint, p core.Plan, c StepCosts, tailFor func(rank int) []Op) (float64, bool) {
+	if ck == nil || !ck.ok {
+		return 0, false
+	}
+	nDev := 1
+	if p.Method.Pipelined() {
+		nDev = p.PP
+	}
+	sc := replayScratchPool.Get().(*replayScratch)
+	defer replayScratchPool.Put(sc)
+	copyScratch(sc, &ck.sc)
+	if tailFor != nil {
+		spliceTail(sc, nDev, tailFor)
+	}
+	if !runReplay(sc, p, c, true) {
+		return 0, false
+	}
+	return replayMakespan(sc, p), true
+}
+
+// Prefix classes, keyed alongside the normalized plan so distinct sequence
+// shapes never share a checkpoint.
+const (
+	prefixClassGpipe uint8 = iota + 1
+	prefixClassHybridSeq
+)
+
+// replayCacheKey identifies one shared prefix: the class, the candidate
+// plan with the fields the prefix does not depend on normalized away, and
+// the step costs with the tail-only components zeroed. Plan and StepCosts
+// are comparable value structs, so the key is a valid map key.
+type replayCacheKey struct {
+	class uint8
+	plan  core.Plan
+	costs StepCosts
+}
+
+type replayCacheEntry struct {
+	once sync.Once
+	ck   *replayCheckpoint
+}
+
+// ReplayCache shares prefix checkpoints between the candidates of one
+// search group. It is safe for concurrent use: each checkpoint is built
+// exactly once (sync.Once per entry) and is immutable afterwards. The
+// search creates one cache per evalGroups call and passes it to the
+// generators' StepLBCached hooks; a nil cache degrades every hook to its
+// uncached StepLB behavior.
+type ReplayCache struct {
+	mu sync.Mutex
+	m  map[replayCacheKey]*replayCacheEntry
+}
+
+// NewReplayCache returns an empty cache.
+func NewReplayCache() *ReplayCache {
+	return &ReplayCache{m: map[replayCacheKey]*replayCacheEntry{}}
+}
+
+// checkpoint returns the cached checkpoint for key, building it with build
+// on first use.
+func (rc *ReplayCache) checkpoint(key replayCacheKey, build func() *replayCheckpoint) *replayCheckpoint {
+	rc.mu.Lock()
+	e, ok := rc.m[key]
+	if !ok {
+		e = &replayCacheEntry{}
+		rc.m[key] = e
+	}
+	rc.mu.Unlock()
+	e.once.Do(func() { e.ck = build() })
+	return e.ck
 }
 
 // --- Implicit program sequences, mirroring the generators op for op. ---
@@ -770,6 +981,31 @@ func vScheduleFloor(p core.Plan, c StepCosts) float64 {
 	if t2 > best {
 		best = t2
 	}
+	// Cap term: the vee placement puts stage 0 and the last stage on the
+	// same device, and the list scheduler's priority (lowest micro-batch
+	// among ready admissible forwards, all stage-0 forwards ready from the
+	// start) makes that device issue the first nm-1 stage-0 forwards before
+	// F(0, nm-1). Under the in-flight cap it can hold at most capPairs of
+	// them, so by then it has already issued at least nm-1-capPairs
+	// backwards (2x forward cost each); the serial-head exemption can lift
+	// the cap for at most the head micro-batch's Loops local stages, modeled
+	// by widening the cap with +Loops. After F(0, nm-1) the last
+	// micro-batch still needs its forward chain up (nStages-1 more stages
+	// plus the boundary crossings) and its full backward chain down
+	// (nStages backwards plus the crossings again) before the exposed tail.
+	// Every term is a dependency- or capacity-forced serialization on that
+	// one device, so the sum is admissible at any cap; large caps reduce it
+	// below t1/t2 and it simply stops binding.
+	capEff := float64(vCap(p) + p.Loops)
+	extraB := nm - 1 - capEff
+	if extraB < 0 {
+		extraB = 0
+	}
+	t3 := (nm+float64(nStages)-1)*c.Fwd + (extraB+float64(nStages))*c.Bwd +
+		2*float64(crossings)*x + tail + c.Opt
+	if t3 > best {
+		best = t3
+	}
 	return BoundSlack(best, 2*p.NumMicro*p.Loops+4*nStages+16)
 }
 
@@ -798,4 +1034,85 @@ func exactOrFloor(p core.Plan, c StepCosts,
 		return floor(p, c), false
 	}
 	return 0, false
+}
+
+// gpipeCachedLB is gpipeOps' StepLBCached hook. GPipe candidates at one
+// grid point differing only in sharding (DP0 vs DP-PS; DP-FS is excluded)
+// share their entire compute sequence — the 2*N_mb forwards-then-backwards
+// ops — and differ only in the tail reduction's cost, so the hook
+// checkpoints the compute prefix once per grid point and resumes it with
+// the per-candidate reduce tail. The cache key normalizes the sharding
+// away and zeroes the tail-only costs (Reduce/Restore/Opt), which the
+// prefix never charges; the stream layout is sharding-independent here
+// (the dp stream exists iff OverlapDP and DP > 1, and gpipe has no
+// restores), so the frozen frontiers are bit-identical to an uninterrupted
+// replay's state at the same point.
+func gpipeCachedLB(p core.Plan, c StepCosts, rc *ReplayCache) (float64, bool) {
+	if rc == nil {
+		return exactOrFloor(p, c, gpipeOps, forwardFirstFloor)
+	}
+	kp := p
+	kp.Sharding = core.DP0
+	kc := c
+	kc.Reduce, kc.Restore, kc.Opt = 0, 0, 0
+	nm := p.NumMicro
+	nDev := 1
+	if p.Method.Pipelined() {
+		nDev = p.PP
+	}
+	ck := rc.checkpoint(replayCacheKey{prefixClassGpipe, kp, kc}, func() *replayCheckpoint {
+		return checkpointReplay(kp, kc,
+			func(int) int { return 2 * nm },
+			func(r, k int) Op {
+				if k < nm {
+					return Op{Forward, r, k}
+				}
+				return Op{Backward, r, k - nm}
+			})
+	})
+	var tailFor func(int) []Op
+	if p.DP > 1 {
+		tails := make([]Op, nDev)
+		for r := range tails {
+			tails[r] = Op{Reduce, r, -1}
+		}
+		tailFor = func(r int) []Op { return tails[r : r+1] }
+	}
+	if v, ok := resumeReplay(ck, p, c, tailFor); ok {
+		return v, true
+	}
+	return forwardFirstFloor(p, c), false
+}
+
+// hybridSeq wraps sequencedOps in the exactOrFloor sequence shape with the
+// plan's own sequence length.
+func hybridSeq(p core.Plan) (func(int) int, func(int, int) Op) {
+	return sequencedOps(p, p.SequenceLen())
+}
+
+// hybridCachedLB is the hybrid schedule's StepLBCached hook. At Loops == 1
+// the sequenced program is invariant in the sequence length q: the warmup
+// 2*(PP-r-1) + (Loops-1)*q loses its q term, every unit step degenerates
+// to (chunk 0, micro k), and the single bunched reduce is q-independent —
+// so the grid point's whole candidate set (one plan per SequenceOption)
+// shares one full-sequence checkpoint, resumed per candidate with only the
+// trailing optimizer left to issue. The key normalizes Sequence away and
+// zeroes the optimizer cost (the only op the prefix withholds). Looped
+// plans genuinely differ per q and fall back to the uncached replay.
+func hybridCachedLB(p core.Plan, c StepCosts, rc *ReplayCache) (float64, bool) {
+	if rc == nil || p.Loops != 1 {
+		return exactOrFloor(p, c, hybridSeq, nil)
+	}
+	kp := p
+	kp.Sequence = 0
+	kc := c
+	kc.Opt = 0
+	ck := rc.checkpoint(replayCacheKey{prefixClassHybridSeq, kp, kc}, func() *replayCheckpoint {
+		n, at := sequencedOps(kp, kp.SequenceLen())
+		return checkpointReplay(kp, kc, n, at)
+	})
+	if v, ok := resumeReplay(ck, p, c, nil); ok {
+		return v, true
+	}
+	return exactOrFloor(p, c, hybridSeq, nil)
 }

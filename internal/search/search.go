@@ -23,16 +23,24 @@
 // long sweep is observable (and streamable) without waiting for the
 // final table.
 //
-// By default the search runs branch-and-bound (BaPipe-style): every
-// candidate is priced by the closed-form analytic lower bound
-// (analytic.LowerBound — the multi-stream schedule replay, exact for
-// every generator with an implicit op sequence, overlapped or not; a
-// warmup/drain floor for the list-scheduled V-schedule), jobs are ordered
-// cheapest-bound-first so the incumbent tightens early, a per-(family,
-// batch) incumbent shared across the worker pool skips candidates whose
-// throughput upper bound cannot beat it, and a deterministic dominance
-// pre-pass removes candidates that an exactly-priced sibling already
-// beats before any simulation runs.
+// By default the search runs branch-and-bound (BaPipe-style) with a
+// two-tier pricing cascade. Tier 1 prices every candidate with the cheap
+// analytic floor (analytic.Floor — O(1) arithmetic, no schedule replay);
+// a deterministic warm-start pass then seeds each (family, batch) group's
+// incumbent by exactly pricing up to two seed candidates (the group's
+// cheapest-floor replayable plan, and the previous — larger-batch — group
+// winner's shape re-matched in this group), so early candidates face a
+// real bound instead of pricing against nothing. Jobs are ordered
+// cheapest-bound-first, and a candidate reaches tier 2 — the O(ops) exact
+// multi-stream schedule replay (analytic.LowerBoundCached, bit-identical
+// to the DES makespan for every generator with an implicit op sequence;
+// prefix-amortized across candidates sharing a checkpoint) — only when
+// its floor fails to prune against the incumbent. Exact tier-2 prices
+// feed the incumbent immediately (the replay IS the simulated time), so
+// siblings prune before the simulation even runs. Options.EagerReplay
+// restores the replay-always pricing (every candidate priced exactly up
+// front, dominance pre-pass instead of warm starts) as an equivalence
+// and benchmarking point.
 //
 // Pruning never changes results: a candidate is skipped only when the
 // admissible bound proves it cannot be the winner under the same strict
@@ -243,6 +251,19 @@ type FamilyStats struct {
 	// simulator (including candidates whose precheck reported an error:
 	// the unpruned path would have simulated them).
 	Simulated atomic.Int64
+	// FlooredOut counts the BoundSkipped candidates whose price at skip
+	// time was still the tier-1 floor — pruned without ever paying the
+	// O(ops) exact replay. BoundSkipped - FlooredOut candidates were
+	// replay-priced first and skipped on the exact bound.
+	FlooredOut atomic.Int64
+	// ReplayPriced counts tier-2 exact replays (including the warm-start
+	// seed replays): the O(ops) prices actually paid. The cascade's win is
+	// ReplayPriced staying far below Enumerated.
+	ReplayPriced atomic.Int64
+	// WarmStartHits counts groups whose incumbent seed came from a
+	// neighboring grid point's winner shape instead of the group's own
+	// cheapest-floor candidate.
+	WarmStartHits atomic.Int64
 }
 
 // PruneRate returns the fraction of enumerated candidates that were never
@@ -257,9 +278,9 @@ func (s *FamilyStats) PruneRate() float64 {
 
 // String summarizes the counters.
 func (s *FamilyStats) String() string {
-	return fmt.Sprintf("enumerated %d, dominated %d, bounded out %d, simulated %d (%.1f%% pruned)",
+	return fmt.Sprintf("enumerated %d, dominated %d, bounded out %d (%d on floor alone), simulated %d, replay-priced %d (%.1f%% pruned)",
 		s.Enumerated.Load(), s.Dominated.Load(), s.BoundSkipped.Load(),
-		s.Simulated.Load(), 100*s.PruneRate())
+		s.FlooredOut.Load(), s.Simulated.Load(), s.ReplayPriced.Load(), 100*s.PruneRate())
 }
 
 // Stats accumulates the branch-and-bound counters of one or more searches:
@@ -310,6 +331,11 @@ type FamilyProgress struct {
 	Dominated  int64 `json:"dominated"`
 	BoundedOut int64 `json:"bounded_out"`
 	Simulated  int64 `json:"simulated"`
+	// FlooredOut, ReplayPriced and WarmStartHits snapshot the pricing-
+	// cascade counters of the same names.
+	FlooredOut    int64 `json:"floored_out"`
+	ReplayPriced  int64 `json:"replay_priced"`
+	WarmStartHits int64 `json:"warm_start_hits"`
 }
 
 // ProgressSnapshot is a point-in-time view of a search's pruning counters:
@@ -322,6 +348,13 @@ type ProgressSnapshot struct {
 	Dominated  int64 `json:"dominated"`
 	BoundedOut int64 `json:"bounded_out"`
 	Simulated  int64 `json:"simulated"`
+	// FlooredOut, ReplayPriced and WarmStartHits expose the pricing
+	// cascade: how many skips the cheap tier-1 floor won outright, how
+	// many O(ops) exact replays were paid, and how many group incumbents
+	// were seeded from a neighboring grid point.
+	FlooredOut    int64 `json:"floored_out"`
+	ReplayPriced  int64 `json:"replay_priced"`
+	WarmStartHits int64 `json:"warm_start_hits"`
 	// Families is the per-family breakdown, sorted by key.
 	Families []FamilyProgress `json:"families,omitempty"`
 }
@@ -334,19 +367,25 @@ func (p ProgressSnapshot) Done() int64 { return p.Dominated + p.BoundedOut + p.S
 // consistent-per-counter view of a moment in the search.
 func (s *Stats) Snapshot() ProgressSnapshot {
 	snap := ProgressSnapshot{
-		Enumerated: s.Enumerated.Load(),
-		Dominated:  s.Dominated.Load(),
-		BoundedOut: s.BoundSkipped.Load(),
-		Simulated:  s.Simulated.Load(),
+		Enumerated:    s.Enumerated.Load(),
+		Dominated:     s.Dominated.Load(),
+		BoundedOut:    s.BoundSkipped.Load(),
+		Simulated:     s.Simulated.Load(),
+		FlooredOut:    s.FlooredOut.Load(),
+		ReplayPriced:  s.ReplayPriced.Load(),
+		WarmStartHits: s.WarmStartHits.Load(),
 	}
 	for _, key := range s.FamilyKeys() {
 		fs := s.Family(key)
 		snap.Families = append(snap.Families, FamilyProgress{
-			Key:        key,
-			Enumerated: fs.Enumerated.Load(),
-			Dominated:  fs.Dominated.Load(),
-			BoundedOut: fs.BoundSkipped.Load(),
-			Simulated:  fs.Simulated.Load(),
+			Key:           key,
+			Enumerated:    fs.Enumerated.Load(),
+			Dominated:     fs.Dominated.Load(),
+			BoundedOut:    fs.BoundSkipped.Load(),
+			Simulated:     fs.Simulated.Load(),
+			FlooredOut:    fs.FlooredOut.Load(),
+			ReplayPriced:  fs.ReplayPriced.Load(),
+			WarmStartHits: fs.WarmStartHits.Load(),
 		})
 	}
 	return snap
@@ -370,6 +409,13 @@ type Options struct {
 	// either way; the perf harness uses it as the pruning speedup
 	// denominator.
 	NoPrune bool
+	// EagerReplay disables the lazy pricing cascade and prices every
+	// candidate with the O(ops) exact replay up front (the pre-cascade
+	// branch-and-bound: exact pricing pre-pass plus dominance filtering,
+	// no warm-started incumbents). Results are identical either way; the
+	// equivalence tests and the perf harness use it as the cascade's
+	// comparison point.
+	EagerReplay bool
 	// Stats, when non-nil, accumulates the pruning counters of this
 	// search — totals plus a per-family breakdown (Stats.Family).
 	Stats *Stats
@@ -454,13 +500,16 @@ func pickBest(results []engine.Result) Best {
 
 // job carries one candidate plan through the shared work list.
 type job struct {
-	plan   core.Plan
-	group  int     // index into the (family, batch) group list
-	idx    int     // enumeration index within the group (the tie order)
-	ub     float64 // analytic throughput upper bound (FlopPerGPU / lower bound)
-	exact  bool    // the bound equals the simulated time bit for bit
-	prune  bool    // removed by the deterministic dominance pre-pass
-	failed bool    // precheck reported the error a simulation would
+	plan     core.Plan
+	group    int     // index into the (family, batch) group list
+	idx      int     // enumeration index within the group (the tie order)
+	ub       float64 // analytic throughput upper bound (FlopPerGPU / lower bound)
+	flop     float64 // BatchFlopPerGPU, shared by the cascade's two pricings
+	exact    bool    // the bound equals the simulated time bit for bit
+	replay   bool    // the method has a tier-2 exact replay (StepLB hook)
+	prune    bool    // removed by the deterministic dominance pre-pass
+	failed   bool    // precheck reported the error a simulation would
+	deferred bool    // exactly priced, simulation deferred to the final pass
 }
 
 // incumbent is the shared best-simulated-so-far record of one group. Its
@@ -508,10 +557,13 @@ type simOut struct {
 // callers surfacing graceful degradation may report alongside the error.
 // With pruning active, candidates
 // are prechecked (so a candidate whose simulation would error reports it
-// even when the bounds would have skipped it), priced by the analytic
-// lower bound, ordered cheapest-bound-first, dominance-filtered, and
-// skipped against the group incumbent; the winner — and the lowest-index
-// error — is provably the one the unpruned path reports.
+// even when the bounds would have skipped it), priced by the tier-1
+// analytic floor, ordered cheapest-bound-first, warm-start-seeded per
+// group, and skipped against the group incumbent — paying the tier-2
+// exact replay only for candidates the floor fails to settle (or priced
+// exactly up front under EagerReplay, with the dominance pre-pass); the
+// winner — and the lowest-index error — is provably the one the unpruned
+// path reports either way.
 func evalGroups(ctx context.Context, c hw.Cluster, m model.Transformer, groups [][]core.Plan, keys []string, opt Options) ([]*Best, []error, error) {
 	if opt.Stats == nil && opt.Progress != nil {
 		// Progress is built on the counters; give it a private set when the
@@ -563,21 +615,31 @@ func evalGroups(ctx context.Context, c hw.Cluster, m model.Transformer, groups [
 		order[i] = i
 	}
 	prune := opt.prune()
+	cascade := prune && !opt.EagerReplay
 	eopt := opt.engineOptions()
 	outs := make([]simOut, len(jobs))
 	lbs := make([]float64, len(jobs))
+	incs := make([]incumbent, len(groups))
+	par := engine.Defaults()
+	if opt.Params != nil {
+		par = *opt.Params
+	}
+	var rc *schedule.ReplayCache
+	if cascade {
+		// One prefix-amortization cache for the whole call: candidates at
+		// one grid point share replay checkpoints across the seed pass and
+		// the tier-2 pricings below.
+		rc = schedule.NewReplayCache()
+	}
 	if prune && len(jobs) > 0 {
-		par := engine.Defaults()
-		if opt.Params != nil {
-			par = *opt.Params
-		}
 		// Precheck and price every candidate on the same worker pool the
 		// simulations use (each entry is independent, so the pass is
-		// deterministic); the exact replays are O(ops) and would otherwise
-		// serialize in front of the pool. Recording precheck failures here,
-		// before any pruning decision, is what makes the per-candidate
-		// errors independent of pruning: the failing candidate reports even
-		// when the bounds would have skipped its simulation.
+		// deterministic); under EagerReplay the exact replays are O(ops)
+		// and would otherwise serialize in front of the pool. Recording
+		// precheck failures here, before any pruning decision, is what
+		// makes the per-candidate errors independent of pruning: the
+		// failing candidate reports even when the bounds would have skipped
+		// its simulation.
 		parallel.MapCtx(ctx, opt.workers(), jobs, func(i int, _ job) (struct{}, error) {
 			j := &jobs[i]
 			if err := engine.Precheck(c, m, j.plan, eopt); err != nil {
@@ -585,12 +647,21 @@ func evalGroups(ctx context.Context, c hw.Cluster, m model.Transformer, groups [
 				j.failed = true
 				return struct{}{}, nil
 			}
-			lb, exact := analytic.LowerBound(c, m, j.plan, &par)
-			flop := m.BatchFlopPerGPU(j.plan.MicroBatch, j.plan.NumMicro, j.plan.PP, j.plan.TP)
-			j.exact = exact
+			j.flop = m.BatchFlopPerGPU(j.plan.MicroBatch, j.plan.NumMicro, j.plan.PP, j.plan.TP)
+			var lb float64
+			if cascade {
+				// Tier 1: the cheap floor. Whether an exact tier-2 price
+				// exists is a trait of the method, recorded for the
+				// execution pass.
+				tr := schedule.TraitsOf(j.plan.Method)
+				j.replay = tr.StepLB != nil || tr.StepLBCached != nil
+				lb = analytic.Floor(c, m, j.plan, &par)
+			} else {
+				lb, j.exact = analytic.LowerBound(c, m, j.plan, &par)
+			}
 			lbs[i] = lb
 			if lb > 0 {
-				j.ub = flop / lb
+				j.ub = j.flop / lb
 			} else {
 				j.ub = math.Inf(1)
 			}
@@ -599,20 +670,42 @@ func evalGroups(ctx context.Context, c hw.Cluster, m model.Transformer, groups [
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		markDominated(jobs, bounds, famStats, opt.Stats)
-		progress(true) // dominance pass resolved its share of the candidates
+		if cascade {
+			if err := seedGroups(ctx, c, m, groups, keys, jobs, bounds, lbs, incs, rc, &par, famStats, opt.Stats); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			markDominated(jobs, bounds, famStats, opt.Stats)
+		}
+		progress(true) // seed/dominance pass resolved its share of the candidates
 		// Cheapest (fastest-looking) bound first, stable on the flat
 		// enumeration order: the likely winners simulate early and the
 		// incumbent tightens before the long tail is reached.
 		sort.SliceStable(order, func(a, b int) bool { return lbs[order[a]] < lbs[order[b]] })
 	}
 
-	incs := make([]incumbent, len(groups))
 	countSim := func(j *job) {
 		if opt.Stats != nil {
 			opt.Stats.Simulated.Add(1)
 			if fs := famStats[j.group]; fs != nil {
 				fs.Simulated.Add(1)
+			}
+		}
+	}
+	countSkip := func(j *job) {
+		if opt.Stats != nil {
+			opt.Stats.BoundSkipped.Add(1)
+			fs := famStats[j.group]
+			if fs != nil {
+				fs.BoundSkipped.Add(1)
+			}
+			if !j.exact {
+				// Skipped on the tier-1 floor alone: the candidate never
+				// paid an exact replay.
+				opt.Stats.FlooredOut.Add(1)
+				if fs != nil {
+					fs.FlooredOut.Add(1)
+				}
 			}
 		}
 	}
@@ -630,13 +723,47 @@ func evalGroups(ctx context.Context, c hw.Cluster, m model.Transformer, groups [
 			return struct{}{}, nil
 		}
 		if prune && incs[j.group].covers(j.ub, j.idx) {
+			countSkip(j)
+			progress(false)
+			return struct{}{}, nil
+		}
+		if cascade && j.replay && !j.exact {
+			// Tier 2: the floor failed to settle this candidate against the
+			// incumbent; pay the exact O(ops) replay once. Both tiers are
+			// admissible, so tightening the bound here can only turn "maybe"
+			// into "provably not the winner" — never the other way.
+			lb, exact := analytic.LowerBoundCached(c, m, j.plan, &par, rc)
 			if opt.Stats != nil {
-				opt.Stats.BoundSkipped.Add(1)
+				opt.Stats.ReplayPriced.Add(1)
 				if fs := famStats[j.group]; fs != nil {
-					fs.BoundSkipped.Add(1)
+					fs.ReplayPriced.Add(1)
 				}
 			}
-			progress(false)
+			if lb > 0 {
+				j.ub = j.flop / lb
+			} else {
+				j.ub = math.Inf(1)
+			}
+			j.exact = exact
+			if exact {
+				// The replay is the simulated time bit for bit, so the ub
+				// is this candidate's true throughput: publish it before
+				// simulating so siblings prune against it immediately.
+				incs[j.group].update(j.ub, j.idx)
+			}
+			if incs[j.group].covers(j.ub, j.idx) {
+				countSkip(j)
+				progress(false)
+				return struct{}{}, nil
+			}
+		}
+		if cascade && j.exact {
+			// The exact price IS the simulated time, so nothing more is
+			// learned by simulating now; defer the simulation to the final
+			// pass, which runs it only if the candidate still survives the
+			// fully-tightened incumbent (one simulation per group in the
+			// common case — the others resolve to bound skips).
+			j.deferred = true
 			return struct{}{}, nil
 		}
 		r, err := engine.SimulateOpts(c, m, j.plan, eopt)
@@ -655,6 +782,53 @@ func evalGroups(ctx context.Context, c hw.Cluster, m model.Transformer, groups [
 		}
 		return struct{}{}, nil
 	})
+	if cascade && ctxErr == nil {
+		// Final pass over the deferred exactly-priced candidates, best
+		// first per group: the leader simulates (producing the full
+		// engine.Result the winner needs), which makes every remaining
+		// deferred sibling a bound skip — their exact prices cannot beat a
+		// published true throughput of equal value and lower index. Ties
+		// are ordered index-ascending, so the lowest-index max simulates
+		// and the rest skip, preserving the pickBest rule exactly.
+	deferredGroups:
+		for gi := range groups {
+			seg := jobs[bounds[gi]:bounds[gi+1]]
+			var pend []int
+			for i := range seg {
+				if seg[i].deferred {
+					pend = append(pend, i)
+				}
+			}
+			sort.Slice(pend, func(a, b int) bool {
+				ja, jb := &seg[pend[a]], &seg[pend[b]]
+				if ja.ub != jb.ub {
+					return ja.ub > jb.ub
+				}
+				return ja.idx < jb.idx
+			})
+			for _, i := range pend {
+				if err := ctx.Err(); err != nil {
+					ctxErr = err
+					break deferredGroups
+				}
+				j := &seg[i]
+				if incs[gi].covers(j.ub, j.idx) {
+					countSkip(j)
+					progress(false)
+					continue
+				}
+				r, err := engine.SimulateOpts(c, m, j.plan, eopt)
+				countSim(j)
+				progress(false)
+				if err != nil {
+					outs[bounds[gi]+i].err = fmt.Errorf("search: %v: %w", j.plan, err)
+					continue
+				}
+				outs[bounds[gi]+i] = simOut{res: r, ran: true}
+				incs[gi].update(r.Throughput, j.idx)
+			}
+		}
+	}
 	progress(true) // terminal snapshot (100% unless ctx cancelled the run)
 
 	bests := make([]*Best, len(groups))
@@ -684,6 +858,143 @@ func evalGroups(ctx context.Context, c hw.Cluster, m model.Transformer, groups [
 	return bests, errs, ctxErr
 }
 
+// matchShape reports whether two plans differ at most in the
+// batch-dependent NumMicro field — the "same grid point, different batch"
+// relation the warm-start pass uses to re-find a neighboring group's
+// winner shape among this group's candidates.
+func matchShape(a, b core.Plan) bool {
+	a.NumMicro, b.NumMicro = 0, 0
+	return a == b
+}
+
+// seedGroups warm-starts each group's incumbent before the execution pass
+// runs: it exactly prices up to two seed candidates per group — the
+// group's own cheapest-floor replayable candidate, and (within a family,
+// descending batch order) the previous group's best seed's plan shape
+// re-matched in this group — publishes the best seed's true throughput as
+// the group incumbent, and dominance-marks the candidates whose floor
+// bound already falls below it. Soundness never relies on a neighbor's
+// throughput *value* (which belongs to a different batch): the neighbor
+// only nominates which candidate to price exactly here, and the published
+// incumbent is always a bit-exact replay of a candidate of this very
+// group, so the covers/update invariant is untouched. The pass is serial
+// and depends only on the enumeration, the floors and the replays, so the
+// Dominated counter stays deterministic at any worker count. Groups with
+// no replayable candidate (the list-scheduled V-schedule family) get no
+// seed and start against an empty incumbent, exactly like the pre-cascade
+// path when no exact candidate existed.
+func seedGroups(ctx context.Context, c hw.Cluster, m model.Transformer, groups [][]core.Plan, keys []string, jobs []job, bounds []int, lbs []float64, incs []incumbent, rc *schedule.ReplayCache, par *engine.Params, famStats []*FamilyStats, stats *Stats) error {
+	// Family key ascending, batch descending: the largest batch resolves
+	// first, so its winner shape — typically stable across adjacent grid
+	// points — seeds the smaller batches of the same family.
+	order := make([]int, 0, len(groups))
+	for gi := range groups {
+		if len(groups[gi]) > 0 {
+			order = append(order, gi)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ga, gb := order[a], order[b]
+		if keys[ga] != keys[gb] {
+			return keys[ga] < keys[gb]
+		}
+		return groups[ga][0].BatchSize() > groups[gb][0].BatchSize()
+	})
+	prevWinner := map[string]core.Plan{}
+	for _, gi := range order {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		seg := jobs[bounds[gi]:bounds[gi+1]]
+		// Own seed: the replayable candidate with the smallest floor (the
+		// fastest-looking one; strict < keeps the lowest index on ties).
+		own := -1
+		for i := range seg {
+			if seg[i].failed || !seg[i].replay {
+				continue
+			}
+			if own < 0 || lbs[bounds[gi]+i] < lbs[bounds[gi]+own] {
+				own = i
+			}
+		}
+		// Neighbor seed: the adjacent group's winner shape, if it exists
+		// among this group's candidates (lowest index on ambiguity, which
+		// cannot arise for distinct enumerated plans).
+		neighbor := -1
+		if prev, ok := prevWinner[keys[gi]]; ok {
+			for i := range seg {
+				if seg[i].failed || !seg[i].replay || i == own {
+					continue
+				}
+				if matchShape(seg[i].plan, prev) {
+					neighbor = i
+					break
+				}
+			}
+		}
+		// Price the seeds exactly; a seed whose replay falls back to a
+		// floor (deadlocked sequence) is discarded.
+		price := func(i int) (float64, bool) {
+			if i < 0 {
+				return 0, false
+			}
+			j := &seg[i]
+			lb, exact := analytic.LowerBoundCached(c, m, j.plan, par, rc)
+			if stats != nil {
+				stats.ReplayPriced.Add(1)
+				if fs := famStats[gi]; fs != nil {
+					fs.ReplayPriced.Add(1)
+				}
+			}
+			if !exact || lb <= 0 {
+				return 0, false
+			}
+			j.ub = j.flop / lb
+			j.exact = true
+			return j.ub, true
+		}
+		ownUb, ownOK := price(own)
+		nbUb, nbOK := price(neighbor)
+		best, bestUb := -1, 0.0
+		if ownOK {
+			best, bestUb = own, ownUb
+		}
+		if nbOK && (!ownOK || nbUb > ownUb || (nbUb == ownUb && seg[neighbor].idx < seg[own].idx)) {
+			best, bestUb = neighbor, nbUb
+			if stats != nil {
+				stats.WarmStartHits.Add(1)
+				if fs := famStats[gi]; fs != nil {
+					fs.WarmStartHits.Add(1)
+				}
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		incs[gi].update(bestUb, seg[best].idx)
+		// Dominance against the seed's true throughput, exactly the
+		// markDominated rule: a candidate whose admissible upper bound
+		// falls below it — or ties it from a higher index — can never win.
+		for i := range seg {
+			j := &seg[i]
+			if j.failed {
+				continue
+			}
+			if j.ub < bestUb || (j.ub == bestUb && seg[best].idx < j.idx) {
+				j.prune = true
+				if stats != nil {
+					stats.Dominated.Add(1)
+					if fs := famStats[gi]; fs != nil {
+						fs.Dominated.Add(1)
+					}
+				}
+			}
+		}
+		prevWinner[keys[gi]] = seg[best].plan
+	}
+	return nil
+}
+
 // markDominated removes, within each group, candidates an exactly-priced
 // sibling provably beats: the best exact candidate's throughput is known
 // without simulation (its bound is the simulated time bit for bit), so any
@@ -691,7 +1002,9 @@ func evalGroups(ctx context.Context, c hw.Cluster, m model.Transformer, groups [
 // enumeration index — can never win under the pickBest rule. The pass is
 // deterministic: it depends only on the enumeration and the bounds.
 // Candidates whose precheck failed carry no bound and are left alone on
-// both sides: their error must surface regardless of pruning.
+// both sides: their error must surface regardless of pruning. It serves
+// the EagerReplay path, where every candidate is priced exactly up front;
+// the cascade's equivalent is seedGroups.
 func markDominated(jobs []job, bounds []int, famStats []*FamilyStats, stats *Stats) {
 	for gi := 0; gi+1 < len(bounds); gi++ {
 		seg := jobs[bounds[gi]:bounds[gi+1]]
@@ -881,13 +1194,15 @@ func Enumerate(ctx context.Context, c hw.Cluster, m model.Transformer, f Family,
 									continue
 								}
 								if !opt.Baseline &&
-									!memsim.FeasibleBytes(analytic.MemoryFloor(m, p), c.GPU.MemBytes) {
+									!analytic.MemoryFeasible(m, p, c.GPU.MemBytes) {
 									// The floor never exceeds the estimate,
 									// so this skips only plans the full
 									// check below would reject — without
 									// paying it (for the V-schedule, the
 									// exact in-flight hook generates
-									// programs).
+									// programs); the floor itself checks
+									// its cheap trait-free terms before
+									// consulting the in-flight hook.
 									continue
 								}
 								if !memsim.Feasible(estimate(m, p), c.GPU.MemBytes) {
