@@ -14,6 +14,8 @@ package bfpp_test
 
 import (
 	"context"
+	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -31,6 +33,7 @@ import (
 	"bfpp/internal/schedule"
 	"bfpp/internal/search"
 	"bfpp/internal/service"
+	"bfpp/internal/store"
 	"bfpp/internal/tensor"
 )
 
@@ -342,6 +345,40 @@ func BenchmarkServiceSearchCold(b *testing.B) {
 		if _, err := svc.Search(context.Background(), figure7Request()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServiceSearchStore measures the durable cold path: a fresh
+// Service with a fresh result store and sweep journal per iteration, so
+// every request runs the full pruned sweep, checkpoints each (family,
+// batch) winner to the journal and persists the response. NoSync keeps
+// the measurement about the durability machinery itself — JSON
+// marshalling, CRC framing, the per-group journal appends — not the
+// host's fsync latency (a deployment policy, toggled by -store-nosync).
+// scripts/bench.sh turns ServiceSearchStore / ServiceSearchCold into
+// BENCH_search.json's store_overhead (clamped at 1.0, raw alongside).
+func BenchmarkServiceSearchStore(b *testing.B) {
+	dir := b.TempDir()
+	sopts := store.Options{Repair: true, NoSync: true}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := store.OpenOptions(filepath.Join(dir, fmt.Sprintf("results-%d.log", i)), sopts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		j, err := store.OpenJournalOptions(filepath.Join(dir, fmt.Sprintf("sweeps-%d.journal", i)), sopts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		svc := service.New(service.Config{Store: st, Journal: j})
+		if _, err := svc.Search(context.Background(), figure7Request()); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		st.Close()
+		j.Close()
+		b.StartTimer()
 	}
 }
 

@@ -74,15 +74,71 @@ kill "$SERVE_PID" 2>/dev/null && wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 echo "chaos table byte-identical to the CLI table (client retried through the fault)"
 
+echo "== kill-and-resume smoke (SIGKILL mid-sweep; the restarted server must"
+echo "   resume from its journal and still byte-match bfpp-search)"
+STORE="$BIN/store"
+KILL_REQ='{"model":"6.6B","cluster":"paper","families":["every"],"batches":[8,16,32,64,128,256,512,1024],"no_prune":true}'
+"$BIN/bfpp-serve" -addr 127.0.0.1:0 -store "$STORE" > "$BIN/serve-kill.out" 2>&1 &
+SERVE_PID=$!
+URL=""
+for i in $(seq 1 50); do
+	URL=$(sed -n 's#.*listening on ##p' "$BIN/serve-kill.out")
+	[ -n "$URL" ] && break
+	sleep 0.1
+done
+[ -n "$URL" ] || { echo "store-backed bfpp-serve did not come up"; cat "$BIN/serve-kill.out"; exit 1; }
+# Fire a slow unpruned sweep, wait for the first checkpoints to reach the
+# journal, then SIGKILL the server mid-flight: no drain, no shutdown hooks
+# — only the per-record fsyncs in the sweep journal survive. The orphaned
+# client is expected to fail; ignore it.
+go run ./scripts/httpsmoke "$URL" "$KILL_REQ" > /dev/null 2>&1 &
+SMOKE_PID=$!
+for i in $(seq 1 100); do
+	[ -s "$STORE/sweeps.journal" ] && break
+	sleep 0.2
+done
+sleep 0.5 # let a few more groups resolve, but stay mid-sweep
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+kill "$SMOKE_PID" 2>/dev/null || true
+wait "$SMOKE_PID" 2>/dev/null || true
+if [ -s "$STORE/sweeps.journal" ]; then
+	echo "journal holds $(wc -c < "$STORE/sweeps.journal") bytes of checkpoints from the killed sweep"
+else
+	echo "note: the sweep was killed before its first checkpoint (resume degenerates to a fresh run)"
+fi
+"$BIN/bfpp-serve" -addr 127.0.0.1:0 -store "$STORE" > "$BIN/serve-resume.out" 2>&1 &
+SERVE_PID=$!
+URL=""
+for i in $(seq 1 50); do
+	URL=$(sed -n 's#.*listening on ##p' "$BIN/serve-resume.out")
+	[ -n "$URL" ] && break
+	sleep 0.1
+done
+[ -n "$URL" ] || { echo "restarted bfpp-serve did not come up"; cat "$BIN/serve-resume.out"; exit 1; }
+go run ./scripts/httpsmoke "$URL" "$KILL_REQ" > "$BIN/table.resumed"
+go run ./cmd/bfpp-search -model 6.6B -families every -noprune \
+	-batches 8,16,32,64,128,256,512,1024 2>/dev/null > "$BIN/table.resume-want"
+if ! cmp -s "$BIN/table.resumed" "$BIN/table.resume-want"; then
+	echo "journal-resumed table differs from bfpp-search output:"
+	diff "$BIN/table.resumed" "$BIN/table.resume-want" || true
+	exit 1
+fi
+kill "$SERVE_PID" 2>/dev/null && wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+echo "resumed table byte-identical to the CLI table (journal replayed across the SIGKILL)"
+
 if [ "${SKIP_RACE:-0}" != "1" ]; then
-	echo "== go test -race (concurrent search/service paths + cancellation + bound properties + chaos/recovery)"
+	echo "== go test -race (concurrent search/service paths + cancellation + bound properties + chaos/recovery + durability/dispatch)"
 	go test -race -count=1 \
-		-run 'Parallel|Cache|Concurrent|Sweep|FastPath|RunMatches|Curve|CheapArtifacts|LowerBound|ExactBound|Lattice|PrunedErrors|PerFamily|Ctx|Cancel|Progress|HTTP|Search|Registry|Chaos|Fault|Supervisor|Recover|Shed|Partial|Retry|Seeded|Script|Sleep|Cascade|WarmStart' \
+		-run 'Parallel|Cache|Concurrent|Sweep|FastPath|RunMatches|Curve|CheapArtifacts|LowerBound|ExactBound|Lattice|PrunedErrors|PerFamily|Ctx|Cancel|Progress|HTTP|Search|Registry|Chaos|Fault|Supervisor|Recover|Shed|Partial|Retry|Seeded|Script|Sleep|Cascade|WarmStart|Checkpoint|Resume|Journal|Store|Corrupt|Dispatch|Replica|Sharder|Metrics|Stream' \
 		./internal/parallel ./internal/search ./internal/schedule \
 		./internal/memsim ./internal/des ./internal/engine \
 		./internal/figures ./internal/tradeoff \
 		./internal/analytic ./internal/runtime ./internal/fault \
-		./internal/service ./internal/model ./internal/hw
+		./internal/service ./internal/model ./internal/hw \
+		./internal/store ./internal/dispatch
 fi
 
 echo "== ci OK"

@@ -11,12 +11,13 @@
 //	POST /v1/figures   {"names":["figure4"]}
 //	GET  /healthz
 //
-// /v1/search?stream=1 streams NDJSON progress lines while the sweep runs,
-// then the final result. Request deadlines ("timeout_ms", or -timeout)
-// map onto the job's context; identical search requests are served from
-// the result cache. Models and clusters resolve through the open
-// registries, so a registry-added scenario is immediately servable
-// without new endpoints.
+// /v1/search?stream=1 and /v1/figures?stream=1 stream NDJSON progress
+// lines while the job runs, then the final result. Request deadlines
+// ("timeout_ms", or -timeout) map onto the job's context; identical
+// search requests are served from the result cache. Models and clusters
+// resolve through the open registries, so a registry-added scenario is
+// immediately servable without new endpoints. GET /metrics exposes the
+// service counters in the Prometheus text format.
 //
 // The server is hardened for unattended runs: panics are contained to the
 // crashing request, oversize bodies get 413 (-max-body), saturation sheds
@@ -27,9 +28,22 @@
 // drills: e.g. -chaos job:error:1 makes the first job fail transiently,
 // which a retrying client must absorb.
 //
+// -store DIR makes the service crash-safe: computed sweeps persist to
+// DIR/results.log (CRC-framed, torn tails self-truncated at open) and
+// every sweep checkpoints its per-(family, batch) winners to
+// DIR/sweeps.journal as they resolve — a restarted server serves finished
+// sweeps from disk and resumes interrupted ones, re-pricing only the
+// unfinished groups, with byte-identical tables either way.
+//
+// -replicas URL[,URL...] distributes sweeps across peer bfpp-serve
+// instances: each (family, batch) group is dispatched to a replica (this
+// process prices groups too), transient replica failures retry with
+// backoff, dead replicas fail over to the survivors, and the merged table
+// is byte-identical to a single-process run.
+//
 // Example:
 //
-//	bfpp-serve -addr localhost:8080 &
+//	bfpp-serve -addr localhost:8080 -store /var/lib/bfpp &
 //	curl -s -X POST localhost:8080/v1/search \
 //	    -d '{"model":"6.6B","cluster":"paper","batches":[32,64,96]}' |
 //	  python3 -c 'import json,sys; print(json.load(sys.stdin)["table"])'
@@ -44,11 +58,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"bfpp/internal/dispatch"
 	"bfpp/internal/fault"
 	"bfpp/internal/service"
+	"bfpp/internal/store"
 )
 
 func main() {
@@ -62,6 +80,9 @@ func main() {
 		queue      = flag.Int("queue", 0, "max requests queued for a job slot before shedding 429s (0 = 16, negative = unbounded)")
 		maxBody    = flag.Int64("max-body", 0, "request body cap in bytes, 413 beyond (0 = 1 MiB, negative = uncapped)")
 		chaos      = flag.String("chaos", "", "deterministic fault script, e.g. \"job:error:1,pool:delay:3:5\" (point:kind:times[:delay-ms])")
+		storeDir   = flag.String("store", "", "durability directory: results persist to DIR/results.log, sweeps checkpoint to DIR/sweeps.journal (empty = in-memory only)")
+		replicas   = flag.String("replicas", "", "comma-separated peer bfpp-serve base URLs to shard sweeps across (this process prices groups too)")
+		nosync     = flag.Bool("store-nosync", false, "skip the per-record fsync (faster; a host crash can tear the tail, which the CRC framing heals at next open)")
 	)
 	flag.Parse()
 
@@ -75,7 +96,7 @@ func main() {
 		injector = script
 		fmt.Printf("bfpp-serve: chaos script armed: %s\n", *chaos)
 	}
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		MaxJobs:              *jobs,
 		MaxWorkersPerRequest: *maxWorkers,
 		CacheEntries:         *cacheSize,
@@ -83,7 +104,43 @@ func main() {
 		MaxQueued:            *queue,
 		MaxBodyBytes:         *maxBody,
 		Injector:             injector,
-	})
+	}
+	if *storeDir != "" {
+		if err := os.MkdirAll(*storeDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "bfpp-serve:", err)
+			os.Exit(1)
+		}
+		sopts := store.Options{Repair: true, NoSync: *nosync, Injector: injector}
+		st, err := store.OpenOptions(filepath.Join(*storeDir, "results.log"), sopts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfpp-serve: store:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		jr, err := store.OpenJournalOptions(filepath.Join(*storeDir, "sweeps.journal"), sopts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfpp-serve: journal:", err)
+			os.Exit(1)
+		}
+		defer jr.Close()
+		cfg.Store, cfg.Journal = st, jr
+		ss, js := st.Stats(), jr.Stats()
+		fmt.Printf("bfpp-serve: store %s: %d results, %d journaled sweeps (%d corruptions healed)\n",
+			*storeDir, ss.Records, len(jr.Sweeps()), ss.CorruptionsRecovered+js.CorruptionsRecovered)
+	}
+	if *replicas != "" {
+		// The fleet includes this process: a lone survivor still finishes
+		// every sweep after the remotes fail over.
+		reps := []dispatch.Replica{&dispatch.Local{ID: "self", Workers: *maxWorkers}}
+		for _, u := range strings.Split(*replicas, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				reps = append(reps, &dispatch.HTTP{BaseURL: strings.TrimRight(u, "/")})
+			}
+		}
+		cfg.Sharder = dispatch.New(dispatch.Options{Injector: injector}, reps...)
+		fmt.Printf("bfpp-serve: sharding sweeps across %d replicas (self + %d remote)\n", len(reps), len(reps)-1)
+	}
+	svc := service.New(cfg)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bfpp-serve:", err)

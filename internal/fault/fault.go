@@ -56,6 +56,22 @@ const (
 	// Coordinates: arrival number. Error and Panic apply (the panic path
 	// proves the slot is released and the server survives).
 	Job
+	// StoreWrite fires before the durable result store appends a record.
+	// Coordinates: write sequence number. Error applies (the write is
+	// reported failed, nothing is appended — a full disk); Delay stalls it.
+	StoreWrite
+	// StoreSync fires before the store fsyncs an appended record.
+	// Coordinates: write sequence number. Error applies (the record is
+	// written but its durability is unconfirmed — the crash window the
+	// CRC framing exists for); Delay stalls it.
+	StoreSync
+	// Replica fires when the shard coordinator dispatches a group to a
+	// replica. Coordinates: replica index, group index. Error fails the
+	// dispatch (a crashed or unreachable replica — the coordinator must
+	// fail over), Panic crashes the dispatching worker (contained and
+	// treated as a replica fault), Delay stalls the dispatch (a straggler,
+	// which the group timeout reassigns).
+	Replica
 
 	numPoints
 )
@@ -66,6 +82,9 @@ var pointNames = [numPoints]string{
 	PoolItem:    "pool",
 	Handler:     "handler",
 	Job:         "job",
+	StoreWrite:  "store",
+	StoreSync:   "store-sync",
+	Replica:     "replica",
 }
 
 // String returns the spelling ParseScript accepts.
@@ -295,7 +314,7 @@ func ParseScript(spec string) (*Script, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("fault: unknown point %q (device, send, pool, handler, job)", fields[0])
+			return nil, fmt.Errorf("fault: unknown point %q (device, send, pool, handler, job, store, store-sync, replica)", fields[0])
 		}
 		times, err := strconv.Atoi(fields[2])
 		if err != nil || times < 1 {

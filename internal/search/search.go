@@ -59,6 +59,7 @@ package search
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -223,6 +224,25 @@ func (f Family) Info() FamilyInfo {
 
 // String names the family as in Figure 7's legend.
 func (f Family) String() string { return f.Info().Name }
+
+// ErrInfeasible marks a search that found no feasible configuration: every
+// enumerated candidate failed a constraint, not an execution fault.
+// Callers distinguishing "nothing fits" (skip the cell, as the CLI table
+// does) from real failures test with errors.Is.
+var ErrInfeasible = errors.New("no feasible configuration")
+
+// GroupKey identifies one (family, batch) group of a sweep: the family's
+// short registry key and the global batch size. It is the granularity of
+// sweep checkpointing — a group's winner is deterministic and independent
+// of every other group, so a journaled GroupKey -> Best record can replace
+// the group's entire enumeration and pricing on resume without changing a
+// byte of the final table.
+type GroupKey struct {
+	// Family is the family's short selection key ("bf", "ws", ...).
+	Family string `json:"family"`
+	// Batch is the global batch size.
+	Batch int `json:"batch"`
+}
 
 // Best is the winning configuration of one (family, batch) search.
 type Best struct {
@@ -428,6 +448,26 @@ type Options struct {
 	// caller side). Progress does not require Stats: a private counter set
 	// is used when Stats is nil.
 	Progress func(ProgressSnapshot)
+	// Checkpoint, when non-nil, receives each (family, batch) group's
+	// winner at the moment the group's last candidate resolves — while
+	// the rest of the sweep is still running. It is the sweep-journaling
+	// hook: a caller that durably records every (GroupKey, Best) it
+	// receives can, after a crash, restart the sweep with those records
+	// as Resume and re-price only the unfinished groups. Invocations are
+	// serialized by the search (no locking needed in the callback); they
+	// run on worker goroutines, so expensive sinks should buffer.
+	// Groups that error, find no feasible configuration, or are cut off
+	// by cancellation are not checkpointed. The callback never fires for
+	// groups satisfied from Resume.
+	Checkpoint func(GroupKey, Best)
+	// Resume maps already-resolved groups to their journaled winners.
+	// A group found here is not enumerated or priced at all — its Best
+	// is returned as recorded — so a resumed sweep pays only for the
+	// groups the original run had not finished. Because each group's
+	// winner is deterministic and independent of every other group
+	// (warm-start seeds never change winners, only pricing effort), the
+	// resumed table is byte-identical to an uninterrupted run's.
+	Resume map[GroupKey]Best
 	// Baseline selects the seed-faithful serial evaluator: one plan at a
 	// time, no pruning, memo caches bypassed, reference DES loop. It
 	// exists for the parallel-vs-serial equivalence tests and as the
@@ -467,12 +507,15 @@ func Optimize(ctx context.Context, c hw.Cluster, m model.Transformer, f Family, 
 	if opt.MaxMicroBatch <= 0 {
 		opt.MaxMicroBatch = 16
 	}
+	if b, ok := opt.Resume[GroupKey{Family: f.Info().Key, Batch: batch}]; ok {
+		return b, nil
+	}
 	plans := Enumerate(ctx, c, m, f, batch, opt)
 	if err := ctx.Err(); err != nil {
 		return Best{}, err
 	}
 	if len(plans) == 0 {
-		return Best{}, fmt.Errorf("search: no feasible configuration for %v at batch %d", f, batch)
+		return Best{}, fmt.Errorf("search: %w for %v at batch %d", ErrInfeasible, f, batch)
 	}
 	bests, errs, err := evalGroups(ctx, c, m, [][]core.Plan{plans}, []string{f.Info().Key}, opt)
 	if err != nil {
@@ -620,6 +663,45 @@ func evalGroups(ctx context.Context, c hw.Cluster, m model.Transformer, groups [
 	outs := make([]simOut, len(jobs))
 	lbs := make([]float64, len(jobs))
 	incs := make([]incumbent, len(groups))
+	// Checkpoint support: each group carries a pending-candidate counter,
+	// decremented exactly once per candidate at its terminal resolution
+	// point (simulated, bound-skipped, dominated, or failed). The worker
+	// that takes a counter to zero owns the group's reduction: the atomic
+	// decrement orders it after every sibling's outs[] write, so the scan
+	// below sees the complete segment. Cancelled runs leave unfinished
+	// groups above zero — exactly the groups that must not be journaled.
+	resolve := func(int) {}
+	if opt.Checkpoint != nil {
+		var checkpointMu sync.Mutex
+		pending := make([]atomic.Int64, len(groups))
+		for gi := range groups {
+			pending[gi].Store(int64(bounds[gi+1] - bounds[gi]))
+		}
+		resolve = func(gi int) {
+			if pending[gi].Add(-1) != 0 {
+				return
+			}
+			seg := outs[bounds[gi]:bounds[gi+1]]
+			ran := make([]engine.Result, 0, 4)
+			for i := range seg {
+				if seg[i].err != nil {
+					return // errored groups re-run on resume
+				}
+				if seg[i].ran {
+					ran = append(ran, seg[i].res)
+				}
+			}
+			if len(ran) == 0 {
+				return // nothing feasible: nothing worth journaling
+			}
+			b := pickBest(ran)
+			b.Configs = len(seg)
+			key := GroupKey{Family: keys[gi], Batch: groups[gi][0].BatchSize()}
+			checkpointMu.Lock()
+			defer checkpointMu.Unlock()
+			opt.Checkpoint(key, b)
+		}
+	}
 	par := engine.Defaults()
 	if opt.Params != nil {
 		par = *opt.Params
@@ -717,14 +799,17 @@ func evalGroups(ctx context.Context, c hw.Cluster, m model.Transformer, groups [
 			// unpruned path would have done.
 			countSim(j)
 			progress(false)
+			resolve(j.group)
 			return struct{}{}, nil
 		}
 		if j.prune {
+			resolve(j.group)
 			return struct{}{}, nil
 		}
 		if prune && incs[j.group].covers(j.ub, j.idx) {
 			countSkip(j)
 			progress(false)
+			resolve(j.group)
 			return struct{}{}, nil
 		}
 		if cascade && j.replay && !j.exact {
@@ -754,6 +839,7 @@ func evalGroups(ctx context.Context, c hw.Cluster, m model.Transformer, groups [
 			if incs[j.group].covers(j.ub, j.idx) {
 				countSkip(j)
 				progress(false)
+				resolve(j.group)
 				return struct{}{}, nil
 			}
 		}
@@ -774,12 +860,14 @@ func evalGroups(ctx context.Context, c hw.Cluster, m model.Transformer, groups [
 			// are filtered beforehand, and the precheck above already
 			// guarantees pruning cannot mask this error.
 			outs[ji].err = fmt.Errorf("search: %v: %w", j.plan, err)
+			resolve(j.group)
 			return struct{}{}, nil
 		}
 		outs[ji] = simOut{res: r, ran: true}
 		if prune {
 			incs[j.group].update(r.Throughput, j.idx)
 		}
+		resolve(j.group)
 		return struct{}{}, nil
 	})
 	if cascade && ctxErr == nil {
@@ -815,6 +903,7 @@ func evalGroups(ctx context.Context, c hw.Cluster, m model.Transformer, groups [
 				if incs[gi].covers(j.ub, j.idx) {
 					countSkip(j)
 					progress(false)
+					resolve(gi)
 					continue
 				}
 				r, err := engine.SimulateOpts(c, m, j.plan, eopt)
@@ -822,10 +911,12 @@ func evalGroups(ctx context.Context, c hw.Cluster, m model.Transformer, groups [
 				progress(false)
 				if err != nil {
 					outs[bounds[gi]+i].err = fmt.Errorf("search: %v: %w", j.plan, err)
+					resolve(gi)
 					continue
 				}
 				outs[bounds[gi]+i] = simOut{res: r, ran: true}
 				incs[gi].update(r.Throughput, j.idx)
+				resolve(gi)
 			}
 		}
 	}
@@ -1052,16 +1143,28 @@ func Sweep(ctx context.Context, c hw.Cluster, m model.Transformer, f Family, bat
 	if opt.MaxMicroBatch <= 0 {
 		opt.MaxMicroBatch = 16
 	}
-	groups := make([][]core.Plan, len(batches))
-	keys := make([]string, len(batches))
+	key := f.Info().Key
+	resumed := make([]*Best, len(batches))
+	var groups [][]core.Plan
+	var keys []string
+	gi := make([]int, len(batches))
 	for bi, b := range batches {
-		groups[bi] = Enumerate(ctx, c, m, f, b, opt)
-		keys[bi] = f.Info().Key
+		if rb, ok := opt.Resume[GroupKey{Family: key, Batch: b}]; ok {
+			rb := rb
+			resumed[bi] = &rb
+			gi[bi] = -1
+			continue
+		}
+		gi[bi] = len(groups)
+		groups = append(groups, Enumerate(ctx, c, m, f, b, opt))
+		keys = append(keys, key)
 	}
 	bests, _, err := evalGroups(ctx, c, m, groups, keys, opt)
 	var out []Best
-	for _, b := range bests {
-		if b != nil {
+	for bi := range batches {
+		if resumed[bi] != nil {
+			out = append(out, *resumed[bi])
+		} else if b := bests[gi[bi]]; b != nil {
 			out = append(out, *b)
 		}
 	}
@@ -1069,7 +1172,7 @@ func Sweep(ctx context.Context, c hw.Cluster, m model.Transformer, f Family, bat
 		return out, err
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("search: no feasible configuration for %v at any batch", f)
+		return nil, fmt.Errorf("search: %w for %v at any batch", ErrInfeasible, f)
 	}
 	return out, nil
 }
@@ -1091,12 +1194,27 @@ func SweepAll(ctx context.Context, c hw.Cluster, m model.Transformer, fams []Fam
 	if opt.MaxMicroBatch <= 0 {
 		opt.MaxMicroBatch = 16
 	}
+	// Resumed (family, batch) groups — journaled winners of a previous,
+	// interrupted run — are subtracted from the work list before
+	// enumeration and merged back below; the survivors share one flat
+	// pool exactly as before.
+	resumed := make([]*Best, len(fams)*len(batches))
+	gi := make([]int, len(fams)*len(batches))
 	var groups [][]core.Plan
 	var keys []string
-	for _, f := range fams {
-		for _, b := range batches {
+	for fi, f := range fams {
+		key := f.Info().Key
+		for bi, b := range batches {
+			ci := fi*len(batches) + bi
+			if rb, ok := opt.Resume[GroupKey{Family: key, Batch: b}]; ok {
+				rb := rb
+				resumed[ci] = &rb
+				gi[ci] = -1
+				continue
+			}
+			gi[ci] = len(groups)
 			groups = append(groups, Enumerate(ctx, c, m, f, b, opt))
-			keys = append(keys, f.Info().Key)
+			keys = append(keys, key)
 		}
 	}
 	bests, _, err := evalGroups(ctx, c, m, groups, keys, opt)
@@ -1104,7 +1222,10 @@ func SweepAll(ctx context.Context, c hw.Cluster, m model.Transformer, fams []Fam
 	for fi, f := range fams {
 		var fam []Best
 		for bi := range batches {
-			if b := bests[fi*len(batches)+bi]; b != nil {
+			ci := fi*len(batches) + bi
+			if resumed[ci] != nil {
+				fam = append(fam, *resumed[ci])
+			} else if b := bests[gi[ci]]; b != nil {
 				fam = append(fam, *b)
 			}
 		}
@@ -1116,7 +1237,7 @@ func SweepAll(ctx context.Context, c hw.Cluster, m model.Transformer, fams []Fam
 		return out, err
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("search: no feasible configuration for any family at any batch")
+		return nil, fmt.Errorf("search: %w for any family at any batch", ErrInfeasible)
 	}
 	return out, nil
 }

@@ -22,11 +22,13 @@ import (
 //	POST /v1/simulate  SimulateRequest -> SimulateResponse
 //	POST /v1/figures   FigureRequest  -> FigureResponse
 //	GET  /healthz      liveness probe (JSON Health, always 200)
+//	GET  /metrics      Prometheus text exposition (see WriteMetrics)
 //
-// Responses are JSON. /v1/search streams NDJSON instead when the request
-// sets ?stream=1 or sends "Accept: application/x-ndjson": progress lines
-// {"progress": <snapshot>} (throttled to one per 100ms, plus the final
-// state) followed by one {"result": <SearchResponse>} or
+// Responses are JSON. /v1/search and /v1/figures stream NDJSON instead
+// when the request sets ?stream=1 or sends "Accept:
+// application/x-ndjson": progress lines {"progress": <snapshot>}
+// (throttled to one per 100ms by a shared single-writer throttle, plus
+// the final state) followed by one {"result": <response>} or
 // {"error": "..."} line. Request deadlines (TimeoutMS, or the service
 // default) are mapped onto the request context, which is also cancelled
 // when the client disconnects.
@@ -42,6 +44,14 @@ func Handler(s *Service) http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(s.Health())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WriteMetrics(w)
 	})
 	mux.HandleFunc("/v1/search", func(w http.ResponseWriter, r *http.Request) {
 		var req SearchRequest
@@ -66,6 +76,10 @@ func Handler(s *Service) http.Handler {
 	mux.HandleFunc("/v1/figures", func(w http.ResponseWriter, r *http.Request) {
 		var req FigureRequest
 		if !s.decodeRequest(w, r, &req) {
+			return
+		}
+		if wantsStream(r) {
+			streamFigures(w, r.Context(), s, req)
 			return
 		}
 		resp, err := s.Figures(r.Context(), req)
@@ -243,60 +257,102 @@ func wantsStream(r *http.Request) bool {
 // snapshot always flushes so the client sees the 100% state.
 const progressThrottle = 100 * time.Millisecond
 
-// streamSearch runs the search with live NDJSON progress. Lines are
-// written from the request goroutine only: the search's progress callback
-// (invoked on worker goroutines) parks snapshots behind a mutex and the
-// writer drains the latest one at most every progressThrottle.
-func streamSearch(w http.ResponseWriter, ctx context.Context, s *Service, req SearchRequest) {
+// ndjsonStream is the single-writer NDJSON throttle every streaming
+// endpoint shares. Progress snapshots — produced on job or worker
+// goroutines — park behind a mutex; one writer goroutine drains the
+// latest at most every progressThrottle, and finish emits the parked
+// terminal snapshot before the result line. All writes happen on the
+// writer or request goroutine, never on a producer.
+type ndjsonStream[T any] struct {
+	enc     *json.Encoder
+	flusher http.Flusher
+
+	mu     sync.Mutex
+	latest T
+	dirty  bool
+
+	done       chan struct{}
+	writerDone chan struct{}
+}
+
+// startNDJSON sets the streaming content type and starts the throttled
+// writer goroutine. Callers must end the stream with finish.
+func startNDJSON[T any](w http.ResponseWriter) *ndjsonStream[T] {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	emit := func(line any) {
-		enc.Encode(line)
-		if flusher != nil {
-			flusher.Flush()
+	st := &ndjsonStream[T]{
+		enc:        json.NewEncoder(w),
+		flusher:    flusher,
+		done:       make(chan struct{}),
+		writerDone: make(chan struct{}),
+	}
+	go st.writer()
+	return st
+}
+
+func (st *ndjsonStream[T]) emit(line any) {
+	st.enc.Encode(line)
+	if st.flusher != nil {
+		st.flusher.Flush()
+	}
+}
+
+func (st *ndjsonStream[T]) writer() {
+	defer close(st.writerDone)
+	ticker := time.NewTicker(progressThrottle)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			st.flush()
+		case <-st.done:
+			st.flush() // the terminal snapshot, so the client sees 100%
+			return
 		}
 	}
+}
 
-	var mu sync.Mutex
-	var latest search.ProgressSnapshot
-	var dirty bool
-	done := make(chan struct{})
-	writerDone := make(chan struct{})
-	go func() {
-		defer close(writerDone)
-		ticker := time.NewTicker(progressThrottle)
-		defer ticker.Stop()
-		flush := func() {
-			mu.Lock()
-			snap, emitNow := latest, dirty
-			dirty = false
-			mu.Unlock()
-			if emitNow {
-				emit(map[string]search.ProgressSnapshot{"progress": snap})
-			}
-		}
-		for {
-			select {
-			case <-ticker.C:
-				flush()
-			case <-done:
-				flush() // the terminal snapshot, so the client sees 100%
-				return
-			}
-		}
-	}()
+func (st *ndjsonStream[T]) flush() {
+	st.mu.Lock()
+	snap, emitNow := st.latest, st.dirty
+	st.dirty = false
+	st.mu.Unlock()
+	if emitNow {
+		st.emit(map[string]T{"progress": snap})
+	}
+}
 
-	resp, err := s.SearchStream(ctx, req, func(snap search.ProgressSnapshot) {
-		mu.Lock()
-		latest, dirty = snap, true
-		mu.Unlock()
-	})
-	close(done)
-	<-writerDone
+// update parks the newest snapshot for the writer; safe to call from any
+// goroutine, returns immediately.
+func (st *ndjsonStream[T]) update(snap T) {
+	st.mu.Lock()
+	st.latest, st.dirty = snap, true
+	st.mu.Unlock()
+}
+
+// finish drains the writer and emits the terminal line: the result on
+// success, {"error": ...} on failure.
+func (st *ndjsonStream[T]) finish(result any, err error) {
+	close(st.done)
+	<-st.writerDone
 	if err != nil {
-		emit(map[string]string{"error": err.Error()})
+		st.emit(map[string]string{"error": err.Error()})
 		return
 	}
-	emit(map[string]SearchResponse{"result": resp})
+	st.emit(result)
+}
+
+// streamSearch runs the search with live NDJSON pruning-counter progress.
+func streamSearch(w http.ResponseWriter, ctx context.Context, s *Service, req SearchRequest) {
+	st := startNDJSON[search.ProgressSnapshot](w)
+	resp, err := s.SearchStream(ctx, req, st.update)
+	st.finish(map[string]SearchResponse{"result": resp}, err)
+}
+
+// streamFigures runs figure regeneration with live NDJSON artifact-level
+// progress, on the same throttle.
+func streamFigures(w http.ResponseWriter, ctx context.Context, s *Service, req FigureRequest) {
+	st := startNDJSON[FigureProgress](w)
+	resp, err := s.FiguresStream(ctx, req, st.update)
+	st.finish(map[string]FigureResponse{"result": resp}, err)
 }

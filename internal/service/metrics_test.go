@@ -1,0 +1,112 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHTTPMetrics pins the /metrics endpoint: Prometheus text exposition,
+// GET-only, counters moving with traffic.
+func TestHTTPMetrics(t *testing.T) {
+	srv := httptest.NewServer(Handler(New(Config{})))
+	defer srv.Close()
+
+	if code := postJSON(t, srv.URL+"/v1/search", smallReq(), nil); code != http.StatusOK {
+		t.Fatalf("search status %d", code)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"bfpp_search_requests_total 1",
+		"bfpp_search_cache_misses_total 1",
+		"bfpp_jobs_in_flight 0",
+		"bfpp_search_simulated_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+
+	post, err := http.Post(srv.URL+"/metrics", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics status %d, want 405", post.StatusCode)
+	}
+}
+
+// TestHTTPFiguresStreamNDJSON pins the figures streaming surface: the
+// same ?stream=1 opt-in and throttle writer as /v1/search, with
+// artifact-level progress lines and one terminal result.
+func TestHTTPFiguresStreamNDJSON(t *testing.T) {
+	srv := httptest.NewServer(Handler(New(Config{})))
+	defer srv.Close()
+
+	raw, _ := json.Marshal(FigureRequest{Names: []string{"figure2", "figure3"}})
+	resp, err := http.Post(srv.URL+"/v1/figures?stream=1", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	type streamLine struct {
+		Progress *FigureProgress `json:"progress"`
+		Result   *FigureResponse `json:"result"`
+		Error    string          `json:"error"`
+	}
+	var results int
+	var last streamLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var line streamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if line.Error != "" {
+			t.Fatalf("stream error: %s", line.Error)
+		}
+		if line.Result != nil {
+			results++
+		}
+		if line.Progress != nil && line.Progress.Total != 2 {
+			t.Errorf("progress total = %d, want 2", line.Progress.Total)
+		}
+		last = line
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if results != 1 || last.Result == nil {
+		t.Fatalf("got %d result lines (terminal: %v), want exactly 1, last", results, last.Result != nil)
+	}
+	if len(last.Result.Artifacts) != 2 {
+		t.Fatalf("streamed %d artifacts, want 2", len(last.Result.Artifacts))
+	}
+	for i, name := range []string{"figure2", "figure3"} {
+		if last.Result.Artifacts[i].Name != name || last.Result.Artifacts[i].Text == "" {
+			t.Errorf("artifact %d = %q (empty=%v), want %q",
+				i, last.Result.Artifacts[i].Name, last.Result.Artifacts[i].Text == "", name)
+		}
+	}
+}

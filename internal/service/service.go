@@ -28,6 +28,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -39,6 +40,7 @@ import (
 	"bfpp/internal/figures"
 	"bfpp/internal/parallel"
 	"bfpp/internal/search"
+	"bfpp/internal/store"
 )
 
 // Config tunes a Service. The zero value is usable: sensible bounds are
@@ -72,6 +74,23 @@ type Config struct {
 	// threaded down to the search worker pool (PoolItem stalls). The nil
 	// default costs one pointer compare per job.
 	Injector fault.Injector
+	// Store, when non-nil, is the durable result store: the in-memory
+	// cache becomes a read-through/write-behind layer over it, so a
+	// process restart serves previously computed sweeps from disk instead
+	// of recomputing them. Store failures only degrade (the request is
+	// served, the write is dropped, /healthz reports it) — with a nil
+	// Store the service behaves bit-for-bit as before.
+	Store store.KV
+	// Journal, when non-nil, records each sweep's resolved (family,
+	// batch) winners as they happen; an interrupted sweep re-run after a
+	// restart replays the journal and prices only the unfinished groups,
+	// producing a byte-identical table.
+	Journal *store.Journal
+	// Sharder, when non-nil, distributes sweeps across replicas instead
+	// of running search.SweepAll in process (internal/dispatch provides
+	// the coordinator). Journal-resumed groups are subtracted before
+	// dispatch; the merged table is byte-identical either way.
+	Sharder Sharder
 }
 
 // Service executes bfpp jobs: grid searches (cached), single simulations
@@ -84,6 +103,15 @@ type Service struct {
 	queued      atomic.Int64 // requests parked on the semaphore
 	shed        atomic.Int64 // requests rejected with ErrOverloaded, total
 	jobArrivals atomic.Int64 // Job injection-point coordinate
+
+	searches    atomic.Int64 // search requests admitted past resolution
+	cacheHits   atomic.Int64 // served from the in-memory result cache
+	cacheMisses atomic.Int64
+	storeHits   atomic.Int64 // served from the durable store (read-through)
+	storeMisses atomic.Int64
+	journalErrs atomic.Int64 // dropped checkpoint appends (degraded)
+
+	agg search.Stats // lifetime pruning counters, for /metrics
 
 	mu    sync.Mutex
 	cache map[string]SearchResponse
@@ -126,9 +154,33 @@ type Health struct {
 	Queued int `json:"queued"`
 	// ShedTotal counts requests rejected with 429 since startup.
 	ShedTotal int64 `json:"shed_total"`
+	// Store reports the durable result store and sweep journal, when
+	// configured. Degraded-as-data: write errors leave the service up
+	// (serving and caching from memory) and show here.
+	Store *StoreHealth `json:"store,omitempty"`
+	// Replicas reports the shard replicas' live health probes, when a
+	// sharder is configured. A down replica degrades the fleet; it never
+	// fails the probe.
+	Replicas []ReplicaHealth `json:"replicas,omitempty"`
 }
 
-// Health reports the service's load state.
+// StoreHealth is the durability section of /healthz.
+type StoreHealth struct {
+	// OK is false once any store or journal write has failed: results
+	// are still served (from memory), durability is degraded.
+	OK bool `json:"ok"`
+	// Stats are the result store's counters.
+	Stats store.Stats `json:"stats"`
+	// Journal carries the sweep journal's counters when one is
+	// configured; its CorruptionsRecovered counts crash tails healed at
+	// startup.
+	Journal *store.Stats `json:"journal,omitempty"`
+}
+
+// healthProbeTimeout bounds the replica probes a Health call performs.
+const healthProbeTimeout = 2 * time.Second
+
+// Health reports the service's load, durability and replication state.
 func (s *Service) Health() Health {
 	h := Health{
 		Status:    "ok",
@@ -139,6 +191,36 @@ func (s *Service) Health() Health {
 	}
 	if h.InFlight >= h.MaxJobs || h.Queued > 0 {
 		h.Status = "degraded"
+	}
+	if s.cfg.Store != nil || s.cfg.Journal != nil {
+		sh := &StoreHealth{OK: true}
+		if s.cfg.Store != nil {
+			sh.Stats = s.cfg.Store.Stats()
+			if sh.Stats.WriteErrors > 0 {
+				sh.OK = false
+			}
+		}
+		if s.cfg.Journal != nil {
+			js := s.cfg.Journal.Stats()
+			sh.Journal = &js
+			if js.WriteErrors > 0 {
+				sh.OK = false
+			}
+		}
+		if !sh.OK {
+			h.Status = "degraded"
+		}
+		h.Store = sh
+	}
+	if s.cfg.Sharder != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), healthProbeTimeout)
+		defer cancel()
+		h.Replicas = s.cfg.Sharder.Health(ctx)
+		for _, r := range h.Replicas {
+			if !r.OK {
+				h.Status = "degraded"
+			}
+		}
 	}
 	return h
 }
@@ -274,7 +356,21 @@ func (s *Service) searchWith(ctx context.Context, req SearchRequest, progress fu
 	if err != nil {
 		return SearchResponse{}, err
 	}
+	s.searches.Add(1)
 	if resp, ok := s.cacheGet(key); ok {
+		s.cacheHits.Add(1)
+		resp.Cached = true
+		if progress != nil {
+			progress(resp.Stats)
+		}
+		return resp, nil
+	}
+	s.cacheMisses.Add(1)
+	if resp, ok := s.storeGet(key); ok {
+		// Read-through: a restart loses the in-memory cache, not the
+		// store. The durable copy refills the cache and is served as a
+		// cache hit.
+		s.cachePut(key, resp)
 		resp.Cached = true
 		if progress != nil {
 			progress(resp.Stats)
@@ -294,6 +390,29 @@ func (s *Service) searchWith(ctx context.Context, req SearchRequest, progress fu
 		return SearchResponse{}, err
 	}
 
+	resume := s.journalResume(key)
+	var resp SearchResponse
+	if s.cfg.Sharder != nil {
+		resp, err = s.dispatchSearch(ctx, req, job, key, resume)
+	} else {
+		resp, err = s.localSearch(ctx, req, job, key, resume, progress)
+	}
+	if err != nil {
+		return SearchResponse{}, err
+	}
+	if !resp.Partial {
+		// Write-behind: the cache stays authoritative for this process;
+		// the durable copy is best-effort (a failed Put only degrades).
+		s.cachePut(key, resp)
+		s.storePut(key, resp)
+	}
+	return resp, nil
+}
+
+// localSearch runs the sweep in process: the pre-dispatch path, plus
+// journal checkpointing (every resolved group durably recorded as the
+// sweep runs) and resume (journaled groups not re-priced).
+func (s *Service) localSearch(ctx context.Context, req SearchRequest, job searchJob, key string, resume map[search.GroupKey]search.Best, progress func(search.ProgressSnapshot)) (SearchResponse, error) {
 	stats := &search.Stats{}
 	opt := search.Options{
 		MaxMicroBatch: job.maxMB,
@@ -301,6 +420,8 @@ func (s *Service) searchWith(ctx context.Context, req SearchRequest, progress fu
 		NoPrune:       job.noPrune,
 		Stats:         stats,
 		Progress:      progress,
+		Resume:        resume,
+		Checkpoint:    s.journalCheckpoint(key),
 	}
 	// The injector rides the context into the search worker pool (PoolItem
 	// stalls); fault.With is a no-op when no injector is configured.
@@ -338,10 +459,150 @@ func (s *Service) searchWith(ctx context.Context, req SearchRequest, progress fu
 			Bests: results[f],
 		})
 	}
-	if !partial {
-		s.cachePut(key, resp)
+	s.aggregate(resp.Stats)
+	return resp, nil
+}
+
+// dispatchSearch runs the sweep through the configured shard coordinator:
+// journal-resumed groups are subtracted up front, the rest are priced by
+// the replica fleet, and the winners merge back in (family, batch) order —
+// byte-identical to the in-process table, because each group's winner is
+// deterministic wherever it is priced. Fresh winners are journaled like
+// the local path's checkpoints. Stats stay zero: the pruning counters
+// live on the replicas.
+func (s *Service) dispatchSearch(ctx context.Context, req SearchRequest, job searchJob, key string, resume map[search.GroupKey]search.Best) (SearchResponse, error) {
+	var groups []search.GroupKey
+	for _, f := range job.families {
+		fk := f.Info().Key
+		for _, b := range job.batches {
+			g := search.GroupKey{Family: fk, Batch: b}
+			if _, ok := resume[g]; !ok {
+				groups = append(groups, g)
+			}
+		}
+	}
+	winners, err := s.cfg.Sharder.Dispatch(fault.With(ctx, s.cfg.Injector), req, groups)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return SearchResponse{}, ctxErr
+		}
+		return SearchResponse{}, fmt.Errorf("%w: %w", ErrTransient, err)
+	}
+	checkpoint := s.journalCheckpoint(key)
+	results := map[search.Family][]search.Best{}
+	for _, f := range job.families {
+		fk := f.Info().Key
+		for _, b := range job.batches {
+			g := search.GroupKey{Family: fk, Batch: b}
+			best, ok := resume[g]
+			if !ok {
+				if best, ok = winners[g]; ok && checkpoint != nil {
+					checkpoint(g, best)
+				}
+			}
+			if ok {
+				results[f] = append(results[f], best)
+			}
+		}
+	}
+	resp := SearchResponse{
+		Title: job.title(),
+		Table: search.Table(job.title(), results),
+	}
+	for _, f := range job.families {
+		info := f.Info()
+		resp.Families = append(resp.Families, FamilyResult{
+			Key:   info.Key,
+			Name:  info.Name,
+			Bests: results[f],
+		})
 	}
 	return resp, nil
+}
+
+// journalEntry is one sweep checkpoint record: a resolved group and its
+// winner, stored as JSON under the sweep's cache key.
+type journalEntry struct {
+	Key  search.GroupKey `json:"key"`
+	Best search.Best     `json:"best"`
+}
+
+// journalResume rebuilds a sweep's resume map from its journaled
+// checkpoints (nil when no journal is configured or nothing is recorded).
+// Duplicate records — a group journaled again by a resumed run — are
+// harmless: winners are deterministic, so last-wins rebuilds the same map.
+func (s *Service) journalResume(key string) map[search.GroupKey]search.Best {
+	if s.cfg.Journal == nil {
+		return nil
+	}
+	entries := s.cfg.Journal.Entries(key)
+	if len(entries) == 0 {
+		return nil
+	}
+	resume := make(map[search.GroupKey]search.Best, len(entries))
+	for _, blob := range entries {
+		var e journalEntry
+		if err := json.Unmarshal(blob, &e); err == nil && e.Key.Family != "" {
+			resume[e.Key] = e.Best
+		}
+	}
+	return resume
+}
+
+// journalCheckpoint returns the durable checkpoint sink for a sweep, or
+// nil when no journal is configured. Append failures degrade — the sweep
+// continues unjournaled and /healthz reports it — because losing a
+// checkpoint only costs re-pricing that group after a crash.
+func (s *Service) journalCheckpoint(key string) func(search.GroupKey, search.Best) {
+	if s.cfg.Journal == nil {
+		return nil
+	}
+	return func(g search.GroupKey, b search.Best) {
+		blob, err := json.Marshal(journalEntry{Key: g, Best: b})
+		if err != nil {
+			s.journalErrs.Add(1)
+			return
+		}
+		if err := s.cfg.Journal.Append(key, blob); err != nil {
+			s.journalErrs.Add(1)
+		}
+	}
+}
+
+// storeGet is the read-through side of the durable store: a hit is an
+// exact, previously computed response (the CRC framing guarantees it is
+// the bytes that were written; a record that fails to decode is treated
+// as a miss, never served).
+func (s *Service) storeGet(key string) (SearchResponse, bool) {
+	if s.cfg.Store == nil {
+		return SearchResponse{}, false
+	}
+	blob, ok, err := s.cfg.Store.Get(key)
+	if err != nil || !ok {
+		s.storeMisses.Add(1)
+		return SearchResponse{}, false
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(blob, &resp); err != nil {
+		s.storeMisses.Add(1)
+		return SearchResponse{}, false
+	}
+	s.storeHits.Add(1)
+	return resp, true
+}
+
+// storePut is the write-behind side: best-effort durability for a
+// completed response. Failures are counted (and degrade /healthz) but
+// never fail the request.
+func (s *Service) storePut(key string, resp SearchResponse) {
+	if s.cfg.Store == nil {
+		return
+	}
+	blob, err := json.Marshal(resp)
+	if err != nil {
+		return
+	}
+	s.cfg.Store.Put(key, blob)
 }
 
 // Simulate runs one discrete-event simulation. The simulation itself is
@@ -385,8 +646,30 @@ func (s *Service) Simulate(ctx context.Context, req SimulateRequest) (SimulateRe
 	return SimulateResponse{Result: res}, nil
 }
 
+// FigureProgress is one artifact-level progress line of a streamed figure
+// regeneration: the artifact about to run and the completed count.
+type FigureProgress struct {
+	// Artifact names the generator currently running; empty on the final
+	// all-done line.
+	Artifact string `json:"artifact,omitempty"`
+	// Done counts completed generators, out of Total.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
 // Figures regenerates the requested artifacts in paper order.
 func (s *Service) Figures(ctx context.Context, req FigureRequest) (FigureResponse, error) {
+	return s.figuresWith(ctx, req, nil)
+}
+
+// FiguresStream is Figures with artifact-level progress: the callback
+// fires before each generator runs and once more when all are done (it
+// may be invoked from the job goroutine and must return quickly).
+func (s *Service) FiguresStream(ctx context.Context, req FigureRequest, progress func(FigureProgress)) (FigureResponse, error) {
+	return s.figuresWith(ctx, req, progress)
+}
+
+func (s *Service) figuresWith(ctx context.Context, req FigureRequest, progress func(FigureProgress)) (FigureResponse, error) {
 	fams, err := resolveFamilies(req.Families, nil)
 	if err != nil {
 		return FigureResponse{}, badRequestf("%v", err)
@@ -426,7 +709,10 @@ func (s *Service) Figures(ctx context.Context, req FigureRequest) (FigureRespons
 		return FigureResponse{}, err
 	}
 	var resp FigureResponse
-	for _, g := range selected {
+	for i, g := range selected {
+		if progress != nil {
+			progress(FigureProgress{Artifact: g.Name, Done: i, Total: len(selected)})
+		}
 		text, err := g.Run(ctx)
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
@@ -435,6 +721,9 @@ func (s *Service) Figures(ctx context.Context, req FigureRequest) (FigureRespons
 			return FigureResponse{}, fmt.Errorf("service: %s: %w", g.Name, err)
 		}
 		resp.Artifacts = append(resp.Artifacts, Artifact{Name: g.Name, Text: text})
+	}
+	if progress != nil {
+		progress(FigureProgress{Done: len(selected), Total: len(selected)})
 	}
 	return resp, nil
 }

@@ -1,0 +1,40 @@
+package service
+
+import (
+	"context"
+
+	"bfpp/internal/search"
+)
+
+// ReplicaHealth is one replica's probe outcome, surfaced as data in the
+// /healthz report (a down replica degrades the fleet, it does not flap
+// the prober).
+type ReplicaHealth struct {
+	// Name identifies the replica (a base URL, or a local executor name).
+	Name string `json:"name"`
+	// OK reports the replica answered its health probe.
+	OK bool `json:"ok"`
+	// Err carries the probe failure when OK is false.
+	Err string `json:"error,omitempty"`
+}
+
+// Sharder distributes a sweep's (family, batch) groups across replicas
+// and merges the winners. The service consults it (when configured)
+// instead of running search.SweepAll in process; internal/dispatch
+// provides the coordinator implementation, and the dependency points
+// this way only — the service never imports dispatch.
+//
+// The contract mirrors the search's determinism invariant: each group's
+// winner is a deterministic function of the request, so however the
+// groups are split, retried or failed over, the merged map — and the
+// table built from it — is byte-identical to the in-process sweep.
+// Groups with no feasible configuration are simply absent from the map.
+type Sharder interface {
+	// Dispatch prices the given groups of the request and returns the
+	// winners. It fails over replica faults internally; the returned
+	// error means the sweep could not be completed (every replica dead,
+	// or ctx cancelled).
+	Dispatch(ctx context.Context, req SearchRequest, groups []search.GroupKey) (map[search.GroupKey]search.Best, error)
+	// Health probes every replica, degraded-as-data.
+	Health(ctx context.Context) []ReplicaHealth
+}

@@ -1,0 +1,170 @@
+// Package store is the durability layer behind bfpp-serve: a
+// content-addressed, checksummed, append-only file-backed result store
+// (File, behind the pluggable KV interface) and a sweep-checkpoint journal
+// (Journal) built on the same record framing.
+//
+// # Crash safety
+//
+// Both files share one on-disk format: a sequence of length+CRC framed
+// records. Every record carries its key and value lengths and a CRC32 over
+// the payload, so a torn write — the half-record a crash or full disk
+// leaves at the tail — is detected when the file is next opened. Opening
+// in repair mode (what the server does) self-truncates the file to the
+// last valid record and counts the recovery; strict mode reports the
+// damage as a typed ErrCorrupt instead. In neither mode can a damaged
+// record be served: a record either round-trips byte-for-byte (the CRC
+// proves it) or is dropped.
+//
+// # Determinism
+//
+// The store never changes results, only where they come from: a KV hit
+// returns exactly the bytes that were put, and the journal replays exactly
+// the checkpoint payloads that were appended. The fault points (StoreWrite,
+// StoreSync) make the failure modes deterministic drills: an injected
+// write error degrades the store (the caller keeps serving from memory),
+// never the response bytes.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// ErrCorrupt marks a framing-level integrity failure: a torn or bit-flipped
+// record detected by the length/CRC frame. Opens in repair mode translate
+// it into a self-truncation; strict opens surface it.
+var ErrCorrupt = errors.New("store: corrupt record")
+
+// corruptf wraps a framing failure in ErrCorrupt with position context.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+}
+
+// frameHeaderSize is the fixed record prefix: key length, value length and
+// the CRC32 (Castagnoli) of key||value, all little-endian uint32.
+const frameHeaderSize = 12
+
+// maxFrameLen bounds a single record (key plus value). A length field
+// beyond it is treated as corruption rather than an allocation request:
+// a bit flip in a length word must not ask the reader for gigabytes.
+const maxFrameLen = 64 << 20
+
+// crcTable is the Castagnoli polynomial, the conventional choice for
+// storage checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// record is one decoded frame.
+type record struct {
+	key []byte
+	val []byte
+}
+
+// appendFrame encodes one record onto buf and returns the extended slice.
+func appendFrame(buf, key, val []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(val)))
+	crc := crc32.Update(0, crcTable, key)
+	crc = crc32.Update(crc, crcTable, val)
+	binary.LittleEndian.PutUint32(hdr[8:], crc)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, key...)
+	buf = append(buf, val...)
+	return buf
+}
+
+// scanResult is what scanFrames learned about a file.
+type scanResult struct {
+	records []record
+	// valid is the byte offset just past the last intact record: the
+	// truncation point when the tail is damaged.
+	valid int64
+	// damage is nil when the file ends exactly on a record boundary,
+	// otherwise the ErrCorrupt-wrapped description of the torn tail.
+	damage error
+}
+
+// scanFrames reads records from r until EOF or the first damaged frame.
+// It never returns a record whose CRC does not match: every returned
+// record round-trips byte-for-byte. Damage is reported, not returned as
+// an error, so callers choose between repair (truncate to valid) and
+// strict (surface damage) semantics.
+func scanFrames(r io.Reader) scanResult {
+	var out scanResult
+	br := newByteCounter(r)
+	var hdr [frameHeaderSize]byte
+	for {
+		_, err := io.ReadFull(br, hdr[:])
+		if err == io.EOF {
+			return out // clean end on a record boundary
+		}
+		if err != nil { // io.ErrUnexpectedEOF: a torn header
+			out.damage = corruptf("torn header at offset %d", out.valid)
+			return out
+		}
+		keyLen := binary.LittleEndian.Uint32(hdr[0:])
+		valLen := binary.LittleEndian.Uint32(hdr[4:])
+		wantCRC := binary.LittleEndian.Uint32(hdr[8:])
+		if uint64(keyLen)+uint64(valLen) > maxFrameLen {
+			out.damage = corruptf("implausible record length %d+%d at offset %d", keyLen, valLen, out.valid)
+			return out
+		}
+		payload := make([]byte, keyLen+valLen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			out.damage = corruptf("torn record body at offset %d", out.valid)
+			return out
+		}
+		if crc32.Checksum(payload, crcTable) != wantCRC {
+			out.damage = corruptf("checksum mismatch at offset %d", out.valid)
+			return out
+		}
+		out.records = append(out.records, record{key: payload[:keyLen:keyLen], val: payload[keyLen:]})
+		out.valid = br.n
+	}
+}
+
+// byteCounter counts bytes as they are read, so the scanner knows the
+// offset of the last intact record boundary.
+type byteCounter struct {
+	r io.Reader
+	n int64
+}
+
+func newByteCounter(r io.Reader) *byteCounter { return &byteCounter{r: r} }
+
+func (b *byteCounter) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	b.n += int64(n)
+	return n, err
+}
+
+// openLog opens (creating if absent) the framed log at path, scans its
+// records, and — in repair mode — truncates a damaged tail back to the
+// last intact record. In strict mode damage closes the file and surfaces
+// as ErrCorrupt. The returned file is positioned for appending.
+func openLog(path string, repair bool) (*os.File, scanResult, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, scanResult{}, fmt.Errorf("store: %w", err)
+	}
+	scan := scanFrames(f)
+	if scan.damage != nil {
+		if !repair {
+			f.Close()
+			return nil, scan, fmt.Errorf("%s: %w", path, scan.damage)
+		}
+		if err := f.Truncate(scan.valid); err != nil {
+			f.Close()
+			return nil, scan, fmt.Errorf("store: truncating damaged tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(scan.valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, scan, fmt.Errorf("store: %w", err)
+	}
+	return f, scan, nil
+}

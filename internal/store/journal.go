@@ -1,0 +1,126 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Journal is the sweep-checkpoint log: an append-only sequence of
+// (sweep key, payload) records in the same CRC-framed format as the KV
+// store. Unlike the store, every append is kept — a sweep accumulates one
+// record per resolved (family, batch) group — and Entries replays them in
+// append order, so a restarted server can rebuild exactly the incumbents
+// a killed sweep had already resolved and re-price only the rest.
+//
+// A record is synced before Append returns (unless NoSync), so a SIGKILL
+// loses at most the group being resolved at that instant — never a group
+// whose checkpoint was acknowledged.
+type Journal struct {
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string][][]byte
+	keys    []string // sweep keys in first-seen order (deterministic Sweeps)
+	buf     []byte
+	appends atomic.Int64
+	werrs   atomic.Int64
+	recov   atomic.Int64
+	closed  bool
+}
+
+// OpenJournal opens (creating if absent) the journal at path in repair
+// mode, replaying its records and self-truncating a damaged tail.
+func OpenJournal(path string) (*Journal, error) {
+	return OpenJournalOptions(path, Options{Repair: true})
+}
+
+// OpenJournalOptions opens the journal with explicit options; strict mode
+// (Repair false) surfaces damage as ErrCorrupt.
+func OpenJournalOptions(path string, opts Options) (*Journal, error) {
+	f, scan, err := openLog(path, opts.Repair)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{opts: opts, f: f, entries: make(map[string][][]byte)}
+	for _, r := range scan.records {
+		key := string(r.key)
+		if _, seen := j.entries[key]; !seen {
+			j.keys = append(j.keys, key)
+		}
+		j.entries[key] = append(j.entries[key], r.val)
+	}
+	if scan.damage != nil {
+		j.recov.Add(1)
+	}
+	return j, nil
+}
+
+// Append durably records one checkpoint payload under the sweep key.
+// Failures (injected store faults, full disks) leave previously committed
+// records intact and the in-memory view unchanged.
+func (j *Journal) Append(sweep string, payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("store: journal closed")
+	}
+	seq := int(j.appends.Add(1) - 1)
+	buf, err := appendRecord(j.f, j.opts, j.buf, seq, []byte(sweep), payload)
+	j.buf = buf
+	if err != nil {
+		j.werrs.Add(1)
+		return err
+	}
+	if _, seen := j.entries[sweep]; !seen {
+		j.keys = append(j.keys, sweep)
+	}
+	j.entries[sweep] = append(j.entries[sweep], append([]byte(nil), payload...))
+	return nil
+}
+
+// Entries returns the payloads appended under the sweep key, in append
+// order. The returned slices are the journal's own copies; callers must
+// not modify them.
+func (j *Journal) Entries(sweep string) [][]byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.entries[sweep]
+}
+
+// Sweeps returns the journaled sweep keys in first-append order.
+func (j *Journal) Sweeps() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]string(nil), j.keys...)
+}
+
+// Stats reports the journal's counters; Records counts total entries
+// across sweeps.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	var n int64
+	for _, e := range j.entries {
+		n += int64(len(e))
+	}
+	j.mu.Unlock()
+	return Stats{
+		Records:              n,
+		Writes:               j.appends.Load(),
+		WriteErrors:          j.werrs.Load(),
+		CorruptionsRecovered: j.recov.Load(),
+	}
+}
+
+// Close releases the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}

@@ -1,0 +1,219 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bfpp/internal/fault"
+)
+
+// KV is the pluggable durable result store: a content-addressed map from
+// canonicalized request keys to response bytes. Implementations must be
+// safe for concurrent use. The service layer treats a nil KV as "no
+// durability" and degrades bit-for-bit to its in-memory cache.
+type KV interface {
+	// Get returns the latest value put under key, exactly as written.
+	Get(key string) ([]byte, bool, error)
+	// Put durably records key -> value. An error leaves previously
+	// committed records intact (the store degrades, it does not corrupt).
+	Put(key string, value []byte) error
+	// Stats reports the store's operation counters.
+	Stats() Stats
+	// Close releases the underlying file. The store is unusable after.
+	Close() error
+}
+
+// Stats are a store's observability counters, consumed by /metrics and
+// /healthz.
+type Stats struct {
+	// Records is the number of live keys.
+	Records int64 `json:"records"`
+	// Reads and Writes count Get and Put calls since open.
+	Reads  int64 `json:"reads"`
+	Writes int64 `json:"writes"`
+	// WriteErrors counts failed Puts (injected faults, full disks). The
+	// store stays serviceable for reads; the caller keeps a degraded flag.
+	WriteErrors int64 `json:"write_errors"`
+	// CorruptionsRecovered counts damaged tails self-truncated at open:
+	// crash windows detected and healed instead of served.
+	CorruptionsRecovered int64 `json:"corruptions_recovered"`
+}
+
+// Options tune a File store or a Journal.
+type Options struct {
+	// Repair selects self-truncation of a damaged tail at open (the server
+	// default). When false, open is strict: damage surfaces as ErrCorrupt
+	// and nothing is modified.
+	Repair bool
+	// NoSync skips the per-record fsync. Appends then ride the OS page
+	// cache: faster, but a host crash (not a process crash) can tear the
+	// tail — which the CRC framing detects at next open. Process crashes
+	// (SIGKILL) never lose synced records either way.
+	NoSync bool
+	// Injector is the chaos layer's hook into the durability path,
+	// consulted at the StoreWrite and StoreSync points with the write
+	// sequence number. nil costs one pointer compare per Put.
+	Injector fault.Injector
+}
+
+// File is the append-only file-backed KV store. All records live in one
+// log file; the latest record for a key wins (an overwrite appends, never
+// rewrites). The whole keyspace is kept resident — values are cached
+// search responses, a few KiB each — so Get is a map lookup and the file
+// is only read at open.
+type File struct {
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File
+	data   map[string][]byte
+	buf    []byte // reusable append frame buffer
+	writes atomic.Int64
+	reads  atomic.Int64
+	werrs  atomic.Int64
+	recov  atomic.Int64
+	closed bool
+}
+
+// Open opens (creating if absent) the store at path in repair mode: a
+// damaged tail — the torn write of a crash — is detected by the CRC
+// framing and truncated back to the last intact record, and the recovery
+// is counted in Stats. Use OpenOptions for strict mode.
+func Open(path string) (*File, error) {
+	return OpenOptions(path, Options{Repair: true})
+}
+
+// OpenOptions opens the store with explicit options. In strict mode
+// (Repair false) a damaged file surfaces as ErrCorrupt and is left
+// untouched.
+func OpenOptions(path string, opts Options) (*File, error) {
+	f, scan, err := openLog(path, opts.Repair)
+	if err != nil {
+		return nil, err
+	}
+	st := &File{opts: opts, f: f, data: make(map[string][]byte, len(scan.records))}
+	for _, r := range scan.records {
+		st.data[string(r.key)] = r.val
+	}
+	if scan.damage != nil {
+		st.recov.Add(1)
+	}
+	return st, nil
+}
+
+// Get implements KV.
+func (s *File) Get(key string) ([]byte, bool, error) {
+	s.reads.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, fmt.Errorf("store: closed")
+	}
+	v, ok := s.data[key]
+	return v, ok, nil
+}
+
+// Put implements KV: it appends a framed record and (unless NoSync)
+// fsyncs it before updating the in-memory view, so a key is never served
+// from memory ahead of its durability. A failed append reports an error
+// and leaves the previous value (and every other record) intact.
+func (s *File) Put(key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	seq := int(s.writes.Add(1) - 1)
+	buf, err := appendRecord(s.f, s.opts, s.buf, seq, []byte(key), value)
+	s.buf = buf
+	if err != nil {
+		s.werrs.Add(1)
+		return err
+	}
+	s.data[key] = append([]byte(nil), value...)
+	return nil
+}
+
+// appendRecord writes one frame at f's current tail, consulting the chaos
+// injector at the StoreWrite and StoreSync points. On any failure the file
+// is truncated back to the pre-append tail so a half-written frame never
+// survives into the committed region (the crash-window tail a *later*
+// crash leaves is healed at next open instead). It returns the (possibly
+// grown) frame buffer for reuse.
+func appendRecord(f *os.File, opts Options, buf []byte, seq int, key, value []byte) ([]byte, error) {
+	if inj := opts.Injector; inj != nil {
+		if fa, ok := inj.At(fault.StoreWrite, seq); ok {
+			switch fa.Kind {
+			case fault.Error:
+				return buf, fmt.Errorf("store: write %d: %w", seq, fa.Err)
+			case fault.Delay:
+				time.Sleep(fa.Sleep)
+			case fault.Panic:
+				panic(fmt.Sprintf("injected store write fault (seq %d)", seq))
+			}
+		}
+	}
+	tail, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return buf, fmt.Errorf("store: %w", err)
+	}
+	rollback := func() {
+		if f.Truncate(tail) == nil {
+			f.Seek(tail, io.SeekStart)
+		}
+	}
+	buf = appendFrame(buf[:0], key, value)
+	if _, err := f.Write(buf); err != nil {
+		rollback()
+		return buf, fmt.Errorf("store: append: %w", err)
+	}
+	if inj := opts.Injector; inj != nil {
+		if fa, ok := inj.At(fault.StoreSync, seq); ok {
+			switch fa.Kind {
+			case fault.Error:
+				rollback()
+				return buf, fmt.Errorf("store: sync %d: %w", seq, fa.Err)
+			case fault.Delay:
+				time.Sleep(fa.Sleep)
+			case fault.Panic:
+				panic(fmt.Sprintf("injected store sync fault (seq %d)", seq))
+			}
+		}
+	}
+	if !opts.NoSync {
+		if err := f.Sync(); err != nil {
+			rollback()
+			return buf, fmt.Errorf("store: sync: %w", err)
+		}
+	}
+	return buf, nil
+}
+
+// Stats implements KV.
+func (s *File) Stats() Stats {
+	s.mu.Lock()
+	records := int64(len(s.data))
+	s.mu.Unlock()
+	return Stats{
+		Records:              records,
+		Reads:                s.reads.Load(),
+		Writes:               s.writes.Load(),
+		WriteErrors:          s.werrs.Load(),
+		CorruptionsRecovered: s.recov.Load(),
+	}
+}
+
+// Close implements KV.
+func (s *File) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.f.Close()
+}

@@ -1,0 +1,286 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bfpp/internal/fault"
+)
+
+// fill writes n deterministic records and returns the expected map.
+func fill(t *testing.T, path string, n int) map[string][]byte {
+	t.Helper()
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	want := map[string][]byte{}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		v := bytes.Repeat([]byte{byte(i + 1)}, 10+i*7)
+		if err := s.Put(k, v); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		want[k] = v
+	}
+	return want
+}
+
+func TestFileRoundTripAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.kv")
+	want := fill(t, path, 8)
+
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for k, v := range want {
+		got, ok, err := s.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("get %q: ok=%v err=%v", k, ok, err)
+		}
+		if !bytes.Equal(got, v) {
+			t.Fatalf("get %q: value mismatch", k)
+		}
+	}
+	if _, ok, _ := s.Get("absent"); ok {
+		t.Fatal("phantom key")
+	}
+	st := s.Stats()
+	if st.Records != 8 || st.CorruptionsRecovered != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestFileOverwriteLatestWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.kv")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("k", []byte("old"))
+	s.Put("k", []byte("new"))
+	s.Close()
+
+	s, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	v, ok, _ := s.Get("k")
+	if !ok || string(v) != "new" {
+		t.Fatalf("got %q ok=%v, want \"new\"", v, ok)
+	}
+	if st := s.Stats(); st.Records != 1 {
+		t.Fatalf("records = %d, want 1 (latest wins)", st.Records)
+	}
+}
+
+// TestCorruptionAtEveryOffset is the crash-window property test: for every
+// possible truncation length and every single-byte bit flip of the store
+// file, opening must either round-trip all records committed before the
+// damage or report ErrCorrupt (strict mode) — it must NEVER serve a wrong
+// value. Repair mode must additionally always succeed, self-truncating.
+func TestCorruptionAtEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	master := filepath.Join(dir, "master.kv")
+	const n = 6
+	want := fill(t, master, n)
+	blob, err := os.ReadFile(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// recordEnds[i] is the file offset just past record i; a store opened
+	// from a prefix >= recordEnds[i] must serve records 0..i intact.
+	recordEnds := make([]int64, 0, n)
+	{
+		scan := scanFrames(bytes.NewReader(blob))
+		if len(scan.records) != n || scan.damage != nil {
+			t.Fatalf("master file does not scan clean: %d records, damage %v", len(scan.records), scan.damage)
+		}
+		off := int64(0)
+		for _, r := range scan.records {
+			off += frameHeaderSize + int64(len(r.key)) + int64(len(r.val))
+			recordEnds = append(recordEnds, off)
+		}
+	}
+	intactBefore := func(limit int64) int {
+		k := 0
+		for k < n && recordEnds[k] <= limit {
+			k++
+		}
+		return k
+	}
+	// verify asserts the no-wrong-value property for a store expected to
+	// hold at least the first k records intact and nothing misattributed.
+	verify := func(t *testing.T, s *File, k int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("key-%03d", i)
+			got, ok, err := s.Get(key)
+			if err != nil {
+				t.Fatalf("get %q: %v", key, err)
+			}
+			if i < k {
+				if !ok || !bytes.Equal(got, want[key]) {
+					t.Fatalf("record %d before the damage did not round-trip", i)
+				}
+			} else if ok && !bytes.Equal(got, want[key]) {
+				// A record at or past the damage may be lost, never wrong.
+				t.Fatalf("record %d served a wrong value", i)
+			}
+		}
+	}
+
+	t.Run("Truncate", func(t *testing.T) {
+		for cut := int64(0); cut < int64(len(blob)); cut++ {
+			path := filepath.Join(dir, "trunc.kv")
+			if err := os.WriteFile(path, blob[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			// Strict: either clean or a typed ErrCorrupt.
+			if s, err := OpenOptions(path, Options{}); err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("cut %d: strict open: %v is not ErrCorrupt", cut, err)
+				}
+			} else {
+				// Strict open succeeding means the cut fell exactly on a
+				// record boundary: a clean (shorter) file, not corruption.
+				intact := intactBefore(cut)
+				if !(cut == 0 || (intact > 0 && cut == recordEnds[intact-1])) {
+					t.Fatalf("cut %d: strict open accepted a torn tail", cut)
+				}
+				s.Close()
+			}
+			// Repair: must open, and must serve every record before the cut.
+			s, err := Open(path)
+			if err != nil {
+				t.Fatalf("cut %d: repair open: %v", cut, err)
+			}
+			verify(t, s, intactBefore(cut))
+			s.Close()
+		}
+	})
+
+	t.Run("BitFlip", func(t *testing.T) {
+		for off := 0; off < len(blob); off++ {
+			mut := append([]byte(nil), blob...)
+			mut[off] ^= 0x40
+			path := filepath.Join(dir, "flip.kv")
+			if err := os.WriteFile(path, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			// The flipped byte can only damage the record containing it
+			// (and, via the scan stopping there, lose later ones — lost is
+			// fine, wrong is not).
+			k := intactBefore(int64(off))
+			if s, err := OpenOptions(path, Options{}); err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("flip %d: strict open: %v is not ErrCorrupt", off, err)
+				}
+			} else {
+				// CRC32 caught nothing? A flip the checksum cannot see would
+				// be a test-data collision; with this data it cannot happen.
+				verify(t, s, 0)
+				s.Close()
+			}
+			s, err := Open(path)
+			if err != nil {
+				t.Fatalf("flip %d: repair open: %v", off, err)
+			}
+			verify(t, s, k)
+			if k < n {
+				if st := s.Stats(); st.CorruptionsRecovered != 1 {
+					t.Fatalf("flip %d: recovery not counted: %+v", off, st)
+				}
+			}
+			s.Close()
+		}
+	})
+}
+
+// TestRepairThenAppend pins that a self-truncated store keeps working: the
+// healed tail is a valid append point.
+func TestRepairThenAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.kv")
+	fill(t, path, 4)
+	blob, _ := os.ReadFile(path)
+	os.WriteFile(path, blob[:len(blob)-3], 0o644) // torn tail
+
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.CorruptionsRecovered != 1 || st.Records != 3 {
+		t.Fatalf("after repair: %+v", st)
+	}
+	if err := s.Put("key-003", []byte("rewritten")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s, err = OpenOptions(path, Options{})
+	if err != nil {
+		t.Fatalf("strict reopen after repair+append: %v", err)
+	}
+	defer s.Close()
+	v, ok, _ := s.Get("key-003")
+	if !ok || string(v) != "rewritten" {
+		t.Fatalf("appended record lost: %q ok=%v", v, ok)
+	}
+}
+
+// TestStoreFaultInjection drills the StoreWrite/StoreSync points: an
+// injected write error fails the Put, leaves previous records intact, and
+// the store recovers on the next (non-faulted) write.
+func TestStoreFaultInjection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.kv")
+	inj := fault.NewScript(
+		fault.Rule{Point: fault.StoreWrite, Coords: []int{1}, Fault: fault.Fault{Kind: fault.Error, Err: fmt.Errorf("disk full")}},
+		fault.Rule{Point: fault.StoreSync, Coords: []int{2}, Fault: fault.Fault{Kind: fault.Error, Err: fmt.Errorf("sync lost")}},
+	)
+	s, err := OpenOptions(path, Options{Repair: true, Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte("2")); err == nil {
+		t.Fatal("injected write fault did not surface")
+	}
+	if err := s.Put("c", []byte("3")); err == nil {
+		t.Fatal("injected sync fault did not surface")
+	}
+	if _, ok, _ := s.Get("b"); ok {
+		t.Fatal("failed write is visible")
+	}
+	if _, ok, _ := s.Get("c"); ok {
+		t.Fatal("failed sync is visible")
+	}
+	if err := s.Put("d", []byte("4")); err != nil {
+		t.Fatalf("store did not recover after faults: %v", err)
+	}
+	st := s.Stats()
+	if st.WriteErrors != 2 || st.Records != 2 {
+		t.Fatalf("stats after faults: %+v", st)
+	}
+	s.Close()
+
+	// The on-disk file must be strictly clean: failed appends rolled back.
+	s2, err := OpenOptions(path, Options{})
+	if err != nil {
+		t.Fatalf("strict reopen after faulted writes: %v", err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Records != 2 {
+		t.Fatalf("reopened records = %d, want 2", st.Records)
+	}
+}

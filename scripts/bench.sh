@@ -22,6 +22,12 @@
 #                   so ~1.0 means the service path is effectively free
 #   service_cache   cold /v1/search vs a result-cache hit on the same
 #                   canonicalized request
+#   store_overhead  what the durable store adds to the cold service path:
+#                   ServiceSearchStore / ServiceSearchCold, where the
+#                   store run persists the response and journals every
+#                   (family, batch) checkpoint (NoSync: the ratio measures
+#                   the durability machinery — marshalling, CRC framing,
+#                   appends — not the host's fsync latency)
 #   fault_overhead  what arming the chaos injector (ruleless, so no fault
 #                   ever fires) costs the hot paths: FaultArmed / bare for
 #                   the pruned Figure-7 sweep (injector consulted per pool
@@ -54,7 +60,7 @@ TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' \
-	-bench 'BenchmarkSearchOptimize(Baseline|Serial|Parallel)$|BenchmarkSweepFigure7(Baseline|Parallel|Pruned|PrunedFault)$|BenchmarkDESRun(Fast|Reference)$|BenchmarkSimulateBatch(Baseline|Fault)?$|BenchmarkServiceSearch(Cold|Cached)$' \
+	-bench 'BenchmarkSearchOptimize(Baseline|Serial|Parallel)$|BenchmarkSweepFigure7(Baseline|Parallel|Pruned|PrunedFault)$|BenchmarkDESRun(Fast|Reference)$|BenchmarkSimulateBatch(Baseline|Fault)?$|BenchmarkServiceSearch(Cold|Cached|Store)$' \
 	-benchmem -benchtime="$BENCHTIME" -count="$BENCHCOUNT" . | tee "$TMP"
 
 GOMAXPROCS_N=$(go run ./scripts/gomaxprocs 2>/dev/null || nproc 2>/dev/null || echo 1)
@@ -111,6 +117,8 @@ END {
 	printf "    \"simulate_batch\": %.2f,\n", ns["SimulateBatchBaseline"] / ns["SimulateBatch"] > out
 	printf "    \"service_overhead\": %.3f,\n", clamp1(ns["ServiceSearchCold"] / ns["SweepFigure7Pruned"]) > out
 	printf "    \"service_overhead_raw\": %.3f,\n", ns["ServiceSearchCold"] / ns["SweepFigure7Pruned"] > out
+	printf "    \"store_overhead\": %.3f,\n", clamp1(ns["ServiceSearchStore"] / ns["ServiceSearchCold"]) > out
+	printf "    \"store_overhead_raw\": %.3f,\n", ns["ServiceSearchStore"] / ns["ServiceSearchCold"] > out
 	printf "    \"service_cache\": %.0f\n", ns["ServiceSearchCold"] / ns["ServiceSearchCached"] > out
 	printf "  },\n" > out
 	printf "  \"fault_overhead\": {\n" > out
