@@ -2,7 +2,7 @@
 # green build; `make bench` refreshes BENCH_search.json (the perf
 # trajectory of the parallel grid-search engine).
 
-.PHONY: build test vet race bench ci
+.PHONY: build test vet lint race bench ci
 
 build:
 	go build ./...
@@ -12,6 +12,9 @@ test:
 
 vet:
 	go vet ./...
+
+lint:
+	go run ./cmd/bfpp-lint ./...
 
 race:
 	go test -race -count=1 \

@@ -15,12 +15,25 @@ go build ./...
 go build -o "$BIN/bfpp-serve" ./cmd/bfpp-serve
 
 echo "== go vet"
+# The default analyzer set includes the ones this codebase leans on
+# hardest: -copylocks (the service/search structs embed sync.Mutex and
+# atomic counters; copying one silently forks its state) and -atomic
+# (the lifetime counters are atomic.Int64 hot paths). An explicit
+# narrowed pass over the libraries keeps those two from being diluted
+# away if the default set is ever trimmed with flags.
 go vet ./...
+go vet -copylocks -atomic ./internal/...
 
-echo "== gofmt"
-UNFORMATTED=$(gofmt -l .)
+echo "== bfpp-lint (project invariants: determinism, registry dispatch, context-first, global state)"
+# The suite must end green; per-analyzer counts are printed on stderr so
+# a regression names the invariant it broke. See README "Static
+# invariants" and internal/lint for the rules and the pragma contract.
+go run ./cmd/bfpp-lint ./...
+
+echo "== gofmt -s"
+UNFORMATTED=$(gofmt -s -l .)
 if [ -n "$UNFORMATTED" ]; then
-	echo "gofmt needed on:" "$UNFORMATTED"
+	echo "gofmt -s needed on:" "$UNFORMATTED"
 	exit 1
 fi
 

@@ -1,0 +1,45 @@
+// Command bfpp-lint runs the project's static-analysis suite (package
+// internal/lint) over the module: determinism of map iteration and entropy
+// sources, registry-dispatch hygiene, the context-first API contract, and
+// package-level mutable state. It exits non-zero when any finding remains
+// unsuppressed, printing file:line diagnostics and a per-analyzer count
+// summary; //lint:allow <analyzer> <reason> pragmas in the source suppress
+// individual findings.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"bfpp/internal/lint"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	res, err := lint.Run(".", lint.All(), patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfpp-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Printf("%s:%d:%d: %s: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	names := make([]string, 0, len(res.Counts))
+	for name := range res.Counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	total := 0
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "bfpp-lint: %-12s %d finding(s)\n", name, res.Counts[name])
+		total += res.Counts[name]
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "bfpp-lint: %d finding(s) total\n", total)
+		os.Exit(1)
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"bfpp/internal/cli"
 	"bfpp/internal/core"
+	"bfpp/internal/schedule"
 	"bfpp/internal/service"
 	"bfpp/internal/trace"
 )
@@ -62,7 +63,9 @@ func main() {
 			MicroBatch: *smb, NumMicro: *nmb, Loops: *loops,
 			Sharding: sharding,
 		}
-		if !*noOverlap && method != core.OneFOneB && method != core.DepthFirst {
+		// Overlap defaults on wherever the method's implementation
+		// supports it — the registered schedule trait, not a method list.
+		if !*noOverlap && schedule.TraitsOf(method).Overlap {
 			plan.OverlapDP, plan.OverlapPP = true, true
 		}
 	}

@@ -29,11 +29,12 @@ func main() {
 			method bfpp.Method
 			loops  int
 			ours   bool
+			width  int // column width matching the header above
 		}{
-			{bfpp.BreadthFirst, 4, true},
-			{bfpp.DepthFirst, 4, false},
-			{bfpp.GPipe, 1, true},
-			{bfpp.OneFOneB, 1, false},
+			{bfpp.BreadthFirst, 4, true, 14},
+			{bfpp.DepthFirst, 4, false, 12},
+			{bfpp.GPipe, 1, true, 8},
+			{bfpp.OneFOneB, 1, false, 8},
 		} {
 			plan := bfpp.Plan{Method: cfg.method, DP: 1, PP: 8, TP: 8,
 				MicroBatch: 1, NumMicro: nmb, Loops: cfg.loops,
@@ -42,14 +43,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			width := 14
-			if cfg.method != bfpp.BreadthFirst {
-				width = 12
-				if cfg.method != bfpp.DepthFirst {
-					width = 8
-				}
-			}
-			fmt.Printf(" %*.1f", width, 100*res.Utilization)
+			fmt.Printf(" %*.1f", cfg.width, 100*res.Utilization)
 		}
 		fmt.Println()
 	}

@@ -42,13 +42,16 @@ func DefaultScenario() Scenario {
 
 // overlapWindow returns the fraction of the batch compute a schedule can
 // overlap the gradient reduction with (Section 4.2): a single micro-batch
-// for non-looped schedules, a sequence of N_PP micro-batches for
-// depth-first, and the entire batch for breadth-first.
+// for non-looped schedules, a sequence of N_PP micro-batches for the
+// depth-first family, and the entire batch for breadth-first. The
+// classification is the method's registered accumulation-window trait, so
+// newly registered schedules get the right curve without touching this
+// package.
 func overlapWindow(m core.Method, pp, nmb int) float64 {
-	switch m {
-	case core.BreadthFirst, core.NoPipelineBF:
+	switch m.Window() {
+	case core.WindowFullBatch:
 		return 1
-	case core.DepthFirst, core.Hybrid:
+	case core.WindowSequence:
 		w := float64(pp) / float64(nmb)
 		if w > 1 {
 			return 1
@@ -131,14 +134,15 @@ func IntensityDP(nmb, smb, seq int) float64 {
 }
 
 // IntensityDPFS returns the fully-sharded intensities of Eqs. (24)-(26) for
-// the given schedule: plain gradient accumulation, depth-first, or
-// breadth-first.
+// the given schedule: plain gradient accumulation, a depth-first sequence
+// of N_PP micro-batches, or the breadth-first full batch, classified by the
+// method's registered accumulation-window trait.
 func IntensityDPFS(m core.Method, pp, nmb, smb, seq int) float64 {
 	base := 2.0 / 3.0 * float64(smb) * float64(seq)
-	switch m {
-	case core.DepthFirst:
+	switch m.Window() {
+	case core.WindowSequence:
 		return base * float64(pp)
-	case core.BreadthFirst, core.NoPipelineBF:
+	case core.WindowFullBatch:
 		return base * float64(nmb)
 	default:
 		return base

@@ -57,6 +57,24 @@ const (
 	VSchedule
 )
 
+// AccumWindow classifies how much of the batch a schedule holds in flight
+// between optimizer-relevant boundaries (Section 4.2 / Appendix A.3): it
+// determines both the fraction of compute available to overlap the gradient
+// reduction with and the fully-sharded arithmetic intensity.
+type AccumWindow int
+
+const (
+	// WindowSingleMicro accumulates per micro-batch: the non-looped
+	// schedules (GPipe, 1F1B) and plain no-pipeline accumulation.
+	WindowSingleMicro AccumWindow = iota
+	// WindowSequence accumulates over a sequence of N_PP micro-batches:
+	// the depth-first family (depth-first, hybrid).
+	WindowSequence
+	// WindowFullBatch holds the entire batch in flight: the breadth-first
+	// family.
+	WindowFullBatch
+)
+
 // Placement selects the stage-to-device mapping of a pipelined method.
 type Placement int
 
@@ -91,6 +109,9 @@ type MethodInfo struct {
 	ForwardFirst bool
 	// Placement is the stage-to-device mapping.
 	Placement Placement
+	// Window is the schedule's gradient-accumulation window (single
+	// micro-batch unless declared otherwise).
+	Window AccumWindow
 	// CheckPlan holds the method's structural plan constraints (nil when
 	// the generic checks suffice), e.g. the depth-first N_mb divisibility.
 	CheckPlan func(Plan) error
@@ -218,6 +239,15 @@ func (m Method) ForwardFirst() bool {
 	return i != nil && i.ForwardFirst
 }
 
+// Window returns the method's gradient-accumulation window
+// (single-micro-batch for unregistered methods).
+func (m Method) Window() AccumWindow {
+	if i := m.info(); i != nil {
+		return i.Window
+	}
+	return WindowSingleMicro
+}
+
 // Placement returns the method's stage-to-device mapping (wrap for
 // unregistered methods).
 func (m Method) Placement() Placement {
@@ -258,7 +288,7 @@ func init() {
 	})
 	RegisterMethod(DepthFirst, MethodInfo{
 		Name: "Depth-first", Aliases: []string{"depth-first", "depthfirst", "df"},
-		Looped: true, Pipelined: true,
+		Looped: true, Pipelined: true, Window: WindowSequence,
 		CheckPlan: func(p Plan) error {
 			if p.NumMicro%p.PP != 0 {
 				// Section 4.1: the depth-first schedule constrains N_mb to a
@@ -271,7 +301,7 @@ func init() {
 	})
 	RegisterMethod(BreadthFirst, MethodInfo{
 		Name: "Breadth-first", Aliases: []string{"breadth-first", "breadthfirst", "bf"},
-		Looped: true, Pipelined: true, ForwardFirst: true,
+		Looped: true, Pipelined: true, ForwardFirst: true, Window: WindowFullBatch,
 	})
 	RegisterMethod(NoPipelineDF, MethodInfo{
 		Name: "No-pipeline(DF)", Aliases: []string{"no-pipeline(df)", "nopipeline-df", "np-df"},
@@ -279,11 +309,11 @@ func init() {
 	})
 	RegisterMethod(NoPipelineBF, MethodInfo{
 		Name: "No-pipeline(BF)", Aliases: []string{"no-pipeline(bf)", "nopipeline-bf", "np-bf", "nopipeline"},
-		ForwardFirst: true,
+		ForwardFirst: true, Window: WindowFullBatch,
 	})
 	RegisterMethod(Hybrid, MethodInfo{
 		Name: "Hybrid", Aliases: []string{"hybrid"},
-		Looped: true, Pipelined: true,
+		Looped: true, Pipelined: true, Window: WindowSequence,
 		CheckPlan: func(p Plan) error {
 			q := p.SequenceLen()
 			if q%p.PP != 0 {

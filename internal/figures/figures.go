@@ -23,6 +23,7 @@ import (
 	"bfpp/internal/engine"
 	"bfpp/internal/hw"
 	"bfpp/internal/model"
+	"bfpp/internal/schedule"
 	"bfpp/internal/search"
 	"bfpp/internal/trace"
 	"bfpp/internal/tradeoff"
@@ -233,7 +234,10 @@ func Figure5(ctx context.Context) (string, error) {
 			} {
 				p := core.Plan{Method: mc.method, DP: cse.dp, PP: cse.pp, TP: cse.tp,
 					MicroBatch: 1, NumMicro: nmb, Loops: mc.loops}
-				if mc.method == core.BreadthFirst || mc.method == core.GPipe {
+				// The paper's baselines run without overlap where the
+				// implementation blocks (1F1B, depth-first); the overlap
+				// capability is the method's registered trait.
+				if schedule.TraitsOf(mc.method).Overlap {
 					p.OverlapDP, p.OverlapPP = true, true
 				}
 				r, err := engine.Simulate(c, cse.m, p)

@@ -1,0 +1,12 @@
+package lint
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerCtxfirst,
+		AnalyzerDetmap,
+		AnalyzerDetsource,
+		AnalyzerGlobalstate,
+		AnalyzerRegistry,
+	}
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerDetsource forbids nondeterminism sources — wall-clock reads
+// (time.Now), the unseeded process-global math/rand generators, and
+// address- or goroutine-derived values (pointer-to-uintptr conversions,
+// reflect.Value.Pointer/UnsafeAddr) — in any code path that can influence
+// a search.Table, journal entry or replay bound: every library and command
+// package of the module. Explicitly seeded generators
+// (rand.New(rand.NewSource(seed))) are fine: given the seed they are pure
+// functions. scripts/ and examples/ are out of scope, and test files are
+// never loaded, which is the benchmark/test allowlist; deliberate
+// wall-clock use on a non-output path (elapsed-time reporting on stderr)
+// carries a //lint:allow detsource pragma instead.
+var AnalyzerDetsource = &Analyzer{
+	Name: "detsource",
+	Doc: "forbid time.Now, unseeded math/rand and address-derived values in " +
+		"code that can influence table/journal/replay bytes; seed explicitly or " +
+		"document with //lint:allow detsource",
+	Run: runDetsource,
+}
+
+// randConstructors are the math/rand functions that build an explicitly
+// seeded generator rather than sampling the shared global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDetsource(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if pathHasSegment(path, "scripts") || pathHasSegment(path, "examples") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				checkDetsourceCall(pass, e)
+			case *ast.SelectorExpr:
+				checkDetsourceSelector(pass, e)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDetsourceCall(pass *Pass, call *ast.CallExpr) {
+	// uintptr(p) over a pointer-ish operand derives a value from an
+	// address, which ASLR and the allocator make run-dependent.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if basic, okB := tv.Type.Underlying().(*types.Basic); okB && basic.Kind() == types.Uintptr && len(call.Args) == 1 {
+			at := pass.Info.TypeOf(call.Args[0])
+			if at != nil && addressDerived(at) {
+				pass.Reportf(call.Pos(), "uintptr conversion derives a value from an address; addresses are run-dependent")
+			}
+		}
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, okS := pass.Info.Selections[sel]; okS && s.Kind() == types.MethodVal {
+			recv := s.Recv()
+			if namedFrom(recv, "reflect", "Value") {
+				switch sel.Sel.Name {
+				case "Pointer", "UnsafeAddr", "UnsafePointer":
+					pass.Reportf(call.Pos(), "reflect.Value.%s derives a value from an address; addresses are run-dependent", sel.Sel.Name)
+				}
+			}
+		}
+	}
+}
+
+func checkDetsourceSelector(pass *Pass, sel *ast.SelectorExpr) {
+	f, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return
+	}
+	if sig, okS := f.Type().(*types.Signature); !okS || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn) are driven by their seeded receiver
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		if f.Name() == "Now" || f.Name() == "Since" || f.Name() == "Until" {
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock; thread explicit timestamps or allow with a reason", f.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[f.Name()] {
+			pass.Reportf(sel.Pos(), "%s.%s samples the process-global generator; use rand.New(rand.NewSource(seed))", f.Pkg().Path(), f.Name())
+		}
+	}
+}
+
+// addressDerived reports whether converting a value of type t to uintptr
+// yields an address: pointers, unsafe.Pointer, channels, maps, functions.
+func addressDerived(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

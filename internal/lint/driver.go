@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Result is one lint run's outcome: the surviving findings (pragma-
+// filtered, deterministically ordered) and the per-analyzer finding count,
+// which includes zeros so a green run documents exactly which invariants
+// were checked.
+type Result struct {
+	Diagnostics []Diagnostic
+	// Counts maps analyzer name -> surviving findings (0 when clean).
+	Counts map[string]int
+}
+
+// Run loads the packages matching the patterns (relative to dir) and
+// applies every analyzer, honoring //lint:allow pragmas.
+func Run(dir string, analyzers []*Analyzer, patterns ...string) (Result, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunPackages(analyzers, pkgs), nil
+}
+
+// RunPackages applies the analyzers to already-loaded packages.
+func RunPackages(analyzers []*Analyzer, pkgs []*Package) Result {
+	res := Result{Counts: map[string]int{}}
+	for _, a := range analyzers {
+		res.Counts[a.Name] = 0
+	}
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name,
+					Pos:      token.Position{Filename: pkg.Path},
+					Message:  fmt.Sprintf("analyzer failed: %v", err),
+				})
+			}
+		}
+		allows, bad := collectPragmas(pkg, analyzers)
+		diags = append(diags, bad...)
+		for _, d := range diags {
+			if allows.suppresses(d) {
+				continue
+			}
+			res.Diagnostics = append(res.Diagnostics, d)
+			res.Counts[d.Analyzer]++
+		}
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res
+}
+
+// AnalyzerNames returns the analyzers' names in declaration order.
+func AnalyzerNames(analyzers []*Analyzer) []string {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// pragmaPrefix introduces a suppression comment:
+//
+//	//lint:allow <analyzer> <reason>
+const pragmaPrefix = "//lint:allow"
+
+// allowSet indexes the valid pragmas of one package by (file, line,
+// analyzer).
+type allowSet map[string]map[int]map[string]bool
+
+// suppresses reports whether a pragma covers the diagnostic: pragmas apply
+// to their own line and to the line immediately below (the own-line
+// comment form).
+func (s allowSet) suppresses(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[d.Pos.Line][d.Analyzer] || lines[d.Pos.Line-1][d.Analyzer]
+}
+
+// collectPragmas scans a package's comments for //lint:allow pragmas. A
+// well-formed pragma names a known analyzer and carries a non-empty
+// reason; malformed ones come back as diagnostics so a typoed or
+// reasonless suppression fails the build instead of silently allowing
+// everything (or nothing).
+func collectPragmas(pkg *Package, analyzers []*Analyzer) (allowSet, []Diagnostic) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	allows := allowSet{}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, pragmaPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, pragmaPrefix)
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0 || !known[fields[0]]:
+					bad = append(bad, Diagnostic{
+						Analyzer: "pragma",
+						Pos:      pos,
+						Message:  fmt.Sprintf("malformed %s: first word must name an analyzer (%s)", pragmaPrefix, strings.Join(sortedKeys(known), ", ")),
+					})
+				case len(fields) < 2:
+					bad = append(bad, Diagnostic{
+						Analyzer: "pragma",
+						Pos:      pos,
+						Message:  fmt.Sprintf("%s %s needs a reason", pragmaPrefix, fields[0]),
+					})
+				default:
+					byLine := allows[pos.Filename]
+					if byLine == nil {
+						byLine = map[int]map[string]bool{}
+						allows[pos.Filename] = byLine
+					}
+					byAnalyzer := byLine[pos.Line]
+					if byAnalyzer == nil {
+						byAnalyzer = map[string]bool{}
+						byLine[pos.Line] = byAnalyzer
+					}
+					byAnalyzer[fields[0]] = true
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// forEachFuncDecl visits every function declaration with a body.
+func forEachFuncDecl(files []*ast.File, fn func(*ast.FuncDecl)) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

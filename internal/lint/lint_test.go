@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureDirs lists every fixture package explicitly: go list's `...`
+// wildcard skips testdata, which is exactly why the deliberately violating
+// packages live there.
+var fixtureDirs = []string{
+	"./testdata/src/ctxfirst/cmd/tool",
+	"./testdata/src/ctxfirst/service",
+	"./testdata/src/detmap/search",
+	"./testdata/src/detmap/webui",
+	"./testdata/src/detsource/engine",
+	"./testdata/src/detsource/scripts/gen",
+	"./testdata/src/globalstate/engine",
+	"./testdata/src/pragma/engine",
+	"./testdata/src/registrylint/engine",
+	"./testdata/src/registrylint/schedule",
+}
+
+var (
+	fixtureOnce sync.Once
+	fixturePkgs []*Package
+	fixtureErr  error
+)
+
+// loadFixtures loads every fixture package in one go list batch.
+func loadFixtures(t *testing.T) []*Package {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixturePkgs, fixtureErr = Load(".", fixtureDirs...)
+	})
+	if fixtureErr != nil {
+		t.Fatalf("loading fixtures: %v", fixtureErr)
+	}
+	return fixturePkgs
+}
+
+// fixturesUnder returns the loaded fixture packages below testdata/src/<group>.
+func fixturesUnder(t *testing.T, group string) []*Package {
+	t.Helper()
+	var out []*Package
+	for _, p := range loadFixtures(t) {
+		if strings.Contains(p.Path, "/testdata/src/"+group+"/") {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("no fixture packages under %q", group)
+	}
+	return out
+}
+
+// want is one expectation parsed from a fixture comment:
+//
+//	// want <analyzer> "regexp"
+type want struct {
+	file     string
+	line     int
+	analyzer string
+	re       *regexp.Regexp
+	matched  bool
+}
+
+var wantRe = regexp.MustCompile(`// want (\w+) "([^"]*)"`)
+
+// parseWants scans the fixture sources of pkgs for want annotations.
+func parseWants(t *testing.T, pkgs []*Package, analyzer string) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			src, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := bufio.NewScanner(strings.NewReader(string(src)))
+			for line := 1; sc.Scan(); line++ {
+				for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+					if m[1] != analyzer {
+						continue
+					}
+					wants = append(wants, &want{
+						file: name, line: line, analyzer: m[1],
+						re: regexp.MustCompile(m[2]),
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs one analyzer over its fixture group and requires an
+// exact match between findings and want annotations.
+func checkFixture(t *testing.T, a *Analyzer) {
+	t.Helper()
+	pkgs := fixturesUnder(t, a.Name)
+	res := RunPackages([]*Analyzer{a}, pkgs)
+	wants := parseWants(t, pkgs, a.Name)
+	if len(wants) == 0 {
+		t.Fatalf("fixture group %q declares no wants", a.Name)
+	}
+	for _, d := range res.Diagnostics {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line &&
+				w.analyzer == d.Analyzer && w.re.MatchString(d.Message) {
+				w.matched, found = true, true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding %s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing finding %s:%d: %s matching %q", w.file, w.line, w.analyzer, w.re)
+		}
+	}
+}
+
+func TestDetmapFixture(t *testing.T)      { checkFixture(t, AnalyzerDetmap) }
+func TestDetsourceFixture(t *testing.T)   { checkFixture(t, AnalyzerDetsource) }
+func TestRegistryFixture(t *testing.T)    { checkFixture(t, AnalyzerRegistry) }
+func TestCtxfirstFixture(t *testing.T)    { checkFixture(t, AnalyzerCtxfirst) }
+func TestGlobalstateFixture(t *testing.T) { checkFixture(t, AnalyzerGlobalstate) }
+
+// TestPragmaBehavior pins the suppression contract: reasoned pragmas hold
+// on their own line and the line below, while typoed or reasonless ones
+// surface as "pragma" findings and suppress nothing.
+func TestPragmaBehavior(t *testing.T) {
+	res := RunPackages([]*Analyzer{AnalyzerDetsource}, fixturesUnder(t, "pragma"))
+	type key struct{ analyzer, fragment string }
+	expect := map[key]int{
+		{"pragma", "must name an analyzer"}: 1, // Typoed
+		{"pragma", "needs a reason"}:        1, // Reasonless
+		{"detsource", "wall clock"}:         2, // the unsuppressed reads under the bad pragmas
+	}
+	got := map[key]int{}
+	for _, d := range res.Diagnostics {
+		matched := false
+		for k := range expect {
+			if d.Analyzer == k.analyzer && strings.Contains(d.Message, k.fragment) {
+				got[k]++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding %s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for k, n := range expect {
+		if got[k] != n {
+			t.Errorf("%s %q: got %d finding(s), want %d", k.analyzer, k.fragment, got[k], n)
+		}
+	}
+}
+
+// TestRepoIsLintClean is the teeth of the suite: the repository itself
+// must pass every analyzer (testdata is excluded from ./... by go list).
+// A regression here means a new finding needs a fix or a reasoned
+// //lint:allow pragma.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo lint load in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(root, All(), "./...")
+	if err != nil {
+		t.Fatalf("lint run: %v", err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if t.Failed() {
+		t.Log("fix the findings or add //lint:allow <analyzer> <reason> where the behavior is deliberate")
+	}
+}
+
+// TestCountsIncludeZeros pins the Result contract the ci stage prints:
+// every analyzer reports a count, zero included.
+func TestCountsIncludeZeros(t *testing.T) {
+	res := RunPackages(All(), nil)
+	if len(res.Counts) != len(All()) {
+		t.Fatalf("Counts has %d entries, want %d", len(res.Counts), len(All()))
+	}
+	for _, a := range All() {
+		if n, ok := res.Counts[a.Name]; !ok || n != 0 {
+			t.Errorf("Counts[%q] = %d, %v; want 0, true", a.Name, n, ok)
+		}
+	}
+}
+
+// TestAnalyzerNamesAreUnique guards the pragma namespace: duplicate or
+// empty analyzer names would make suppressions ambiguous.
+func TestAnalyzerNamesAreUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, name := range AnalyzerNames(All()) {
+		if name == "" || name == "pragma" {
+			t.Errorf("reserved or empty analyzer name %q", name)
+		}
+		if seen[name] {
+			t.Errorf("duplicate analyzer name %q", name)
+		}
+		seen[name] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("suite has %d analyzers, want at least 5", len(seen))
+	}
+}

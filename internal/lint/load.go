@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("bfpp/internal/search").
+	Path string
+	// Fset positions every file of the load (shared across packages).
+	Fset *token.FileSet
+	// Files are the parsed non-test Go sources, with comments.
+	Files []*ast.File
+	// Types and Info are the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// pkgMeta is the slice of `go list -json` output the loader consumes.
+type pkgMeta struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// Load type-checks the packages matching the go-list patterns, resolved
+// relative to dir. It is the suite's self-hosted replacement for
+// golang.org/x/tools/go/packages: the package graph and compiled export
+// data come from `go list -deps -export` (offline, build-cached), the
+// matched packages themselves are re-parsed from source with comments and
+// type-checked against that export data — full type information for the
+// analyzers without any dependency beyond the stdlib and the go tool.
+//
+// Test files are intentionally out of scope: the invariants under lint are
+// about what ships, and the allowlists (benchmarks, tests) fall out for
+// free.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, targets, err := listPackages(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		m, ok := metas[path]
+		if !ok || m.Export == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(m.Export)
+	})
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+
+	var pkgs []*Package
+	for _, m := range targets {
+		files := make([]*ast.File, 0, len(m.GoFiles))
+		for _, name := range m.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(m.Dir, name), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		tpkg, err := conf.Check(m.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", m.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  m.ImportPath,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// listPackages runs `go list -deps -export` over the patterns and returns
+// every package's metadata keyed by import path, plus the in-module
+// packages the patterns matched directly (the analysis targets), in go
+// list order.
+func listPackages(dir string, patterns []string) (map[string]pkgMeta, []pkgMeta, error) {
+	// One -deps walk yields export data for the whole graph; a second plain
+	// list identifies which packages the patterns themselves matched.
+	deps, err := goList(dir, append([]string{"-deps", "-export"}, patterns...))
+	if err != nil {
+		return nil, nil, err
+	}
+	metas := make(map[string]pkgMeta, len(deps))
+	for _, m := range deps {
+		metas[m.ImportPath] = m
+	}
+	matched, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	var targets []pkgMeta
+	for _, m := range matched {
+		full, ok := metas[m.ImportPath]
+		if !ok {
+			return nil, nil, fmt.Errorf("lint: %s matched but missing from -deps load", m.ImportPath)
+		}
+		if full.Standard {
+			continue // lint only this module's code, never the stdlib
+		}
+		targets = append(targets, full)
+	}
+	return metas, targets, nil
+}
+
+// goList invokes the go tool and decodes its JSON package stream.
+func goList(dir string, args []string) ([]pkgMeta, error) {
+	cmd := exec.Command("go", append([]string{"list",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,Module"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", args, err, stderr.Bytes())
+	}
+	var metas []pkgMeta
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var m pkgMeta
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}

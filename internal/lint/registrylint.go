@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerRegistry enforces the PR-2 architecture rule: schedule methods
+// are an open registry, so no package outside the registration surface
+// (internal/core, internal/schedule) may dispatch on method identity. It
+// flags switch statements whose tag is a core.Method, ==/!= comparisons of
+// a core.Method value against a method constant, and comparisons of a
+// method's String() against a string literal. Identity comparisons between
+// two non-constant Method values (registry table lookups like FamilyOf)
+// stay legal — the rule targets behavioral dispatch, which belongs in
+// MethodInfo traits or schedule.Traits hooks.
+var AnalyzerRegistry = &Analyzer{
+	Name: "registrylint",
+	Doc: "forbid switch/if dispatch on core.Method and method-name string " +
+		"compares outside internal/core and internal/schedule; promote the " +
+		"behavior to a registered trait instead",
+	Run: runRegistry,
+}
+
+func runRegistry(pass *Pass) error {
+	switch pass.PkgTail() {
+	case "core", "schedule":
+		return nil // the registration surface itself
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SwitchStmt:
+				if e.Tag != nil && isMethodType(pass.Info.TypeOf(e.Tag)) {
+					pass.Reportf(e.Pos(), "switch on core.Method dispatches on method identity; register the behavior as a method trait")
+				}
+			case *ast.BinaryExpr:
+				checkMethodCompare(pass, e)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMethodCompare(pass *Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	// m == core.SomeMethod (or reversed): dispatch on a method constant.
+	for _, pair := range [2][2]ast.Expr{{e.X, e.Y}, {e.Y, e.X}} {
+		val, other := pair[0], pair[1]
+		if !isMethodType(pass.Info.TypeOf(val)) {
+			continue
+		}
+		if tv, ok := pass.Info.Types[other]; ok && tv.Value != nil && isMethodType(tv.Type) {
+			pass.Reportf(e.Pos(), "comparison against a core.Method constant dispatches on method identity; register the behavior as a method trait")
+			return
+		}
+	}
+	// m.String() == "Breadth-first": the same dispatch via the display
+	// name.
+	for _, pair := range [2][2]ast.Expr{{e.X, e.Y}, {e.Y, e.X}} {
+		call, lit := pair[0], pair[1]
+		if !isMethodStringCall(pass.Info, call) {
+			continue
+		}
+		if tv, ok := pass.Info.Types[lit]; ok && tv.Value != nil {
+			pass.Reportf(e.Pos(), "comparing a core.Method display name against a string literal dispatches on method identity; use registered traits or MethodByName")
+			return
+		}
+	}
+}
+
+// isMethodType reports whether t is the registry's core.Method type (by
+// defining-package tail, so fixtures classify like internal/core).
+func isMethodType(t types.Type) bool {
+	return t != nil && namedFrom(t, "core", "Method")
+}
+
+// isMethodStringCall reports whether e is a String() call on a
+// core.Method receiver.
+func isMethodStringCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "String" {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	return ok && s.Kind() == types.MethodVal && isMethodType(s.Recv())
+}

@@ -1,0 +1,10 @@
+// Command tool is a ctxfirst scope fixture: the cmd/ path segment marks a
+// process edge, where minting the root context is exactly right.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,39 @@
+// Package service is a ctxfirst fixture: the import-path tail is a
+// job-layer package, so context parameters must come first and root
+// contexts may not be minted.
+package service
+
+import "context"
+
+// Job is a fixture receiver type.
+type Job struct{}
+
+// DoBad takes the context second.
+func DoBad(n int, ctx context.Context) error { // want ctxfirst "context first"
+	_ = n
+	return ctx.Err()
+}
+
+// DoGood takes the context first.
+func DoGood(ctx context.Context, n int) error {
+	_ = n
+	return ctx.Err()
+}
+
+// RunBad is a method with the context second.
+func (Job) RunBad(name string, ctx context.Context) error { // want ctxfirst "context first"
+	_ = name
+	return ctx.Err()
+}
+
+// NoCtx takes no context at all, which is fine.
+func NoCtx(n int) int {
+	return n + 1
+}
+
+// MintRoot manufactures root contexts in library code.
+func MintRoot() error {
+	ctx := context.Background() // want ctxfirst "root context"
+	_ = ctx
+	return context.TODO().Err() // want ctxfirst "root context"
+}

@@ -1,0 +1,77 @@
+// Package search is a detmap fixture: its import-path tail matches a
+// deterministic package, so order-leaking map iteration must be flagged.
+package search
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LeakAppend builds output in map order and never sorts it; the finding
+// anchors on the range statement.
+func LeakAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want detmap "never sorted"
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedCollect is the sanctioned sort-the-keys idiom.
+func SortedCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// LeakWrite streams rows in map order.
+func LeakWrite(b *strings.Builder, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(b, "%s=%d\n", k, v) // want detmap "writes output"
+	}
+}
+
+// LeakAssign overwrites an outer variable from map order.
+func LeakAssign(m map[string]int) string {
+	last := ""
+	for k := range m {
+		last = k // want detmap "leaks into"
+	}
+	return last
+}
+
+// LeakCount increments an outer counter; ++ on outer state inside a map
+// range is flagged conservatively because it is indistinguishable from an
+// order-dependent fold in general.
+func LeakCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++ // want detmap "leaks into"
+	}
+	return n
+}
+
+// KeyedWrite is order-independent: each iteration writes its own slot.
+func KeyedWrite(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// LocalOnly keeps all writes loop-local; order-independent existence
+// checks are never flagged.
+func LocalOnly(m map[string]int) bool {
+	for k, v := range m {
+		d := v * v
+		if d > 100 && m[k] > 0 {
+			return true
+		}
+	}
+	return false
+}

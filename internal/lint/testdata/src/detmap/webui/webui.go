@@ -1,0 +1,12 @@
+// Package webui is a detmap scope fixture: its import-path tail is not a
+// deterministic package, so the same order-leaking iteration is legal.
+package webui
+
+// Leak would be a finding in a deterministic package; here it is not.
+func Leak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+// Package engine is a detsource fixture: wall-clock reads, the global
+// math/rand generators and address-derived values must be flagged; an
+// explicitly seeded generator must not.
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"time"
+	"unsafe"
+)
+
+// Clock reads the wall clock twice.
+func Clock() float64 {
+	start := time.Now()                // want detsource "reads the wall clock"
+	return time.Since(start).Seconds() // want detsource "reads the wall clock"
+}
+
+// GlobalRand samples the shared generator.
+func GlobalRand() int {
+	return rand.Intn(10) // want detsource "process-global generator"
+}
+
+// SeededRand is deterministic given the seed.
+func SeededRand(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(10)
+}
+
+// Addr derives a value from an address.
+func Addr(p *int) uintptr {
+	return uintptr(unsafe.Pointer(p)) // want detsource "run-dependent"
+}
+
+// ReflectAddr derives a value from an address via reflect.
+func ReflectAddr(p *int) uintptr {
+	return reflect.ValueOf(p).Pointer() // want detsource "run-dependent"
+}

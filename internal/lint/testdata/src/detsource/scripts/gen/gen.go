@@ -1,0 +1,10 @@
+// Package gen is a detsource scope fixture: the scripts/ path segment
+// puts it out of scope, so the wall-clock read is legal here.
+package gen
+
+import "time"
+
+// Stamp is fine in a script.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,53 @@
+// Package engine is a globalstate fixture: post-init writes to
+// package-level state must be flagged, while init and Register* writes,
+// sync.Once globals and local state stay legal.
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	counter  int
+	hits     atomic.Int64
+	table    map[string]int
+	fallback string
+	once     sync.Once
+)
+
+func init() {
+	table = map[string]int{}
+}
+
+// RegisterEntry publishes into the table at init time by contract.
+func RegisterEntry(k string, v int) {
+	table[k] = v
+}
+
+// Bump writes a plain global outside the sanctioned sites.
+func Bump() {
+	counter++ // want globalstate "outside init/Register"
+}
+
+// Observe mutates an atomic global outside the sanctioned sites.
+func Observe() int64 {
+	return hits.Add(1) // want globalstate "outside init/Register"
+}
+
+// SetFallback assigns a global outside the sanctioned sites.
+func SetFallback(s string) {
+	fallback = s // want globalstate "outside init/Register"
+}
+
+// LocalState only touches locals.
+func LocalState() int {
+	n := 0
+	n++
+	return n
+}
+
+// Lazily uses the exempt sync.Once.
+func Lazily(f func()) {
+	once.Do(f)
+}

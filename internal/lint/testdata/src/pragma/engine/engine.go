@@ -1,0 +1,30 @@
+// Package engine is a pragma fixture: reasoned suppressions hold, while
+// typoed or reasonless pragmas surface as findings of their own.
+package engine
+
+import "time"
+
+// Suppressed documents a deliberate wall-clock read on the line above.
+func Suppressed() time.Time {
+	//lint:allow detsource fixture demonstrates a reasoned suppression
+	return time.Now()
+}
+
+// SameLine documents the read on the line itself.
+func SameLine() time.Time {
+	return time.Now() //lint:allow detsource same-line suppression form
+}
+
+// Typoed names an unknown analyzer, so nothing is suppressed and the
+// pragma itself is a finding.
+func Typoed() time.Time {
+	//lint:allow detsrc misspelled analyzer name
+	return time.Now()
+}
+
+// Reasonless omits the why, so nothing is suppressed and the pragma
+// itself is a finding.
+func Reasonless() time.Time {
+	//lint:allow detsource
+	return time.Now()
+}

@@ -1,0 +1,52 @@
+// Package engine is a registrylint fixture: method-identity dispatch must
+// be flagged here, while registry-lookup identity compares and sharding
+// switches stay legal.
+package engine
+
+import "bfpp/internal/core"
+
+// Dispatch switches on method identity.
+func Dispatch(m core.Method) int {
+	switch m { // want registrylint "switch on core.Method"
+	case core.BreadthFirst:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// CompareConst tests a method against a constant.
+func CompareConst(m core.Method) bool {
+	return m == core.DepthFirst // want registrylint "core.Method constant"
+}
+
+// CompareConstReversed tests with the constant on the left.
+func CompareConstReversed(m core.Method) bool {
+	return core.GPipe != m // want registrylint "core.Method constant"
+}
+
+// CompareName dispatches via the display name.
+func CompareName(m core.Method) bool {
+	return m.String() == "Breadth-first" // want registrylint "display name"
+}
+
+// Lookup is the registry-lookup idiom: comparing two non-constant method
+// values (FamilyOf-style table scans) is not dispatch.
+func Lookup(ms []core.Method, m core.Method) bool {
+	for _, v := range ms {
+		if v == m {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardingSwitch dispatches on sharding mode, which is not a method.
+func ShardingSwitch(s core.Sharding) int {
+	switch s {
+	case core.DPFS:
+		return 2
+	default:
+		return 1
+	}
+}

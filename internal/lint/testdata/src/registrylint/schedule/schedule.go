@@ -1,0 +1,15 @@
+// Package schedule is a registrylint scope fixture: the import-path tail
+// matches the registration surface, so method dispatch is legal here.
+package schedule
+
+import "bfpp/internal/core"
+
+// Dispatch is fine on the registration surface.
+func Dispatch(m core.Method) int {
+	switch m {
+	case core.BreadthFirst:
+		return 1
+	default:
+		return 0
+	}
+}

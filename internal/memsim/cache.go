@@ -37,9 +37,11 @@ func CachedEstimate(m model.Transformer, p core.Plan) Breakdown {
 		if v, ok := modelCaches.Load(m); ok {
 			c = v.(*planCache)
 		} else {
+			//lint:allow globalstate memo cache keyed by (model, plan); entries are pure Estimate values, content is call-order independent
 			v, _ := modelCaches.LoadOrStore(m, &planCache{model: m})
 			c = v.(*planCache)
 		}
+		//lint:allow globalstate single-entry accelerator in front of the memo cache; same deterministic content
 		lastCache.Store(c)
 	}
 	if v, ok := c.plans.Load(p); ok {

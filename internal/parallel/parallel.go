@@ -63,6 +63,7 @@ func SetDefaultWorkers(n int) {
 	if n < 0 {
 		n = 0
 	}
+	//lint:allow globalstate deprecated compat shim documented above; new code threads explicit Workers values
 	defaultWorkers.Store(int64(n))
 }
 
@@ -83,6 +84,7 @@ func Resolve(n int) int {
 // the one attached to the lowest index, so error reporting is independent
 // of goroutine scheduling.
 func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	//lint:allow ctxfirst Map is the documented context-free compat wrapper; cancellable callers use MapCtx
 	return MapCtx(context.Background(), workers, items, fn)
 }
 
@@ -190,6 +192,7 @@ func injectItemStall(ctx context.Context, inj fault.Injector, i int) error {
 
 // ForEach is Map for side-effecting functions with no result value.
 func ForEach[T any](workers int, items []T, fn func(i int, item T) error) error {
+	//lint:allow ctxfirst ForEach is the documented context-free compat wrapper; cancellable callers use ForEachCtx
 	return ForEachCtx(context.Background(), workers, items, fn)
 }
 

@@ -96,7 +96,7 @@ func TestStoreWriteFailureDegrades(t *testing.T) {
 	if resp.Table == "" {
 		t.Error("empty table")
 	}
-	h := s.Health()
+	h := s.Health(context.Background())
 	if h.Store == nil || h.Store.OK {
 		t.Errorf("health does not report the degraded store: %+v", h.Store)
 	}
@@ -127,7 +127,7 @@ func TestNilStoreBitForBit(t *testing.T) {
 	if withStore.Table != without.Table {
 		t.Error("store-backed and plain services disagree on the table")
 	}
-	if h := New(Config{}).Health(); h.Store != nil || h.Replicas != nil {
+	if h := New(Config{}).Health(context.Background()); h.Store != nil || h.Replicas != nil {
 		t.Errorf("plain service health has durability sections: %+v", h)
 	}
 }
@@ -244,7 +244,7 @@ func TestSharderWiredByteIdentical(t *testing.T) {
 	if got.Table != want.Table {
 		t.Errorf("dispatched table differs:\n--- local ---\n%s--- dispatched ---\n%s", want.Table, got.Table)
 	}
-	h := s.Health()
+	h := s.Health(context.Background())
 	if len(h.Replicas) != 2 {
 		t.Fatalf("health replicas = %d, want 2", len(h.Replicas))
 	}

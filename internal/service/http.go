@@ -9,7 +9,6 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"bfpp/internal/fault"
@@ -43,7 +42,7 @@ func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(s.Health())
+		json.NewEncoder(w).Encode(s.Health(r.Context()))
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -59,7 +58,7 @@ func Handler(s *Service) http.Handler {
 			return
 		}
 		if wantsStream(r) {
-			streamSearch(w, r.Context(), s, req)
+			streamSearch(r.Context(), w, s, req)
 			return
 		}
 		resp, err := s.Search(r.Context(), req)
@@ -79,7 +78,7 @@ func Handler(s *Service) http.Handler {
 			return
 		}
 		if wantsStream(r) {
-			streamFigures(w, r.Context(), s, req)
+			streamFigures(r.Context(), w, s, req)
 			return
 		}
 		resp, err := s.Figures(r.Context(), req)
@@ -137,9 +136,6 @@ func (t *trackingWriter) Flush() {
 	}
 }
 
-// handlerArrivals numbers requests for the Handler injection point.
-var handlerArrivals atomic.Int64
-
 // injectHandler consults the chaos injector at request admission, before
 // the service method runs. An injected Error is a transient 503 with a
 // Retry-After hint (what a retrying client must recover from); Panic
@@ -149,7 +145,7 @@ func injectHandler(s *Service, next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		n := handlerArrivals.Add(1) - 1
+		n := s.handlerArrivals.Add(1) - 1
 		if f, ok := s.cfg.Injector.At(fault.Handler, int(n)); ok {
 			switch f.Kind {
 			case fault.Panic:
@@ -343,7 +339,7 @@ func (st *ndjsonStream[T]) finish(result any, err error) {
 }
 
 // streamSearch runs the search with live NDJSON pruning-counter progress.
-func streamSearch(w http.ResponseWriter, ctx context.Context, s *Service, req SearchRequest) {
+func streamSearch(ctx context.Context, w http.ResponseWriter, s *Service, req SearchRequest) {
 	st := startNDJSON[search.ProgressSnapshot](w)
 	resp, err := s.SearchStream(ctx, req, st.update)
 	st.finish(map[string]SearchResponse{"result": resp}, err)
@@ -351,7 +347,7 @@ func streamSearch(w http.ResponseWriter, ctx context.Context, s *Service, req Se
 
 // streamFigures runs figure regeneration with live NDJSON artifact-level
 // progress, on the same throttle.
-func streamFigures(w http.ResponseWriter, ctx context.Context, s *Service, req FigureRequest) {
+func streamFigures(ctx context.Context, w http.ResponseWriter, s *Service, req FigureRequest) {
 	st := startNDJSON[FigureProgress](w)
 	resp, err := s.FiguresStream(ctx, req, st.update)
 	st.finish(map[string]FigureResponse{"result": resp}, err)

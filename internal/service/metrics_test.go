@@ -110,3 +110,39 @@ func TestHTTPFiguresStreamNDJSON(t *testing.T) {
 		}
 	}
 }
+
+// TestScrapeByteStability pins the determinism contract the lint suite
+// enforces statically (no map-order or wall-clock leakage in handler
+// paths): with no traffic in between, consecutive /metrics and /healthz
+// scrapes return byte-identical bodies.
+func TestScrapeByteStability(t *testing.T) {
+	srv := httptest.NewServer(Handler(New(Config{})))
+	defer srv.Close()
+
+	// Populate the pruning aggregates so /metrics walks a non-empty
+	// family table.
+	if code := postJSON(t, srv.URL+"/v1/search", smallReq(), nil); code != http.StatusOK {
+		t.Fatalf("search status %d", code)
+	}
+	scrape := func(path string) []byte {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	for _, path := range []string{"/metrics", "/healthz"} {
+		first, second := scrape(path), scrape(path)
+		if !bytes.Equal(first, second) {
+			t.Errorf("%s not byte-stable across scrapes:\n--- first\n%s\n--- second\n%s", path, first, second)
+		}
+	}
+}

@@ -99,10 +99,11 @@ type Service struct {
 	cfg Config
 	sem chan struct{}
 
-	inFlight    atomic.Int64 // jobs holding a slot
-	queued      atomic.Int64 // requests parked on the semaphore
-	shed        atomic.Int64 // requests rejected with ErrOverloaded, total
-	jobArrivals atomic.Int64 // Job injection-point coordinate
+	inFlight        atomic.Int64 // jobs holding a slot
+	queued          atomic.Int64 // requests parked on the semaphore
+	shed            atomic.Int64 // requests rejected with ErrOverloaded, total
+	jobArrivals     atomic.Int64 // Job injection-point coordinate
+	handlerArrivals atomic.Int64 // Handler injection-point coordinate
 
 	searches    atomic.Int64 // search requests admitted past resolution
 	cacheHits   atomic.Int64 // served from the in-memory result cache
@@ -180,8 +181,10 @@ type StoreHealth struct {
 // healthProbeTimeout bounds the replica probes a Health call performs.
 const healthProbeTimeout = 2 * time.Second
 
-// Health reports the service's load, durability and replication state.
-func (s *Service) Health() Health {
+// Health reports the service's load, durability and replication state. The
+// caller's context bounds the replica probes (further capped by
+// healthProbeTimeout).
+func (s *Service) Health(ctx context.Context) Health {
 	h := Health{
 		Status:    "ok",
 		InFlight:  int(s.inFlight.Load()),
@@ -213,9 +216,9 @@ func (s *Service) Health() Health {
 		h.Store = sh
 	}
 	if s.cfg.Sharder != nil {
-		ctx, cancel := context.WithTimeout(context.Background(), healthProbeTimeout)
+		probeCtx, cancel := context.WithTimeout(ctx, healthProbeTimeout)
 		defer cancel()
-		h.Replicas = s.cfg.Sharder.Health(ctx)
+		h.Replicas = s.cfg.Sharder.Health(probeCtx)
 		for _, r := range h.Replicas {
 			if !r.OK {
 				h.Status = "degraded"
