@@ -24,6 +24,7 @@ import (
 	"bfpp/internal/batchsize"
 	"bfpp/internal/collective"
 	"bfpp/internal/core"
+	"bfpp/internal/cost"
 	"bfpp/internal/des"
 	"bfpp/internal/engine"
 	"bfpp/internal/fault"
@@ -270,6 +271,22 @@ func BenchmarkSweepFigure7Pruned(b *testing.B) {
 			b.ReportMetric(100*stats.Family(key).PruneRate(), "prune_"+key+"%")
 		}
 	}
+}
+
+// BenchmarkSweepFigure7PrunedCostModel is BenchmarkSweepFigure7Pruned with
+// the pricing routed through an explicitly looked-up "paper" cost model
+// instead of the nil-Model fast default. The work is identical by
+// construction (same formulas, same bytes); what it measures is the cost of
+// the registry indirection itself. scripts/bench.sh ratios it against the
+// default sweep as BENCH_search.json's cost_model_overhead, pinned near 1.
+func BenchmarkSweepFigure7PrunedCostModel(b *testing.B) {
+	cm, err := cost.Lookup("paper")
+	if err != nil {
+		b.Fatal(err)
+	}
+	par := engine.Defaults()
+	par.Model = cm
+	benchSweep(b, search.Options{Params: &par})
 }
 
 // BenchmarkSweepAppendixELarge is the interactive-scale smoke benchmark the

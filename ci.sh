@@ -2,7 +2,8 @@
 # ci.sh — build + vet + format check + tests (shuffled) + race pass over
 # the concurrent search/service and chaos/recovery paths + an HTTP smoke
 # test of bfpp-serve, clean and with a chaos script armed (a retrying
-# client must absorb the injected transient fault and still byte-match).
+# client must absorb the injected transient fault and still byte-match)
+# + a bfpp-calibrate smoke (deterministic fit, byte-stable fitted search).
 # Set SKIP_RACE=1 on toolchains without cgo.
 set -eu
 cd "$(dirname "$0")"
@@ -142,16 +143,44 @@ kill "$SERVE_PID" 2>/dev/null && wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 echo "resumed table byte-identical to the CLI table (journal replayed across the SIGKILL)"
 
+echo "== calibrate smoke (tiny measure budget; the fit and the search it feeds must be deterministic)"
+CAL="$BIN/cal"
+mkdir -p "$CAL"
+# Measurement is inherently nondeterministic (it times real kernels); the
+# pinned property is everything downstream of the samples file: the same
+# samples always fit to byte-identical profiles, and a fitted profile
+# drives byte-identical search tables across runs.
+go run ./cmd/bfpp-calibrate -quick -reps 1 \
+	-samples "$CAL/samples.json" -profile "$CAL/profile.json" > /dev/null
+go run ./cmd/bfpp-calibrate -fit "$CAL/samples.json" -profile "$CAL/refit1.json" > /dev/null
+go run ./cmd/bfpp-calibrate -fit "$CAL/samples.json" -profile "$CAL/refit2.json" > /dev/null
+if ! cmp -s "$CAL/refit1.json" "$CAL/refit2.json" || ! cmp -s "$CAL/refit1.json" "$CAL/profile.json"; then
+	echo "re-fitting the same samples produced different profiles:"
+	diff "$CAL/profile.json" "$CAL/refit1.json" || true
+	diff "$CAL/refit1.json" "$CAL/refit2.json" || true
+	exit 1
+fi
+go run ./cmd/bfpp-search -model 6.6B -batches 32 \
+	-costmodel "calibrated:$CAL/profile.json" 2>/dev/null > "$CAL/table1"
+go run ./cmd/bfpp-search -model 6.6B -batches 32 \
+	-costmodel "calibrated:$CAL/profile.json" 2>/dev/null > "$CAL/table2"
+if ! cmp -s "$CAL/table1" "$CAL/table2"; then
+	echo "two searches under the same fitted profile differ:"
+	diff "$CAL/table1" "$CAL/table2" || true
+	exit 1
+fi
+echo "fit deterministic (measure->fit == refit == refit) and the fitted-profile search is byte-stable"
+
 if [ "${SKIP_RACE:-0}" != "1" ]; then
 	echo "== go test -race (concurrent search/service paths + cancellation + bound properties + chaos/recovery + durability/dispatch)"
 	go test -race -count=1 \
-		-run 'Parallel|Cache|Concurrent|Sweep|FastPath|RunMatches|Curve|CheapArtifacts|LowerBound|ExactBound|Lattice|PrunedErrors|PerFamily|Ctx|Cancel|Progress|HTTP|Search|Registry|Chaos|Fault|Supervisor|Recover|Shed|Partial|Retry|Seeded|Script|Sleep|Cascade|WarmStart|Checkpoint|Resume|Journal|Store|Corrupt|Dispatch|Replica|Sharder|Metrics|Stream' \
+		-run 'Parallel|Cache|Concurrent|Sweep|FastPath|RunMatches|Curve|CheapArtifacts|LowerBound|ExactBound|Lattice|PrunedErrors|PerFamily|Ctx|Cancel|Progress|HTTP|Search|Registry|Chaos|Fault|Supervisor|Recover|Shed|Partial|Retry|Seeded|Script|Sleep|Cascade|WarmStart|Checkpoint|Resume|Journal|Store|Corrupt|Dispatch|Replica|Sharder|Metrics|Stream|CostModel|Fit' \
 		./internal/parallel ./internal/search ./internal/schedule \
 		./internal/memsim ./internal/des ./internal/engine \
 		./internal/figures ./internal/tradeoff \
 		./internal/analytic ./internal/runtime ./internal/fault \
 		./internal/service ./internal/model ./internal/hw \
-		./internal/store ./internal/dispatch
+		./internal/store ./internal/dispatch ./internal/cost
 fi
 
 echo "== ci OK"

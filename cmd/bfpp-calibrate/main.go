@@ -1,0 +1,232 @@
+// Command bfpp-calibrate measures per-op timing samples on the host and
+// fits a cost-model calibration profile from them (internal/cost.Fit). The
+// workflow is:
+//
+//	bfpp-calibrate -samples samples.json -profile profile.json   # measure + fit
+//	bfpp-search -costmodel calibrated:profile.json ...           # search with it
+//
+// Measurement times real operations: tensor.MatMul micro-sweeps over a grid
+// of (rows, width) shapes for the kernel-efficiency curve and launch
+// overhead, in-process memory copies for the intra-node link class and pipe
+// transfers for the inter-node class. Raw timings are inherently
+// nondeterministic; the deterministic half of the pipeline is the fit —
+// re-fitting a saved samples file (-fit) always reproduces the profile
+// byte-for-byte, which is what the CI smoke pins:
+//
+//	bfpp-calibrate -fit samples.json -profile profile.json       # deterministic
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"bfpp/internal/cost"
+	"bfpp/internal/tensor"
+)
+
+func main() {
+	var (
+		samplesOut = flag.String("samples", "", "write measured samples to this JSON file")
+		profileOut = flag.String("profile", "", "write the fitted profile to this JSON file")
+		fitIn      = flag.String("fit", "", "fit an existing samples JSON file instead of measuring")
+		reps       = flag.Int("reps", 3, "timing repetitions per point (minimum is kept)")
+		quick      = flag.Bool("quick", false, "tiny sweep budget (CI smoke)")
+		seed       = flag.Int64("seed", 1, "seed for operand initialization")
+	)
+	flag.Parse()
+	if *profileOut == "" && *samplesOut == "" {
+		fatalIf(fmt.Errorf("nothing to do: pass -profile and/or -samples"))
+	}
+
+	var samples []cost.Sample
+	if *fitIn != "" {
+		raw, err := os.ReadFile(*fitIn)
+		fatalIf(err)
+		fatalIf(json.Unmarshal(raw, &samples))
+		fmt.Printf("loaded %d samples from %s\n", len(samples), *fitIn)
+	} else {
+		samples = measure(*reps, *quick, *seed)
+		fmt.Printf("measured %d samples\n", len(samples))
+	}
+
+	if *samplesOut != "" {
+		fatalIf(writeJSON(*samplesOut, samples))
+		fmt.Printf("samples written to %s\n", *samplesOut)
+	}
+	if *profileOut != "" {
+		prof, err := cost.Fit(samples)
+		fatalIf(err)
+		fatalIf(writeJSON(*profileOut, prof))
+		fmt.Printf("profile written to %s\n", *profileOut)
+		fmt.Printf("  kernel:   max_eff=%.4g half_rows=%.4g half_width=%.4g\n",
+			prof.Kernel.MaxEff, prof.Kernel.HalfRows, prof.Kernel.HalfWidth)
+		fmt.Printf("  launch:   %.3g s\n", prof.KernelLaunch)
+		fmt.Printf("  tp link:  eff=%.4g lat=%.3g s\n", prof.TPLinkEfficiency, prof.IntraNodeLatency)
+		fmt.Printf("  dp link:  eff=%.4g lat=%.3g s\n", prof.DPLinkEfficiency, prof.InterNodeLatency)
+	}
+}
+
+// measure runs the micro-sweeps and returns the timing samples in a fixed
+// sweep order (only the Seconds values vary between runs).
+func measure(reps int, quick bool, seed int64) []cost.Sample {
+	rowSweep := []int{32, 64, 128, 256, 512}
+	widthSweep := []int{32, 64, 128, 256}
+	byteSweep := []int{1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24}
+	if quick {
+		rowSweep = []int{16, 64, 256}
+		widthSweep = []int{16, 64}
+		byteSweep = []int{1 << 14, 1 << 17, 1 << 20}
+	}
+
+	var samples []cost.Sample
+	rng := rand.New(rand.NewSource(seed))
+
+	// Compute sweep: one MatMul of a (rows x width) activation against a
+	// (width x width) weight per op, 2*rows*width*width flop. PeakFlops is
+	// backfilled below as the best rate the sweep achieved, so efficiencies
+	// are relative to the host's own ceiling.
+	var computeIdx []int
+	for _, w := range widthSweep {
+		b := tensor.New(w, w)
+		b.RandInit(rng, 0.1)
+		for _, r := range rowSweep {
+			a := tensor.New(r, w)
+			a.RandInit(rng, 0.1)
+			flop := 2 * float64(r) * float64(w) * float64(w)
+			secs := timeOp(reps, iterationsFor(flop), func() { tensor.MatMul(a, b) })
+			if secs <= 0 {
+				fmt.Fprintf(os.Stderr, "bfpp-calibrate: dropping unmeasurable compute point rows=%d width=%d\n", r, w)
+				continue
+			}
+			computeIdx = append(computeIdx, len(samples))
+			samples = append(samples, cost.Sample{
+				Op: "compute", Rows: float64(r), Width: float64(w),
+				Flop: flop, Seconds: secs,
+			})
+		}
+	}
+	peak := 0.0
+	for _, i := range computeIdx {
+		if rate := samples[i].Flop / samples[i].Seconds; rate > peak {
+			peak = rate
+		}
+	}
+	for _, i := range computeIdx {
+		samples[i].PeakFlops = peak
+	}
+
+	// Intra-node link stand-in: in-process memory copies.
+	samples = append(samples, linkSweep("intra", byteSweep, reps, func(buf []byte) func() {
+		dst := make([]byte, len(buf))
+		return func() { copy(dst, buf) }
+	})...)
+
+	// Inter-node link stand-in: transfers through an OS pipe.
+	samples = append(samples, linkSweep("inter", byteSweep, reps, func(buf []byte) func() {
+		return func() { pipeTransfer(buf) }
+	})...)
+
+	return samples
+}
+
+// linkSweep times one transfer op per message size and backfills the raw
+// Bandwidth reference as the best rate the sweep achieved for the kind.
+func linkSweep(kind string, byteSweep []int, reps int, mk func(buf []byte) func()) []cost.Sample {
+	var out []cost.Sample
+	for _, n := range byteSweep {
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(i)
+		}
+		secs := timeOp(reps, iterationsFor(float64(n)*100), mk(buf))
+		if secs <= 0 {
+			fmt.Fprintf(os.Stderr, "bfpp-calibrate: dropping unmeasurable %s point bytes=%d\n", kind, n)
+			continue
+		}
+		out = append(out, cost.Sample{Op: kind, Bytes: float64(n), Seconds: secs})
+	}
+	best := 0.0
+	for _, s := range out {
+		if rate := s.Bytes / s.Seconds; rate > best {
+			best = rate
+		}
+	}
+	for i := range out {
+		out[i].Bandwidth = best
+	}
+	return out
+}
+
+// pipeTransfer pushes buf through an OS pipe and drains it, approximating a
+// kernel-mediated transfer with real syscall latency.
+func pipeTransfer(buf []byte) {
+	r, w, err := os.Pipe()
+	fatalIf(err)
+	go func() {
+		w.Write(buf)
+		w.Close()
+	}()
+	io.Copy(io.Discard, r)
+	r.Close()
+}
+
+// iterationsFor picks how many times to run an op inside one timed loop so
+// the loop is long enough for the clock to resolve: more iterations for
+// cheaper ops. The scale is "work units" — flop for compute, ~bytes for
+// transfers.
+func iterationsFor(work float64) int {
+	it := int(2e8 / work)
+	if it < 1 {
+		return 1
+	}
+	if it > 4096 {
+		return 4096
+	}
+	return it
+}
+
+// timeOp returns the minimum per-op wall time over reps timed loops of
+// iters calls each. Minimum-of-N is the standard noise filter for
+// microbenchmarks: interference only ever adds time.
+func timeOp(reps, iters int, fn func()) float64 {
+	best := math.Inf(1)
+	for r := 0; r < reps; r++ {
+		//lint:allow detsource calibration measures real op wall time; timings feed samples, never pinned table bytes
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		//lint:allow detsource calibration measures real op wall time; timings feed samples, never pinned table bytes
+		elapsed := time.Since(start).Seconds() / float64(iters)
+		if elapsed < best {
+			best = elapsed
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0
+	}
+	return best
+}
+
+// writeJSON writes v as indented JSON with a trailing newline — a canonical
+// encoding, so identical values always produce identical bytes.
+func writeJSON(path string, v any) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfpp-calibrate:", err)
+		os.Exit(1)
+	}
+}

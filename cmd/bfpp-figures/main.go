@@ -32,11 +32,12 @@ import (
 
 func main() {
 	var (
-		out      = flag.String("out", "results", "output directory")
-		only     = flag.String("only", "", "regenerate a single artifact (comma-separated list allowed)")
-		stdout   = flag.Bool("stdout", false, "also print artifacts to stdout")
-		workers  = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = serial)")
-		families = flag.String("families", "", "family selection for the sweep artifacts (figure1/7/8, tableE*): comma-separated keys, \"all\" (paper) or \"every\" (all registered)")
+		out       = flag.String("out", "results", "output directory")
+		only      = flag.String("only", "", "regenerate a single artifact (comma-separated list allowed)")
+		stdout    = flag.Bool("stdout", false, "also print artifacts to stdout")
+		workers   = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		families  = flag.String("families", "", "family selection for the sweep artifacts (figure1/7/8, tableE*): comma-separated keys, \"all\" (paper) or \"every\" (all registered)")
+		costModel = flag.String("costmodel", "", "cost model for the sweep artifacts (paper, calibrated, contended, calibrated:<profile.json>); empty = paper")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -89,9 +90,10 @@ func main() {
 		// so retries cannot change the written files.
 		resp, err := service.Do(ctx, service.DefaultRetry(1), func() (service.FigureResponse, error) {
 			return svc.Figures(ctx, service.FigureRequest{
-				Names:    []string{name},
-				Families: famList,
-				Workers:  *workers,
+				Names:     []string{name},
+				Families:  famList,
+				Workers:   *workers,
+				CostModel: *costModel,
 			})
 		})
 		if err != nil {

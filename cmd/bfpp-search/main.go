@@ -51,6 +51,7 @@ func main() {
 		batchesStr  = flag.String("batches", "8,16,32,64,128,256,512", "comma-separated global batch sizes")
 		workers     = flag.Int("workers", 0, "search worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 		noPrune     = flag.Bool("noprune", false, "disable the analytic branch-and-bound (simulate every candidate)")
+		costModel   = flag.String("costmodel", "", "cost model: any registered spelling (paper, calibrated, contended, calibrated:<profile.json>); empty = paper")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -59,13 +60,14 @@ func main() {
 	batches, err := cli.ParseInts(*batchesStr)
 	fatalIf(err)
 	req := service.SearchRequest{
-		Model:    *modelName,
-		Cluster:  *clusterName,
-		Families: splitList(*familyNames),
-		Methods:  splitList(*methodNames),
-		Batches:  batches,
-		NoPrune:  *noPrune,
-		Workers:  *workers,
+		Model:     *modelName,
+		Cluster:   *clusterName,
+		Families:  splitList(*familyNames),
+		Methods:   splitList(*methodNames),
+		Batches:   batches,
+		NoPrune:   *noPrune,
+		Workers:   *workers,
+		CostModel: *costModel,
 	}
 	// Retryable failures (load shedding, transient faults) back off and try
 	// again; results are identical across retries, so the wrapper never

@@ -63,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"bfpp/internal/cli"
 	"bfpp/internal/dispatch"
 	"bfpp/internal/fault"
 	"bfpp/internal/service"
@@ -83,8 +84,19 @@ func main() {
 		storeDir   = flag.String("store", "", "durability directory: results persist to DIR/results.log, sweeps checkpoint to DIR/sweeps.journal (empty = in-memory only)")
 		replicas   = flag.String("replicas", "", "comma-separated peer bfpp-serve base URLs to shard sweeps across (this process prices groups too)")
 		nosync     = flag.Bool("store-nosync", false, "skip the per-record fsync (faster; a host crash can tear the tail, which the CRC framing heals at next open)")
+		costModel  = flag.String("costmodel", "", "default cost model for requests without a cost_model field (paper, calibrated, contended, calibrated:<profile.json>); empty = paper")
 	)
 	flag.Parse()
+
+	if *costModel != "" {
+		// Validate the default spelling at startup: a typo (or an unreadable
+		// calibrated profile) should fail the launch, not every request.
+		if _, err := cli.ParseCostModel(*costModel); err != nil {
+			fmt.Fprintln(os.Stderr, "bfpp-serve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bfpp-serve: default cost model: %s\n", *costModel)
+	}
 
 	var injector fault.Injector
 	if *chaos != "" {
@@ -104,6 +116,7 @@ func main() {
 		MaxQueued:            *queue,
 		MaxBodyBytes:         *maxBody,
 		Injector:             injector,
+		DefaultCostModel:     *costModel,
 	}
 	if *storeDir != "" {
 		if err := os.MkdirAll(*storeDir, 0o755); err != nil {

@@ -42,6 +42,7 @@ func main() {
 		width       = flag.Int("width", 120, "gantt width in characters")
 		chromeOut   = flag.String("chrome", "", "write a Chrome trace JSON to this path")
 		configPath  = flag.String("config", "", "load the plan from a JSON file instead of flags")
+		costModel   = flag.String("costmodel", "", "cost model: any registered spelling (paper, calibrated, contended, calibrated:<profile.json>); empty = paper")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -79,6 +80,7 @@ func main() {
 			Cluster:         *clusterName,
 			Plan:            plan,
 			CaptureTimeline: *gantt || *chromeOut != "",
+			CostModel:       *costModel,
 		})
 	})
 	fatalIf(err)

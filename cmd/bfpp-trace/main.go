@@ -28,10 +28,12 @@ import (
 
 func main() {
 	var (
-		figure = flag.Int("figure", 4, "paper figure to render: 3, 4 or 9")
-		width  = flag.Int("width", 120, "gantt width in characters")
+		figure    = flag.Int("figure", 4, "paper figure to render: 3, 4 or 9")
+		width     = flag.Int("width", 120, "gantt width in characters")
+		costModel = flag.String("costmodel", "", "cost model for the diagram simulations (paper, calibrated, contended, calibrated:<profile.json>); empty = paper")
 	)
 	flag.Parse()
+	costModelName = *costModel
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
@@ -48,8 +50,12 @@ func main() {
 	}
 }
 
-// svc is the in-process job service all diagram simulations share.
-var svc = service.New(service.Config{MaxJobs: 1})
+// svc is the in-process job service all diagram simulations share;
+// costModelName carries the -costmodel flag into the requests.
+var (
+	svc           = service.New(service.Config{MaxJobs: 1})
+	costModelName string
+)
 
 // diagramSim simulates one diagram plan on the tiny model through the
 // service, with the times-to-scale parameter preset and the timeline
@@ -63,6 +69,7 @@ func diagramSim(ctx context.Context, plan core.Plan) (engine.Result, error) {
 			Plan:            plan,
 			CaptureTimeline: true,
 			Diagram:         true,
+			CostModel:       costModelName,
 		})
 	})
 	return resp.Result, err

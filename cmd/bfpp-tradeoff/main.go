@@ -32,6 +32,7 @@ func main() {
 		gpusStr     = flag.String("gpus", "256,512,1024,2048,4096,8192,16384", "cluster sizes to extrapolate to")
 		figure1At   = flag.Int("figure1", 4096, "cluster size for the Figure 1 summary (0 to skip)")
 		workers     = flag.Int("workers", 0, "search worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		costModel   = flag.String("costmodel", "", "cost model for the sweep (paper, calibrated, contended, calibrated:<profile.json>); empty = paper")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -58,10 +59,11 @@ func main() {
 	// retries cannot change the curves.
 	resp, err := service.Do(ctx, service.DefaultRetry(1), func() (service.SearchResponse, error) {
 		return svc.Search(ctx, service.SearchRequest{
-			Model:   *modelName,
-			Cluster: *clusterName,
-			Batches: batches,
-			Workers: *workers,
+			Model:     *modelName,
+			Cluster:   *clusterName,
+			Batches:   batches,
+			Workers:   *workers,
+			CostModel: *costModel,
 		})
 	})
 	fatalIf(err)

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"bfpp/internal/core"
+	"bfpp/internal/cost"
 	"bfpp/internal/hw"
 	"bfpp/internal/model"
 	"bfpp/internal/search"
@@ -34,6 +35,18 @@ func ParseCluster(name string) (hw.Cluster, error) {
 	}
 	return hw.Cluster{}, fmt.Errorf("unknown cluster %q (registered: %s)",
 		name, strings.Join(hw.Names(), ", "))
+}
+
+// ParseCostModel resolves a cost-model spelling through the cost registry
+// — fixed names ("paper", "calibrated", "contended") first, then the
+// registered patterns ("calibrated:<profile.json>"); an empty spelling
+// selects the default paper model as a nil Model. The registry error
+// already lists the registered spellings.
+func ParseCostModel(name string) (cost.Model, error) {
+	if strings.TrimSpace(name) == "" {
+		return nil, nil
+	}
+	return cost.Lookup(name)
 }
 
 // ParseMethod resolves a schedule name through the method registry, so

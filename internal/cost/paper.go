@@ -1,0 +1,125 @@
+package cost
+
+import (
+	"bfpp/internal/core"
+	"bfpp/internal/hw"
+	"bfpp/internal/model"
+	"bfpp/internal/schedule"
+)
+
+// CrossNodeDuplex is the node-NIC duplex convention of the paper's
+// Appendix A.3 footnote: link bandwidths are quoted as the aggregate
+// (input+output) figure per GPU, so a transfer whose endpoints sit on
+// different nodes counts against both the sender's output share and the
+// receiver's input share of the node NIC — its effective bandwidth is the
+// quoted figure divided by this factor. Intra-node transfers ride
+// full-duplex NVLink bricks and do not pay it. The engine's cross-node
+// pipeline-transfer cost carried this as an inline 2* before the cost
+// registry existed; it is named here so the contended model (which counts
+// both directions of a cross-node stage boundary as separate NIC streams)
+// prices the same convention instead of re-deriving it.
+const CrossNodeDuplex = 2.0
+
+// paperModel is the Appendix A cost model, extracted verbatim from the
+// pre-registry engine.DeriveCosts: the default, and the producer of every
+// golden table byte.
+type paperModel struct{}
+
+func (paperModel) Name() string        { return "paper" }
+func (paperModel) Fingerprint() string { return "paper" }
+
+func (paperModel) Derive(c hw.Cluster, m model.Transformer, p core.Plan, par Params) schedule.StepCosts {
+	return paperCosts(c, m, p, par)
+}
+
+// paperCosts computes the per-operation durations of the paper's Appendix A
+// cost model. It is shared by the calibrated model (same formulas, profile
+// constants) and the contended model (same formulas, contention-discounted
+// inter-node bandwidth), so a derived model can only differ from the paper
+// in its inputs — never in the pricing structure the bounds replay.
+func paperCosts(c hw.Cluster, m model.Transformer, p core.Plan, par Params) schedule.StepCosts {
+	var costs schedule.StepCosts
+	nStages := p.NumStages()
+	layersPerStage := m.Layers / nStages
+	tokens := p.MicroBatch * m.SeqLen
+	rows := float64(tokens)
+	width := float64(m.Hidden) / float64(p.TP)
+	eff := c.GPU.KernelEff.Efficiency(rows, width)
+	flops := c.GPU.PeakFlops * eff
+
+	// Tensor-parallel all-reduce overhead per layer pass, non-overlapped
+	// (Appendix A.3.3): two all-reduces in the forward pass and two more in
+	// the checkpoint recompute, 8 bytes per hidden element per token each.
+	var tpFwd, tpBwd float64
+	if p.TP > 1 {
+		bw := c.IntraNode.Bandwidth * par.TPLinkEfficiency
+		ring := float64(p.TP-1) / float64(p.TP)
+		perAR := 8 * float64(m.Hidden) * rows * ring / bw
+		tpFwd = 2*perAR + 2*c.IntraNode.Latency
+		tpBwd = 2*perAR + 2*c.IntraNode.Latency
+	}
+
+	costs.Fwd = float64(layersPerStage)*(m.LayerForwardFlop(tokens)/float64(p.TP)/flops+tpFwd) + par.KernelLaunch
+	costs.Bwd = float64(layersPerStage)*(m.LayerBackwardFlop(tokens)/float64(p.TP)/flops+tpBwd) + par.KernelLaunch
+
+	// Pipeline transfer: fp16 activations at the stage boundary. When the
+	// boundary crosses nodes the transfer pays the CrossNodeDuplex
+	// convention: it counts against both the sender's output and the
+	// receiver's input share of the node NIC.
+	ppBytes := 2 * rows * float64(m.Hidden) / float64(p.TP)
+	if p.TP*p.DP >= c.GPUsPerNode {
+		l := c.InterNode
+		costs.Transfer = l.Latency + CrossNodeDuplex*ppBytes/l.Bandwidth
+	} else {
+		l := c.IntraNode
+		costs.Transfer = l.Latency + ppBytes/l.Bandwidth
+	}
+	costs.PPStall = par.BlockingPPBase + par.BlockingPPPerRank*float64(p.PP)
+
+	// Data-parallel collectives (Appendix A.3.1): 8 bytes/param for the
+	// all-reduce (reduce-scatter + all-gather), 4 bytes/param per
+	// reduce-scatter or all-gather under sharding. When the group spans
+	// nodes with g members per node, a node-contiguous ring crosses each
+	// NIC only once per g members, multiplying the effective per-GPU
+	// bandwidth by g.
+	stackParams := float64(m.Layers) * float64(m.LayerParams())
+	stageParams := stackParams / float64(nStages) / float64(p.TP)
+	if p.DP > 1 {
+		ring := float64(p.DP-1) / float64(p.DP)
+		var lat, bw float64
+		if p.TP*p.DP <= c.GPUsPerNode {
+			// Whole group inside one node.
+			lat = c.IntraNode.Latency
+			bw = c.IntraNode.Bandwidth * par.DPLinkEfficiency
+		} else {
+			g := c.GPUsPerNode / p.TP
+			if g < 1 {
+				g = 1
+			}
+			if g > p.DP {
+				g = p.DP
+			}
+			lat = c.InterNode.Latency
+			bw = float64(g) * c.InterNode.Bandwidth * par.DPLinkEfficiency
+		}
+		perParam := 8.0
+		if p.Sharding != core.DP0 {
+			perParam = 4.0
+		}
+		costs.Reduce = lat + perParam*stageParams*ring/bw
+		if !p.OverlapDP {
+			costs.Reduce += c.InterNode.SyncCost
+		}
+		if p.Sharding == core.DPFS {
+			costs.Restore = lat + 4*stageParams*ring/bw
+		}
+	}
+
+	// Optimizer step over the device's (shard of the) training state.
+	devParams := stackParams / float64(p.PP*p.TP)
+	if p.Sharding != core.DP0 {
+		devParams /= float64(p.DP)
+	}
+	costs.Opt = par.OptimizerBytesPerParam * devParams / c.GPU.MemBandwidth
+	return costs
+}

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"bfpp/internal/core"
+	"bfpp/internal/cost"
 	"bfpp/internal/des"
 	"bfpp/internal/hw"
 	"bfpp/internal/memsim"
@@ -33,42 +34,15 @@ import (
 	"bfpp/internal/schedule"
 )
 
-// Params are the engine's calibration constants. Zero value means "use
-// Defaults()"; they are exposed so ablation benchmarks can vary them.
-type Params struct {
-	// KernelLaunch is the fixed per-compute-op overhead (kernel launches,
-	// framework dispatch) in seconds.
-	KernelLaunch float64
-	// BlockingPPBase and BlockingPPPerRank model the per-message stall a
-	// non-overlapping implementation pays on the compute stream for each
-	// pipeline-parallel transfer: stall = Base + PerRank*N_PP. Appendix D.2
-	// documents multi-millisecond allocator/synchronization stalls that
-	// grow with the number of parallel devices; Section 5.2 measures the
-	// resulting overhead at >=40% for N_loop = 8 on the 52B model.
-	BlockingPPBase, BlockingPPPerRank float64
-	// TPLinkEfficiency is the achievable fraction of the intra-node link
-	// bandwidth for tensor-parallel all-reduces (small messages, ring
-	// overheads, contention).
-	TPLinkEfficiency float64
-	// DPLinkEfficiency likewise for data-parallel collectives (large,
-	// bandwidth-friendly messages).
-	DPLinkEfficiency float64
-	// OptimizerBytesPerParam is the memory traffic per parameter of the
-	// optimizer step (read/update fp32 state and momenta).
-	OptimizerBytesPerParam float64
-}
+// Params are the engine's calibration constants plus the cost-model
+// selection; the type lives in internal/cost (the cost-model subsystem)
+// and is aliased here so every existing signature that threads
+// *engine.Params keeps compiling unchanged.
+type Params = cost.Params
 
-// Defaults returns the calibrated engine constants.
-func Defaults() Params {
-	return Params{
-		KernelLaunch:           30e-6,
-		BlockingPPBase:         0.25e-3,
-		BlockingPPPerRank:      0.4375e-3,
-		TPLinkEfficiency:       0.45,
-		DPLinkEfficiency:       0.90,
-		OptimizerBytesPerParam: 32,
-	}
-}
+// Defaults returns the calibrated engine constants (and the default paper
+// cost model, as the zero Model field).
+func Defaults() Params { return cost.DefaultParams() }
 
 // Result is the outcome of simulating one training batch.
 type Result struct {
@@ -559,93 +533,13 @@ func (b *builder) deriveCosts() {
 }
 
 // DeriveCosts computes the per-operation durations the simulator charges a
-// (cluster, model, plan) configuration. It is exported as the single cost
-// model shared with the analytic lower-bound evaluator (internal/analytic
-// and the generators' Traits.StepLB hooks), which must price plans with
-// exactly the simulator's constants to stay admissible.
+// (cluster, model, plan) configuration, under the cost model selected by
+// par.Model (nil selects the paper formulas). It is exported as the single
+// cost producer shared with the analytic lower-bound evaluator
+// (internal/analytic and the generators' Traits.StepLB hooks), which must
+// price plans with exactly the simulator's costs to stay admissible — a
+// guarantee that holds for every registered cost model, because both sides
+// call this one function. The formulas themselves live in internal/cost.
 func DeriveCosts(c hw.Cluster, m model.Transformer, p core.Plan, par Params) schedule.StepCosts {
-	var costs schedule.StepCosts
-	nStages := p.NumStages()
-	layersPerStage := m.Layers / nStages
-	tokens := p.MicroBatch * m.SeqLen
-	rows := float64(tokens)
-	width := float64(m.Hidden) / float64(p.TP)
-	eff := c.GPU.KernelEff.Efficiency(rows, width)
-	flops := c.GPU.PeakFlops * eff
-
-	// Tensor-parallel all-reduce overhead per layer pass, non-overlapped
-	// (Appendix A.3.3): two all-reduces in the forward pass and two more in
-	// the checkpoint recompute, 8 bytes per hidden element per token each.
-	var tpFwd, tpBwd float64
-	if p.TP > 1 {
-		bw := c.IntraNode.Bandwidth * par.TPLinkEfficiency
-		ring := float64(p.TP-1) / float64(p.TP)
-		perAR := 8 * float64(m.Hidden) * rows * ring / bw
-		tpFwd = 2*perAR + 2*c.IntraNode.Latency
-		tpBwd = 2*perAR + 2*c.IntraNode.Latency
-	}
-
-	costs.Fwd = float64(layersPerStage)*(m.LayerForwardFlop(tokens)/float64(p.TP)/flops+tpFwd) + par.KernelLaunch
-	costs.Bwd = float64(layersPerStage)*(m.LayerBackwardFlop(tokens)/float64(p.TP)/flops+tpBwd) + par.KernelLaunch
-
-	// Pipeline transfer: fp16 activations at the stage boundary. When the
-	// boundary crosses nodes the transfer counts against both the sender's
-	// output and the receiver's input share of the node NIC, so the
-	// effective bandwidth is half the (input+output) per-GPU figure.
-	ppBytes := 2 * rows * float64(m.Hidden) / float64(p.TP)
-	if p.TP*p.DP >= c.GPUsPerNode {
-		l := c.InterNode
-		costs.Transfer = l.Latency + 2*ppBytes/l.Bandwidth
-	} else {
-		l := c.IntraNode
-		costs.Transfer = l.Latency + ppBytes/l.Bandwidth
-	}
-	costs.PPStall = par.BlockingPPBase + par.BlockingPPPerRank*float64(p.PP)
-
-	// Data-parallel collectives (Appendix A.3.1): 8 bytes/param for the
-	// all-reduce (reduce-scatter + all-gather), 4 bytes/param per
-	// reduce-scatter or all-gather under sharding. When the group spans
-	// nodes with g members per node, a node-contiguous ring crosses each
-	// NIC only once per g members, multiplying the effective per-GPU
-	// bandwidth by g.
-	stackParams := float64(m.Layers) * float64(m.LayerParams())
-	stageParams := stackParams / float64(nStages) / float64(p.TP)
-	if p.DP > 1 {
-		ring := float64(p.DP-1) / float64(p.DP)
-		var lat, bw float64
-		if p.TP*p.DP <= c.GPUsPerNode {
-			// Whole group inside one node.
-			lat = c.IntraNode.Latency
-			bw = c.IntraNode.Bandwidth * par.DPLinkEfficiency
-		} else {
-			g := c.GPUsPerNode / p.TP
-			if g < 1 {
-				g = 1
-			}
-			if g > p.DP {
-				g = p.DP
-			}
-			lat = c.InterNode.Latency
-			bw = float64(g) * c.InterNode.Bandwidth * par.DPLinkEfficiency
-		}
-		perParam := 8.0
-		if p.Sharding != core.DP0 {
-			perParam = 4.0
-		}
-		costs.Reduce = lat + perParam*stageParams*ring/bw
-		if !p.OverlapDP {
-			costs.Reduce += c.InterNode.SyncCost
-		}
-		if p.Sharding == core.DPFS {
-			costs.Restore = lat + 4*stageParams*ring/bw
-		}
-	}
-
-	// Optimizer step over the device's (shard of the) training state.
-	devParams := stackParams / float64(p.PP*p.TP)
-	if p.Sharding != core.DP0 {
-		devParams /= float64(p.DP)
-	}
-	costs.Opt = par.OptimizerBytesPerParam * devParams / c.GPU.MemBandwidth
-	return costs
+	return cost.Derive(c, m, p, par)
 }

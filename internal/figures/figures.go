@@ -20,6 +20,7 @@ import (
 	"bfpp/internal/analytic"
 	"bfpp/internal/batchsize"
 	"bfpp/internal/core"
+	"bfpp/internal/cost"
 	"bfpp/internal/engine"
 	"bfpp/internal/hw"
 	"bfpp/internal/model"
@@ -50,6 +51,10 @@ type Config struct {
 	// Workers bounds the sweeps' worker pools; 0 resolves to
 	// parallel.DefaultWorkers(). Results are identical at any width.
 	Workers int
+	// CostModel selects the cost model for the sweep-backed artifacts; nil
+	// means the paper model. The direct-simulate artifacts (the schedule
+	// diagrams, drawn with DiagramParams' idealized preset) ignore it.
+	CostModel cost.Model
 }
 
 // fams returns the effective family selection of the paper artifacts.
@@ -71,7 +76,13 @@ func (cfg Config) allFams() []search.Family {
 
 // searchOptions maps the config onto sweep options.
 func (cfg Config) searchOptions() search.Options {
-	return search.Options{Workers: cfg.Workers}
+	opt := search.Options{Workers: cfg.Workers}
+	if cfg.CostModel != nil {
+		par := engine.Defaults()
+		par.Model = cfg.CostModel
+		opt.Params = &par
+	}
+	return opt
 }
 
 // Figure1 produces the predicted training time and memory summary for the

@@ -11,6 +11,7 @@ import (
 // bodies): map iteration order must never leak into what they produce.
 var deterministicPkgs = map[string]bool{
 	"search":   true,
+	"cost":     true,
 	"schedule": true,
 	"analytic": true,
 	"engine":   true,
@@ -31,7 +32,7 @@ var deterministicPkgs = map[string]bool{
 var AnalyzerDetmap = &Analyzer{
 	Name: "detmap",
 	Doc: "forbid order-dependent map iteration in deterministic packages " +
-		"(search, schedule, analytic, engine, des, dispatch, store, service, figures); " +
+		"(search, cost, schedule, analytic, engine, des, dispatch, store, service, figures); " +
 		"collect the keys and sort them first",
 	Run: runDetmap,
 }

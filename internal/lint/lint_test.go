@@ -16,6 +16,7 @@ import (
 var fixtureDirs = []string{
 	"./testdata/src/ctxfirst/cmd/tool",
 	"./testdata/src/ctxfirst/service",
+	"./testdata/src/detmap/cost",
 	"./testdata/src/detmap/search",
 	"./testdata/src/detmap/webui",
 	"./testdata/src/detsource/engine",

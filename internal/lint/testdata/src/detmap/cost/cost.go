@@ -1,0 +1,26 @@
+// Package cost is a detmap fixture: the cost-model package prices pinned
+// table bytes, so its import-path tail is in the deterministic set and
+// order-leaking map iteration must be flagged.
+package cost
+
+import "sort"
+
+// LeakFingerprint folds per-op constants in map order into a cache key;
+// two runs could fingerprint the same profile differently.
+func LeakFingerprint(consts map[string]float64) string {
+	out := ""
+	for k := range consts {
+		out += k // want detmap "leaks into"
+	}
+	return out
+}
+
+// SortedFingerprint is the sanctioned shape: collect, sort, then fold.
+func SortedFingerprint(consts map[string]float64) []string {
+	keys := make([]string, 0, len(consts))
+	for k := range consts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

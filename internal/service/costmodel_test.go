@@ -1,0 +1,131 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bfpp/internal/core"
+	"bfpp/internal/cost"
+)
+
+// slowProfilePath writes a calibrated profile with a halved kernel ceiling
+// and returns its path: a cost model guaranteed to price every plan
+// differently than the paper default.
+func slowProfilePath(t *testing.T) string {
+	t.Helper()
+	prof := cost.DefaultProfile()
+	prof.Kernel.MaxEff /= 2
+	raw, err := json.Marshal(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "slow.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSearchCostModelPartitionsCache pins the cache-key contract: the cost
+// model is part of the canonical request, so the same scenario under a
+// different model must neither hit the other's cache entry nor produce its
+// table — while the nil default and the explicit "paper" spelling share
+// one entry (same fingerprint, same bytes).
+func TestSearchCostModelPartitionsCache(t *testing.T) {
+	s := New(Config{})
+	ctx := context.Background()
+	base := SearchRequest{Model: "6.6B", Cluster: "paper", Batches: []int{32, 64}}
+
+	def, err := s.Search(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := base
+	paper.CostModel = "paper"
+	if resp, err := s.Search(ctx, paper); err != nil {
+		t.Fatal(err)
+	} else if !resp.Cached || resp.Table != def.Table {
+		t.Errorf("explicit \"paper\" should share the default's cache entry (cached=%t)", resp.Cached)
+	}
+
+	slow := base
+	slow.CostModel = "calibrated:" + slowProfilePath(t)
+	calResp, err := s.Search(ctx, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calResp.Cached {
+		t.Error("calibrated request hit the paper cache entry")
+	}
+	if calResp.Table == def.Table {
+		t.Error("halved kernel ceiling produced the paper table: cost model not applied")
+	}
+	// Re-requesting the calibrated spelling hits its own entry.
+	if resp, err := s.Search(ctx, slow); err != nil {
+		t.Fatal(err)
+	} else if !resp.Cached || resp.Table != calResp.Table {
+		t.Errorf("repeated calibrated request missed its cache entry (cached=%t)", resp.Cached)
+	}
+	// And the default entry is still intact.
+	if resp, err := s.Search(ctx, base); err != nil {
+		t.Fatal(err)
+	} else if !resp.Cached || resp.Table != def.Table {
+		t.Errorf("default entry lost after calibrated request (cached=%t)", resp.Cached)
+	}
+}
+
+// TestCostModelBadRequests pins the error contract: an unknown model name
+// and an unreadable calibrated profile are bad requests naming the
+// registered spellings, on both the search and simulate paths.
+func TestCostModelBadRequests(t *testing.T) {
+	s := New(Config{})
+	ctx := context.Background()
+	req := SearchRequest{Model: "6.6B", Cluster: "paper", Batches: []int{32},
+		CostModel: "warp-speed"}
+	if _, err := s.Search(ctx, req); !errors.Is(err, ErrBadRequest) ||
+		!strings.Contains(err.Error(), "calibrated") {
+		t.Errorf("unknown cost model: got %v, want bad request listing registered names", err)
+	}
+	sim := SimulateRequest{Model: "tiny", Cluster: "paper",
+		Plan: core.Plan{Method: core.GPipe, DP: 1, PP: 2, TP: 1,
+			MicroBatch: 1, NumMicro: 2, Loops: 1},
+		CostModel: "calibrated:/no/such/profile.json"}
+	if _, err := s.Simulate(ctx, sim); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("unreadable profile: got %v, want bad request", err)
+	}
+}
+
+// TestDefaultCostModelConfig pins the server-wide default: a service
+// configured with a cost model applies it to requests that leave the field
+// empty, and /healthz advertises the registry.
+func TestDefaultCostModelConfig(t *testing.T) {
+	ctx := context.Background()
+	slow := "calibrated:" + slowProfilePath(t)
+	def, err := New(Config{}).Search(ctx, SearchRequest{Model: "6.6B", Cluster: "paper", Batches: []int{32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := New(Config{DefaultCostModel: slow}).Search(ctx,
+		SearchRequest{Model: "6.6B", Cluster: "paper", Batches: []int{32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Table == def.Table {
+		t.Error("DefaultCostModel was not applied to a request without cost_model")
+	}
+	h := New(Config{}).Health(ctx)
+	found := false
+	for _, name := range h.CostModels {
+		if name == "paper" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("healthz cost_models = %v, want it to include \"paper\"", h.CostModels)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bfpp/internal/cost"
 	"bfpp/internal/engine"
 	"bfpp/internal/fault"
 	"bfpp/internal/figures"
@@ -91,6 +92,12 @@ type Config struct {
 	// the coordinator). Journal-resumed groups are subtracted before
 	// dispatch; the merged table is byte-identical either way.
 	Sharder Sharder
+	// DefaultCostModel is the cost-model spelling applied to requests that
+	// do not carry their own (bfpp-serve -costmodel). Empty means the paper
+	// model. The spelling is resolved per request through the cost
+	// registry, so a calibrated:<profile.json> default re-reads the profile
+	// like an explicit request would.
+	DefaultCostModel string
 }
 
 // Service executes bfpp jobs: grid searches (cached), single simulations
@@ -163,6 +170,9 @@ type Health struct {
 	// sharder is configured. A down replica degrades the fleet; it never
 	// fails the probe.
 	Replicas []ReplicaHealth `json:"replicas,omitempty"`
+	// CostModels lists the registered cost-model spellings (fixed names,
+	// then pattern labels) a request's cost_model field accepts.
+	CostModels []string `json:"cost_models,omitempty"`
 }
 
 // StoreHealth is the durability section of /healthz.
@@ -186,11 +196,12 @@ const healthProbeTimeout = 2 * time.Second
 // healthProbeTimeout).
 func (s *Service) Health(ctx context.Context) Health {
 	h := Health{
-		Status:    "ok",
-		InFlight:  int(s.inFlight.Load()),
-		MaxJobs:   s.cfg.MaxJobs,
-		Queued:    int(s.queued.Load()),
-		ShedTotal: s.shed.Load(),
+		Status:     "ok",
+		InFlight:   int(s.inFlight.Load()),
+		MaxJobs:    s.cfg.MaxJobs,
+		Queued:     int(s.queued.Load()),
+		ShedTotal:  s.shed.Load(),
+		CostModels: cost.Names(),
 	}
 	if h.InFlight >= h.MaxJobs || h.Queued > 0 {
 		h.Status = "degraded"
@@ -355,6 +366,12 @@ func (s *Service) SearchStream(ctx context.Context, req SearchRequest, progress 
 }
 
 func (s *Service) searchWith(ctx context.Context, req SearchRequest, progress func(search.ProgressSnapshot)) (SearchResponse, error) {
+	// The config default fills the request's cost_model before
+	// canonicalization, so the cache key, the journal key and a dispatched
+	// request all carry the effective choice.
+	if req.CostModel == "" {
+		req.CostModel = s.cfg.DefaultCostModel
+	}
 	job, key, err := resolveSearch(req)
 	if err != nil {
 		return SearchResponse{}, err
@@ -425,6 +442,14 @@ func (s *Service) localSearch(ctx context.Context, req SearchRequest, job search
 		Progress:      progress,
 		Resume:        resume,
 		Checkpoint:    s.journalCheckpoint(key),
+	}
+	if job.costModel != nil {
+		// The cost model rides the engine params; the search threads them
+		// to the simulator and every bound, which is what keeps pruning
+		// exact under a non-default model.
+		par := engine.Defaults()
+		par.Model = job.costModel
+		opt.Params = &par
 	}
 	// The injector rides the context into the search worker pool (PoolItem
 	// stalls); fault.With is a no-op when no injector is configured.
@@ -621,6 +646,13 @@ func (s *Service) Simulate(ctx context.Context, req SimulateRequest) (SimulateRe
 	if err != nil {
 		return SimulateResponse{}, err
 	}
+	if req.CostModel == "" {
+		req.CostModel = s.cfg.DefaultCostModel
+	}
+	cm, err := cliParseCostModel(req.CostModel)
+	if err != nil {
+		return SimulateResponse{}, err
+	}
 	ctx, cancel := s.deadline(ctx, req.TimeoutMS)
 	defer cancel()
 	release, err := s.acquire(ctx)
@@ -637,6 +669,11 @@ func (s *Service) Simulate(ctx context.Context, req SimulateRequest) (SimulateRe
 	eopt := engine.Options{CaptureTimeline: req.CaptureTimeline}
 	if req.Diagram {
 		par := figures.DiagramParams()
+		par.Model = cm
+		eopt.Params = &par
+	} else if cm != nil {
+		par := engine.Defaults()
+		par.Model = cm
 		eopt.Params = &par
 	}
 	res, err := engine.SimulateOpts(c, m, req.Plan, eopt)
@@ -677,7 +714,14 @@ func (s *Service) figuresWith(ctx context.Context, req FigureRequest, progress f
 	if err != nil {
 		return FigureResponse{}, badRequestf("%v", err)
 	}
-	cfg := figures.Config{Workers: s.workers(req.Workers)}
+	if req.CostModel == "" {
+		req.CostModel = s.cfg.DefaultCostModel
+	}
+	cm, err := cliParseCostModel(req.CostModel)
+	if err != nil {
+		return FigureResponse{}, err
+	}
+	cfg := figures.Config{Workers: s.workers(req.Workers), CostModel: cm}
 	if len(req.Families) > 0 {
 		// Only an explicit selection narrows the artifacts: their defaults
 		// differ per artifact (paper families vs every registered family).

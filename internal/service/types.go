@@ -8,6 +8,7 @@ import (
 
 	"bfpp/internal/cli"
 	"bfpp/internal/core"
+	"bfpp/internal/cost"
 	"bfpp/internal/engine"
 	"bfpp/internal/hw"
 	"bfpp/internal/model"
@@ -52,6 +53,12 @@ type SearchRequest struct {
 	// NoPrune disables the branch-and-bound (results are identical either
 	// way; this is the perf-comparison switch).
 	NoPrune bool `json:"no_prune,omitempty"`
+	// CostModel names a registered cost model (cost.Register) or matches a
+	// registered pattern: "paper", "calibrated", "contended",
+	// "calibrated:<profile.json>". Empty selects the default paper model.
+	// The resolved model's fingerprint is part of the canonical cache key,
+	// so two requests differing only in cost model never share results.
+	CostModel string `json:"cost_model,omitempty"`
 	// Workers is the per-request worker budget: the number of goroutines
 	// this job may use, clamped to the service's MaxWorkersPerRequest.
 	// 0 means the service default. Workers never changes results, so it
@@ -114,6 +121,9 @@ type SimulateRequest struct {
 	// schedule diagrams (fixed per-op overheads zeroed), as used by
 	// Figures 4 and 9 and bfpp-trace.
 	Diagram bool `json:"diagram,omitempty"`
+	// CostModel names a registered cost model, like SearchRequest's. Empty
+	// selects the default paper model.
+	CostModel string `json:"cost_model,omitempty"`
 	// TimeoutMS bounds the queue wait and gates the start; the simulation
 	// itself is indivisible (a single DES pass) and runs to completion
 	// once started.
@@ -131,9 +141,14 @@ type FigureRequest struct {
 	// all of them in paper order.
 	Names []string `json:"names,omitempty"`
 	// Families scopes the sweep-backed artifacts, like SearchRequest's.
-	Families  []string `json:"families,omitempty"`
-	Workers   int      `json:"workers,omitempty"`
-	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+	Families []string `json:"families,omitempty"`
+	// CostModel names a registered cost model for the sweep-backed
+	// artifacts, like SearchRequest's. Empty selects the default paper
+	// model. Artifacts that simulate fixed plans directly (the schedule
+	// diagrams) keep their paper preset regardless.
+	CostModel string `json:"cost_model,omitempty"`
+	Workers   int    `json:"workers,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 }
 
 // Artifact is one rendered figure or table.
@@ -165,6 +180,16 @@ func cliParseCluster(name string) (hw.Cluster, error) {
 	return c, nil
 }
 
+// cliParseCostModel resolves a cost-model spelling (empty means the default
+// paper model, returned as nil), marking failures as bad requests.
+func cliParseCostModel(name string) (cost.Model, error) {
+	m, err := cli.ParseCostModel(name)
+	if err != nil {
+		return nil, badRequestf("%v", err)
+	}
+	return m, nil
+}
+
 // searchJob is a resolved SearchRequest: registry names replaced by the
 // constructed scenario, family spellings by Family values.
 type searchJob struct {
@@ -174,6 +199,10 @@ type searchJob struct {
 	batches  []int
 	maxMB    int
 	noPrune  bool
+	// costModel is the resolved cost model; nil selects the default paper
+	// model (and prices identically to an explicit "paper", which the
+	// shared fingerprint in the cache key records).
+	costModel cost.Model
 }
 
 // title returns the table headline, byte-identical to the pre-service
@@ -246,12 +275,19 @@ func resolveSearch(req SearchRequest) (searchJob, string, error) {
 		job.maxMB = 16
 	}
 	job.noPrune = req.NoPrune
+	if job.costModel, err = cliParseCostModel(req.CostModel); err != nil {
+		return job, "", err
+	}
 	keys := make([]string, len(job.families))
 	for i, f := range job.families {
 		keys[i] = f.Info().Key
 	}
-	key := fmt.Sprintf("model=%+v|cluster=%+v|families=%s|batches=%v|maxmb=%d|noprune=%t",
-		job.model, job.cluster, strings.Join(keys, ","), job.batches, job.maxMB, job.noPrune)
+	// The cost model enters the key by content fingerprint, not request
+	// spelling: the default and an explicit "paper" share entries, two
+	// different profiles at one path never do.
+	key := fmt.Sprintf("model=%+v|cluster=%+v|families=%s|batches=%v|maxmb=%d|noprune=%t|cost=%s",
+		job.model, job.cluster, strings.Join(keys, ","), job.batches, job.maxMB, job.noPrune,
+		cost.Fingerprint(cost.Params{Model: job.costModel}))
 	return job, key, nil
 }
 

@@ -33,6 +33,11 @@
 #                   the pruned Figure-7 sweep (injector consulted per pool
 #                   item) and the single-batch simulation (consulted per
 #                   job). Target <= 1.02x: chaos off the happy path is free.
+#   cost_model_overhead what routing pricing through an explicitly
+#                   looked-up "paper" cost model (registry indirection,
+#                   interface dispatch) adds over the nil-Model default:
+#                   SweepFigure7PrunedCostModel / SweepFigure7Pruned, same
+#                   formulas and bytes by construction. Target <= 1.02x.
 #   cascade         pricing-cascade counters from the pruned sweep: the
 #                   fraction of bound-skips won by the tier-1 floor alone,
 #                   the fraction of candidates that paid the O(ops) tier-2
@@ -60,7 +65,7 @@ TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' \
-	-bench 'BenchmarkSearchOptimize(Baseline|Serial|Parallel)$|BenchmarkSweepFigure7(Baseline|Parallel|Pruned|PrunedFault)$|BenchmarkDESRun(Fast|Reference)$|BenchmarkSimulateBatch(Baseline|Fault)?$|BenchmarkServiceSearch(Cold|Cached|Store)$' \
+	-bench 'BenchmarkSearchOptimize(Baseline|Serial|Parallel)$|BenchmarkSweepFigure7(Baseline|Parallel|Pruned|PrunedFault|PrunedCostModel)$|BenchmarkDESRun(Fast|Reference)$|BenchmarkSimulateBatch(Baseline|Fault)?$|BenchmarkServiceSearch(Cold|Cached|Store)$' \
 	-benchmem -benchtime="$BENCHTIME" -count="$BENCHCOUNT" . | tee "$TMP"
 
 GOMAXPROCS_N=$(go run ./scripts/gomaxprocs 2>/dev/null || nproc 2>/dev/null || echo 1)
@@ -127,6 +132,8 @@ END {
 	printf "    \"simulate_batch\": %.3f,\n", clamp1(ns["SimulateBatchFault"] / ns["SimulateBatch"]) > out
 	printf "    \"simulate_batch_raw\": %.3f\n", ns["SimulateBatchFault"] / ns["SimulateBatch"] > out
 	printf "  },\n" > out
+	printf "  \"cost_model_overhead\": %.3f,\n", clamp1(ns["SweepFigure7PrunedCostModel"] / ns["SweepFigure7Pruned"]) > out
+	printf "  \"cost_model_overhead_raw\": %.3f,\n", ns["SweepFigure7PrunedCostModel"] / ns["SweepFigure7Pruned"] > out
 	printf "  \"cascade\": {\n" > out
 	printf "    \"floored_skip_rate\": %.3f,\n", floored["SweepFigure7Pruned"] / 100 > out
 	printf "    \"replay_priced_rate\": %.3f,\n", replayed["SweepFigure7Pruned"] / 100 > out
